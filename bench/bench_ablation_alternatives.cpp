@@ -1,0 +1,113 @@
+// Section V walk-through (extension bench): quantifies why the paper
+// discarded each alternative technique before settling on KCCA.
+//  * regression — accuracy collapse (Figures 3/4), plus the Section V-A
+//    observation that per-metric regressions discard DIFFERENT features
+//    (reproduced with lasso), defeating a unified model;
+//  * independent k-means clustering — query-feature clusters do not line
+//    up with performance-feature clusters (low Rand index);
+//  * PCA — captures within-dataset variance, not cross-dataset correlation;
+//  * linear CCA — correlates the datasets but underperforms KCCA because
+//    similarity is Euclidean, not cluster-shaped.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/predictor.h"
+#include "ml/cca.h"
+#include "ml/kmeans.h"
+#include "ml/knn.h"
+#include "ml/lasso.h"
+#include "ml/pca.h"
+#include "ml/preprocess.h"
+#include "ml/risk.h"
+
+using namespace qpp;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — the paper's rejected alternatives (Section V)",
+      "regression inaccurate & feature sets inconsistent; clustering "
+      "partitions disagree; PCA finds no cross-set correlation; linear CCA "
+      "below KCCA");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+  const ml::FeatureMatrices train_m = ml::StackExamples(exp.train);
+  ml::Preprocessor xprep(true, true), yprep(true, true);
+  xprep.Fit(train_m.x);
+  yprep.Fit(train_m.y);
+  const linalg::Matrix xp = xprep.Transform(train_m.x);
+  const linalg::Matrix yp = yprep.Transform(train_m.y);
+
+  // --- V-A: regression discards inconsistent feature sets ----------------
+  std::printf("[V-A] lasso-selected features differ per metric:\n");
+  const auto names = ml::PlanFeatureNames();
+  for (size_t m : {size_t{0}, size_t{2}, size_t{4}}) {
+    ml::Lasso lasso;
+    lasso.Fit(xp, train_m.y.Col(m), /*lambda=*/0.3);
+    std::printf("  %-16s keeps:",
+                engine::QueryMetrics::MetricNames()[m].c_str());
+    size_t shown = 0;
+    for (size_t j = 0; j < names.size(); ++j) {
+      if (lasso.coefficients()[j] != 0.0 && shown < 6) {
+        std::printf(" %s", names[j].c_str());
+        ++shown;
+      }
+    }
+    std::printf(" (discards %zu of %zu)\n",
+                lasso.DiscardedFeatures().size(), names.size());
+  }
+
+  // --- V-B: independent clustering disagrees -----------------------------
+  const ml::KMeansResult cx = ml::KMeans(xp, 6, /*seed=*/1);
+  const ml::KMeansResult cy = ml::KMeans(yp, 6, /*seed=*/2);
+  std::printf("\n[V-B] Rand index between query-feature and performance-"
+              "feature clusterings: %.2f (1.0 = identical partitions)\n",
+              ml::RandIndex(cx.assignment, cy.assignment));
+
+  // --- V-C: PCA looks inside one dataset only ----------------------------
+  ml::Pca pca;
+  pca.Fit(xp, 8);
+  std::printf("\n[V-C] PCA on query features explains %.0f%% of query-"
+              "feature variance, but correlates with nothing in the "
+              "performance space by construction\n",
+              100.0 * pca.ExplainedVarianceRatio());
+
+  // --- V-D/E: linear CCA vs KCCA, same kNN prediction recipe -------------
+  const ml::CcaModel cca = ml::FitCca(xp, yp, 8, /*reg=*/0.01);
+  const linalg::Matrix cca_proj = cca.ProjectXAll(xp);
+  linalg::Vector cca_pred, actual;
+  for (const auto& ex : exp.test) {
+    const linalg::Vector q = cca.ProjectX(xprep.TransformRow(ex.query_features));
+    const auto nbrs =
+        ml::FindNearest(cca_proj, q, 3, ml::DistanceKind::kEuclidean);
+    const linalg::Vector avg =
+        ml::WeightedAverage(nbrs, train_m.y, ml::NeighborWeighting::kEqual);
+    cca_pred.push_back(avg[0]);
+    actual.push_back(ex.metrics.elapsed_seconds);
+  }
+
+  core::Predictor kcca;
+  kcca.Train(exp.train);
+  const auto kcca_evals = core::EvaluatePredictions(
+      [&](const linalg::Vector& f) { return kcca.Predict(f).metrics; },
+      exp.test);
+
+  core::PredictorConfig rc;
+  rc.model = core::ModelKind::kRegression;
+  core::Predictor reg(rc);
+  reg.Train(exp.train);
+  const auto reg_evals = core::EvaluatePredictions(
+      [&](const linalg::Vector& f) { return reg.Predict(f).metrics; },
+      exp.test);
+
+  std::printf("\n[V-D/E] elapsed-time accuracy, same test set:\n");
+  std::printf("  %-12s risk %6s  within20 %3.0f%%\n", "regression",
+              ml::FormatRisk(reg_evals[0].risk).c_str(),
+              100.0 * reg_evals[0].within20);
+  std::printf("  %-12s risk %6s  within20 %3.0f%%\n", "linear CCA",
+              ml::FormatRisk(ml::PredictiveRisk(cca_pred, actual)).c_str(),
+              100.0 * ml::FractionWithinRelative(cca_pred, actual, 0.2));
+  std::printf("  %-12s risk %6s  within20 %3.0f%%\n", "KCCA",
+              ml::FormatRisk(kcca_evals[0].risk).c_str(),
+              100.0 * kcca_evals[0].within20);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation bench (beyond the paper's tables): which of our design choices
+// matter? Sweeps the KCCA solver (exact vs incomplete-Cholesky), the
+// feature preprocessing (log1p / standardization), the kernel scale
+// factors, and the projection dimensionality, reporting elapsed-time risk
+// and within-20% accuracy on the Experiment-1 split.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/predictor.h"
+#include "ml/risk.h"
+
+using namespace qpp;
+
+namespace {
+
+void Evaluate(const char* label, const core::PredictorConfig& cfg,
+              const bench::PaperExperiment& exp) {
+  core::Predictor pred(cfg);
+  pred.Train(exp.train);
+  const auto evals = core::EvaluatePredictions(
+      [&](const linalg::Vector& f) { return pred.Predict(f).metrics; },
+      exp.test);
+  std::printf("%-44s elapsed risk %6s  within20 %3.0f%%  recs_used %6s\n",
+              label, ml::FormatRisk(evals[0].risk).c_str(),
+              100.0 * evals[0].within20,
+              ml::FormatRisk(evals[2].risk).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — KCCA design choices",
+      "(extension) which implementation choices carry the accuracy");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+
+  {
+    core::PredictorConfig cfg;
+    Evaluate("default (ICD r256, d16, log1p+std)", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.kcca.solver = ml::KccaSolver::kExact;
+    Evaluate("exact dense solver (N=1027, cubic)", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.kcca.icd_max_rank = 64;
+    Evaluate("ICD rank 64", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.kcca.icd_max_rank = 384;
+    Evaluate("ICD rank 384", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.preprocess_log1p = false;
+    Evaluate("no log1p (raw cardinalities in kernel)", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.preprocess_standardize = false;
+    Evaluate("no standardization", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.kcca.num_dims = 2;
+    Evaluate("2 projection dimensions", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.kcca.num_dims = 32;
+    Evaluate("32 projection dimensions", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.kcca.tau_factor_x = 0.1;
+    cfg.kcca.tau_factor_y = 0.2;
+    Evaluate("paper tau factors 0.1/0.2 (raw-space values)", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.kcca.tau_factor_x = 2.0;
+    cfg.kcca.tau_factor_y = 4.0;
+    Evaluate("wide kernel (tau x4 default)", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.kcca.kappa = 0.5;
+    Evaluate("heavy regularization kappa=0.5", cfg, exp);
+  }
+  {
+    core::PredictorConfig cfg;
+    cfg.k_neighbors = 1;
+    Evaluate("k=1 neighbor", cfg, exp);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Extension bench for paper Section VII-C.3 ("Can we predict anomalous
+// queries?"): "Initial results indicate that we can use Euclidean distance
+// from the three neighbors as a measure of confidence and that we can thus
+// identify queries whose performance predictions may be less accurate."
+//
+// We verify that claim quantitatively: bucket the Experiment-1 test
+// predictions by confidence and show the prediction error grows as
+// confidence falls; then feed the model queries from a foreign schema and
+// show the anomaly flag fires far more often there.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/predictor.h"
+
+using namespace qpp;
+
+int main() {
+  bench::PrintHeader(
+      "Extension — neighbor distance as prediction confidence (VII-C.3)",
+      "distance from the neighbors identifies the less-accurate "
+      "predictions; anomalous queries (e.g. the post-upgrade bowling "
+      "balls) sit far from their neighbors");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+  core::Predictor pred;
+  pred.Train(exp.train);
+
+  struct Point {
+    double confidence;
+    double rel_error;
+    bool anomalous;
+  };
+  std::vector<Point> points;
+  for (const auto& ex : exp.test) {
+    const core::Prediction p = pred.Predict(ex.query_features);
+    const double rel =
+        std::abs(p.metrics.elapsed_seconds - ex.metrics.elapsed_seconds) /
+        std::max(ex.metrics.elapsed_seconds, 1e-9);
+    points.push_back({p.confidence, rel, p.anomalous});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) {
+              return a.confidence > b.confidence;
+            });
+
+  const size_t third = points.size() / 3;
+  const auto bucket_error = [&](size_t lo, size_t hi) {
+    double sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) sum += points[i].rel_error;
+    return sum / static_cast<double>(hi - lo);
+  };
+  std::printf("test queries bucketed by confidence (n=%zu):\n",
+              points.size());
+  std::printf("  top third    (most confident):  mean rel error %5.1f%%\n",
+              100.0 * bucket_error(0, third));
+  std::printf("  middle third:                   mean rel error %5.1f%%\n",
+              100.0 * bucket_error(third, 2 * third));
+  std::printf("  bottom third (least confident): mean rel error %5.1f%%\n",
+              100.0 * bucket_error(2 * third, points.size()));
+
+  size_t anomalous_in_domain = 0;
+  for (const Point& p : points) anomalous_in_domain += p.anomalous;
+
+  // Foreign-schema queries should trip the anomaly detector far more often.
+  const core::ExperimentData bank = core::BuildRetailBankExperiment(
+      45, /*seed=*/23, engine::SystemConfig::Neoview4());
+  size_t anomalous_foreign = 0;
+  for (const auto& ex : core::MakeAllExamples(bank.pools)) {
+    anomalous_foreign += pred.Predict(ex.query_features).anomalous;
+  }
+  std::printf("\nanomaly flags:\n");
+  std::printf("  in-domain TPC-DS test queries:  %zu / %zu\n",
+              anomalous_in_domain, points.size());
+  std::printf("  foreign-schema bank queries:    %zu / 45\n",
+              anomalous_foreign);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Fig. 2: the candidate query pools categorized by elapsed time
+// on the 4-processor research system (feather / golf ball / bowling ball
+// boundaries at 3 min / 30 min / 2 h).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+
+using namespace qpp;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 2 — query pools by elapsed-time category",
+      "feathers in seconds (max 00:02:59), golf balls in minutes "
+      "(00:03:00-00:29:39), bowling balls 00:30:04-01:54:50; thousands of "
+      "feathers, hundreds of golf balls, tens of bowling balls");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+  std::printf("%zu candidate queries instantiated; %zu planned and run\n\n",
+              exp.data.pools.queries.size() + exp.data.num_failed_plans,
+              exp.data.pools.queries.size());
+  std::printf("%s\n", exp.data.pools.ToTable().c_str());
+
+  // Per-template breakdown: shows that the same template spans categories
+  // depending on its constants (Section IV-B's observation).
+  std::printf("templates spanning more than one category:\n");
+  std::map<std::string, std::map<workload::QueryType, int>> by_template;
+  for (const auto& q : exp.data.pools.queries) {
+    by_template[q.query.template_name][q.type] += 1;
+  }
+  for (const auto& [name, counts] : by_template) {
+    if (counts.size() < 2) continue;
+    std::printf("  %-32s", name.c_str());
+    for (const auto& [type, count] : counts) {
+      std::printf(" %s=%d", workload::QueryTypeName(type), count);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Reproduces Fig. 6: the query-plan projection and performance projection
+// produced by KCCA for the training queries. The paper's figure shows the
+// same query landing in the same relative location of both projections —
+// KCCA "was able to cluster and correlate similar queries". We print the
+// first two coordinates of both projections (plottable as two scatter
+// panels) and quantify the two claims:
+//  * correlation: per-dimension correlation between the projections;
+//  * clustering: queries of the same runtime category sit closer together
+//    than queries of different categories.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/predictor.h"
+
+using namespace qpp;
+
+namespace {
+
+double Correlation(const linalg::Vector& a, const linalg::Vector& b) {
+  const size_t n = a.size();
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0, saa = 0, sbb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  return sab / std::sqrt(saa * sbb + 1e-300);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 6 — KCCA query-plan projection vs performance projection",
+      "the same query lands in the same place in both projections; similar "
+      "queries are collocated (clustering effect)");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+  core::Predictor pred;
+  pred.Train(exp.train);
+  const linalg::Matrix& px = pred.kcca().x_projection();
+  const linalg::Matrix& py = pred.kcca().y_projection();
+
+  std::printf("per-dimension correlation between the two projections:\n ");
+  for (size_t d = 0; d < 4 && d < px.cols(); ++d) {
+    std::printf(" dim%zu=%.3f", d, std::abs(Correlation(px.Col(d), py.Col(d))));
+  }
+  std::printf("\n(the model's canonical correlations:");
+  for (size_t d = 0; d < 4; ++d) {
+    std::printf(" %.3f", pred.kcca().correlations()[d]);
+  }
+  std::printf(")\n\n");
+
+  // Clustering effect: "similar queries" in the paper's sense are
+  // instantiations of the same template family; they must sit closer in the
+  // projection than unrelated queries (sampled pairs).
+  double within = 0.0, between = 0.0;
+  size_t nw = 0, nb = 0;
+  for (size_t i = 0; i < px.rows(); i += 3) {
+    const auto& name_i =
+        exp.data.pools.queries[exp.split.train[i]].query.template_name;
+    for (size_t j = i + 1; j < px.rows(); j += 7) {
+      const auto& name_j =
+          exp.data.pools.queries[exp.split.train[j]].query.template_name;
+      const double d =
+          std::sqrt(linalg::SquaredDistance(px.Row(i), px.Row(j)));
+      if (name_i == name_j) {
+        within += d;
+        ++nw;
+      } else {
+        between += d;
+        ++nb;
+      }
+    }
+  }
+  within /= static_cast<double>(nw);
+  between /= static_cast<double>(nb);
+  std::printf("query-projection distances: same template %.4f, different "
+              "templates %.4f (ratio %.1fx)\n\n",
+              within, between, between / within);
+
+  std::printf("projection scatter (first 2 dims, first 40 training "
+              "queries; type: F=feather G=golf B=bowling):\n");
+  std::printf("%4s %10s %10s   %10s %10s\n", "type", "plan_d0", "plan_d1",
+              "perf_d0", "perf_d1");
+  for (size_t i = 0; i < 40 && i < px.rows(); ++i) {
+    const auto type =
+        workload::ClassifyElapsed(exp.train[i].metrics.elapsed_seconds);
+    const char tag = type == workload::QueryType::kFeather    ? 'F'
+                     : type == workload::QueryType::kGolfBall ? 'G'
+                                                              : 'B';
+    std::printf("%4c %10.4f %10.4f   %10.4f %10.4f\n", tag, px(i, 0),
+                px(i, 1), py(i, 0), py(i, 1));
+  }
+  return 0;
+}

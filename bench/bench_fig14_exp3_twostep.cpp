@@ -1,0 +1,70 @@
+// Reproduces Fig. 14 (Experiment 3): two-step prediction — classify the
+// query as feather / golf ball / bowling ball first, then predict with a
+// type-specific model. Paper: risk 0.82 vs 0.55 for the one-model
+// approach, with occasional losses when a query sits near a type boundary
+// and is forced into the wrong category.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "core/two_step.h"
+#include "ml/risk.h"
+
+using namespace qpp;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 14 — Experiment 3: two-step (classify, then per-type model)",
+      "risk 0.82 vs 0.55 one-model; a few boundary queries get worse");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+
+  core::TwoStepPredictor two_step;
+  two_step.Train(exp.train);
+  core::Predictor one_model;
+  one_model.Train(exp.train);
+
+  const auto ev2 = core::EvaluatePredictions(
+      [&](const linalg::Vector& f) { return two_step.Predict(f).metrics; },
+      exp.test);
+  const auto ev1 = core::EvaluatePredictions(
+      [&](const linalg::Vector& f) { return one_model.Predict(f).metrics; },
+      exp.test);
+
+  std::printf("%-18s %12s %12s\n", "metric", "two-step", "one-model");
+  for (size_t m = 0; m < ev2.size(); ++m) {
+    std::printf("%-18s %12s %12s\n", ev2[m].metric.c_str(),
+                ml::FormatRisk(ev2[m].risk).c_str(),
+                ml::FormatRisk(ev1[m].risk).c_str());
+  }
+  std::printf("\nelapsed within 20%%: two-step %.0f%%, one-model %.0f%%\n",
+              100.0 * ev2[0].within20, 100.0 * ev1[0].within20);
+
+  // Classification accuracy + boundary confusion (the paper's explanation
+  // for the cases where two-step loses).
+  size_t correct = 0, boundary_confusion = 0;
+  for (size_t t = 0; t < exp.split.test.size(); ++t) {
+    const auto& q = exp.data.pools.queries[exp.split.test[t]];
+    const auto p = two_step.Predict(exp.test[t].query_features);
+    if (p.predicted_type == q.type) {
+      ++correct;
+    } else {
+      // Within 25% of a boundary?
+      const double e = q.metrics.elapsed_seconds;
+      for (double b : {180.0, 1800.0}) {
+        if (e > b * 0.75 && e < b * 1.25) {
+          ++boundary_confusion;
+          break;
+        }
+      }
+      std::printf("  misclassified: actual %s (%s), predicted %s\n",
+                  workload::QueryTypeName(q.type),
+                  FormatDuration(e).c_str(),
+                  workload::QueryTypeName(p.predicted_type));
+    }
+  }
+  std::printf("step-1 classification: %zu/%zu correct (%zu misses near a "
+              "type boundary)\n",
+              correct, exp.split.test.size(), boundary_confusion);
+  return 0;
+}

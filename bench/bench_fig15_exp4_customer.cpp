@@ -1,0 +1,73 @@
+// Reproduces Fig. 15 (Experiment 4): training on TPC-DS queries and testing
+// on a customer database with a different schema. Paper: one-model
+// predictions were often one to three orders of magnitude too long; the
+// two-step model was relatively more accurate. (Their customer queries were
+// all extremely short "mini-feathers", making relative errors look large.)
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/two_step.h"
+#include "ml/risk.h"
+
+using namespace qpp;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 15 — Experiment 4: customer schema (train TPC-DS, test bank)",
+      "one-model predictions 10x-1000x long on mini-feather customer "
+      "queries; two-step relatively more accurate");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+  core::Predictor one_model;
+  one_model.Train(exp.train);
+  core::TwoStepPredictor two_step;
+  two_step.Train(exp.train);
+
+  // 45 customer queries, as in the paper.
+  const core::ExperimentData bank = core::BuildRetailBankExperiment(
+      45, /*seed=*/17, engine::SystemConfig::Neoview4());
+  const auto test = core::MakeAllExamples(bank.pools);
+
+  const auto describe = [&](const char* name, const core::PredictFn& fn) {
+    size_t over10 = 0, over100 = 0, within_decade = 0;
+    linalg::Vector pred, act;
+    for (const auto& ex : test) {
+      const double p = fn(ex.query_features).elapsed_seconds;
+      const double a = std::max(ex.metrics.elapsed_seconds, 1e-3);
+      pred.push_back(p);
+      act.push_back(ex.metrics.elapsed_seconds);
+      const double ratio = p / a;
+      if (ratio >= 10.0) ++over10;
+      if (ratio >= 100.0) ++over100;
+      if (ratio < 10.0 && ratio > 0.1) ++within_decade;
+    }
+    std::printf("%-10s over-predicted >=10x: %2zu/%zu   >=100x: %2zu/%zu   "
+                "within one decade: %2zu/%zu   mean rel err: %.1fx\n",
+                name, over10, test.size(), over100, test.size(),
+                within_decade, test.size(),
+                ml::MeanRelativeError(pred, act, 1e-3));
+  };
+  describe("one-model", [&](const linalg::Vector& f) {
+    return one_model.Predict(f).metrics;
+  });
+  describe("two-step", [&](const linalg::Vector& f) {
+    return two_step.Predict(f).metrics;
+  });
+
+  std::printf("\ncustomer workload profile: %zu queries, all %s\n",
+              test.size(),
+              bank.pools.OfType(workload::QueryType::kFeather).size() ==
+                      test.size()
+                  ? "feathers (mini-feathers as in the paper)"
+                  : "mixed");
+  std::printf("\nscatter (one-model vs two-step vs actual, seconds):\n");
+  std::printf("%12s %12s %12s\n", "one-model", "two-step", "actual");
+  for (const auto& ex : test) {
+    std::printf("%12.3f %12.3f %12.3f\n",
+                one_model.Predict(ex.query_features).metrics.elapsed_seconds,
+                two_step.Predict(ex.query_features).metrics.elapsed_seconds,
+                ex.metrics.elapsed_seconds);
+  }
+  return 0;
+}

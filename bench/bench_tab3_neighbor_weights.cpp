@@ -1,0 +1,61 @@
+// Reproduces Table III: neighbor weighting schemes — equal, 3:2:1 rank
+// ratio, and distance-proportional. Paper: no scheme wins consistently, so
+// the simplest (equal weights) is chosen.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/predictor.h"
+#include "ml/risk.h"
+
+using namespace qpp;
+
+int main() {
+  bench::PrintHeader(
+      "Table III — neighbor weighting: equal vs 3:2:1 vs distance",
+      "no weighting scheme yields consistently better predictions; equal "
+      "weighting chosen");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+
+  const std::vector<std::pair<ml::NeighborWeighting, const char*>> schemes = {
+      {ml::NeighborWeighting::kEqual, "equal"},
+      {ml::NeighborWeighting::kRankRatio, "3:2:1"},
+      {ml::NeighborWeighting::kInverseDistance, "distance"},
+  };
+  std::vector<std::vector<core::MetricEvaluation>> results;
+  for (const auto& [scheme, name] : schemes) {
+    core::PredictorConfig cfg;
+    cfg.weighting = scheme;
+    core::Predictor pred(cfg);
+    pred.Train(exp.train);
+    results.push_back(core::EvaluatePredictions(
+        [&](const linalg::Vector& f) { return pred.Predict(f).metrics; },
+        exp.test));
+  }
+
+  std::printf("%-18s %10s %10s %10s\n", "metric", "equal", "3:2:1",
+              "distance");
+  for (size_t m = 0; m < results[0].size(); ++m) {
+    std::printf("%-18s %10s %10s %10s\n", results[0][m].metric.c_str(),
+                ml::FormatRisk(results[0][m].risk).c_str(),
+                ml::FormatRisk(results[1][m].risk).c_str(),
+                ml::FormatRisk(results[2][m].risk).c_str());
+  }
+
+  // Count per-metric wins to show there is no consistent winner.
+  std::vector<size_t> wins(schemes.size(), 0);
+  for (size_t m = 0; m < results[0].size(); ++m) {
+    if (ml::IsNullRisk(results[0][m].risk)) continue;
+    size_t best = 0;
+    for (size_t s = 1; s < schemes.size(); ++s) {
+      if (results[s][m].risk > results[best][m].risk) best = s;
+    }
+    wins[best] += 1;
+  }
+  std::printf("\nper-metric wins:");
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    std::printf(" %s=%zu", schemes[s].second, wins[s]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Section VII-C.4 ("How fast is KCCA?") as google-benchmark
+// microbenchmarks: prediction of a single query completes well under a
+// second, while training is polynomial in the training-set size (cubic for
+// the exact solver; the ICD path amortizes to roughly linear in N for a
+// fixed approximation rank).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "catalog/tpcds.h"
+#include "common/rng.h"
+#include "core/predictor.h"
+
+using namespace qpp;
+
+namespace {
+
+std::vector<ml::TrainingExample> SyntheticExamples(size_t n) {
+  Rng rng(1234);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ml::TrainingExample ex;
+    ex.query_features.resize(ml::kPlanFeatureDims);
+    for (double& v : ex.query_features) {
+      v = rng.Bernoulli(0.3) ? rng.LogNormal(6.0, 3.0) : 0.0;
+    }
+    ex.metrics.elapsed_seconds = rng.LogNormal(1.0, 2.0);
+    ex.metrics.records_accessed = rng.LogNormal(12.0, 2.0);
+    ex.metrics.records_used = rng.LogNormal(10.0, 2.0);
+    ex.metrics.message_count = rng.LogNormal(6.0, 2.0);
+    ex.metrics.message_bytes = rng.LogNormal(14.0, 2.0);
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+void BM_TrainIcd(benchmark::State& state) {
+  const auto examples = SyntheticExamples(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Predictor pred;
+    pred.Train(examples);
+    benchmark::DoNotOptimize(pred.trained());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TrainIcd)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_TrainExact(benchmark::State& state) {
+  const auto examples = SyntheticExamples(static_cast<size_t>(state.range(0)));
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  for (auto _ : state) {
+    core::Predictor pred(cfg);
+    pred.Train(examples);
+    benchmark::DoNotOptimize(pred.trained());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TrainExact)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_PredictSingleQuery(benchmark::State& state) {
+  const auto examples = SyntheticExamples(static_cast<size_t>(state.range(0)));
+  core::Predictor pred;
+  pred.Train(examples);
+  const linalg::Vector probe = examples[7].query_features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.Predict(probe).metrics.elapsed_seconds);
+  }
+}
+BENCHMARK(BM_PredictSingleQuery)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PlanAndFeaturizeQuery(benchmark::State& state) {
+  // The full compile-time pipeline a deployment would run per query:
+  // parse -> optimize -> feature vector.
+  const auto catalog = catalog::MakeTpcdsCatalog(1.0);
+  const optimizer::Optimizer opt(&catalog, {});
+  const std::string sql =
+      "SELECT i_brand_id, SUM(ss_ext_sales_price) "
+      "FROM store_sales, item, date_dim "
+      "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+      "AND d_year = 2000 AND d_moy = 11 AND i_category_id = 6 "
+      "GROUP BY i_brand_id ORDER BY i_brand_id LIMIT 100";
+  for (auto _ : state) {
+    auto plan = opt.Plan(sql);
+    benchmark::DoNotOptimize(ml::PlanFeatureVector(plan.value()));
+  }
+}
+BENCHMARK(BM_PlanAndFeaturizeQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulateQuery(benchmark::State& state) {
+  const auto catalog = catalog::MakeTpcdsCatalog(1.0);
+  const optimizer::Optimizer opt(&catalog, {});
+  const engine::ExecutionSimulator sim(&catalog,
+                                       engine::SystemConfig::Neoview4());
+  auto plan = opt.Plan(
+      "SELECT COUNT(*) FROM store_sales, store_returns "
+      "WHERE ss_ext_sales_price > sr_return_amt");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Execute(plan.value()).elapsed_seconds);
+  }
+}
+BENCHMARK(BM_SimulateQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

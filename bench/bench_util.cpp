@@ -1,0 +1,51 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "sql/parser.h"
+
+namespace qpp::bench {
+
+PaperExperiment BuildPaperExperiment(uint64_t seed) {
+  PaperExperiment out;
+  core::ExperimentOptions opt;
+  // 14000 candidates reliably populate the golf/bowling pools beyond the
+  // paper's split sizes (the paper likewise generated "thousands" of
+  // candidates to fill its pools).
+  opt.num_candidates = 26000;
+  opt.seed = seed;
+  out.data = core::BuildTpcdsExperiment(opt);
+  QPP_CHECK_MSG(out.data.num_failed_plans == 0, "plan failures in workload");
+  out.split = workload::SampleSplit(
+      out.data.pools, kTrainFeathers, kTrainGolf, kTrainBowling,
+      kTestFeathers, kTestGolf, kTestBowling, /*seed=*/seed ^ 0x5713A7ull);
+  out.train = core::MakeExamples(out.data.pools, out.split.train);
+  out.test = core::MakeExamples(out.data.pools, out.split.test);
+  return out;
+}
+
+std::vector<ml::TrainingExample> MakeSqlTextExamples(
+    const workload::QueryPools& pools, const std::vector<size_t>& indices) {
+  std::vector<ml::TrainingExample> out;
+  out.reserve(indices.size());
+  for (size_t idx : indices) {
+    const workload::PooledQuery& q = pools.queries[idx];
+    auto stmt = sql::Parse(q.query.sql);
+    QPP_CHECK_MSG(stmt.ok(), "unparseable pooled query");
+    ml::TrainingExample ex;
+    ex.query_features = ml::SqlTextFeatureVector(*stmt.value());
+    ex.metrics = q.metrics;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+void PrintHeader(const std::string& id, const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace qpp::bench

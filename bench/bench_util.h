@@ -1,0 +1,40 @@
+// Shared setup for the reproduction benches: builds the paper's Experiment 1
+// workload and split once per binary, with the exact pool mix the paper
+// reports (training: 767 feathers + 230 golf balls + 30 bowling balls;
+// test: 45 + 7 + 9 = 61 queries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace qpp::bench {
+
+struct PaperExperiment {
+  core::ExperimentData data;
+  workload::TrainTestSplit split;
+  std::vector<ml::TrainingExample> train;  ///< plan-feature examples
+  std::vector<ml::TrainingExample> test;
+};
+
+/// Paper Experiment-1 sizes.
+constexpr size_t kTrainFeathers = 767;
+constexpr size_t kTrainGolf = 230;
+constexpr size_t kTrainBowling = 30;
+constexpr size_t kTestFeathers = 45;
+constexpr size_t kTestGolf = 7;
+constexpr size_t kTestBowling = 9;
+
+/// Builds the Experiment 1 data: TPC-DS + problem workload pooled on the
+/// 4-processor research system, split 1027 / 61 by category.
+PaperExperiment BuildPaperExperiment(uint64_t seed = 42);
+
+/// SQL-text-feature examples for the same pooled queries (Fig. 8 input).
+std::vector<ml::TrainingExample> MakeSqlTextExamples(
+    const workload::QueryPools& pools, const std::vector<size_t>& indices);
+
+/// Prints a standard bench header (what is being reproduced, paper target).
+void PrintHeader(const std::string& id, const std::string& paper_claim);
+
+}  // namespace qpp::bench

@@ -1,0 +1,94 @@
+// Capacity planning / system sizing scenario (paper Section I): a customer
+// brings a new workload and a nightly deadline; we predict the workload's
+// total time on each candidate configuration of the 32-node system — using
+// per-configuration models and per-configuration PLANS, since the optimizer
+// genuinely picks different operators at different degrees of parallelism —
+// and recommend the smallest configuration that meets the deadline.
+//
+// Run: ./build/examples/example_capacity_planning
+#include <cstdio>
+#include <memory>
+
+#include "catalog/tpcds.h"
+#include "common/str_util.h"
+#include "core/capacity_planner.h"
+#include "core/experiment.h"
+#include "workload/generator.h"
+#include "workload/problem_templates.h"
+#include "workload/tpcds_templates.h"
+
+using namespace qpp;
+
+int main() {
+  const auto catalog = std::make_shared<catalog::Catalog>(
+      catalog::MakeTpcdsCatalog(1.0));
+
+  // Candidate configurations: 4, 8, 16, 32 nodes of the production box.
+  const std::vector<int> node_counts = {4, 8, 16, 32};
+
+  // Vendor side: per-configuration training runs + models.
+  std::vector<std::unique_ptr<core::Predictor>> predictors;
+  core::CapacityPlanner planner;
+  std::vector<workload::QueryTemplate> mix = workload::TpcdsTemplates();
+  for (auto& t : workload::ProblemTemplates()) mix.push_back(t);
+  const auto training_queries =
+      workload::GenerateWorkload(mix, 2500, /*seed=*/3);
+
+  for (int nodes : node_counts) {
+    const engine::SystemConfig config = engine::SystemConfig::Neoview32(nodes);
+    optimizer::OptimizerOptions opts;
+    opts.nodes_used = nodes;
+    const optimizer::Optimizer opt(catalog.get(), opts);
+    const engine::ExecutionSimulator sim(catalog.get(), config);
+    const workload::QueryPools pools =
+        workload::BuildPools(training_queries, opt, sim);
+    auto predictor = std::make_unique<core::Predictor>();
+    predictor->Train(core::MakeAllExamples(pools));
+    planner.AddConfiguration({config.name, nodes,
+                              /*cost=*/static_cast<double>(nodes),
+                              predictor.get()});
+    predictors.push_back(std::move(predictor));
+  }
+
+  // Customer side: a 60-query nightly batch (fresh constants).
+  const auto batch = workload::GenerateWorkload(mix, 60, /*seed=*/99);
+  std::vector<std::vector<linalg::Vector>> features_per_config;
+  for (int nodes : node_counts) {
+    optimizer::OptimizerOptions opts;
+    opts.nodes_used = nodes;
+    const optimizer::Optimizer opt(catalog.get(), opts);
+    std::vector<linalg::Vector> features;
+    for (const auto& q : batch) {
+      auto plan = opt.Plan(q.sql);
+      if (plan.ok()) features.push_back(ml::PlanFeatureVector(plan.value()));
+    }
+    features_per_config.push_back(std::move(features));
+  }
+
+  std::printf("predicted nightly batch (60 queries) per configuration:\n");
+  std::printf("%-14s %6s %16s %16s %12s\n", "config", "nodes", "total",
+              "longest query", "disk I/Os");
+  for (size_t c = 0; c < node_counts.size(); ++c) {
+    const auto est = planner.Estimate(planner.configurations()[c].name,
+                                      features_per_config[c]);
+    std::printf("%-14s %6d %16s %16s %12.0f\n", est.config_name.c_str(),
+                est.nodes, FormatDuration(est.total_elapsed_seconds).c_str(),
+                FormatDuration(est.max_query_seconds).c_str(),
+                est.total_disk_ios);
+  }
+
+  for (double deadline_hours : {8.0, 2.0, 0.5}) {
+    const auto rec =
+        planner.Recommend(features_per_config, deadline_hours * 3600.0);
+    if (rec) {
+      std::printf("\ndeadline %4.1f h -> recommend %s (predicted %s)\n",
+                  deadline_hours, rec->config_name.c_str(),
+                  FormatDuration(rec->total_elapsed_seconds).c_str());
+    } else {
+      std::printf("\ndeadline %4.1f h -> NO configuration meets it; "
+                  "a bigger system (or workload changes) is required\n",
+                  deadline_hours);
+    }
+  }
+  return 0;
+}

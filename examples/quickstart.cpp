@@ -1,0 +1,87 @@
+// Quickstart: the full vendor-to-customer loop in one file.
+//
+//  1. Generate a training workload against TPC-DS and "run" it on the
+//     simulated 4-processor system.
+//  2. Train the KCCA predictor on (plan features, measured metrics).
+//  3. Ship the model (save + reload, as the vendor would to a customer).
+//  4. Predict all six metrics for a brand-new query BEFORE running it,
+//     then run it and compare.
+//
+// Build: cmake --build build --target example_quickstart
+// Run:   ./build/examples/example_quickstart
+#include <cstdio>
+#include <sstream>
+
+#include "core/experiment.h"
+#include "core/predictor.h"
+#include "common/str_util.h"
+
+using namespace qpp;
+
+int main() {
+  // 1. Training data: 2500 candidate queries, pooled by runtime.
+  std::printf("== 1. building training workload on the simulated system\n");
+  core::ExperimentOptions options;
+  options.num_candidates = 2500;
+  const core::ExperimentData data = core::BuildTpcdsExperiment(options);
+  std::printf("%s\n", data.pools.ToTable().c_str());
+
+  // 2. Train on everything we ran.
+  std::printf("== 2. training the KCCA predictor\n");
+  const auto examples = core::MakeAllExamples(data.pools);
+  core::Predictor trained;
+  trained.Train(examples);
+  std::printf("trained on %zu queries; top canonical correlations:",
+              trained.num_training_examples());
+  for (size_t i = 0; i < 4; ++i) {
+    std::printf(" %.3f", trained.kcca().correlations()[i]);
+  }
+  std::printf("\n\n== 3. shipping the model (serialize + reload)\n");
+  std::stringstream wire;
+  trained.Save(&wire);
+  const core::Predictor predictor = core::Predictor::Load(&wire);
+  std::printf("model payload: %zu bytes\n\n", wire.str().size());
+
+  // 4. A brand-new query (not in the training set).
+  const std::string sql =
+      "SELECT i_category, COUNT(*), SUM(ss_ext_sales_price) "
+      "FROM store_sales, item, date_dim "
+      "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+      "AND d_date_sk BETWEEN 2451200 AND 2451500 AND i_manager_id = 42 "
+      "GROUP BY i_category ORDER BY i_category";
+  std::printf("== 4. predicting a new query before running it\n%s\n\n",
+              sql.c_str());
+
+  optimizer::OptimizerOptions opt_options;
+  opt_options.nodes_used = data.config.nodes_used;
+  const optimizer::Optimizer opt(data.catalog.get(), opt_options);
+  const auto plan = opt.Plan(sql);
+  if (!plan.ok()) {
+    std::printf("planning failed: %s\n", plan.status().message().c_str());
+    return 1;
+  }
+  const core::Prediction prediction =
+      predictor.Predict(ml::PlanFeatureVector(plan.value()));
+
+  const engine::ExecutionSimulator sim(data.catalog.get(), data.config);
+  const engine::QueryMetrics actual = sim.Execute(plan.value());
+
+  std::printf("%-18s %14s %14s\n", "metric", "predicted", "actual");
+  const auto names = engine::QueryMetrics::MetricNames();
+  const auto pv = prediction.metrics.ToVector();
+  const auto av = actual.ToVector();
+  for (size_t m = 0; m < names.size(); ++m) {
+    if (m == 0) {
+      std::printf("%-18s %14s %14s\n", names[m].c_str(),
+                  FormatDuration(pv[m]).c_str(),
+                  FormatDuration(av[m]).c_str());
+    } else {
+      std::printf("%-18s %14.0f %14.0f\n", names[m].c_str(), pv[m], av[m]);
+    }
+  }
+  std::printf("\nconfidence %.2f, %s, predicted category: %s\n",
+              prediction.confidence,
+              prediction.anomalous ? "ANOMALOUS" : "not anomalous",
+              workload::QueryTypeName(prediction.predicted_type));
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "catalog/catalog.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace qpp::catalog {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt: return "INT";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kString: return "STRING";
+    case ColumnType::kDate: return "DATE";
+  }
+  return "?";
+}
+
+double Table::RowWidthBytes() const {
+  double w = 0.0;
+  for (const Column& c : columns) w += c.avg_width_bytes;
+  return w;
+}
+
+const Column* Table::FindColumn(const std::string& name) const {
+  const std::string want = ToLowerAscii(name);
+  for (const Column& c : columns) {
+    if (ToLowerAscii(c.name) == want) return &c;
+  }
+  return nullptr;
+}
+
+void Catalog::AddTable(Table table) {
+  const std::string key = ToLowerAscii(table.name);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    tables_[it->second] = std::move(table);
+    return;
+  }
+  index_[key] = tables_.size();
+  tables_.push_back(std::move(table));
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = index_.find(ToLowerAscii(name));
+  if (it == index_.end()) return nullptr;
+  return &tables_[it->second];
+}
+
+const Table& Catalog::GetTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  QPP_CHECK_MSG(t != nullptr, "unknown table: " << name);
+  return *t;
+}
+
+double Catalog::TotalBytes() const {
+  double total = 0.0;
+  for (const Table& t : tables_) total += t.row_count * t.RowWidthBytes();
+  return total;
+}
+
+Column MakeColumn(std::string name, ColumnType type, double ndv,
+                  double min_value, double max_value, double width_bytes,
+                  bool is_primary_key) {
+  Column c;
+  c.name = std::move(name);
+  c.type = type;
+  c.ndv = ndv;
+  c.min_value = min_value;
+  c.max_value = max_value;
+  c.avg_width_bytes = width_bytes;
+  c.is_primary_key = is_primary_key;
+  return c;
+}
+
+}  // namespace qpp::catalog

@@ -1,0 +1,18 @@
+// The "retailbank" customer schema.
+//
+// Experiment 4 of the paper tests a model trained on TPC-DS queries against
+// queries over an unrelated customer production database (different schema,
+// different data). We stand in a retail-banking schema whose workload is
+// dominated by very short ("mini-feather") queries, matching the paper's
+// description of the customer traces it had access to.
+#pragma once
+
+#include "catalog/catalog.h"
+
+namespace qpp::catalog {
+
+/// Builds the retailbank catalog. `scale` linearly scales the fact-like
+/// tables (transactions, card_swipes); 1.0 is the default deployment size.
+Catalog MakeRetailBankCatalog(double scale = 1.0);
+
+}  // namespace qpp::catalog

@@ -1,0 +1,17 @@
+// The TPC-DS schema with SF-1 table cardinalities.
+//
+// The reproduced paper trains and tests on queries generated from TPC-DS
+// templates (plus extended "problem query" templates) at scale factor 1.
+// Row counts below are the official SF-1 numbers; other scale factors scale
+// fact tables linearly and the customer-related dimensions sub-linearly,
+// mirroring the spirit of the benchmark's scaling rules.
+#pragma once
+
+#include "catalog/catalog.h"
+
+namespace qpp::catalog {
+
+/// Builds the TPC-DS catalog at the given scale factor (1.0 = SF 1).
+Catalog MakeTpcdsCatalog(double scale_factor = 1.0);
+
+}  // namespace qpp::catalog

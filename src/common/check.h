@@ -1,0 +1,49 @@
+// Lightweight invariant-checking macros used across the qpp library.
+//
+// QPP_CHECK fires in all build types: these guard conditions that indicate a
+// programming error (malformed plan, dimension mismatch) rather than bad user
+// input; user-facing input errors are reported through qpp::Status instead
+// (see sql/parser.h).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qpp {
+
+/// Exception thrown when a QPP_CHECK-style invariant fails.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& extra) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace internal
+}  // namespace qpp
+
+#define QPP_CHECK(cond)                                             \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::qpp::internal::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+    }                                                               \
+  } while (0)
+
+#define QPP_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream qpp_check_os_;                              \
+      qpp_check_os_ << msg;                                          \
+      ::qpp::internal::CheckFailed(#cond, __FILE__, __LINE__,        \
+                                   qpp_check_os_.str());             \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,158 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpp {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString64(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // splitmix64 seeding, as recommended by the xoshiro authors.
+  uint64_t z = seed;
+  for (auto& lane : s_) {
+    z += 0x9E3779B97F4A7C15ull;
+    uint64_t t = z;
+    t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ull;
+    t = (t ^ (t >> 27)) * 0x94D049BB133111EBull;
+    lane = t ^ (t >> 31);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  QPP_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  QPP_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; guard against log(0).
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Gaussian(mu, sigma));
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  QPP_CHECK(n >= 1);
+  QPP_CHECK(s > 0.0);
+  // Rejection-inversion (Hörmann & Derflinger) is overkill here: the
+  // simulator only needs modest n for skew choices, so use the classic
+  // inverse-transform on the harmonic CDF with on-the-fly accumulation for
+  // n <= 4096 and an approximate continuous inversion beyond that.
+  if (n <= 4096) {
+    double h = 0.0;
+    for (int64_t i = 1; i <= n; ++i) h += std::pow(static_cast<double>(i), -s);
+    double u = NextDouble() * h;
+    double acc = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      acc += std::pow(static_cast<double>(i), -s);
+      if (acc >= u) return i;
+    }
+    return n;
+  }
+  // Continuous approximation: integral of x^-s from 1 to n.
+  if (std::abs(s - 1.0) < 1e-9) {
+    const double h = std::log(static_cast<double>(n));
+    const double u = NextDouble() * h;
+    const int64_t v = static_cast<int64_t>(std::exp(u));
+    return std::min<int64_t>(std::max<int64_t>(v, 1), n);
+  }
+  const double a = 1.0 - s;
+  const double h = (std::pow(static_cast<double>(n), a) - 1.0) / a;
+  const double u = NextDouble() * h;
+  const int64_t v = static_cast<int64_t>(std::pow(u * a + 1.0, 1.0 / a));
+  return std::min<int64_t>(std::max<int64_t>(v, 1), n);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork(const std::string& label) {
+  return Rng(SplitMix64(NextU64() ^ HashString64(label)));
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    const size_t j =
+        static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+size_t Rng::WeightedPick(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    QPP_CHECK(w >= 0.0);
+    total += w;
+  }
+  QPP_CHECK(total > 0.0);
+  double u = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace qpp

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every stochastic component (workload generation, selectivity assignment,
+// simulator noise) draws from a qpp::Rng seeded explicitly, so every
+// experiment in the paper reproduction is bit-for-bit repeatable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qpp {
+
+/// xoshiro256** PRNG with splitmix64 seeding.
+///
+/// Not cryptographic; chosen for speed, quality, and a trivially portable
+/// implementation (no libc dependence, identical streams on all platforms).
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call
+  /// pair, costs two uniforms per normal).
+  double Gaussian();
+
+  /// Gaussian with given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)). Useful for multiplicative error models.
+  double LogNormal(double mu, double sigma);
+
+  /// Zipf-distributed integer in [1, n] with exponent `s` (s > 0).
+  /// Implemented by inverse-CDF over precomputed weights for small n and
+  /// rejection-inversion for large n.
+  int64_t Zipf(int64_t n, double s);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Returns an Rng derived from this one's stream plus a label; used to give
+  /// independent substreams to subsystems without coupling their draw counts.
+  Rng Fork(const std::string& label);
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Picks one element index from [0, weights.size()) with probability
+  /// proportional to weights[i]. Requires at least one positive weight.
+  size_t WeightedPick(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// 64-bit FNV-1a hash of a string; used for stable label-derived seeds.
+uint64_t HashString64(const std::string& s);
+
+/// splitmix64 step, exposed for hashing small integer tuples into seeds.
+uint64_t SplitMix64(uint64_t x);
+
+}  // namespace qpp

@@ -1,0 +1,88 @@
+#include "common/serde.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace qpp {
+
+void BinaryWriter::WriteRaw(const void* p, size_t n) {
+  os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  QPP_CHECK_MSG(os_.good(), "write failed");
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof v); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof v); }
+void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof v); }
+void BinaryWriter::WriteDouble(double v) { WriteRaw(&v, sizeof v); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  if (!s.empty()) WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteDoubles(const std::vector<double>& v) {
+  WriteU64(v.size());
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::WriteSizes(const std::vector<size_t>& v) {
+  WriteU64(v.size());
+  for (size_t x : v) WriteU64(static_cast<uint64_t>(x));
+}
+
+void BinaryReader::ReadRaw(void* p, size_t n) {
+  is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  QPP_CHECK_MSG(is_.gcount() == static_cast<std::streamsize>(n),
+                "truncated model file");
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+
+int64_t BinaryReader::ReadI64() {
+  int64_t v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+
+double BinaryReader::ReadDouble() {
+  double v;
+  ReadRaw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  QPP_CHECK_MSG(n < (1ull << 32), "implausible string length");
+  std::string s(n, '\0');
+  if (n > 0) ReadRaw(s.data(), n);
+  return s;
+}
+
+std::vector<double> BinaryReader::ReadDoubles() {
+  const uint64_t n = ReadU64();
+  QPP_CHECK_MSG(n < (1ull << 32), "implausible vector length");
+  std::vector<double> v(n);
+  if (n > 0) ReadRaw(v.data(), n * sizeof(double));
+  return v;
+}
+
+std::vector<size_t> BinaryReader::ReadSizes() {
+  const uint64_t n = ReadU64();
+  QPP_CHECK_MSG(n < (1ull << 32), "implausible vector length");
+  std::vector<size_t> v(n);
+  for (uint64_t i = 0; i < n; ++i) v[i] = static_cast<size_t>(ReadU64());
+  return v;
+}
+
+}  // namespace qpp

@@ -1,0 +1,93 @@
+#include "common/str_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace qpp {
+
+std::string ToUpperAscii(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToLowerAscii(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), static_cast<size_t>(n) + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds < 0) return "-" + FormatDuration(-seconds);
+  const int64_t total_ms = static_cast<int64_t>(std::llround(seconds * 1000.0));
+  const int64_t ms = total_ms % 1000;
+  const int64_t total_s = total_ms / 1000;
+  const int64_t s = total_s % 60;
+  const int64_t m = (total_s / 60) % 60;
+  const int64_t h = total_s / 3600;
+  return StrFormat("%02lld:%02lld:%02lld.%03lld", static_cast<long long>(h),
+                   static_cast<long long>(m), static_cast<long long>(s),
+                   static_cast<long long>(ms));
+}
+
+std::string FormatG(double v, int significant) {
+  return StrFormat("%.*g", significant, v);
+}
+
+}  // namespace qpp

@@ -1,0 +1,59 @@
+#include "core/capacity_planner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qpp::core {
+
+void CapacityPlanner::AddConfiguration(CandidateConfig config) {
+  QPP_CHECK(config.predictor != nullptr && config.predictor->trained());
+  configs_.push_back(std::move(config));
+}
+
+WorkloadEstimate CapacityPlanner::Estimate(
+    const std::string& config_name,
+    const std::vector<linalg::Vector>& features) const {
+  const CandidateConfig* cfg = nullptr;
+  for (const CandidateConfig& c : configs_) {
+    if (c.name == config_name) {
+      cfg = &c;
+      break;
+    }
+  }
+  QPP_CHECK_MSG(cfg != nullptr, "unknown configuration: " << config_name);
+
+  WorkloadEstimate est;
+  est.config_name = cfg->name;
+  est.nodes = cfg->nodes;
+  for (const linalg::Vector& f : features) {
+    const Prediction p = cfg->predictor->Predict(f);
+    est.total_elapsed_seconds += p.metrics.elapsed_seconds;
+    est.max_query_seconds =
+        std::max(est.max_query_seconds, p.metrics.elapsed_seconds);
+    est.total_disk_ios += p.metrics.disk_ios;
+    est.total_message_bytes += p.metrics.message_bytes;
+    if (p.anomalous) est.anomalous_queries += 1;
+  }
+  return est;
+}
+
+std::optional<WorkloadEstimate> CapacityPlanner::Recommend(
+    const std::vector<std::vector<linalg::Vector>>& features_per_config,
+    double deadline_seconds) const {
+  QPP_CHECK(features_per_config.size() == configs_.size());
+  std::optional<WorkloadEstimate> best;
+  double best_cost = 0.0;
+  for (size_t i = 0; i < configs_.size(); ++i) {
+    const WorkloadEstimate est =
+        Estimate(configs_[i].name, features_per_config[i]);
+    if (est.total_elapsed_seconds > deadline_seconds) continue;
+    if (!best || configs_[i].cost < best_cost) {
+      best = est;
+      best_cost = configs_[i].cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace qpp::core

@@ -1,0 +1,61 @@
+// Capacity planning / system sizing from predictions (paper Section I:
+// "How big a system is needed to execute this workload with this time
+// constraint?").
+//
+// One predictor per candidate configuration (the paper trains per-config
+// models); the planner sums each configuration's predicted workload time
+// and picks the smallest configuration meeting a deadline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace qpp::core {
+
+struct CandidateConfig {
+  std::string name;
+  int nodes = 4;
+  /// Relative cost of the configuration (e.g. node count); the planner
+  /// minimizes this among configs meeting the deadline.
+  double cost = 1.0;
+  const Predictor* predictor = nullptr;
+};
+
+struct WorkloadEstimate {
+  std::string config_name;
+  int nodes = 0;
+  double total_elapsed_seconds = 0.0;
+  double max_query_seconds = 0.0;
+  /// Aggregate resource predictions across the workload.
+  double total_disk_ios = 0.0;
+  double total_message_bytes = 0.0;
+  size_t anomalous_queries = 0;
+};
+
+class CapacityPlanner {
+ public:
+  void AddConfiguration(CandidateConfig config);
+  const std::vector<CandidateConfig>& configurations() const {
+    return configs_;
+  }
+
+  /// Predicts the workload on one configuration. The caller supplies the
+  /// feature vectors *as planned for that configuration* (plans differ
+  /// across configurations, as the paper observed on the 32-node system).
+  WorkloadEstimate Estimate(const std::string& config_name,
+                            const std::vector<linalg::Vector>& features) const;
+
+  /// Smallest-cost configuration whose predicted total time meets the
+  /// deadline. `features_per_config[i]` must align with configurations()[i].
+  std::optional<WorkloadEstimate> Recommend(
+      const std::vector<std::vector<linalg::Vector>>& features_per_config,
+      double deadline_seconds) const;
+
+ private:
+  std::vector<CandidateConfig> configs_;
+};
+
+}  // namespace qpp::core

@@ -1,0 +1,91 @@
+#include "core/feature_importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace qpp::core {
+
+std::vector<FeatureInfluence> AnalyzeFeatureInfluence(
+    const Predictor& predictor,
+    const std::vector<ml::TrainingExample>& probes,
+    const std::vector<std::string>& feature_names) {
+  QPP_CHECK(predictor.trained() && !probes.empty());
+  const size_t p = feature_names.size();
+  QPP_CHECK(probes[0].query_features.size() == p);
+
+  std::vector<FeatureInfluence> out(p);
+  for (size_t d = 0; d < p; ++d) out[d].feature = feature_names[d];
+
+  // Per-dimension standard deviation of the probe set (raw space), for the
+  // perturbation probe.
+  linalg::Vector mean(p, 0.0), stddev(p, 0.0);
+  for (const auto& ex : probes) {
+    for (size_t d = 0; d < p; ++d) mean[d] += ex.query_features[d];
+  }
+  for (double& m : mean) m /= static_cast<double>(probes.size());
+  for (const auto& ex : probes) {
+    for (size_t d = 0; d < p; ++d) {
+      const double v = ex.query_features[d] - mean[d];
+      stddev[d] += v * v;
+    }
+  }
+  for (double& s : stddev) {
+    s = std::sqrt(s / static_cast<double>(probes.size()));
+  }
+
+  const linalg::Matrix& train_xp = predictor.preprocessed_training_features();
+  for (const auto& ex : probes) {
+    const Prediction base = predictor.Predict(ex.query_features);
+    const double base_elapsed = std::max(base.metrics.elapsed_seconds, 1e-6);
+    const linalg::Vector xp = predictor.PreprocessFeatures(ex.query_features);
+
+    // Neighbor-agreement probe.
+    for (size_t nb : base.neighbor_indices) {
+      for (size_t d = 0; d < p; ++d) {
+        out[d].neighbor_disagreement +=
+            std::abs(xp[d] - train_xp(nb, d)) /
+            static_cast<double>(base.neighbor_indices.size());
+      }
+    }
+
+    // Perturbation probe: +1 sigma on each dimension independently.
+    for (size_t d = 0; d < p; ++d) {
+      if (stddev[d] <= 0.0) continue;  // constant dim: no response defined
+      linalg::Vector perturbed = ex.query_features;
+      perturbed[d] += stddev[d];
+      const Prediction alt = predictor.Predict(perturbed);
+      out[d].perturbation_response +=
+          std::abs(alt.metrics.elapsed_seconds - base.metrics.elapsed_seconds) /
+          base_elapsed;
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(probes.size());
+  for (FeatureInfluence& fi : out) {
+    fi.neighbor_disagreement *= inv_n;
+    fi.perturbation_response *= inv_n;
+  }
+  return out;
+}
+
+std::string InfluenceTable(std::vector<FeatureInfluence> influences,
+                           size_t top_k) {
+  std::sort(influences.begin(), influences.end(),
+            [](const FeatureInfluence& a, const FeatureInfluence& b) {
+              return a.perturbation_response > b.perturbation_response;
+            });
+  std::ostringstream os;
+  os << StrFormat("%-26s %18s %20s\n", "feature", "perturb response",
+                  "nbr disagreement");
+  for (size_t i = 0; i < influences.size() && i < top_k; ++i) {
+    os << StrFormat("%-26s %18.3f %20.3f\n", influences[i].feature.c_str(),
+                    influences[i].perturbation_response,
+                    influences[i].neighbor_disagreement);
+  }
+  return os.str();
+}
+
+}  // namespace qpp::core

@@ -1,0 +1,41 @@
+// Feature-influence probes (paper Section VII-C.2, "Can our results inform
+// database development?", implemented):
+// The paper wants to know which query operators drive performance, but
+// KCCA's projection is hard to invert; instead it "compared the similarity
+// of each feature of a test query with the corresponding features of its
+// nearest neighbors" and eyeballed that join counts/cardinalities matter
+// most. We implement that probe plus a sharper perturbation-based one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace qpp::core {
+
+struct FeatureInfluence {
+  std::string feature;
+  /// Neighbor-agreement probe: mean |query - neighbor| along this dimension
+  /// (preprocessed space) for the neighbors the projection actually picks.
+  /// SMALL values mean the projection insists on agreement along this
+  /// dimension — i.e. it is influential.
+  double neighbor_disagreement = 0.0;
+  /// Perturbation probe: mean relative change of the predicted elapsed time
+  /// when this dimension is perturbed by +1 standard deviation. LARGE
+  /// values mean influential.
+  double perturbation_response = 0.0;
+};
+
+/// Runs both probes for every feature dimension over a probe set.
+/// `feature_names` must align with the feature vectors' dimensions.
+std::vector<FeatureInfluence> AnalyzeFeatureInfluence(
+    const Predictor& predictor,
+    const std::vector<ml::TrainingExample>& probes,
+    const std::vector<std::string>& feature_names);
+
+/// Renders the influence table sorted by perturbation response (desc).
+std::string InfluenceTable(std::vector<FeatureInfluence> influences,
+                           size_t top_k = 12);
+
+}  // namespace qpp::core

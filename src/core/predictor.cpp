@@ -1,0 +1,223 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "linalg/serde.h"
+
+namespace qpp::core {
+
+Predictor::Predictor(PredictorConfig config) : config_(std::move(config)) {
+  QPP_CHECK(config_.k_neighbors >= 1);
+}
+
+void Predictor::Train(const std::vector<ml::TrainingExample>& examples) {
+  QPP_CHECK_MSG(examples.size() >= config_.k_neighbors + 1,
+                "need more training examples than neighbors");
+  const ml::FeatureMatrices mats = ml::StackExamples(examples);
+  train_y_ = mats.y;
+
+  preprocessor_ = ml::Preprocessor(config_.preprocess_log1p,
+                                   config_.preprocess_standardize);
+  preprocessor_.Fit(mats.x);
+  const linalg::Matrix xp = preprocessor_.Transform(mats.x);
+
+  if (config_.model == ModelKind::kRegression) {
+    regression_.Fit(xp, mats.y, /*ridge=*/1e-8);
+    trained_ = true;
+    return;
+  }
+
+  // Performance features enter the kernel preprocessed the same way the
+  // query features do (log1p compresses seconds vs. byte counts).
+  ml::Preprocessor y_prep(true, true);
+  y_prep.Fit(mats.y);
+  const linalg::Matrix yp = y_prep.Transform(mats.y);
+
+  kcca_ = ml::KccaModel::Train(xp, yp, config_.kcca);
+
+  train_xp_ = xp;
+
+  // Self neighbor-distance distributions over the training projection and
+  // the preprocessed feature space, for anomaly thresholds: for each
+  // training point, the mean distance to its k nearest other points.
+  const auto self_stats = [&](const linalg::Matrix& points, double* mean_out,
+                              double* p99_out) {
+    const size_t n = points.rows();
+    linalg::Vector self_dist(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<ml::Neighbor> nbrs = ml::FindNearest(
+          points, points.Row(i), config_.k_neighbors + 1, config_.distance);
+      double sum = 0.0;
+      size_t used = 0;
+      for (const ml::Neighbor& nb : nbrs) {
+        if (nb.index == i) continue;
+        sum += nb.distance;
+        if (++used == config_.k_neighbors) break;
+      }
+      self_dist[i] = used > 0 ? sum / static_cast<double>(used) : 0.0;
+    }
+    double mean = 0.0;
+    for (double v : self_dist) mean += v;
+    mean /= static_cast<double>(n);
+    std::sort(self_dist.begin(), self_dist.end());
+    *mean_out = mean;
+    *p99_out = self_dist[static_cast<size_t>(0.99 * (n - 1))];
+  };
+  self_stats(kcca_.x_projection(), &train_dist_mean_, &train_dist_p99_);
+  self_stats(train_xp_, &train_feat_dist_mean_, &train_feat_dist_p99_);
+  trained_ = true;
+}
+
+Prediction Predictor::Predict(const linalg::Vector& query_features) const {
+  QPP_CHECK_MSG(trained_, "Predict before Train");
+  Prediction out;
+  const linalg::Vector xp = preprocessor_.TransformRow(query_features);
+
+  if (config_.model == ModelKind::kRegression) {
+    out.metrics = engine::QueryMetrics::FromVector(regression_.Predict(xp));
+    out.predicted_type =
+        workload::ClassifyElapsed(out.metrics.elapsed_seconds);
+    return out;
+  }
+
+  const linalg::Vector q = kcca_.ProjectX(xp);
+  const std::vector<ml::Neighbor> nbrs = ml::FindNearest(
+      kcca_.x_projection(), q, config_.k_neighbors, config_.distance);
+  const linalg::Vector metrics =
+      ml::WeightedAverage(nbrs, train_y_, config_.weighting);
+  out.metrics = engine::QueryMetrics::FromVector(metrics);
+
+  double sum = 0.0;
+  for (const ml::Neighbor& nb : nbrs) {
+    sum += nb.distance;
+    out.neighbor_indices.push_back(nb.index);
+  }
+  out.mean_neighbor_distance = sum / static_cast<double>(nbrs.size());
+  // Feature-space distance to the query's own feature-space neighbors (see
+  // header: catches far-away inputs the saturating kernel would hide). These
+  // are searched independently of the projection neighbors — the projection
+  // legitimately ignores performance-irrelevant dimensions, so its
+  // neighbors can be feature-distant without being anomalous.
+  const std::vector<ml::Neighbor> feat_nbrs = ml::FindNearest(
+      train_xp_, xp, config_.k_neighbors, config_.distance);
+  double feat_sum = 0.0;
+  for (const ml::Neighbor& nb : feat_nbrs) feat_sum += nb.distance;
+  const double feat_dist = feat_sum / static_cast<double>(feat_nbrs.size());
+  // Confidence maps the worse of the two normalized distances through
+  // 1/(1+d/10): a typical query (distance ~= the training mean) scores
+  // ~0.9, ten times the training mean scores 0.5, and far-out queries
+  // decay toward 0. The /10 softening keeps in-distribution scores high so
+  // thresholding at ~0.5 separates trust from review.
+  const double scale = train_dist_mean_ + 1e-12;
+  const double feat_scale = train_feat_dist_mean_ + 1e-12;
+  out.confidence =
+      1.0 / (1.0 + std::max(out.mean_neighbor_distance / scale,
+                            feat_dist / feat_scale) /
+                       10.0);
+  out.anomalous =
+      out.mean_neighbor_distance > config_.anomaly_factor * train_dist_p99_ ||
+      feat_dist > config_.anomaly_factor * train_feat_dist_p99_;
+
+  // Majority vote over the neighbors' measured categories.
+  std::map<workload::QueryType, size_t> votes;
+  for (const ml::Neighbor& nb : nbrs) {
+    const double elapsed = train_y_(nb.index, 0);
+    votes[workload::ClassifyElapsed(elapsed)] += 1;
+  }
+  size_t best = 0;
+  for (const auto& [type, count] : votes) {
+    if (count > best) {
+      best = count;
+      out.predicted_type = type;
+    }
+  }
+  return out;
+}
+
+const ml::KccaModel& Predictor::kcca() const {
+  QPP_CHECK(trained_ && config_.model == ModelKind::kKcca);
+  return kcca_;
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x4D505051;  // "QPPM"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void Predictor::Save(std::ostream* os) const {
+  QPP_CHECK(trained_);
+  BinaryWriter w(*os);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU32(config_.model == ModelKind::kKcca ? 0u : 1u);
+  w.WriteU64(config_.k_neighbors);
+  w.WriteU32(static_cast<uint32_t>(config_.distance));
+  w.WriteU32(static_cast<uint32_t>(config_.weighting));
+  w.WriteU32(config_.preprocess_log1p ? 1 : 0);
+  w.WriteU32(config_.preprocess_standardize ? 1 : 0);
+  w.WriteDouble(config_.anomaly_factor);
+  preprocessor_.Save(&w);
+  linalg::WriteMatrix(&w, train_y_);
+  linalg::WriteMatrix(&w, train_xp_);
+  w.WriteDouble(train_dist_mean_);
+  w.WriteDouble(train_dist_p99_);
+  w.WriteDouble(train_feat_dist_mean_);
+  w.WriteDouble(train_feat_dist_p99_);
+  if (config_.model == ModelKind::kKcca) {
+    kcca_.Save(&w);
+  } else {
+    // Regression: per-metric models.
+    w.WriteU64(engine::QueryMetrics::kNumMetrics);
+    for (const ml::LinearRegression& m : regression_.models()) {
+      m.Save(&w);
+    }
+  }
+}
+
+Predictor Predictor::Load(std::istream* is) {
+  BinaryReader r(*is);
+  QPP_CHECK_MSG(r.ReadU32() == kMagic, "not a qpp model file");
+  QPP_CHECK_MSG(r.ReadU32() == kVersion, "unsupported model version");
+  PredictorConfig cfg;
+  cfg.model = r.ReadU32() == 0 ? ModelKind::kKcca : ModelKind::kRegression;
+  cfg.k_neighbors = static_cast<size_t>(r.ReadU64());
+  cfg.distance = static_cast<ml::DistanceKind>(r.ReadU32());
+  cfg.weighting = static_cast<ml::NeighborWeighting>(r.ReadU32());
+  cfg.preprocess_log1p = r.ReadU32() != 0;
+  cfg.preprocess_standardize = r.ReadU32() != 0;
+  cfg.anomaly_factor = r.ReadDouble();
+  Predictor p(cfg);
+  p.preprocessor_ = ml::Preprocessor::Load(&r);
+  p.train_y_ = linalg::ReadMatrix(&r);
+  p.train_xp_ = linalg::ReadMatrix(&r);
+  p.train_dist_mean_ = r.ReadDouble();
+  p.train_dist_p99_ = r.ReadDouble();
+  p.train_feat_dist_mean_ = r.ReadDouble();
+  p.train_feat_dist_p99_ = r.ReadDouble();
+  if (cfg.model == ModelKind::kKcca) {
+    p.kcca_ = ml::KccaModel::Load(&r);
+  } else {
+    // Regression reload rebuilds the multi-output wrapper.
+    const size_t m = static_cast<size_t>(r.ReadU64());
+    QPP_CHECK(m == engine::QueryMetrics::kNumMetrics);
+    // MultiOutputRegression has no direct setter; reconstruct via Fit-free
+    // assignment through a friend-less copy: reload each model and push.
+    std::vector<ml::LinearRegression> models;
+    models.reserve(m);
+    for (size_t i = 0; i < m; ++i) {
+      models.push_back(ml::LinearRegression::Load(&r));
+    }
+    p.regression_ = ml::MultiOutputRegression();
+    p.regression_.set_models(std::move(models));
+  }
+  p.trained_ = true;
+  return p;
+}
+
+}  // namespace qpp::core

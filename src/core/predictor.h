@@ -1,0 +1,111 @@
+// The public prediction API — the tool the paper's Fig. 1 ships from the
+// vendor to customer sites.
+//
+// A Predictor is trained on (query feature vector, measured metrics) pairs
+// from one system configuration and predicts all six metrics for unseen
+// queries before they run, using only compile-time information. The default
+// configuration is the paper's winner: query-plan features, KCCA projection,
+// 3 nearest neighbors by Euclidean distance, equally weighted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "linalg/matrix.h"
+#include "ml/feature_vector.h"
+#include "ml/kcca.h"
+#include "ml/knn.h"
+#include "ml/linear_regression.h"
+#include "ml/preprocess.h"
+#include "workload/pools.h"
+
+namespace qpp::core {
+
+enum class ModelKind {
+  kKcca,        ///< the paper's technique
+  kRegression,  ///< OLS baseline (Section V-A)
+};
+
+struct PredictorConfig {
+  ModelKind model = ModelKind::kKcca;
+  size_t k_neighbors = 3;                       // Table II
+  ml::DistanceKind distance = ml::DistanceKind::kEuclidean;   // Table I
+  ml::NeighborWeighting weighting = ml::NeighborWeighting::kEqual;  // Table III
+  ml::KccaOptions kcca;
+  bool preprocess_log1p = true;
+  bool preprocess_standardize = true;
+  /// Test points whose mean neighbor distance exceeds anomaly_factor times
+  /// the 99th percentile of the training self-distance distribution are
+  /// flagged anomalous (paper Section VII-C.3). Quantiles, not z-scores:
+  /// projection-space distances are heavy-tailed.
+  double anomaly_factor = 1.5;
+};
+
+struct Prediction {
+  engine::QueryMetrics metrics;
+  /// Mean distance to the k neighbors in the query projection.
+  double mean_neighbor_distance = 0.0;
+  /// 1 / (1 + normalized neighbor distance): 1 = high confidence.
+  double confidence = 1.0;
+  bool anomalous = false;
+  /// Training-example indices of the neighbors used.
+  std::vector<size_t> neighbor_indices;
+  /// Majority feather/golf/bowling vote of the neighbors' measured elapsed
+  /// times (used by the two-step predictor's first stage).
+  workload::QueryType predicted_type = workload::QueryType::kFeather;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(PredictorConfig config = {});
+
+  /// Trains on examples from one system configuration.
+  void Train(const std::vector<ml::TrainingExample>& examples);
+  bool trained() const { return trained_; }
+
+  /// Predicts all six metrics for a query feature vector.
+  Prediction Predict(const linalg::Vector& query_features) const;
+
+  const PredictorConfig& config() const { return config_; }
+  /// The trained KCCA model (kKcca only). Exposed for the projection
+  /// diagnostics of Fig. 6 and for the KNN design-sweep benches.
+  const ml::KccaModel& kcca() const;
+  /// N x 6 matrix of training metrics in paper order.
+  const linalg::Matrix& training_metrics() const { return train_y_; }
+  /// N x p preprocessed training features (diagnostics / feature probes).
+  const linalg::Matrix& preprocessed_training_features() const {
+    return train_xp_;
+  }
+  /// Applies the fitted preprocessing to a raw feature vector.
+  linalg::Vector PreprocessFeatures(const linalg::Vector& raw) const {
+    return preprocessor_.TransformRow(raw);
+  }
+  size_t num_training_examples() const { return train_y_.rows(); }
+
+  void Save(std::ostream* os) const;
+  static Predictor Load(std::istream* is);
+
+ private:
+  friend class TwoStepPredictor;
+
+  PredictorConfig config_;
+  bool trained_ = false;
+  ml::Preprocessor preprocessor_;
+  ml::KccaModel kcca_;
+  ml::MultiOutputRegression regression_;
+  linalg::Matrix train_y_;       ///< N x 6 raw metrics
+  linalg::Matrix train_xp_;      ///< N x p preprocessed query features
+  /// Training neighbor-distance distributions (anomaly thresholding) in
+  /// the projection space and in the preprocessed feature space. Both are
+  /// needed: a Gaussian kernel saturates for far-away inputs, which can
+  /// project them deceptively close to the training mass, while the raw
+  /// feature distance still exposes them.
+  double train_dist_mean_ = 0.0;
+  double train_dist_p99_ = 0.0;
+  double train_feat_dist_mean_ = 0.0;
+  double train_feat_dist_p99_ = 0.0;
+};
+
+}  // namespace qpp::core

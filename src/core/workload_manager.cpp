@@ -1,0 +1,53 @@
+#include "core/workload_manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qpp::core {
+
+const char* AdmissionDecisionName(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kRunImmediately: return "run";
+    case AdmissionDecision::kScheduleOffPeak: return "off-peak";
+    case AdmissionDecision::kReject: return "reject";
+    case AdmissionDecision::kNeedsReview: return "review";
+  }
+  return "?";
+}
+
+WorkloadManager::WorkloadManager(const Predictor* predictor,
+                                 WorkloadManagerConfig config)
+    : predictor_(predictor), config_(config) {
+  QPP_CHECK(predictor != nullptr && predictor->trained());
+}
+
+WorkloadManager::Outcome WorkloadManager::Admit(
+    const linalg::Vector& query_features) const {
+  Outcome out;
+  out.prediction = predictor_->Predict(query_features);
+  out.decision = Decide(out.prediction);
+  out.kill_deadline_seconds = KillDeadlineSeconds(out.prediction);
+  return out;
+}
+
+AdmissionDecision WorkloadManager::Decide(const Prediction& p) const {
+  if (config_.review_anomalies && p.anomalous) {
+    return AdmissionDecision::kNeedsReview;
+  }
+  const double elapsed = p.metrics.elapsed_seconds;
+  if (elapsed > config_.reject_threshold_seconds) {
+    return AdmissionDecision::kReject;
+  }
+  if (elapsed > config_.offpeak_threshold_seconds) {
+    return AdmissionDecision::kScheduleOffPeak;
+  }
+  return AdmissionDecision::kRunImmediately;
+}
+
+double WorkloadManager::KillDeadlineSeconds(const Prediction& p) const {
+  return std::max(config_.kill_floor_seconds,
+                  p.metrics.elapsed_seconds * config_.kill_multiplier);
+}
+
+}  // namespace qpp::core

@@ -1,0 +1,60 @@
+// Workload management decisions driven by predictions (paper Section I:
+// "Should we run this query? If so, when? How long do we wait before
+// deciding something went wrong?").
+#pragma once
+
+#include <string>
+
+#include "core/predictor.h"
+
+namespace qpp::core {
+
+enum class AdmissionDecision {
+  kRunImmediately,   ///< predicted cheap: run now
+  kScheduleOffPeak,  ///< predicted heavy: defer to a low-contention window
+  kReject,           ///< predicted beyond the acceptable ceiling: do not run
+  kNeedsReview,      ///< anomalous (far from all training neighbors)
+};
+
+const char* AdmissionDecisionName(AdmissionDecision d);
+
+struct WorkloadManagerConfig {
+  /// Queries predicted longer than this run off-peak.
+  double offpeak_threshold_seconds = 300.0;
+  /// Queries predicted longer than this are rejected outright.
+  double reject_threshold_seconds = 7200.0;
+  /// Flag anomalous predictions for human review instead of auto-deciding.
+  bool review_anomalies = true;
+  /// Kill multiplier: a running query is presumed stuck once it exceeds
+  /// predicted elapsed by this factor (the paper's "how long do we wait
+  /// before killing it" question).
+  double kill_multiplier = 3.0;
+  /// Floor so that millisecond predictions do not produce hair-trigger
+  /// kill deadlines.
+  double kill_floor_seconds = 60.0;
+};
+
+class WorkloadManager {
+ public:
+  WorkloadManager(const Predictor* predictor, WorkloadManagerConfig config);
+
+  /// Predicts and decides in one step.
+  struct Outcome {
+    Prediction prediction;
+    AdmissionDecision decision = AdmissionDecision::kRunImmediately;
+    double kill_deadline_seconds = 0.0;
+  };
+  Outcome Admit(const linalg::Vector& query_features) const;
+
+  /// Decision for an existing prediction.
+  AdmissionDecision Decide(const Prediction& prediction) const;
+
+  /// The kill deadline for a query with this prediction.
+  double KillDeadlineSeconds(const Prediction& prediction) const;
+
+ private:
+  const Predictor* predictor_;
+  WorkloadManagerConfig config_;
+};
+
+}  // namespace qpp::core

@@ -1,0 +1,40 @@
+#include "engine/metrics.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace qpp::engine {
+
+linalg::Vector QueryMetrics::ToVector() const {
+  return {elapsed_seconds, records_accessed, records_used,
+          disk_ios,        message_count,    message_bytes};
+}
+
+QueryMetrics QueryMetrics::FromVector(const linalg::Vector& v) {
+  QPP_CHECK(v.size() == kNumMetrics);
+  QueryMetrics m;
+  m.elapsed_seconds = v[0];
+  m.records_accessed = v[1];
+  m.records_used = v[2];
+  m.disk_ios = v[3];
+  m.message_count = v[4];
+  m.message_bytes = v[5];
+  return m;
+}
+
+std::array<std::string, QueryMetrics::kNumMetrics>
+QueryMetrics::MetricNames() {
+  return {"elapsed_time",  "records_accessed", "records_used",
+          "disk_io",       "message_count",    "message_bytes"};
+}
+
+std::string QueryMetrics::ToString() const {
+  return StrFormat(
+      "elapsed=%s recs_acc=%s recs_used=%s disk_io=%s msgs=%s msg_bytes=%s",
+      FormatDuration(elapsed_seconds).c_str(),
+      FormatG(records_accessed).c_str(), FormatG(records_used).c_str(),
+      FormatG(disk_ios).c_str(), FormatG(message_count).c_str(),
+      FormatG(message_bytes).c_str());
+}
+
+}  // namespace qpp::engine

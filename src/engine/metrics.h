@@ -1,0 +1,42 @@
+// The six performance metrics the paper predicts, plus auxiliary detail.
+//
+// Paper order (Section VI-D): elapsed time, records accessed, records used,
+// disk I/Os, message count, message bytes. ToVector()/FromVector() use that
+// order everywhere (feature matrices, models, reports).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace qpp::engine {
+
+struct QueryMetrics {
+  double elapsed_seconds = 0.0;
+  double records_accessed = 0.0;  ///< file-scan input cardinality sum
+  double records_used = 0.0;      ///< file-scan output cardinality sum
+  double disk_ios = 0.0;          ///< pages read/written
+  double message_count = 0.0;
+  double message_bytes = 0.0;
+
+  // Auxiliary detail, not part of the paper's 6-metric vector.
+  double cpu_seconds = 0.0;
+  double peak_memory_bytes = 0.0;
+
+  static constexpr size_t kNumMetrics = 6;
+
+  /// Fixed paper-order vector of the six predicted metrics.
+  linalg::Vector ToVector() const;
+
+  /// Inverse of ToVector() (auxiliary fields zeroed).
+  static QueryMetrics FromVector(const linalg::Vector& v);
+
+  /// Metric names in ToVector() order.
+  static std::array<std::string, kNumMetrics> MetricNames();
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+}  // namespace qpp::engine

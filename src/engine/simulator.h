@@ -1,0 +1,53 @@
+// The parallel shared-nothing execution simulator.
+//
+// This substitutes for the HP Neoview hardware the paper measured (see
+// DESIGN.md §2). Given a physical plan annotated with TRUE cardinalities and
+// a SystemConfig, it produces the six performance metrics. The model is a
+// resource-time simulation, not a discrete-event engine:
+//
+//   elapsed = startup + Σ_op max(cpu_op, io_op, net_op) * noise
+//
+// where each operator's resource times are computed from its true input /
+// output cardinalities, divided by the effective parallelism (nodes_used
+// discounted by a deterministic per-query skew factor). The important
+// properties for the reproduction are that metrics are
+//   (a) deterministic per (query, configuration),
+//   (b) strongly nonlinear in the plan feature vector — nested-loop joins
+//       cost outer*inner, sorts n·log n, hash joins and sorts step up when
+//       they spill past working memory, and the max() composition defeats
+//       any linear model — exactly why the paper's regression baseline
+//       fails while KCCA's neighbor interpolation succeeds.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "engine/metrics.h"
+#include "engine/system_config.h"
+#include "optimizer/physical_plan.h"
+
+namespace qpp::engine {
+
+class ExecutionSimulator {
+ public:
+  ExecutionSimulator(const catalog::Catalog* catalog, SystemConfig config);
+
+  /// Runs the plan; deterministic for a given (plan.query_hash, config).
+  QueryMetrics Execute(const optimizer::PhysicalPlan& plan) const;
+
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  struct OpCosts {
+    double cpu_seconds = 0.0;   // total across nodes
+    double io_pages = 0.0;      // total pages
+    double net_bytes = 0.0;
+    double net_messages = 0.0;
+    double working_bytes = 0.0; // operator working set
+  };
+
+  OpCosts CostOf(const optimizer::PhysicalNode& node) const;
+
+  const catalog::Catalog* catalog_;
+  SystemConfig config_;
+};
+
+}  // namespace qpp::engine

@@ -1,0 +1,186 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace qpp::linalg {
+
+namespace {
+
+double Hypot(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of a real symmetric matrix to tridiagonal form.
+// On exit `a` holds the orthogonal transform Q (accumulated), `d` the
+// diagonal, `e` the off-diagonal (e[0] unused). Follows Numerical Recipes
+// tred2 with eigenvector accumulation.
+void Tred2(Matrix& a, Vector& d, Vector& e) {
+  const size_t n = a.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  if (n == 0) return;
+  for (size_t i = n - 1; i >= 1; --i) {
+    const size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (i > 1) {
+      for (size_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = (f >= 0.0 ? -std::sqrt(h) : std::sqrt(h));
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (size_t k = 0; k <= j; ++k)
+            a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+        for (size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (size_t j = 0; j < i; ++j) a(j, i) = a(i, j) = 0.0;
+  }
+}
+
+// Implicit-shift QL on a tridiagonal matrix with eigenvector accumulation.
+// Returns false if any eigenvalue needs more than 50 iterations.
+bool Tqli(Vector& d, Vector& e, Matrix& z) {
+  const size_t n = d.size();
+  if (n == 0) return true;
+  for (size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 || std::abs(e[m]) <= 2.3e-16 * dd) break;
+      }
+      if (m != l) {
+        if (++iter == 50) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = Hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (size_t ii = m; ii > l; --ii) {
+          const size_t i = ii - 1;
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = Hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m > l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+}  // namespace
+
+SymmetricEigen EigenSymmetric(const Matrix& a) {
+  QPP_CHECK_MSG(a.rows() == a.cols(), "EigenSymmetric needs a square matrix");
+  const size_t n = a.rows();
+  SymmetricEigen out;
+  if (n == 0) {
+    out.converged = true;
+    return out;
+  }
+  // Symmetrize to absorb round-off asymmetry from upstream products.
+  Matrix s(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+
+  Vector d, e;
+  Tred2(s, d, e);
+  const bool ok = Tqli(d, e, s);
+
+  // Sort ascending, permuting eigenvector columns to match.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t x, size_t y) { return d[x] < d[y]; });
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    out.values[c] = d[idx[c]];
+    for (size_t r = 0; r < n; ++r) out.vectors(r, c) = s(r, idx[c]);
+  }
+  out.converged = ok;
+  return out;
+}
+
+TopEigen TopKEigenSymmetric(const Matrix& a, size_t k) {
+  const SymmetricEigen full = EigenSymmetric(a);
+  const size_t n = full.values.size();
+  const size_t kk = std::min(k, n);
+  TopEigen out;
+  out.values.resize(kk);
+  out.vectors = Matrix(n, kk);
+  for (size_t c = 0; c < kk; ++c) {
+    const size_t src = n - 1 - c;  // ascending -> take from the top
+    out.values[c] = full.values[src];
+    for (size_t r = 0; r < n; ++r) out.vectors(r, c) = full.vectors(r, src);
+  }
+  return out;
+}
+
+}  // namespace qpp::linalg

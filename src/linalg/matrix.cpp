@@ -1,0 +1,201 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace qpp::linalg {
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    QPP_CHECK_MSG(rows[r].size() == rows[0].size(), "ragged rows");
+    for (size_t c = 0; c < rows[r].size(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  QPP_CHECK(r < rows_);
+  return Vector(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::Col(size_t c) const {
+  QPP_CHECK(c < cols_);
+  Vector v(rows_);
+  for (size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  QPP_CHECK(r < rows_ && v.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  QPP_CHECK_MSG(cols_ == other.rows_, "dimension mismatch in Multiply");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order for row-major cache friendliness.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = &data_[i * cols_];
+    double* o = &out.data_[i * other.cols_];
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = &other.data_[k * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMultiply(const Matrix& other) const {
+  QPP_CHECK_MSG(rows_ == other.rows_, "dimension mismatch in TransposeMultiply");
+  Matrix out(cols_, other.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* a = &data_[k * cols_];
+    const double* b = &other.data_[k * other.cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      const double aki = a[i];
+      if (aki == 0.0) continue;
+      double* o = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MultiplyTranspose(const Matrix& other) const {
+  QPP_CHECK_MSG(cols_ == other.cols_, "dimension mismatch in MultiplyTranspose");
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = &data_[i * cols_];
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b = &other.data_[j * other.cols_];
+      double s = 0.0;
+      for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVec(const Vector& v) const {
+  QPP_CHECK_MSG(cols_ == v.size(), "dimension mismatch in MultiplyVec");
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = &data_[i * cols_];
+    double s = 0.0;
+    for (size_t k = 0; k < cols_; ++k) s += a[k] * v[k];
+    out[i] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  QPP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  QPP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+void Matrix::AddToDiagonal(double v) {
+  QPP_CHECK(rows_ == cols_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, i) += v;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  QPP_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  QPP_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double Norm(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double CosineDistance(const Vector& a, const Vector& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  return 1.0 - Dot(a, b) / (na * nb);
+}
+
+Vector AddVec(const Vector& a, const Vector& b) {
+  QPP_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector ScaleVec(const Vector& a, double s) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+}  // namespace qpp::linalg

@@ -1,0 +1,25 @@
+// Binary (de)serialization for linalg types, shared by all model formats.
+#pragma once
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "linalg/matrix.h"
+
+namespace qpp::linalg {
+
+inline void WriteMatrix(BinaryWriter* w, const Matrix& m) {
+  w->WriteU64(m.rows());
+  w->WriteU64(m.cols());
+  w->WriteDoubles(m.data());
+}
+
+inline Matrix ReadMatrix(BinaryReader* r) {
+  const size_t rows = static_cast<size_t>(r->ReadU64());
+  const size_t cols = static_cast<size_t>(r->ReadU64());
+  Matrix m(rows, cols);
+  m.data() = r->ReadDoubles();
+  QPP_CHECK_MSG(m.data().size() == rows * cols, "corrupt matrix payload");
+  return m;
+}
+
+}  // namespace qpp::linalg

@@ -1,0 +1,57 @@
+#include "ml/feature_vector.h"
+
+#include "common/check.h"
+#include "sql/sql_features.h"
+
+namespace qpp::ml {
+
+linalg::Vector PlanFeatureVector(const optimizer::PhysicalPlan& plan) {
+  linalg::Vector v(kPlanFeatureDims, 0.0);
+  plan.Visit([&](const optimizer::PhysicalNode& n) {
+    const size_t op = static_cast<size_t>(n.op);
+    QPP_CHECK(op < optimizer::kNumPhysOps);
+    v[2 * op] += 1.0;
+    v[2 * op + 1] += n.est_rows;
+  });
+  return v;
+}
+
+std::vector<std::string> PlanFeatureNames() {
+  std::vector<std::string> names;
+  names.reserve(kPlanFeatureDims);
+  for (size_t op = 0; op < optimizer::kNumPhysOps; ++op) {
+    const char* base =
+        optimizer::PhysOpName(static_cast<optimizer::PhysOp>(op));
+    names.push_back(std::string(base) + "_count");
+    names.push_back(std::string(base) + "_cardsum");
+  }
+  return names;
+}
+
+linalg::Vector SqlTextFeatureVector(const sql::SelectStmt& stmt) {
+  const auto arr = sql::ExtractSqlFeatures(stmt).ToVector();
+  return linalg::Vector(arr.begin(), arr.end());
+}
+
+std::vector<std::string> SqlTextFeatureNames() {
+  const auto arr = sql::SqlFeatures::DimensionNames();
+  return std::vector<std::string>(arr.begin(), arr.end());
+}
+
+FeatureMatrices StackExamples(const std::vector<TrainingExample>& examples) {
+  QPP_CHECK(!examples.empty());
+  const size_t n = examples.size();
+  const size_t p = examples[0].query_features.size();
+  FeatureMatrices out;
+  out.x = linalg::Matrix(n, p);
+  out.y = linalg::Matrix(n, engine::QueryMetrics::kNumMetrics);
+  for (size_t i = 0; i < n; ++i) {
+    QPP_CHECK_MSG(examples[i].query_features.size() == p,
+                  "inconsistent feature dimensionality");
+    out.x.SetRow(i, examples[i].query_features);
+    out.y.SetRow(i, examples[i].metrics.ToVector());
+  }
+  return out;
+}
+
+}  // namespace qpp::ml

@@ -1,0 +1,54 @@
+// Feature-vector construction (paper Section VI-D).
+//
+// Two query representations are evaluated by the paper:
+//  * the SQL-text feature vector (9 statistics) — poor accuracy (Fig. 8);
+//  * the query-plan feature vector — an instance count and an estimated-
+//    cardinality sum per physical operator (Fig. 9) — the winner, used for
+//    all headline results.
+// The performance feature vector is the six metrics in paper order
+// (engine::QueryMetrics::ToVector()).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "linalg/matrix.h"
+#include "optimizer/physical_plan.h"
+#include "sql/ast.h"
+
+namespace qpp::ml {
+
+/// Number of dimensions of the plan feature vector: one (count, cardinality
+/// sum) pair per physical operator.
+constexpr size_t kPlanFeatureDims = 2 * optimizer::kNumPhysOps;
+
+/// Builds the query-plan feature vector: for each operator kind, the number
+/// of instances in the plan and the sum of their ESTIMATED output
+/// cardinalities (only optimizer-visible information).
+linalg::Vector PlanFeatureVector(const optimizer::PhysicalPlan& plan);
+
+/// Dimension names matching PlanFeatureVector (e.g. "nested_join_count",
+/// "nested_join_cardsum").
+std::vector<std::string> PlanFeatureNames();
+
+/// Builds the 9-dim SQL-text feature vector from a parsed statement.
+linalg::Vector SqlTextFeatureVector(const sql::SelectStmt& stmt);
+
+std::vector<std::string> SqlTextFeatureNames();
+
+/// One training example: query features paired with measured performance.
+struct TrainingExample {
+  linalg::Vector query_features;
+  engine::QueryMetrics metrics;
+};
+
+/// Stacks examples into the two KCCA input matrices (row k of each matrix
+/// describes the same query, as the paper requires).
+struct FeatureMatrices {
+  linalg::Matrix x;  ///< N x p query features
+  linalg::Matrix y;  ///< N x 6 performance features
+};
+FeatureMatrices StackExamples(const std::vector<TrainingExample>& examples);
+
+}  // namespace qpp::ml

@@ -1,0 +1,237 @@
+#include "ml/kcca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/incomplete_cholesky.h"
+#include "linalg/serde.h"
+
+namespace qpp::ml {
+
+namespace {
+
+linalg::Vector RowMeans(const linalg::Matrix& k, double* grand) {
+  const size_t n = k.rows();
+  linalg::Vector means(n, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) s += k(i, j);
+    means[i] = s / static_cast<double>(n);
+    total += s;
+  }
+  if (grand != nullptr) {
+    *grand = total / static_cast<double>(n * n);
+  }
+  return means;
+}
+
+}  // namespace
+
+KccaModel KccaModel::Train(const linalg::Matrix& x, const linalg::Matrix& y,
+                           const KccaOptions& options) {
+  QPP_CHECK(x.rows() == y.rows() && x.rows() >= 4);
+  const size_t n = x.rows();
+
+  KccaModel model;
+  model.options_ = options;
+  model.tau_x_ = GaussianScaleFromNorms(x, options.tau_factor_x);
+  const double tau_y = GaussianScaleFromNorms(y, options.tau_factor_y);
+  const GaussianKernel kx_fn{model.tau_x_};
+  const GaussianKernel ky_fn{tau_y};
+
+  const bool exact =
+      options.solver == KccaSolver::kExact ||
+      (options.solver == KccaSolver::kAuto && n <= options.exact_threshold);
+
+  const size_t d_wanted = std::max<size_t>(options.num_dims, 1);
+
+  if (exact) {
+    model.solver_used_ = KccaSolver::kExact;
+    model.train_x_ = x;
+
+    linalg::Matrix kx = KernelMatrix(x, kx_fn);
+    linalg::Matrix ky = KernelMatrix(y, ky_fn);
+    model.kx_row_means_ = RowMeans(kx, &model.kx_grand_mean_);
+    CenterKernelMatrix(&kx);
+    CenterKernelMatrix(&ky);
+
+    // Regularized generalized eigenproblem reduced to one symmetric
+    // problem:  S = Lx^{-1} (Kx Ky) My^{-1} (Ky Kx) Lx^{-T}
+    // with Mx = Kx Kx + kappa_x Kx + eps I = Lx Lx^T (My analogous).
+    const double kappa_x =
+        options.kappa * kx.FrobeniusNorm() / std::sqrt(static_cast<double>(n));
+    const double kappa_y =
+        options.kappa * ky.FrobeniusNorm() / std::sqrt(static_cast<double>(n));
+
+    linalg::Matrix mx = kx.Multiply(kx);
+    {
+      const linalg::Matrix reg = kx.Scale(kappa_x);
+      mx = mx.Add(reg);
+    }
+    mx.AddToDiagonal(1e-8 * std::max(mx.MaxAbs(), 1.0));
+    linalg::Matrix my = ky.Multiply(ky);
+    {
+      const linalg::Matrix reg = ky.Scale(kappa_y);
+      my = my.Add(reg);
+    }
+    my.AddToDiagonal(1e-8 * std::max(my.MaxAbs(), 1.0));
+
+    const linalg::Cholesky lx(mx, 1e-2);
+    const linalg::Cholesky ly(my, 1e-2);
+    QPP_CHECK_MSG(lx.ok() && ly.ok(), "KCCA kernel system not SPD");
+
+    const linalg::Matrix c = kx.Multiply(ky);          // N x N
+    const linalg::Matrix u1 = lx.SolveLowerMatrix(c);  // Lx^{-1} C
+    const linalg::Matrix g =
+        ly.SolveLowerMatrix(u1.Transpose()).Transpose();  // u1 Ly^{-T}
+    const linalg::Matrix s = g.MultiplyTranspose(g);
+
+    const size_t d = std::min(d_wanted, n);
+    const linalg::TopEigen top = linalg::TopKEigenSymmetric(s, d);
+
+    model.a_ = linalg::Matrix(n, d);
+    linalg::Matrix b(n, d);
+    model.correlations_.assign(d, 0.0);
+    for (size_t cidx = 0; cidx < d; ++cidx) {
+      const double sigma = std::sqrt(std::max(top.values[cidx], 0.0));
+      model.correlations_[cidx] = std::min(sigma, 1.0);
+      const linalg::Vector u = top.vectors.Col(cidx);
+      const linalg::Vector a_col = lx.SolveLowerTranspose(u);
+      for (size_t i = 0; i < n; ++i) model.a_(i, cidx) = a_col[i];
+      // b = My^{-1} C^T a / sigma.
+      linalg::Vector cta(n, 0.0);
+      for (size_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) sum += c(i, j) * a_col[i];
+        cta[j] = sum;
+      }
+      linalg::Vector b_col = ly.Solve(cta);
+      if (sigma > 1e-12) {
+        for (double& v : b_col) v /= sigma;
+      }
+      for (size_t i = 0; i < n; ++i) b(i, cidx) = b_col[i];
+    }
+
+    model.px_ = kx.Multiply(model.a_);
+    model.py_ = ky.Multiply(b);
+    return model;
+  }
+
+  // --- Incomplete-Cholesky path ------------------------------------------
+  model.solver_used_ = KccaSolver::kIcd;
+  const auto kx_oracle = [&](size_t i, size_t j) {
+    return i == j ? 1.0 : kx_fn(x.Row(i), x.Row(j));
+  };
+  const auto ky_oracle = [&](size_t i, size_t j) {
+    return i == j ? 1.0 : ky_fn(y.Row(i), y.Row(j));
+  };
+  const linalg::IncompleteCholeskyResult icx = linalg::IncompleteCholesky(
+      n, kx_oracle, options.icd_max_rank, options.icd_tolerance);
+  const linalg::IncompleteCholeskyResult icy = linalg::IncompleteCholesky(
+      n, ky_oracle, options.icd_max_rank, options.icd_tolerance);
+  QPP_CHECK(icx.pivots.size() >= 1 && icy.pivots.size() >= 1);
+
+  // CCA in the induced feature spaces (FitCca centers internally).
+  const size_t d =
+      std::min({d_wanted, icx.pivots.size(), icy.pivots.size()});
+  const CcaModel cca = FitCca(icx.g, icy.g, d, options.kappa);
+
+  model.px_ = cca.ProjectXAll(icx.g);
+  model.py_ = cca.ProjectYAll(icy.g);
+  model.correlations_ = cca.correlations;
+
+  // Prediction state: map a new point into G_x coordinates via the pivots.
+  model.pivot_x_ = linalg::Matrix(icx.pivots.size(), x.cols());
+  for (size_t r = 0; r < icx.pivots.size(); ++r) {
+    model.pivot_x_.SetRow(r, x.Row(icx.pivots[r]));
+  }
+  model.lpp_ = linalg::PivotFactor(icx);
+  model.gx_means_ = cca.mean_x;
+  model.wx_ = cca.wx;
+  return model;
+}
+
+linalg::Vector KccaModel::ProjectX(const linalg::Vector& x) const {
+  const GaussianKernel kernel{tau_x_};
+  if (solver_used_ == KccaSolver::kExact) {
+    QPP_CHECK(!train_x_.empty());
+    const linalg::Vector k_star = KernelVector(train_x_, x, kernel);
+    const linalg::Vector centered =
+        CenterKernelVector(k_star, kx_row_means_, kx_grand_mean_);
+    // projection = centered^T A.
+    linalg::Vector out(a_.cols(), 0.0);
+    for (size_t c = 0; c < a_.cols(); ++c) {
+      double s = 0.0;
+      for (size_t i = 0; i < centered.size(); ++i) s += centered[i] * a_(i, c);
+      out[c] = s;
+    }
+    return out;
+  }
+  // ICD: g = Lpp^{-1} k(P, x); project via the CCA directions.
+  QPP_CHECK(!pivot_x_.empty());
+  const linalg::Vector kp = KernelVector(pivot_x_, x, kernel);
+  // Forward substitution with lpp_.
+  const size_t m = lpp_.rows();
+  linalg::Vector gvec(m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    double s = kp[i];
+    for (size_t j = 0; j < i; ++j) s -= lpp_(i, j) * gvec[j];
+    gvec[i] = s / lpp_(i, i);
+  }
+  linalg::Vector out(wx_.cols(), 0.0);
+  for (size_t c = 0; c < wx_.cols(); ++c) {
+    double s = 0.0;
+    for (size_t j = 0; j < m; ++j) s += (gvec[j] - gx_means_[j]) * wx_(j, c);
+    out[c] = s;
+  }
+  return out;
+}
+
+void KccaModel::Save(BinaryWriter* w) const {
+  w->WriteU32(solver_used_ == KccaSolver::kExact ? 0u : 1u);
+  w->WriteU64(options_.num_dims);
+  w->WriteDouble(options_.kappa);
+  w->WriteDouble(options_.tau_factor_x);
+  w->WriteDouble(options_.tau_factor_y);
+  w->WriteDouble(tau_x_);
+  linalg::WriteMatrix(w, px_);
+  linalg::WriteMatrix(w, py_);
+  w->WriteDoubles(correlations_);
+  linalg::WriteMatrix(w, train_x_);
+  linalg::WriteMatrix(w, a_);
+  w->WriteDoubles(kx_row_means_);
+  w->WriteDouble(kx_grand_mean_);
+  linalg::WriteMatrix(w, pivot_x_);
+  linalg::WriteMatrix(w, lpp_);
+  w->WriteDoubles(gx_means_);
+  linalg::WriteMatrix(w, wx_);
+}
+
+KccaModel KccaModel::Load(BinaryReader* r) {
+  KccaModel m;
+  m.solver_used_ =
+      r->ReadU32() == 0 ? KccaSolver::kExact : KccaSolver::kIcd;
+  m.options_.num_dims = static_cast<size_t>(r->ReadU64());
+  m.options_.kappa = r->ReadDouble();
+  m.options_.tau_factor_x = r->ReadDouble();
+  m.options_.tau_factor_y = r->ReadDouble();
+  m.tau_x_ = r->ReadDouble();
+  m.px_ = linalg::ReadMatrix(r);
+  m.py_ = linalg::ReadMatrix(r);
+  m.correlations_ = r->ReadDoubles();
+  m.train_x_ = linalg::ReadMatrix(r);
+  m.a_ = linalg::ReadMatrix(r);
+  m.kx_row_means_ = r->ReadDoubles();
+  m.kx_grand_mean_ = r->ReadDouble();
+  m.pivot_x_ = linalg::ReadMatrix(r);
+  m.lpp_ = linalg::ReadMatrix(r);
+  m.gx_means_ = r->ReadDoubles();
+  m.wx_ = linalg::ReadMatrix(r);
+  return m;
+}
+
+}  // namespace qpp::ml

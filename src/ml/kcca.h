@@ -1,0 +1,97 @@
+// Kernel Canonical Correlation Analysis — the paper's core technique
+// (Sections V-E and VI).
+//
+// Training correlates a Gaussian-kernel view of the query feature matrix
+// with a Gaussian-kernel view of the performance feature matrix, producing
+// a query projection K_x A and a performance projection K_y B that are
+// maximally correlated (and, through the kernel, cluster similar queries —
+// the paper's Fig. 6). Prediction projects a new query's kernel vector onto
+// the query projection; the caller (core::Predictor) then finds k nearest
+// training neighbors there and averages their raw performance vectors,
+// side-stepping the kernel pre-image problem exactly as the paper does.
+//
+// Two solver paths:
+//  * kExact   — dense N x N kernel matrices, the regularized generalized
+//               eigenproblem reduced via Cholesky to one symmetric
+//               eigenproblem. Cubic in N; used for small N and as the
+//               reference implementation in tests.
+//  * kIcd     — pivoted incomplete Cholesky kernel approximations of rank
+//               m << N followed by a regularized linear CCA in the induced
+//               feature space (Bach & Jordan, the paper's reference [22]).
+//               This is the production path for N ~ 1000+.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serde.h"
+#include "linalg/matrix.h"
+#include "ml/cca.h"
+#include "ml/kernel.h"
+
+namespace qpp::ml {
+
+enum class KccaSolver { kAuto, kExact, kIcd };
+
+struct KccaOptions {
+  size_t num_dims = 16;       ///< projection dimensions kept
+  double kappa = 0.05;        ///< regularization strength (relative)
+  /// Kernel scale factors: fraction of the norm variance (paper Section
+  /// VI-A). The paper uses 0.1 / 0.2 on raw feature vectors; our features
+  /// are log1p-standardized first, which shrinks the norm variance, so the
+  /// equivalent fractions are larger (tuned by the ablation bench).
+  double tau_factor_x = 0.8;
+  double tau_factor_y = 1.6;
+  KccaSolver solver = KccaSolver::kAuto;
+  /// kAuto uses kExact at or below this many training points.
+  size_t exact_threshold = 320;
+  size_t icd_max_rank = 256;
+  double icd_tolerance = 1e-4;
+};
+
+class KccaModel {
+ public:
+  /// Trains on preprocessed feature matrices (rows aligned across x and y).
+  static KccaModel Train(const linalg::Matrix& x, const linalg::Matrix& y,
+                         const KccaOptions& options);
+
+  /// N x d training query projection (K_x A).
+  const linalg::Matrix& x_projection() const { return px_; }
+  /// N x d training performance projection (K_y B).
+  const linalg::Matrix& y_projection() const { return py_; }
+  /// Canonical correlations per kept dimension, descending.
+  const linalg::Vector& correlations() const { return correlations_; }
+  /// Which solver actually ran.
+  KccaSolver solver_used() const { return solver_used_; }
+  size_t num_training_points() const { return px_.rows(); }
+
+  /// Projects a new (preprocessed) query feature vector into the query
+  /// projection space.
+  linalg::Vector ProjectX(const linalg::Vector& x) const;
+
+  void Save(BinaryWriter* w) const;
+  static KccaModel Load(BinaryReader* r);
+
+ private:
+  KccaOptions options_;
+  KccaSolver solver_used_ = KccaSolver::kExact;
+  double tau_x_ = 1.0;
+
+  // Shared outputs.
+  linalg::Matrix px_;
+  linalg::Matrix py_;
+  linalg::Vector correlations_;
+
+  // Exact path state: kernel against all training points.
+  linalg::Matrix train_x_;       ///< N x p preprocessed features
+  linalg::Matrix a_;             ///< N x d dual coefficients
+  linalg::Vector kx_row_means_;  ///< uncentered K_x row means
+  double kx_grand_mean_ = 0.0;
+
+  // ICD path state: kernel against pivot points only.
+  linalg::Matrix pivot_x_;       ///< m x p pivot feature rows
+  linalg::Matrix lpp_;           ///< m x m lower factor of K[P,P]
+  linalg::Vector gx_means_;      ///< column means of G_x
+  linalg::Matrix wx_;            ///< m x d CCA directions in feature space
+};
+
+}  // namespace qpp::ml

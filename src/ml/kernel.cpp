@@ -1,0 +1,113 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpp::ml {
+
+double GaussianKernel::operator()(const linalg::Vector& a,
+                                  const linalg::Vector& b) const {
+  QPP_CHECK(tau > 0.0);
+  return std::exp(-linalg::SquaredDistance(a, b) / tau);
+}
+
+double GaussianScaleFromNorms(const linalg::Matrix& x, double factor) {
+  QPP_CHECK(x.rows() > 0 && factor > 0.0);
+  const size_t n = x.rows();
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double norm = linalg::Norm(x.Row(i));
+    sum += norm;
+    sumsq += norm * norm;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sumsq / static_cast<double>(n) - mean * mean;
+  double tau = factor * var;
+  if (!(tau > 1e-12)) {
+    tau = factor * MeanSquaredPairwiseDistance(x);
+  }
+  return tau > 1e-12 ? tau : 1.0;
+}
+
+double MeanSquaredPairwiseDistance(const linalg::Matrix& x,
+                                   size_t max_pairs) {
+  const size_t n = x.rows();
+  if (n < 2) return 1.0;
+  // Deterministic stride sampling over the upper triangle.
+  const size_t total = n * (n - 1) / 2;
+  const size_t stride = total > max_pairs ? total / max_pairs : 1;
+  double sum = 0.0;
+  size_t count = 0;
+  size_t index = 0;
+  for (size_t i = 0; i < n && count < max_pairs; ++i) {
+    for (size_t j = i + 1; j < n && count < max_pairs; ++j) {
+      if (index++ % stride != 0) continue;
+      sum += linalg::SquaredDistance(x.Row(i), x.Row(j));
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 1.0;
+}
+
+linalg::Matrix KernelMatrix(const linalg::Matrix& x,
+                            const GaussianKernel& kernel) {
+  const size_t n = x.rows();
+  linalg::Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    k(i, i) = 1.0;
+    const linalg::Vector ri = x.Row(i);
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = kernel(ri, x.Row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+linalg::Vector KernelVector(const linalg::Matrix& x,
+                            const linalg::Vector& point,
+                            const GaussianKernel& kernel) {
+  linalg::Vector out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = kernel(x.Row(i), point);
+  return out;
+}
+
+void CenterKernelMatrix(linalg::Matrix* k) {
+  QPP_CHECK(k != nullptr && k->rows() == k->cols());
+  const size_t n = k->rows();
+  if (n == 0) return;
+  linalg::Vector row_mean(n, 0.0);
+  double grand = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) s += (*k)(i, j);
+    row_mean[i] = s / static_cast<double>(n);
+    grand += s;
+  }
+  grand /= static_cast<double>(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      (*k)(i, j) += grand - row_mean[i] - row_mean[j];
+    }
+  }
+}
+
+linalg::Vector CenterKernelVector(const linalg::Vector& k_star,
+                                  const linalg::Vector& row_means,
+                                  double grand_mean) {
+  QPP_CHECK(k_star.size() == row_means.size());
+  const size_t n = k_star.size();
+  double mean_star = 0.0;
+  for (double v : k_star) mean_star += v;
+  mean_star /= static_cast<double>(n);
+  linalg::Vector out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = k_star[i] - row_means[i] - mean_star + grand_mean;
+  }
+  return out;
+}
+
+}  // namespace qpp::ml

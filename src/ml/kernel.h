@@ -1,0 +1,50 @@
+// Gaussian kernel machinery (paper Section VI-A, equation (1)).
+//
+//   k(x_i, x_j) = exp(-||x_i - x_j||^2 / tau)
+//
+// The paper sets the scale tau to "a fixed fraction of the empirical
+// variance of the norms of the data points" — 0.1 for query vectors, 0.2
+// for performance vectors. When that variance collapses (all rows at equal
+// norm) we fall back to the mean pairwise squared distance, which keeps the
+// kernel well-conditioned.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace qpp::ml {
+
+struct GaussianKernel {
+  double tau = 1.0;
+
+  double operator()(const linalg::Vector& a, const linalg::Vector& b) const;
+};
+
+/// Paper heuristic: tau = factor * Var(||x_i||), with a mean-pairwise-
+/// squared-distance fallback when the variance is degenerate.
+double GaussianScaleFromNorms(const linalg::Matrix& x, double factor);
+
+/// Mean squared pairwise distance over (a sample of) the rows of x.
+double MeanSquaredPairwiseDistance(const linalg::Matrix& x,
+                                   size_t max_pairs = 20000);
+
+/// Dense kernel matrix K(i, j) = kernel(row i, row j). Symmetric, unit
+/// diagonal.
+linalg::Matrix KernelMatrix(const linalg::Matrix& x,
+                            const GaussianKernel& kernel);
+
+/// Kernel vector of a new point against every row of x.
+linalg::Vector KernelVector(const linalg::Matrix& x,
+                            const linalg::Vector& point,
+                            const GaussianKernel& kernel);
+
+/// In-place double centering: K <- H K H with H = I - 11^T/N.
+void CenterKernelMatrix(linalg::Matrix* k);
+
+/// Centers a new point's kernel vector consistently with a centered training
+/// kernel: k̃* = k* - rowmean(K) - mean(k*)·1 + grandmean(K).
+/// `row_means` and `grand_mean` must come from the UNcentered training K.
+linalg::Vector CenterKernelVector(const linalg::Vector& k_star,
+                                  const linalg::Vector& row_means,
+                                  double grand_mean);
+
+}  // namespace qpp::ml

@@ -1,0 +1,117 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace qpp::ml {
+
+size_t NearestCentroid(const linalg::Matrix& centroids,
+                       const linalg::Vector& point) {
+  QPP_CHECK(centroids.rows() > 0);
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.rows(); ++c) {
+    const double d = linalg::SquaredDistance(centroids.Row(c), point);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeans(const linalg::Matrix& x, size_t k, uint64_t seed,
+                    size_t max_iters) {
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  QPP_CHECK(k >= 1 && n >= k);
+  Rng rng(seed);
+
+  // k-means++ seeding.
+  linalg::Matrix centroids(k, p);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  size_t first = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+  centroids.SetRow(0, x.Row(first));
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i],
+                           linalg::SquaredDistance(x.Row(i),
+                                                   centroids.Row(c - 1)));
+    }
+    double total = 0.0;
+    for (double d : min_d2) total += d;
+    size_t pick = 0;
+    if (total > 0.0) {
+      double u = rng.NextDouble() * total;
+      for (size_t i = 0; i < n; ++i) {
+        u -= min_d2[i];
+        if (u <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    centroids.SetRow(c, x.Row(pick));
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = NearestCentroid(centroids, x.Row(i));
+      if (c != result.assignment[i]) {
+        result.assignment[i] = c;
+        changed = true;
+      }
+    }
+    // Recompute centroids; empty clusters keep their previous position.
+    linalg::Matrix sums(k, p);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = result.assignment[i];
+      counts[c] += 1;
+      for (size_t j = 0; j < p; ++j) sums(c, j) += x(i, j);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t j = 0; j < p; ++j) {
+        centroids(c, j) = sums(c, j) / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += linalg::SquaredDistance(
+        x.Row(i), centroids.Row(result.assignment[i]));
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+double RandIndex(const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  QPP_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  size_t agree = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const bool same_a = a[i] == a[j];
+      const bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace qpp::ml

@@ -1,0 +1,37 @@
+// K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//
+// Evaluated and rejected by the paper (Section V-B): clustering the query
+// features and the performance features independently produces unrelated
+// partitions, so there is no principled way to predict one from the other.
+// We keep the implementation both to demonstrate that negative result and
+// as a utility (e.g. projection-space diagnostics).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+
+namespace qpp::ml {
+
+struct KMeansResult {
+  linalg::Matrix centroids;        ///< k x p
+  std::vector<size_t> assignment;  ///< n labels
+  double inertia = 0.0;            ///< sum of squared distances to centroid
+  size_t iterations = 0;
+};
+
+/// Clusters the rows of `x` into `k` groups. Deterministic under `seed`.
+KMeansResult KMeans(const linalg::Matrix& x, size_t k, uint64_t seed,
+                    size_t max_iters = 100);
+
+/// Index of the nearest centroid to `point`.
+size_t NearestCentroid(const linalg::Matrix& centroids,
+                       const linalg::Vector& point);
+
+/// Agreement between two clusterings of the same points: the Rand index
+/// (fraction of point pairs on which the partitions agree). The paper's
+/// argument predicts a low value between query-feature and performance-
+/// feature clusterings.
+double RandIndex(const std::vector<size_t>& a, const std::vector<size_t>& b);
+
+}  // namespace qpp::ml

@@ -1,0 +1,87 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpp::ml {
+
+const char* DistanceKindName(DistanceKind d) {
+  switch (d) {
+    case DistanceKind::kEuclidean: return "euclidean";
+    case DistanceKind::kCosine: return "cosine";
+  }
+  return "?";
+}
+
+const char* NeighborWeightingName(NeighborWeighting w) {
+  switch (w) {
+    case NeighborWeighting::kEqual: return "equal";
+    case NeighborWeighting::kRankRatio: return "rank-ratio";
+    case NeighborWeighting::kInverseDistance: return "inverse-distance";
+  }
+  return "?";
+}
+
+std::vector<Neighbor> FindNearest(const linalg::Matrix& points,
+                                  const linalg::Vector& query, size_t k,
+                                  DistanceKind metric) {
+  QPP_CHECK(points.rows() > 0 && k >= 1);
+  const size_t n = points.rows();
+  std::vector<Neighbor> all(n);
+  for (size_t i = 0; i < n; ++i) {
+    const linalg::Vector row = points.Row(i);
+    all[i].index = i;
+    all[i].distance = metric == DistanceKind::kEuclidean
+                          ? std::sqrt(linalg::SquaredDistance(row, query))
+                          : linalg::CosineDistance(row, query);
+  }
+  const size_t kk = std::min(k, n);
+  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(kk),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.index < b.index);
+                    });
+  all.resize(kk);
+  return all;
+}
+
+linalg::Vector NeighborWeights(const std::vector<Neighbor>& neighbors,
+                               NeighborWeighting weighting) {
+  QPP_CHECK(!neighbors.empty());
+  const size_t k = neighbors.size();
+  linalg::Vector w(k, 1.0);
+  switch (weighting) {
+    case NeighborWeighting::kEqual:
+      break;
+    case NeighborWeighting::kRankRatio:
+      for (size_t i = 0; i < k; ++i) w[i] = static_cast<double>(k - i);
+      break;
+    case NeighborWeighting::kInverseDistance: {
+      constexpr double kEps = 1e-9;
+      for (size_t i = 0; i < k; ++i) w[i] = 1.0 / (neighbors[i].distance + kEps);
+      break;
+    }
+  }
+  double total = 0.0;
+  for (double v : w) total += v;
+  for (double& v : w) v /= total;
+  return w;
+}
+
+linalg::Vector WeightedAverage(const std::vector<Neighbor>& neighbors,
+                               const linalg::Matrix& values,
+                               NeighborWeighting weighting) {
+  QPP_CHECK(!neighbors.empty());
+  const linalg::Vector w = NeighborWeights(neighbors, weighting);
+  linalg::Vector out(values.cols(), 0.0);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    QPP_CHECK(neighbors[i].index < values.rows());
+    const linalg::Vector row = values.Row(neighbors[i].index);
+    for (size_t j = 0; j < out.size(); ++j) out[j] += w[i] * row[j];
+  }
+  return out;
+}
+
+}  // namespace qpp::ml

@@ -1,0 +1,44 @@
+// Nearest-neighbor lookup in the KCCA projection space (paper Section VI-E).
+//
+// Three design knobs, each swept by a table in the paper:
+//  * distance metric (Table I): Euclidean vs cosine — Euclidean wins;
+//  * neighbor count k (Table II): 3..7 — negligible differences, 3 chosen;
+//  * neighbor weighting (Table III): equal vs 3:2:1 vs distance-
+//    proportional — no consistent winner, equal chosen.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qpp::ml {
+
+enum class DistanceKind { kEuclidean, kCosine };
+enum class NeighborWeighting { kEqual, kRankRatio, kInverseDistance };
+
+const char* DistanceKindName(DistanceKind d);
+const char* NeighborWeightingName(NeighborWeighting w);
+
+struct Neighbor {
+  size_t index = 0;
+  double distance = 0.0;
+};
+
+/// The k nearest rows of `points` to `query`, ascending by distance.
+std::vector<Neighbor> FindNearest(const linalg::Matrix& points,
+                                  const linalg::Vector& query, size_t k,
+                                  DistanceKind metric);
+
+/// Neighbor weights under a scheme, normalized to sum 1. kRankRatio gives
+/// k : k-1 : ... : 1 by nearness (the paper's 3:2:1 for k = 3);
+/// kInverseDistance uses 1/(d + eps).
+linalg::Vector NeighborWeights(const std::vector<Neighbor>& neighbors,
+                               NeighborWeighting weighting);
+
+/// Weighted average of the value rows selected by the neighbors.
+linalg::Vector WeightedAverage(const std::vector<Neighbor>& neighbors,
+                               const linalg::Matrix& values,
+                               NeighborWeighting weighting);
+
+}  // namespace qpp::ml

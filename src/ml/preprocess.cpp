@@ -1,0 +1,83 @@
+#include "ml/preprocess.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpp::ml {
+
+namespace {
+// Signed log1p: compresses magnitude while preserving sign (regression
+// predictions and profit-like columns can be negative).
+double SignedLog1p(double v) {
+  return v >= 0.0 ? std::log1p(v) : -std::log1p(-v);
+}
+}  // namespace
+
+void Preprocessor::Fit(const linalg::Matrix& x) {
+  QPP_CHECK(x.rows() > 0);
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  mean_.assign(p, 0.0);
+  stddev_.assign(p, 1.0);
+  for (size_t j = 0; j < p; ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += log1p_ ? SignedLog1p(x(i, j)) : x(i, j);
+    }
+    const double mu = sum / static_cast<double>(n);
+    double ss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double v = (log1p_ ? SignedLog1p(x(i, j)) : x(i, j)) - mu;
+      ss += v * v;
+    }
+    mean_[j] = mu;
+    const double sd = std::sqrt(ss / static_cast<double>(n));
+    stddev_[j] = sd > 1e-12 ? sd : 1.0;  // constant dims pass through
+  }
+  fitted_ = true;
+}
+
+linalg::Matrix Preprocessor::Transform(const linalg::Matrix& x) const {
+  QPP_CHECK(fitted_ && x.cols() == mean_.size());
+  linalg::Matrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) {
+      double v = log1p_ ? SignedLog1p(x(i, j)) : x(i, j);
+      if (standardize_) v = (v - mean_[j]) / stddev_[j];
+      out(i, j) = v;
+    }
+  }
+  return out;
+}
+
+linalg::Vector Preprocessor::TransformRow(const linalg::Vector& v) const {
+  QPP_CHECK(fitted_ && v.size() == mean_.size());
+  linalg::Vector out(v.size());
+  for (size_t j = 0; j < v.size(); ++j) {
+    double x = log1p_ ? SignedLog1p(v[j]) : v[j];
+    if (standardize_) x = (x - mean_[j]) / stddev_[j];
+    out[j] = x;
+  }
+  return out;
+}
+
+void Preprocessor::Save(BinaryWriter* w) const {
+  w->WriteU32(log1p_ ? 1 : 0);
+  w->WriteU32(standardize_ ? 1 : 0);
+  w->WriteU32(fitted_ ? 1 : 0);
+  w->WriteDoubles(mean_);
+  w->WriteDoubles(stddev_);
+}
+
+Preprocessor Preprocessor::Load(BinaryReader* r) {
+  Preprocessor p;
+  p.log1p_ = r->ReadU32() != 0;
+  p.standardize_ = r->ReadU32() != 0;
+  p.fitted_ = r->ReadU32() != 0;
+  p.mean_ = r->ReadDoubles();
+  p.stddev_ = r->ReadDoubles();
+  return p;
+}
+
+}  // namespace qpp::ml

@@ -1,0 +1,90 @@
+#include "ml/risk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace qpp::ml {
+
+double PredictiveRisk(const linalg::Vector& predicted,
+                      const linalg::Vector& actual) {
+  QPP_CHECK(predicted.size() == actual.size() && !actual.empty());
+  const size_t n = actual.size();
+  double mean = 0.0;
+  for (double v : actual) mean += v;
+  mean /= static_cast<double>(n);
+  double sse = 0.0;
+  double sst = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sse += (predicted[i] - actual[i]) * (predicted[i] - actual[i]);
+    sst += (actual[i] - mean) * (actual[i] - mean);
+  }
+  if (sst <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return 1.0 - sse / sst;
+}
+
+bool IsNullRisk(double risk) { return std::isnan(risk); }
+
+std::string FormatRisk(double risk) {
+  if (IsNullRisk(risk)) return "Null";
+  return StrFormat("%.2f", risk);
+}
+
+double FractionWithinRelative(const linalg::Vector& predicted,
+                              const linalg::Vector& actual, double rel_tol) {
+  QPP_CHECK(predicted.size() == actual.size() && !actual.empty());
+  size_t within = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(predicted[i] - actual[i]) <=
+        rel_tol * std::abs(actual[i])) {
+      ++within;
+    }
+  }
+  return static_cast<double>(within) / static_cast<double>(actual.size());
+}
+
+double MeanRelativeError(const linalg::Vector& predicted,
+                         const linalg::Vector& actual, double floor) {
+  QPP_CHECK(predicted.size() == actual.size() && !actual.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    sum += std::abs(predicted[i] - actual[i]) /
+           std::max(std::abs(actual[i]), floor);
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+double PredictiveRiskDroppingOutliers(const linalg::Vector& predicted,
+                                      const linalg::Vector& actual,
+                                      size_t drop_worst) {
+  QPP_CHECK(predicted.size() == actual.size());
+  if (drop_worst == 0 || actual.size() <= drop_worst + 1) {
+    return PredictiveRisk(predicted, actual);
+  }
+  std::vector<size_t> idx(actual.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    const double ea = (predicted[a] - actual[a]) * (predicted[a] - actual[a]);
+    const double eb = (predicted[b] - actual[b]) * (predicted[b] - actual[b]);
+    return ea > eb;
+  });
+  linalg::Vector p, a;
+  for (size_t k = drop_worst; k < idx.size(); ++k) {
+    p.push_back(predicted[idx[k]]);
+    a.push_back(actual[idx[k]]);
+  }
+  return PredictiveRisk(p, a);
+}
+
+size_t CountNegative(const linalg::Vector& predicted) {
+  size_t n = 0;
+  for (double v : predicted) {
+    if (v < 0.0) ++n;
+  }
+  return n;
+}
+
+}  // namespace qpp::ml

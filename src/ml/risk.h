@@ -1,0 +1,50 @@
+// Accuracy metrics, led by the paper's "predictive risk" (Section VI-C):
+//
+//   risk = 1 - Σ(pred_i - actual_i)^2 / Σ(actual_i - mean(actual))^2
+//
+// computed on TEST points (unlike training R²), so values can be negative.
+// 1 means near-perfect prediction; <= 0 means no better than predicting the
+// test mean. When the actuals are constant (e.g. disk I/O identically zero
+// on memory-rich configurations) the denominator vanishes and the paper
+// reports "Null" — we model that as NaN with IsNullRisk().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qpp::ml {
+
+/// Predictive risk on a test set; NaN ("Null") when the actuals have zero
+/// variance.
+double PredictiveRisk(const linalg::Vector& predicted,
+                      const linalg::Vector& actual);
+
+/// True for the NaN sentinel produced on degenerate metrics.
+bool IsNullRisk(double risk);
+
+/// "Null" / formatted value, as the paper's Fig. 16 prints it.
+std::string FormatRisk(double risk);
+
+/// Fraction of test points with |pred - actual| <= rel_tol * |actual|.
+/// The paper's headline: elapsed time within 20% for >= 85% of queries.
+double FractionWithinRelative(const linalg::Vector& predicted,
+                              const linalg::Vector& actual, double rel_tol);
+
+/// Mean absolute relative error (guarding zero actuals with `floor`).
+double MeanRelativeError(const linalg::Vector& predicted,
+                         const linalg::Vector& actual, double floor = 1e-9);
+
+/// Predictive risk after dropping the `drop_worst` largest squared-error
+/// points — the paper repeatedly reports "removing the top one or two
+/// outliers improved the risk significantly".
+double PredictiveRiskDroppingOutliers(const linalg::Vector& predicted,
+                                      const linalg::Vector& actual,
+                                      size_t drop_worst);
+
+/// Count of predictions below zero (Figures 3 and 4 call these out for the
+/// regression baseline).
+size_t CountNegative(const linalg::Vector& predicted);
+
+}  // namespace qpp::ml

@@ -1,0 +1,38 @@
+// The optimizer's abstract cost model.
+//
+// Like the commercial optimizer the paper compares against (Fig. 17), this
+// produces a dimensionless cost from ESTIMATED cardinalities only. It is
+// intentionally not a time predictor: units do not map onto seconds, the
+// model ignores memory pressure / caching / message latency, and it inherits
+// every cardinality estimation error. The paper's point — and ours — is that
+// this number correlates poorly with actual elapsed time, while the learned
+// model does well.
+#pragma once
+
+#include "optimizer/physical_plan.h"
+
+namespace qpp::optimizer {
+
+/// Per-operator weights in "cost units per estimated row".
+struct CostModelWeights {
+  double scan = 1.0;
+  double partition_access = 0.1;
+  double exchange = 0.6;
+  double split = 0.8;
+  double nested_join = 2.5;
+  double hash_join = 1.8;
+  double merge_join = 1.2;
+  double sort_log_factor = 0.4;   ///< multiplied by rows * log2(rows)
+  double group_by = 1.5;
+  double filter = 0.3;
+  double root = 0.2;
+  double per_operator_overhead = 50.0;
+  double output_scale = 1e-4;     ///< final scaling into "cost units"
+};
+
+/// Computes the abstract optimizer cost of a plan from its estimated
+/// cardinalities.
+double EstimatePlanCost(const PhysicalNode& root,
+                        const CostModelWeights& weights = {});
+
+}  // namespace qpp::optimizer

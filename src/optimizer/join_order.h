@@ -1,0 +1,59 @@
+// Join-order search over the logical join graph.
+//
+// Left-deep enumeration: exact dynamic programming over connected subsets
+// for up to kDpRelationLimit relations, greedy smallest-intermediate-first
+// beyond. Cost is the classic sum of estimated intermediate cardinalities.
+// Semi-joined (subquery) relations are constrained to join after the outer
+// relation they filter.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/logical_plan.h"
+
+namespace qpp::optimizer {
+
+/// Maximum relation count for exact DP (12 -> 4096 subsets).
+constexpr size_t kDpRelationLimit = 12;
+
+struct JoinOrderInput {
+  /// Estimated post-selection cardinality per relation (index-aligned with
+  /// LogicalPlan::relations).
+  std::vector<double> est_cards;
+  /// Effective NDV of a join column per relation; keyed lazily via callback
+  /// to the planner, so this struct only carries cardinalities.
+};
+
+/// The chosen left-deep order: a permutation of relation indices. The
+/// physical planner joins them left to right, applying every join edge whose
+/// endpoints are both available.
+struct JoinOrder {
+  std::vector<size_t> sequence;
+  double estimated_cost = 0.0;  ///< sum of intermediate estimated rows
+};
+
+/// The join edges applicable when relation `r` joins an already-joined set,
+/// with NDVs oriented set-side ("set") vs joining-relation-side ("rel").
+struct EdgeBundle {
+  std::vector<const BoundJoin*> edges;
+  std::vector<double> set_ndvs;
+  std::vector<double> rel_ndvs;
+};
+
+/// Collects the edges between relation `r` and the set defined by `in_set`.
+EdgeBundle CollectJoinEdges(
+    const LogicalPlan& plan, size_t r,
+    const std::function<bool(size_t)>& in_set,
+    const std::function<double(size_t, const std::string&)>& column_ndv);
+
+/// Computes a join order. `column_ndv(rel, column)` must return the
+/// effective NDV used for join selectivity (0 when unknown).
+JoinOrder OrderJoins(
+    const LogicalPlan& plan, const CardinalityModel& model,
+    const std::vector<double>& est_cards,
+    const std::function<double(size_t, const std::string&)>& column_ndv);
+
+}  // namespace qpp::optimizer

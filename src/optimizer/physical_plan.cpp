@@ -1,0 +1,108 @@
+#include "optimizer/physical_plan.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace qpp::optimizer {
+
+const char* PhysOpName(PhysOp op) {
+  switch (op) {
+    case PhysOp::kRoot: return "root";
+    case PhysOp::kExchange: return "exchange";
+    case PhysOp::kSplit: return "split";
+    case PhysOp::kPartitionAccess: return "partitioning";
+    case PhysOp::kFileScan: return "file_scan";
+    case PhysOp::kNestedJoin: return "nested_join";
+    case PhysOp::kHashJoin: return "hash_join";
+    case PhysOp::kMergeJoin: return "merge_join";
+    case PhysOp::kSort: return "sort";
+    case PhysOp::kHashGroupBy: return "hash_groupby";
+    case PhysOp::kSortGroupBy: return "sort_groupby";
+    case PhysOp::kScalarAgg: return "scalar_agg";
+    case PhysOp::kTopN: return "top_n";
+    case PhysOp::kFilter: return "filter";
+  }
+  return "?";
+}
+
+void PhysicalNode::Visit(
+    const std::function<void(const PhysicalNode&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children) child->Visit(fn);
+}
+
+std::string PhysicalNode::ToString(int indent) const {
+  std::ostringstream os;
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << PhysOpName(op);
+  if (!table.empty()) os << " [ " << table << " ]";
+  if (semi) os << " (semi)";
+  if (broadcast) os << " (broadcast)";
+  if (!detail.empty()) os << " {" << detail << "}";
+  os << StrFormat("  est=%s true=%s", FormatG(est_rows).c_str(),
+                  FormatG(true_rows).c_str());
+  os << "\n";
+  for (const auto& child : children) os << child->ToString(indent + 1);
+  return os.str();
+}
+
+std::string PhysicalPlan::ToString() const {
+  return root != nullptr ? root->ToString() : std::string("<empty plan>\n");
+}
+
+void PhysicalPlan::Visit(
+    const std::function<void(const PhysicalNode&)>& fn) const {
+  if (root != nullptr) root->Visit(fn);
+}
+
+namespace {
+
+size_t EmitDotNode(const PhysicalNode& node, size_t* next_id,
+                   std::ostringstream* os) {
+  const size_t id = (*next_id)++;
+  std::string label = PhysOpName(node.op);
+  if (!node.table.empty()) label += "\\n" + node.table;
+  if (node.semi) label += " (semi)";
+  if (node.broadcast) label += " (broadcast)";
+  label += StrFormat("\\nest %s / true %s", FormatG(node.est_rows).c_str(),
+                     FormatG(node.true_rows).c_str());
+  *os << "  n" << id << " [shape=box, label=\"" << label << "\"];\n";
+  for (const auto& child : node.children) {
+    const size_t child_id = EmitDotNode(*child, next_id, os);
+    *os << "  n" << id << " -> n" << child_id << ";\n";
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string PhysicalPlan::ToDot(const std::string& graph_name) const {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=TB;\n";
+  if (root != nullptr) {
+    size_t next_id = 0;
+    EmitDotNode(*root, &next_id, &os);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+double PhysicalPlan::TrueRecordsAccessed() const {
+  double total = 0.0;
+  Visit([&](const PhysicalNode& n) {
+    if (n.op == PhysOp::kFileScan) total += n.true_input_rows;
+  });
+  return total;
+}
+
+double PhysicalPlan::TrueRecordsUsed() const {
+  double total = 0.0;
+  Visit([&](const PhysicalNode& n) {
+    if (n.op == PhysOp::kFileScan) total += n.true_rows;
+  });
+  return total;
+}
+
+}  // namespace qpp::optimizer

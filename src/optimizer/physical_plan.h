@@ -1,0 +1,97 @@
+// Physical plan trees in the style of the paper's Fig. 9 Neoview plan:
+// root / exchange / split / partitioning / file_scan / nested_join / ...
+// Every node carries BOTH the optimizer's estimated cardinality (which
+// feeds the query-plan feature vector) and the hidden true cardinality
+// (which the execution simulator consumes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qpp::optimizer {
+
+/// Physical operators. The feature vector has one (count, cardinality-sum)
+/// pair per operator, so this enum is part of the model's public contract;
+/// append new operators at the end.
+enum class PhysOp {
+  kRoot = 0,        ///< final result composition on the coordinator
+  kExchange,        ///< repartition / merge rows across processors
+  kSplit,           ///< broadcast rows to all processors
+  kPartitionAccess, ///< partitioned access layer above a scan
+  kFileScan,        ///< base table scan
+  kNestedJoin,      ///< nested-loops join (broadcast inner)
+  kHashJoin,        ///< grace hash join (repartitioned inputs)
+  kMergeJoin,       ///< co-located merge join on partitioning keys
+  kSort,            ///< per-node sort (ORDER BY or merge-join prep)
+  kHashGroupBy,     ///< hash aggregation (partial or final)
+  kSortGroupBy,     ///< sorted aggregation
+  kScalarAgg,       ///< aggregation without GROUP BY (one output row)
+  kTopN,            ///< ORDER BY + LIMIT
+  kFilter,          ///< residual post-join filter
+};
+
+constexpr size_t kNumPhysOps = 14;
+
+const char* PhysOpName(PhysOp op);
+
+struct PhysicalNode {
+  PhysOp op = PhysOp::kRoot;
+  std::vector<std::unique_ptr<PhysicalNode>> children;
+
+  /// Output cardinalities (rows).
+  double est_rows = 0.0;
+  double true_rows = 0.0;
+  /// Input cardinalities; for kFileScan this is the table row count — the
+  /// paper's "records accessed". For other ops it is the sum of child
+  /// outputs.
+  double est_input_rows = 0.0;
+  double true_input_rows = 0.0;
+
+  /// Bytes per output row.
+  double row_width = 8.0;
+
+  std::string table;   ///< kFileScan: catalog table name
+  std::string detail;  ///< pretty-printing annotation
+
+  bool semi = false;        ///< joins: semi-join (subquery) edge
+  bool broadcast = false;   ///< kSplit: replicate to all processors
+  size_t num_predicates = 0;  ///< kFileScan/kFilter: predicate count
+  size_t num_group_cols = 0;
+  size_t num_aggs = 0;
+
+  PhysicalNode() = default;
+  explicit PhysicalNode(PhysOp o) : op(o) {}
+
+  /// Pre-order walk.
+  void Visit(const std::function<void(const PhysicalNode&)>& fn) const;
+
+  /// Indented tree rendering (est/true cardinalities inline).
+  std::string ToString(int indent = 0) const;
+};
+
+struct PhysicalPlan {
+  std::unique_ptr<PhysicalNode> root;
+  /// The SQL text the plan came from (kept for reports; may be empty).
+  std::string sql;
+  /// Stable hash of the query text; seeds per-query simulator noise.
+  uint64_t query_hash = 0;
+  /// The optimizer's abstract cost estimate (dimensionless units, as in the
+  /// paper's Fig. 17 — intentionally NOT a time unit).
+  double optimizer_cost = 0.0;
+
+  std::string ToString() const;
+  /// Graphviz DOT rendering of the plan tree (operator, table, est/true
+  /// cardinalities per node), for documentation and debugging.
+  std::string ToDot(const std::string& graph_name = "plan") const;
+  void Visit(const std::function<void(const PhysicalNode&)>& fn) const;
+
+  /// Sum of file-scan input cardinalities — the paper's "records accessed".
+  double TrueRecordsAccessed() const;
+  /// Sum of file-scan output cardinalities — the paper's "records used".
+  double TrueRecordsUsed() const;
+};
+
+}  // namespace qpp::optimizer

@@ -1,0 +1,110 @@
+#include "optimizer/plan_serde.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/serde.h"
+
+namespace qpp::optimizer {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4E4C5051;  // "QPLN"
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kMaxNodes = 1 << 20;  // sanity bound on corrupt input
+
+void WriteNode(const PhysicalNode& node, BinaryWriter* w) {
+  w->WriteU32(static_cast<uint32_t>(node.op));
+  w->WriteDouble(node.est_rows);
+  w->WriteDouble(node.true_rows);
+  w->WriteDouble(node.est_input_rows);
+  w->WriteDouble(node.true_input_rows);
+  w->WriteDouble(node.row_width);
+  w->WriteString(node.table);
+  w->WriteString(node.detail);
+  w->WriteU32((node.semi ? 1u : 0u) | (node.broadcast ? 2u : 0u));
+  w->WriteU64(node.num_predicates);
+  w->WriteU64(node.num_group_cols);
+  w->WriteU64(node.num_aggs);
+  w->WriteU64(node.children.size());
+  for (const auto& child : node.children) WriteNode(*child, w);
+}
+
+std::unique_ptr<PhysicalNode> ReadNode(BinaryReader* r, size_t* budget) {
+  QPP_CHECK_MSG(*budget > 0, "plan node count exceeds sanity bound");
+  --*budget;
+  auto node = std::make_unique<PhysicalNode>();
+  const uint32_t op = r->ReadU32();
+  QPP_CHECK_MSG(op < kNumPhysOps, "unknown operator id in plan file");
+  node->op = static_cast<PhysOp>(op);
+  node->est_rows = r->ReadDouble();
+  node->true_rows = r->ReadDouble();
+  node->est_input_rows = r->ReadDouble();
+  node->true_input_rows = r->ReadDouble();
+  node->row_width = r->ReadDouble();
+  node->table = r->ReadString();
+  node->detail = r->ReadString();
+  const uint32_t flags = r->ReadU32();
+  node->semi = (flags & 1u) != 0;
+  node->broadcast = (flags & 2u) != 0;
+  node->num_predicates = static_cast<size_t>(r->ReadU64());
+  node->num_group_cols = static_cast<size_t>(r->ReadU64());
+  node->num_aggs = static_cast<size_t>(r->ReadU64());
+  const uint64_t n_children = r->ReadU64();
+  QPP_CHECK_MSG(n_children <= kMaxNodes, "implausible child count");
+  node->children.reserve(n_children);
+  for (uint64_t i = 0; i < n_children; ++i) {
+    node->children.push_back(ReadNode(r, budget));
+  }
+  return node;
+}
+
+}  // namespace
+
+void WritePlan(const PhysicalPlan& plan, std::ostream* os) {
+  QPP_CHECK(plan.root != nullptr);
+  BinaryWriter w(*os);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteString(plan.sql);
+  w.WriteU64(plan.query_hash);
+  w.WriteDouble(plan.optimizer_cost);
+  WriteNode(*plan.root, &w);
+}
+
+Result<PhysicalPlan> ReadPlan(std::istream* is) {
+  try {
+    BinaryReader r(*is);
+    if (r.ReadU32() != kMagic) return Status::Error("not a qpp plan file");
+    if (r.ReadU32() != kVersion) {
+      return Status::Error("unsupported plan file version");
+    }
+    PhysicalPlan plan;
+    plan.sql = r.ReadString();
+    plan.query_hash = r.ReadU64();
+    plan.optimizer_cost = r.ReadDouble();
+    size_t budget = kMaxNodes;
+    plan.root = ReadNode(&r, &budget);
+    return plan;
+  } catch (const CheckFailure& e) {
+    return Status::Error(std::string("plan read failed: ") + e.what());
+  }
+}
+
+Status SavePlanFile(const PhysicalPlan& plan, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) return Status::Error("cannot open for write: " + path);
+  WritePlan(plan, &os);
+  os.flush();
+  if (!os.good()) return Status::Error("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<PhysicalPlan> LoadPlanFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return Status::Error("cannot open for read: " + path);
+  return ReadPlan(&is);
+}
+
+}  // namespace qpp::optimizer

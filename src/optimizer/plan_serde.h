@@ -1,0 +1,29 @@
+// Binary (de)serialization of physical plans.
+//
+// The paper's deployment (Fig. 1) featurizes queries at the customer site
+// from plans produced by a configuration-matched optimizer ("most
+// commercial databases provide tools that can be configured to simulate a
+// given system and obtain the same query plans as would be produced on the
+// target system"). Serialized plans are the interchange format for that
+// flow: the sizing tool dumps candidate-system plans, and the predictor
+// featurizes them without re-planning.
+#pragma once
+
+#include <iosfwd>
+
+#include "common/status.h"
+#include "optimizer/physical_plan.h"
+
+namespace qpp::optimizer {
+
+/// Writes a plan (tree, cardinalities, annotations, cost) to a stream.
+void WritePlan(const PhysicalPlan& plan, std::ostream* os);
+
+/// Reads a plan written by WritePlan. Fails on malformed input.
+Result<PhysicalPlan> ReadPlan(std::istream* is);
+
+/// File-level convenience wrappers.
+Status SavePlanFile(const PhysicalPlan& plan, const std::string& path);
+Result<PhysicalPlan> LoadPlanFile(const std::string& path);
+
+}  // namespace qpp::optimizer

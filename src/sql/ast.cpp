@@ -1,0 +1,238 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace qpp::sql {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<Expr> ClonePtr(const std::unique_ptr<Expr>& p) {
+  if (!p) return nullptr;
+  return std::make_unique<Expr>(p->Clone());
+}
+
+}  // namespace
+
+Expr Expr::Clone() const {
+  Expr e;
+  e.kind = kind;
+  e.table = table;
+  e.column = column;
+  e.num = num;
+  e.str = str;
+  e.is_string = is_string;
+  e.is_integer = is_integer;
+  e.cmp = cmp;
+  e.arith = arith;
+  e.is_and = is_and;
+  e.left = ClonePtr(left);
+  e.right = ClonePtr(right);
+  e.lo = ClonePtr(lo);
+  e.hi = ClonePtr(hi);
+  e.list.reserve(list.size());
+  for (const Expr& x : list) e.list.push_back(x.Clone());
+  e.subquery = subquery;  // subqueries are shared (immutable after parse)
+  e.negated = negated;
+  e.agg = agg;
+  e.distinct = distinct;
+  return e;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      if (!table.empty()) os << table << ".";
+      os << column;
+      break;
+    case ExprKind::kLiteral:
+      if (is_string) {
+        std::string escaped;
+        for (char c : str) {
+          escaped.push_back(c);
+          if (c == '\'') escaped.push_back('\'');
+        }
+        os << "'" << escaped << "'";
+      } else if (is_integer) {
+        os << static_cast<long long>(num);
+      } else {
+        os << FormatG(num, 12);
+      }
+      break;
+    case ExprKind::kStar:
+      os << "*";
+      break;
+    case ExprKind::kCompare:
+      os << left->ToString() << " " << CompareOpName(cmp) << " "
+         << right->ToString();
+      break;
+    case ExprKind::kLogical:
+      os << "(" << left->ToString() << (is_and ? " AND " : " OR ")
+         << right->ToString() << ")";
+      break;
+    case ExprKind::kNot:
+      os << "NOT (" << left->ToString() << ")";
+      break;
+    case ExprKind::kArith:
+      os << "(" << left->ToString() << " " << ArithOpName(arith) << " "
+         << right->ToString() << ")";
+      break;
+    case ExprKind::kBetween:
+      os << left->ToString() << " BETWEEN " << lo->ToString() << " AND "
+         << hi->ToString();
+      break;
+    case ExprKind::kInList: {
+      os << left->ToString() << " IN (";
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << list[i].ToString();
+      }
+      os << ")";
+      break;
+    }
+    case ExprKind::kInSubquery:
+      os << left->ToString() << (negated ? " NOT IN (" : " IN (")
+         << subquery->ToString() << ")";
+      break;
+    case ExprKind::kExists:
+      os << (negated ? "NOT EXISTS (" : "EXISTS (") << subquery->ToString()
+         << ")";
+      break;
+    case ExprKind::kAgg:
+      os << AggFuncName(agg) << "(";
+      if (distinct) os << "DISTINCT ";
+      os << (left ? left->ToString() : "*") << ")";
+      break;
+  }
+  return os.str();
+}
+
+Expr MakeColumnRef(std::string table, std::string column) {
+  Expr e;
+  e.kind = ExprKind::kColumnRef;
+  e.table = std::move(table);
+  e.column = std::move(column);
+  return e;
+}
+
+Expr MakeNumberLiteral(double value, bool is_integer) {
+  Expr e;
+  e.kind = ExprKind::kLiteral;
+  e.num = value;
+  e.is_integer = is_integer;
+  return e;
+}
+
+Expr MakeStringLiteral(std::string value) {
+  Expr e;
+  e.kind = ExprKind::kLiteral;
+  e.str = std::move(value);
+  e.is_string = true;
+  return e;
+}
+
+Expr MakeCompare(CompareOp op, Expr left, Expr right) {
+  Expr e;
+  e.kind = ExprKind::kCompare;
+  e.cmp = op;
+  e.left = std::make_unique<Expr>(std::move(left));
+  e.right = std::make_unique<Expr>(std::move(right));
+  return e;
+}
+
+Expr MakeLogical(bool is_and, Expr left, Expr right) {
+  Expr e;
+  e.kind = ExprKind::kLogical;
+  e.is_and = is_and;
+  e.left = std::make_unique<Expr>(std::move(left));
+  e.right = std::make_unique<Expr>(std::move(right));
+  return e;
+}
+
+std::string SelectStmt::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (distinct) os << "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << items[i].expr.ToString();
+    if (!items[i].alias.empty()) os << " AS " << items[i].alias;
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << from[i].table;
+    if (!from[i].alias.empty()) os << " " << from[i].alias;
+  }
+  if (where) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i].ToString();
+    }
+  }
+  if (having) os << " HAVING " << having->ToString();
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << order_by[i].expr.ToString();
+      if (!order_by[i].ascending) os << " DESC";
+    }
+  }
+  if (limit) os << " LIMIT " << *limit;
+  return os.str();
+}
+
+std::vector<Expr> SplitConjuncts(const Expr& predicate) {
+  std::vector<Expr> out;
+  if (predicate.kind == ExprKind::kLogical && predicate.is_and) {
+    QPP_CHECK(predicate.left && predicate.right);
+    std::vector<Expr> l = SplitConjuncts(*predicate.left);
+    std::vector<Expr> r = SplitConjuncts(*predicate.right);
+    for (Expr& e : l) out.push_back(std::move(e));
+    for (Expr& e : r) out.push_back(std::move(e));
+    return out;
+  }
+  out.push_back(predicate.Clone());
+  return out;
+}
+
+}  // namespace qpp::sql

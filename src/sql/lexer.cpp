@@ -1,0 +1,151 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace qpp::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentCont(text[j])) ++j;
+      const std::string word = text.substr(i, j - i);
+      const std::string upper = ToUpperAscii(word);
+      if (IsReservedKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = ToLowerAscii(word);
+      }
+      out.push_back(tok);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      if (j < n && text[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      }
+      if (j < n && (text[j] == 'e' || text[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (text[k] == '+' || text[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(text[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j])))
+            ++j;
+        }
+      }
+      tok.type = is_float ? TokenType::kNumber : TokenType::kInteger;
+      tok.text = text.substr(i, j - i);
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      out.push_back(tok);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string value;
+      bool closed = false;
+      while (j < n) {
+        if (text[j] == '\'') {
+          if (j + 1 < n && text[j + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(text[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::Error(StrFormat(
+            "unterminated string literal at offset %zu", i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = value;
+      out.push_back(tok);
+      i = j;
+      continue;
+    }
+    // Multi-char operators first.
+    if (c == '<' && i + 1 < n && (text[i + 1] == '=' || text[i + 1] == '>')) {
+      tok.type = TokenType::kSymbol;
+      tok.text = text.substr(i, 2);
+      out.push_back(tok);
+      i += 2;
+      continue;
+    }
+    if (c == '>' && i + 1 < n && text[i + 1] == '=') {
+      tok.type = TokenType::kSymbol;
+      tok.text = ">=";
+      out.push_back(tok);
+      i += 2;
+      continue;
+    }
+    if (c == '!' && i + 1 < n && text[i + 1] == '=') {
+      tok.type = TokenType::kSymbol;
+      tok.text = "<>";  // normalize != to <>
+      out.push_back(tok);
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(),.*=<>+-/;";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      out.push_back(tok);
+      ++i;
+      continue;
+    }
+    return Status::Error(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace qpp::sql

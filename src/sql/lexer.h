@@ -1,0 +1,16 @@
+// Hand-rolled lexer for the SQL subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace qpp::sql {
+
+/// Tokenizes `text` into a token vector terminated by a kEnd token.
+/// Fails on unterminated strings and unrecognized characters.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace qpp::sql

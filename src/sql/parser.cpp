@@ -1,0 +1,492 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace qpp::sql {
+
+namespace {
+
+/// Parser state: a token cursor plus the first error encountered.
+/// All Parse* methods return by value and set ok_=false on error; callers
+/// must check ok() before trusting results (helpers bail out early).
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<SelectStmt>> ParseStatement() {
+    auto stmt = std::make_shared<SelectStmt>();
+    *stmt = ParseSelect();
+    if (!ok_) return Status::Error(error_);
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      Fail("unexpected trailing input: " + Peek().ToString());
+      return Status::Error(error_);
+    }
+    return stmt;
+  }
+
+ private:
+  SelectStmt ParseSelect() {
+    SelectStmt stmt;
+    if (!ExpectKeyword("SELECT")) return stmt;
+    if (Peek().IsKeyword("DISTINCT")) {
+      stmt.distinct = true;
+      Advance();
+    }
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.expr.kind = ExprKind::kStar;
+      } else {
+        item.expr = ParseExpr();
+        if (!ok_) return stmt;
+        if (Peek().IsKeyword("AS")) {
+          Advance();
+          item.alias = ExpectIdentifier();
+          if (!ok_) return stmt;
+        } else if (Peek().type == TokenType::kIdentifier) {
+          item.alias = Peek().text;
+          Advance();
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (!ExpectKeyword("FROM")) return stmt;
+    // FROM list with comma joins and JOIN..ON.
+    stmt.from.push_back(ParseTableRef());
+    if (!ok_) return stmt;
+    while (true) {
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        stmt.from.push_back(ParseTableRef());
+        if (!ok_) return stmt;
+        continue;
+      }
+      if (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER") ||
+          Peek().IsKeyword("LEFT")) {
+        if (Peek().IsKeyword("INNER") || Peek().IsKeyword("LEFT")) Advance();
+        if (!ExpectKeyword("JOIN")) return stmt;
+        stmt.from.push_back(ParseTableRef());
+        if (!ok_) return stmt;
+        if (!ExpectKeyword("ON")) return stmt;
+        Expr cond = ParseExpr();
+        if (!ok_) return stmt;
+        AppendWhere(&stmt, std::move(cond));
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      Expr cond = ParseExpr();
+      if (!ok_) return stmt;
+      AppendWhere(&stmt, std::move(cond));
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      if (!ExpectKeyword("BY")) return stmt;
+      while (true) {
+        stmt.group_by.push_back(ParseExpr());
+        if (!ok_) return stmt;
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      Advance();
+      Expr cond = ParseExpr();
+      if (!ok_) return stmt;
+      stmt.having = std::make_unique<Expr>(std::move(cond));
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      if (!ExpectKeyword("BY")) return stmt;
+      while (true) {
+        OrderItem item;
+        item.expr = ParseExpr();
+        if (!ok_) return stmt;
+        if (Peek().IsKeyword("ASC")) {
+          Advance();
+        } else if (Peek().IsKeyword("DESC")) {
+          item.ascending = false;
+          Advance();
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != TokenType::kInteger) {
+        Fail("expected integer after LIMIT, got " + Peek().ToString());
+        return stmt;
+      }
+      stmt.limit = static_cast<int64_t>(Peek().number);
+      Advance();
+    }
+    return stmt;
+  }
+
+  TableRef ParseTableRef() {
+    TableRef ref;
+    ref.table = ExpectIdentifier();
+    if (!ok_) return ref;
+    if (Peek().IsKeyword("AS")) {
+      Advance();
+      ref.alias = ExpectIdentifier();
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref.alias = Peek().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  // expr := or_expr
+  Expr ParseExpr() { return ParseOr(); }
+
+  Expr ParseOr() {
+    Expr left = ParseAnd();
+    while (ok_ && Peek().IsKeyword("OR")) {
+      Advance();
+      Expr right = ParseAnd();
+      if (!ok_) return left;
+      left = MakeLogical(/*is_and=*/false, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Expr ParseAnd() {
+    Expr left = ParseNot();
+    while (ok_ && Peek().IsKeyword("AND")) {
+      Advance();
+      Expr right = ParseNot();
+      if (!ok_) return left;
+      left = MakeLogical(/*is_and=*/true, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Expr ParseNot() {
+    if (Peek().IsKeyword("NOT") && !PeekAhead(1).IsKeyword("EXISTS")) {
+      Advance();
+      Expr inner = ParseNot();
+      Expr e;
+      e.kind = ExprKind::kNot;
+      e.left = std::make_unique<Expr>(std::move(inner));
+      return e;
+    }
+    return ParsePredicate();
+  }
+
+  Expr ParsePredicate() {
+    if (Peek().IsKeyword("EXISTS") ||
+        (Peek().IsKeyword("NOT") && PeekAhead(1).IsKeyword("EXISTS"))) {
+      Expr e;
+      e.kind = ExprKind::kExists;
+      if (Peek().IsKeyword("NOT")) {
+        e.negated = true;
+        Advance();
+      }
+      Advance();  // EXISTS
+      if (!ExpectSymbol("(")) return e;
+      e.subquery = std::make_shared<SelectStmt>(ParseSelect());
+      if (!ok_) return e;
+      ExpectSymbol(")");
+      return e;
+    }
+
+    Expr left = ParseAdditive();
+    if (!ok_) return left;
+
+    if (Peek().IsKeyword("BETWEEN")) {
+      Advance();
+      Expr lo = ParseAdditive();
+      if (!ok_) return left;
+      if (!ExpectKeyword("AND")) return left;
+      Expr hi = ParseAdditive();
+      if (!ok_) return left;
+      Expr e;
+      e.kind = ExprKind::kBetween;
+      e.left = std::make_unique<Expr>(std::move(left));
+      e.lo = std::make_unique<Expr>(std::move(lo));
+      e.hi = std::make_unique<Expr>(std::move(hi));
+      return e;
+    }
+
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") && PeekAhead(1).IsKeyword("IN")) {
+      negated = true;
+      Advance();
+    }
+    if (Peek().IsKeyword("IN")) {
+      Advance();
+      if (!ExpectSymbol("(")) return left;
+      if (Peek().IsKeyword("SELECT")) {
+        Expr e;
+        e.kind = ExprKind::kInSubquery;
+        e.negated = negated;
+        e.left = std::make_unique<Expr>(std::move(left));
+        e.subquery = std::make_shared<SelectStmt>(ParseSelect());
+        if (!ok_) return e;
+        ExpectSymbol(")");
+        return e;
+      }
+      Expr e;
+      e.kind = ExprKind::kInList;
+      e.negated = negated;
+      e.left = std::make_unique<Expr>(std::move(left));
+      while (true) {
+        Expr lit = ParseFactor();
+        if (!ok_) return e;
+        if (lit.kind != ExprKind::kLiteral) {
+          Fail("IN list members must be literals");
+          return e;
+        }
+        e.list.push_back(std::move(lit));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      ExpectSymbol(")");
+      return e;
+    }
+    if (negated) {
+      Fail("expected IN after NOT");
+      return left;
+    }
+
+    // Optional comparison.
+    CompareOp op;
+    if (PeekCompareOp(&op)) {
+      Advance();
+      Expr right = ParseAdditive();
+      if (!ok_) return left;
+      return MakeCompare(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Expr ParseAdditive() {
+    Expr left = ParseTerm();
+    while (ok_ && (Peek().IsSymbol("+") || Peek().IsSymbol("-"))) {
+      const ArithOp op =
+          Peek().IsSymbol("+") ? ArithOp::kAdd : ArithOp::kSub;
+      Advance();
+      Expr right = ParseTerm();
+      if (!ok_) return left;
+      Expr e;
+      e.kind = ExprKind::kArith;
+      e.arith = op;
+      e.left = std::make_unique<Expr>(std::move(left));
+      e.right = std::make_unique<Expr>(std::move(right));
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Expr ParseTerm() {
+    Expr left = ParseFactor();
+    while (ok_ && (Peek().IsSymbol("*") || Peek().IsSymbol("/"))) {
+      const ArithOp op =
+          Peek().IsSymbol("*") ? ArithOp::kMul : ArithOp::kDiv;
+      Advance();
+      Expr right = ParseFactor();
+      if (!ok_) return left;
+      Expr e;
+      e.kind = ExprKind::kArith;
+      e.arith = op;
+      e.left = std::make_unique<Expr>(std::move(left));
+      e.right = std::make_unique<Expr>(std::move(right));
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  Expr ParseFactor() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kInteger || t.type == TokenType::kNumber) {
+      Expr e = MakeNumberLiteral(t.number, t.type == TokenType::kInteger);
+      Advance();
+      return e;
+    }
+    if (t.type == TokenType::kString) {
+      Expr e = MakeStringLiteral(t.text);
+      Advance();
+      return e;
+    }
+    if (t.IsSymbol("-")) {
+      Advance();
+      Expr inner = ParseFactor();
+      if (!ok_) return inner;
+      if (inner.kind == ExprKind::kLiteral && !inner.is_string) {
+        inner.num = -inner.num;
+        return inner;
+      }
+      Expr e;
+      e.kind = ExprKind::kArith;
+      e.arith = ArithOp::kSub;
+      e.left = std::make_unique<Expr>(MakeNumberLiteral(0.0, true));
+      e.right = std::make_unique<Expr>(std::move(inner));
+      return e;
+    }
+    if (t.IsSymbol("(")) {
+      Advance();
+      Expr inner = ParseExpr();
+      if (!ok_) return inner;
+      ExpectSymbol(")");
+      return inner;
+    }
+    if (t.type == TokenType::kKeyword &&
+        (t.text == "SUM" || t.text == "COUNT" || t.text == "AVG" ||
+         t.text == "MIN" || t.text == "MAX")) {
+      Expr e;
+      e.kind = ExprKind::kAgg;
+      if (t.text == "SUM") e.agg = AggFunc::kSum;
+      else if (t.text == "COUNT") e.agg = AggFunc::kCount;
+      else if (t.text == "AVG") e.agg = AggFunc::kAvg;
+      else if (t.text == "MIN") e.agg = AggFunc::kMin;
+      else e.agg = AggFunc::kMax;
+      Advance();
+      if (!ExpectSymbol("(")) return e;
+      if (Peek().IsKeyword("DISTINCT")) {
+        e.distinct = true;
+        Advance();
+      }
+      if (Peek().IsSymbol("*")) {
+        Advance();  // COUNT(*): left stays null
+      } else {
+        Expr arg = ParseExpr();
+        if (!ok_) return e;
+        e.left = std::make_unique<Expr>(std::move(arg));
+      }
+      ExpectSymbol(")");
+      return e;
+    }
+    if (t.type == TokenType::kIdentifier) {
+      std::string first = t.text;
+      Advance();
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        if (Peek().IsSymbol("*")) {
+          Advance();
+          Expr e;
+          e.kind = ExprKind::kStar;
+          e.table = first;
+          return e;
+        }
+        std::string col = ExpectIdentifier();
+        if (!ok_) return Expr();
+        return MakeColumnRef(first, col);
+      }
+      return MakeColumnRef("", first);
+    }
+    Fail("unexpected token: " + t.ToString());
+    return Expr();
+  }
+
+  bool PeekCompareOp(CompareOp* op) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kSymbol) return false;
+    if (t.text == "=") *op = CompareOp::kEq;
+    else if (t.text == "<>") *op = CompareOp::kNe;
+    else if (t.text == "<") *op = CompareOp::kLt;
+    else if (t.text == "<=") *op = CompareOp::kLe;
+    else if (t.text == ">") *op = CompareOp::kGt;
+    else if (t.text == ">=") *op = CompareOp::kGe;
+    else return false;
+    return true;
+  }
+
+  static void AppendWhere(SelectStmt* stmt, Expr cond) {
+    if (!stmt->where) {
+      stmt->where = std::make_unique<Expr>(std::move(cond));
+      return;
+    }
+    Expr combined = MakeLogical(/*is_and=*/true, std::move(*stmt->where),
+                                std::move(cond));
+    stmt->where = std::make_unique<Expr>(std::move(combined));
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t n) const {
+    const size_t i = std::min(pos_ + n, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool ExpectKeyword(const char* kw) {
+    if (!ok_) return false;
+    if (!Peek().IsKeyword(kw)) {
+      Fail(std::string("expected ") + kw + ", got " + Peek().ToString());
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  bool ExpectSymbol(const char* sym) {
+    if (!ok_) return false;
+    if (!Peek().IsSymbol(sym)) {
+      Fail(std::string("expected '") + sym + "', got " + Peek().ToString());
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  std::string ExpectIdentifier() {
+    if (!ok_) return "";
+    if (Peek().type != TokenType::kIdentifier) {
+      Fail("expected identifier, got " + Peek().ToString());
+      return "";
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  void Fail(const std::string& message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = StrFormat("parse error at offset %zu: %s", Peek().position,
+                         message.c_str());
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<SelectStmt>> Parse(const std::string& text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseStatement();
+}
+
+}  // namespace qpp::sql

@@ -1,0 +1,16 @@
+// Recursive-descent parser for the SQL subset (see ast.h for coverage).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace qpp::sql {
+
+/// Parses a single SELECT statement. An optional trailing semicolon is
+/// accepted; any other trailing content is an error.
+Result<std::shared_ptr<SelectStmt>> Parse(const std::string& text);
+
+}  // namespace qpp::sql

@@ -1,0 +1,122 @@
+#include "sql/sql_features.h"
+
+namespace qpp::sql {
+
+namespace {
+
+bool IsColumn(const Expr* e) {
+  return e != nullptr && e->kind == ExprKind::kColumnRef;
+}
+
+bool IsLiteralish(const Expr* e) {
+  if (e == nullptr) return false;
+  if (e->kind == ExprKind::kLiteral) return true;
+  if (e->kind == ExprKind::kArith) {
+    return IsLiteralish(e->left.get()) && IsLiteralish(e->right.get());
+  }
+  return false;
+}
+
+/// True when both sides reference columns of *different* relations — the
+/// textual definition of a join predicate. Same-relation column comparisons
+/// count as selections (rare but possible, e.g. l_commitdate < l_receiptdate).
+bool IsJoinPredicate(const Expr& cmp) {
+  if (!IsColumn(cmp.left.get()) || !IsColumn(cmp.right.get())) return false;
+  return cmp.left->table != cmp.right->table || cmp.left->table.empty();
+}
+
+void CountAggColumns(const Expr& e, SqlFeatures* f) {
+  if (e.kind == ExprKind::kAgg) {
+    f->aggregation_columns += 1;
+    return;  // nested aggregates are not legal SQL; don't recurse
+  }
+  if (e.left) CountAggColumns(*e.left, f);
+  if (e.right) CountAggColumns(*e.right, f);
+}
+
+void WalkPredicate(const Expr& e, SqlFeatures* f);
+void WalkStmt(const SelectStmt& stmt, SqlFeatures* f, bool is_subquery);
+
+void WalkPredicate(const Expr& e, SqlFeatures* f) {
+  switch (e.kind) {
+    case ExprKind::kLogical:
+    case ExprKind::kNot:
+      if (e.left) WalkPredicate(*e.left, f);
+      if (e.right) WalkPredicate(*e.right, f);
+      break;
+    case ExprKind::kCompare: {
+      const bool equality = e.cmp == CompareOp::kEq;
+      if (IsJoinPredicate(e)) {
+        f->join_predicates += 1;
+        if (equality) {
+          f->equijoin_predicates += 1;
+        } else {
+          f->nonequijoin_predicates += 1;
+        }
+      } else if ((IsColumn(e.left.get()) && IsLiteralish(e.right.get())) ||
+                 (IsLiteralish(e.left.get()) && IsColumn(e.right.get()))) {
+        f->selection_predicates += 1;
+        if (equality) {
+          f->equality_selections += 1;
+        } else {
+          f->nonequality_selections += 1;
+        }
+      }
+      break;
+    }
+    case ExprKind::kBetween:
+      f->selection_predicates += 1;
+      f->nonequality_selections += 1;
+      break;
+    case ExprKind::kInList:
+      f->selection_predicates += 1;
+      f->equality_selections += 1;
+      break;
+    case ExprKind::kInSubquery:
+      // The membership test itself acts like an equijoin with the subquery.
+      f->join_predicates += 1;
+      f->equijoin_predicates += 1;
+      WalkStmt(*e.subquery, f, /*is_subquery=*/true);
+      break;
+    case ExprKind::kExists:
+      WalkStmt(*e.subquery, f, /*is_subquery=*/true);
+      break;
+    default:
+      break;
+  }
+}
+
+void WalkStmt(const SelectStmt& stmt, SqlFeatures* f, bool is_subquery) {
+  if (is_subquery) f->nested_subqueries += 1;
+  if (stmt.where) WalkPredicate(*stmt.where, f);
+  if (stmt.having) WalkPredicate(*stmt.having, f);
+  for (const SelectItem& item : stmt.items) CountAggColumns(item.expr, f);
+  if (stmt.having) CountAggColumns(*stmt.having, f);
+  f->sort_columns += static_cast<double>(stmt.order_by.size());
+}
+
+}  // namespace
+
+std::array<double, 9> SqlFeatures::ToVector() const {
+  return {nested_subqueries,      selection_predicates,
+          equality_selections,    nonequality_selections,
+          join_predicates,        equijoin_predicates,
+          nonequijoin_predicates, sort_columns,
+          aggregation_columns};
+}
+
+std::array<std::string, 9> SqlFeatures::DimensionNames() {
+  return {"nested_subqueries",      "selection_predicates",
+          "equality_selections",    "nonequality_selections",
+          "join_predicates",        "equijoin_predicates",
+          "nonequijoin_predicates", "sort_columns",
+          "aggregation_columns"};
+}
+
+SqlFeatures ExtractSqlFeatures(const SelectStmt& stmt) {
+  SqlFeatures f;
+  WalkStmt(stmt, &f, /*is_subquery=*/false);
+  return f;
+}
+
+}  // namespace qpp::sql

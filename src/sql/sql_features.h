@@ -1,0 +1,52 @@
+// The paper's SQL-text feature vector (Section VI-D.1).
+//
+// Nine statistics computed from the SQL text alone:
+//   1. number of nested subqueries
+//   2. total number of selection predicates
+//   3. number of equality selection predicates
+//   4. number of non-equality selection predicates
+//   5. total number of join predicates
+//   6. number of equijoin predicates
+//   7. number of non-equijoin predicates
+//   8. number of sort columns
+//   9. number of aggregation columns
+//
+// The paper finds this vector a *poor* basis for prediction because two
+// queries with identical SQL statistics but different constants can have
+// wildly different performance; we reproduce that negative result in
+// bench_fig08_sql_features.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace qpp::sql {
+
+struct SqlFeatures {
+  double nested_subqueries = 0;
+  double selection_predicates = 0;
+  double equality_selections = 0;
+  double nonequality_selections = 0;
+  double join_predicates = 0;
+  double equijoin_predicates = 0;
+  double nonequijoin_predicates = 0;
+  double sort_columns = 0;
+  double aggregation_columns = 0;
+
+  /// Fixed-order 9-element vector (order matches the list above).
+  std::array<double, 9> ToVector() const;
+
+  /// Human-readable dimension names matching ToVector() order.
+  static std::array<std::string, 9> DimensionNames();
+};
+
+/// Extracts the nine SQL-text features from a parsed statement, recursing
+/// into subqueries. A predicate comparing a column with a literal counts as
+/// a selection; one comparing columns of two different relations counts as a
+/// join predicate. BETWEEN and IN-lists count as one non-equality / one
+/// equality selection respectively.
+SqlFeatures ExtractSqlFeatures(const SelectStmt& stmt);
+
+}  // namespace qpp::sql

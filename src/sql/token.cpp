@@ -1,0 +1,45 @@
+#include "sql/token.h"
+
+#include <set>
+
+#include "common/str_util.h"
+
+namespace qpp::sql {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kKeyword: return "keyword";
+    case TokenType::kInteger: return "integer";
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kSymbol: return "symbol";
+    case TokenType::kEnd: return "end-of-input";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsSymbol(const char* sym) const {
+  return type == TokenType::kSymbol && text == sym;
+}
+
+std::string Token::ToString() const {
+  if (type == TokenType::kEnd) return "<end>";
+  return text;
+}
+
+bool IsReservedKeyword(const std::string& upper) {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",     "HAVING", "ORDER",
+      "LIMIT",  "AS",    "AND",    "OR",     "NOT",    "IN",     "EXISTS",
+      "BETWEEN", "JOIN", "INNER",  "LEFT",   "ON",     "ASC",    "DESC",
+      "SUM",    "COUNT", "AVG",    "MIN",    "MAX",    "DISTINCT",
+  };
+  return kKeywords.count(upper) > 0;
+}
+
+}  // namespace qpp::sql

@@ -1,0 +1,26 @@
+#include "workload/generator.h"
+
+#include "common/check.h"
+
+namespace qpp::workload {
+
+std::vector<GeneratedQuery> GenerateWorkload(
+    const std::vector<QueryTemplate>& templates, size_t count,
+    uint64_t seed) {
+  QPP_CHECK(!templates.empty());
+  std::vector<GeneratedQuery> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const QueryTemplate& t = templates[i % templates.size()];
+    GeneratedQuery q;
+    q.seed = SplitMix64(seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+    Rng rng(q.seed);
+    q.sql = t.instantiate(rng);
+    q.template_name = t.name;
+    q.family = t.family;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qpp::workload

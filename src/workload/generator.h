@@ -1,0 +1,24 @@
+// Workload generation: instantiate templates into concrete SQL queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/templates.h"
+
+namespace qpp::workload {
+
+struct GeneratedQuery {
+  std::string sql;
+  std::string template_name;
+  std::string family;
+  uint64_t seed = 0;  ///< the per-query instantiation seed (reproducible)
+};
+
+/// Instantiates `count` queries by cycling the template set round-robin with
+/// per-query seeds derived from `seed`. Deterministic.
+std::vector<GeneratedQuery> GenerateWorkload(
+    const std::vector<QueryTemplate>& templates, size_t count, uint64_t seed);
+
+}  // namespace qpp::workload

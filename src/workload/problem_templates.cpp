@@ -1,0 +1,128 @@
+#include "workload/problem_templates.h"
+
+#include "common/str_util.h"
+
+namespace qpp::workload {
+
+std::vector<QueryTemplate> ProblemTemplates() {
+  std::vector<QueryTemplate> out;
+
+  // Returns-lag audit: which sales might explain which returns. Non-equi
+  // price comparison forces a nested-loop join between two fact slices.
+  out.push_back({"problem_returns_lag", "problem", [](Rng& rng) {
+    const DateWindow ws = DrawDateWindow(rng, 3, 1800);
+    const DateWindow wr = DrawDateWindow(rng, 3, 1800);
+    return StrFormat(
+        "SELECT COUNT(*) FROM store_sales, store_returns "
+        "WHERE ss_sold_date_sk BETWEEN %lld AND %lld "
+        "AND sr_returned_date_sk BETWEEN %lld AND %lld "
+        "AND ss_ext_sales_price > sr_return_amt",
+        static_cast<long long>(ws.lo), static_cast<long long>(ws.hi),
+        static_cast<long long>(wr.lo), static_cast<long long>(wr.hi));
+  }});
+
+  // Cross-channel price-band comparison: store vs catalog sales.
+  out.push_back({"problem_price_band_channels", "problem", [](Rng& rng) {
+    const DateWindow ws = DrawDateWindow(rng, 3, 1800);
+    const DateWindow wc = DrawDateWindow(rng, 3, 1800);
+    const int q = static_cast<int>(rng.UniformInt(1, 90));
+    return StrFormat(
+        "SELECT COUNT(*), AVG(ss_list_price) "
+        "FROM store_sales, catalog_sales "
+        "WHERE ss_sold_date_sk BETWEEN %lld AND %lld "
+        "AND cs_sold_date_sk BETWEEN %lld AND %lld "
+        "AND ss_quantity > %d AND ss_list_price < cs_list_price",
+        static_cast<long long>(ws.lo), static_cast<long long>(ws.hi),
+        static_cast<long long>(wc.lo), static_cast<long long>(wc.hi), q);
+  }});
+
+  // Store-sales self band join: the biggest cross products (source of
+  // wrecking balls when both windows are wide).
+  out.push_back({"problem_self_band", "problem", [](Rng& rng) {
+    const DateWindow w1 = DrawDateWindow(rng, 3, 1300);
+    const DateWindow w2 = DrawDateWindow(rng, 3, 1300);
+    return StrFormat(
+        "SELECT COUNT(*) FROM store_sales a, store_sales b "
+        "WHERE a.ss_sold_date_sk BETWEEN %lld AND %lld "
+        "AND b.ss_sold_date_sk BETWEEN %lld AND %lld "
+        "AND a.ss_net_paid > b.ss_net_paid "
+        "AND a.ss_store_sk = b.ss_store_sk",
+        static_cast<long long>(w1.lo), static_cast<long long>(w1.hi),
+        static_cast<long long>(w2.lo), static_cast<long long>(w2.hi));
+  }});
+
+  // Inventory imbalance: same item, different snapshots, quantity skew.
+  out.push_back({"problem_inventory_drift", "problem", [](Rng& rng) {
+    const DateWindow w1 = DrawDateWindow(rng, 2, 400);
+    const DateWindow w2 = DrawDateWindow(rng, 2, 400);
+    return StrFormat(
+        "SELECT COUNT(*) FROM inventory a, inventory b "
+        "WHERE a.inv_item_sk = b.inv_item_sk "
+        "AND a.inv_date_sk BETWEEN %lld AND %lld "
+        "AND b.inv_date_sk BETWEEN %lld AND %lld "
+        "AND a.inv_quantity_on_hand < b.inv_quantity_on_hand",
+        static_cast<long long>(w1.lo), static_cast<long long>(w1.hi),
+        static_cast<long long>(w2.lo), static_cast<long long>(w2.hi));
+  }});
+
+  // Triple-fact join chain with aggregation: large intermediate results,
+  // spilling hash joins and a heavyweight exchange/aggregation pipeline.
+  out.push_back({"problem_triple_fact_chain", "problem", [](Rng& rng) {
+    const DateWindow ws = DrawDateWindow(rng, 30, 1800);
+    const DateWindow wc = DrawDateWindow(rng, 30, 1800);
+    const DateWindow ww = DrawDateWindow(rng, 30, 1800);
+    return StrFormat(
+        "SELECT ss_item_sk, COUNT(*) "
+        "FROM store_sales, catalog_sales, web_sales "
+        "WHERE ss_item_sk = cs_item_sk AND cs_item_sk = ws_item_sk "
+        "AND ss_sold_date_sk BETWEEN %lld AND %lld "
+        "AND cs_sold_date_sk BETWEEN %lld AND %lld "
+        "AND ws_sold_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY ss_item_sk ORDER BY ss_item_sk LIMIT 1000",
+        static_cast<long long>(ws.lo), static_cast<long long>(ws.hi),
+        static_cast<long long>(wc.lo), static_cast<long long>(wc.hi),
+        static_cast<long long>(ww.lo), static_cast<long long>(ww.hi));
+  }});
+
+  // Returns matching across channels with a band condition.
+  out.push_back({"problem_returns_cross_band", "problem", [](Rng& rng) {
+    const int q = static_cast<int>(rng.UniformInt(1, 60));
+    const DateWindow w = DrawDateWindow(rng, 10, 1900);
+    return StrFormat(
+        "SELECT COUNT(*) FROM catalog_returns, web_returns "
+        "WHERE cr_returned_date_sk BETWEEN %lld AND %lld "
+        "AND cr_return_amount > wr_return_amt "
+        "AND wr_return_quantity > %d",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi), q);
+  }});
+
+  // Global sort of a fact slice (no limit): external sort territory.
+  out.push_back({"problem_global_sort", "problem", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 1840);
+    return StrFormat(
+        "SELECT ss_customer_sk, ss_net_paid, ss_sold_date_sk "
+        "FROM store_sales WHERE ss_sold_date_sk BETWEEN %lld AND %lld "
+        "ORDER BY ss_net_paid DESC, ss_customer_sk",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  // Demographic cross-shopping: wide hash-join pipeline over the big
+  // cross-product demographics table plus a fact self-reference.
+  out.push_back({"problem_demo_fanout", "problem", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 1800);
+    const int pe = static_cast<int>(rng.UniformInt(1, 20)) * 500;
+    return StrFormat(
+        "SELECT cd_education_status, COUNT(*), SUM(ss_net_profit) "
+        "FROM store_sales, customer_demographics, customer "
+        "WHERE ss_cdemo_sk = cd_demo_sk "
+        "AND ss_customer_sk = c_customer_sk "
+        "AND cd_purchase_estimate > %d "
+        "AND ss_sold_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY cd_education_status ORDER BY cd_education_status",
+        pe, static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  return out;
+}
+
+}  // namespace qpp::workload

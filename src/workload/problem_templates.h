@@ -1,0 +1,21 @@
+// Extended "problem query" templates.
+//
+// The paper wrote new templates against the TPC-DS database modeled on real
+// customer queries that ran for 4+ hours, because plain TPC-DS at SF 1
+// yields almost exclusively feathers. These templates follow that playbook:
+// non-equi (band) joins between fact tables that force nested-loop plans,
+// multi-fact join chains with spilling hash joins, and large sorts. Their
+// date-window parameters are drawn log-uniformly, so each template spans
+// feathers through bowling balls (and occasional wrecking balls) depending
+// on the constants — the paper's own experience.
+#pragma once
+
+#include <vector>
+
+#include "workload/templates.h"
+
+namespace qpp::workload {
+
+std::vector<QueryTemplate> ProblemTemplates();
+
+}  // namespace qpp::workload

@@ -1,0 +1,123 @@
+#include "workload/retailbank_templates.h"
+
+#include "common/str_util.h"
+
+namespace qpp::workload {
+
+namespace {
+constexpr int64_t kTxDateLo = 2454100;
+constexpr int64_t kTxDateHi = 2455194;
+
+const char* PickSegment(Rng& rng) {
+  static const char* kSeg[] = {"retail", "premier", "private", "student",
+                               "business"};
+  return kSeg[rng.UniformInt(0, 4)];
+}
+
+const char* PickChannel(Rng& rng) {
+  static const char* kCh[] = {"atm", "web", "branch", "mobile", "phone"};
+  return kCh[rng.UniformInt(0, 4)];
+}
+}  // namespace
+
+std::vector<QueryTemplate> RetailBankTemplates() {
+  std::vector<QueryTemplate> out;
+
+  out.push_back({"bank_account_activity", "retailbank", [](Rng& rng) {
+    const int64_t acct = rng.UniformInt(1, 400000);
+    const int64_t lo = rng.UniformInt(kTxDateLo, kTxDateHi - 90);
+    return StrFormat(
+        "SELECT COUNT(*), SUM(tx_amount) FROM transactions "
+        "WHERE tx_account_id = %lld AND tx_date BETWEEN %lld AND %lld",
+        static_cast<long long>(acct), static_cast<long long>(lo),
+        static_cast<long long>(lo + 90));
+  }});
+
+  out.push_back({"bank_branch_balances", "retailbank", [](Rng& rng) {
+    const double bal = rng.Uniform(1000.0, 100000.0);
+    return StrFormat(
+        "SELECT a_branch_id, COUNT(*), AVG(a_balance) FROM accounts "
+        "WHERE a_balance > %.2f GROUP BY a_branch_id "
+        "ORDER BY a_branch_id LIMIT 50",
+        bal);
+  }});
+
+  out.push_back({"bank_segment_clients", "retailbank", [](Rng& rng) {
+    const char* seg = PickSegment(rng);
+    const int by = static_cast<int>(rng.UniformInt(1930, 1990));
+    return StrFormat(
+        "SELECT b_region_id, COUNT(*) FROM clients, branches "
+        "WHERE cl_home_branch_id = b_branch_id AND cl_segment = '%s' "
+        "AND cl_birth_year > %d GROUP BY b_region_id ORDER BY b_region_id",
+        seg, by);
+  }});
+
+  out.push_back({"bank_channel_volume", "retailbank", [](Rng& rng) {
+    const char* ch = PickChannel(rng);
+    const int64_t lo = rng.UniformInt(kTxDateLo, kTxDateHi - 30);
+    return StrFormat(
+        "SELECT COUNT(*), AVG(tx_amount) FROM transactions "
+        "WHERE tx_channel = '%s' AND tx_date BETWEEN %lld AND %lld",
+        ch, static_cast<long long>(lo), static_cast<long long>(lo + 30));
+  }});
+
+  out.push_back({"bank_merchant_category", "retailbank", [](Rng& rng) {
+    const int64_t lo = rng.UniformInt(kTxDateLo, kTxDateHi - 14);
+    const double amt = rng.Uniform(50.0, 2000.0);
+    return StrFormat(
+        "SELECT m_state, COUNT(*) FROM transactions, merchants "
+        "WHERE tx_merchant_id = m_merchant_id AND tx_amount > %.2f "
+        "AND tx_date BETWEEN %lld AND %lld "
+        "GROUP BY m_state ORDER BY m_state",
+        amt, static_cast<long long>(lo), static_cast<long long>(lo + 14));
+  }});
+
+  out.push_back({"bank_swipe_approval", "retailbank", [](Rng& rng) {
+    const int64_t lo = rng.UniformInt(kTxDateLo, kTxDateHi - 7);
+    return StrFormat(
+        "SELECT sw_approved, COUNT(*) FROM card_swipes "
+        "WHERE sw_date BETWEEN %lld AND %lld AND sw_amount > %.2f "
+        "GROUP BY sw_approved",
+        static_cast<long long>(lo), static_cast<long long>(lo + 7),
+        rng.Uniform(10.0, 500.0));
+  }});
+
+  out.push_back({"bank_loan_book", "retailbank", [](Rng& rng) {
+    const int rate = static_cast<int>(rng.UniformInt(200, 900));
+    return StrFormat(
+        "SELECT l_product, COUNT(*), SUM(l_principal) FROM loans "
+        "WHERE l_rate_bps > %d GROUP BY l_product ORDER BY l_product",
+        rate);
+  }});
+
+  out.push_back({"bank_card_network", "retailbank", [](Rng& rng) {
+    const int year = static_cast<int>(rng.UniformInt(2008, 2015));
+    return StrFormat(
+        "SELECT cd_network, COUNT(*) FROM cards, accounts "
+        "WHERE cd_account_id = a_account_id AND cd_expiry_year = %d "
+        "AND a_status = 'open' GROUP BY cd_network ORDER BY cd_network",
+        year);
+  }});
+
+  out.push_back({"bank_dormant_clients", "retailbank", [](Rng& rng) {
+    const double bal = rng.Uniform(50000.0, 500000.0);
+    return StrFormat(
+        "SELECT COUNT(*) FROM clients WHERE cl_risk_score > %d "
+        "AND cl_client_id IN (SELECT a_client_id FROM accounts "
+        "WHERE a_balance > %.2f)",
+        static_cast<int>(rng.UniformInt(500, 820)), bal);
+  }});
+
+  out.push_back({"bank_regional_loans", "retailbank", [](Rng& rng) {
+    const double principal = rng.Uniform(10000.0, 800000.0);
+    return StrFormat(
+        "SELECT b_region_id, COUNT(*), AVG(l_rate_bps) "
+        "FROM loans, branches WHERE l_branch_id = b_branch_id "
+        "AND l_principal > %.2f GROUP BY b_region_id ORDER BY b_region_id",
+        principal);
+  }});
+
+  return out;
+}
+
+}  // namespace qpp::workload

@@ -1,0 +1,14 @@
+// Customer ("retailbank") workload templates for Experiment 4: a different
+// schema and database than the training queries. Dominated by very
+// short-running queries, matching the customer traces the paper had.
+#pragma once
+
+#include <vector>
+
+#include "workload/templates.h"
+
+namespace qpp::workload {
+
+std::vector<QueryTemplate> RetailBankTemplates();
+
+}  // namespace qpp::workload

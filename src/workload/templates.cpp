@@ -1,0 +1,27 @@
+#include "workload/templates.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpp::workload {
+
+int64_t DrawLogUniform(Rng& rng, int64_t lo, int64_t hi) {
+  QPP_CHECK(lo >= 1 && lo <= hi);
+  const double u =
+      rng.Uniform(std::log(static_cast<double>(lo)),
+                  std::log(static_cast<double>(hi) + 1.0));
+  int64_t v = static_cast<int64_t>(std::exp(u));
+  return std::min(hi, std::max(lo, v));
+}
+
+DateWindow DrawDateWindow(Rng& rng, int64_t min_days, int64_t max_days) {
+  const int64_t width = DrawLogUniform(rng, std::max<int64_t>(min_days, 1),
+                                       std::max<int64_t>(max_days, 1));
+  const int64_t span = kSalesDateHi - kSalesDateLo;
+  const int64_t lo =
+      kSalesDateLo + rng.UniformInt(0, std::max<int64_t>(span - width, 1));
+  return {lo, lo + width};
+}
+
+}  // namespace qpp::workload

@@ -1,0 +1,47 @@
+// Query template machinery.
+//
+// The paper generates thousands of queries by instantiating TPC-DS query
+// templates plus hand-written "problem query" templates with random
+// constants, then pools them by measured runtime. A QueryTemplate here is a
+// named function from a seeded Rng to SQL text; the same template can
+// produce a millisecond feather or an hours-long bowling ball depending on
+// which constants are drawn — reproducing the paper's observation that the
+// SQL-text shape alone cannot predict performance.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qpp::workload {
+
+struct QueryTemplate {
+  std::string name;
+  /// Template family: "tpcds" (benchmark-shaped), "problem" (extended
+  /// long-running), "retailbank" (customer schema).
+  std::string family;
+  /// Draws constants and renders SQL.
+  std::function<std::string(Rng&)> instantiate;
+};
+
+// --- shared constant-drawing helpers ------------------------------------
+
+/// TPC-DS sales date-sk domain (5 years).
+constexpr int64_t kSalesDateLo = 2450815;
+constexpr int64_t kSalesDateHi = 2452654;
+
+/// Draws a [lo, lo+width] date-sk window inside the sales domain.
+/// Width is drawn log-uniformly in [min_days, max_days] so that narrow and
+/// wide windows are both well represented.
+struct DateWindow {
+  int64_t lo;
+  int64_t hi;
+};
+DateWindow DrawDateWindow(Rng& rng, int64_t min_days, int64_t max_days);
+
+/// Log-uniform integer in [lo, hi].
+int64_t DrawLogUniform(Rng& rng, int64_t lo, int64_t hi);
+
+}  // namespace qpp::workload

@@ -1,0 +1,375 @@
+#include "workload/tpcds_templates.h"
+
+#include "common/str_util.h"
+
+namespace qpp::workload {
+
+namespace {
+
+const char* PickEducation(Rng& rng) {
+  static const char* kEd[] = {"Primary",        "Secondary", "College",
+                              "2 yr Degree",    "4 yr Degree",
+                              "Advanced Degree", "Unknown"};
+  return kEd[rng.UniformInt(0, 6)];
+}
+
+const char* PickBuyPotential(Rng& rng) {
+  static const char* kBp[] = {"0-500",      "501-1000",  "1001-5000",
+                              "5001-10000", ">10000",    "Unknown"};
+  return kBp[rng.UniformInt(0, 5)];
+}
+
+}  // namespace
+
+std::vector<QueryTemplate> TpcdsTemplates() {
+  std::vector<QueryTemplate> out;
+
+  out.push_back({"tpcds_q03_category_month", "tpcds", [](Rng& rng) {
+    const int year = static_cast<int>(rng.UniformInt(1998, 2002));
+    const int moy = static_cast<int>(rng.UniformInt(1, 12));
+    const int cat = static_cast<int>(rng.UniformInt(1, 10));
+    return StrFormat(
+        "SELECT i_brand_id, i_brand, SUM(ss_ext_sales_price) "
+        "FROM store_sales, item, date_dim "
+        "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+        "AND d_year = %d AND d_moy = %d AND i_category_id = %d "
+        "GROUP BY i_brand_id, i_brand ORDER BY i_brand_id LIMIT 100",
+        year, moy, cat);
+  }});
+
+  out.push_back({"tpcds_q07_demographics", "tpcds", [](Rng& rng) {
+    const char* ed = PickEducation(rng);
+    const char* gender = rng.Bernoulli(0.5) ? "M" : "F";
+    const int qlo = static_cast<int>(rng.UniformInt(1, 50));
+    const int qhi = qlo + static_cast<int>(rng.UniformInt(5, 40));
+    return StrFormat(
+        "SELECT i_class, AVG(ss_quantity), AVG(ss_list_price), "
+        "AVG(ss_sales_price) "
+        "FROM store_sales, customer_demographics, item "
+        "WHERE ss_cdemo_sk = cd_demo_sk AND ss_item_sk = i_item_sk "
+        "AND cd_gender = '%s' AND cd_education_status = '%s' "
+        "AND ss_quantity BETWEEN %d AND %d "
+        "GROUP BY i_class ORDER BY i_class",
+        gender, ed, qlo, qhi);
+  }});
+
+  out.push_back({"tpcds_q12_web_window", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 7, 120);
+    const int cat = static_cast<int>(rng.UniformInt(1, 10));
+    return StrFormat(
+        "SELECT i_item_sk, i_category, SUM(ws_ext_sales_price) "
+        "FROM web_sales, item, date_dim "
+        "WHERE ws_item_sk = i_item_sk AND ws_sold_date_sk = d_date_sk "
+        "AND i_category_id = %d AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY i_item_sk, i_category ORDER BY i_item_sk LIMIT 100",
+        cat, static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_q15_catalog_zip", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 180);
+    const double amt = rng.Uniform(400.0, 900.0);
+    return StrFormat(
+        "SELECT ca_state, SUM(cs_sales_price) "
+        "FROM catalog_sales, customer, customer_address, date_dim "
+        "WHERE cs_bill_customer_sk = c_customer_sk "
+        "AND c_current_addr_sk = ca_address_sk "
+        "AND cs_sold_date_sk = d_date_sk "
+        "AND d_date_sk BETWEEN %lld AND %lld AND cs_sales_price > %.2f "
+        "GROUP BY ca_state ORDER BY ca_state",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi), amt);
+  }});
+
+  out.push_back({"tpcds_q19_brand_manager", "tpcds", [](Rng& rng) {
+    const int manager = static_cast<int>(rng.UniformInt(1, 100));
+    const int year = static_cast<int>(rng.UniformInt(1998, 2002));
+    const int moy = static_cast<int>(rng.UniformInt(1, 12));
+    return StrFormat(
+        "SELECT i_brand_id, i_brand, SUM(ss_ext_sales_price) "
+        "FROM store_sales, item, date_dim, customer, customer_address "
+        "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+        "AND ss_customer_sk = c_customer_sk "
+        "AND c_current_addr_sk = ca_address_sk "
+        "AND i_manager_id = %d AND d_year = %d AND d_moy = %d "
+        "GROUP BY i_brand_id, i_brand ORDER BY i_brand_id LIMIT 100",
+        manager, year, moy);
+  }});
+
+  out.push_back({"tpcds_q26_promo", "tpcds", [](Rng& rng) {
+    const char* gender = rng.Bernoulli(0.5) ? "M" : "F";
+    const char* ms[] = {"S", "M", "D", "W", "U"};
+    return StrFormat(
+        "SELECT i_item_sk, AVG(cs_quantity), AVG(cs_list_price) "
+        "FROM catalog_sales, customer_demographics, item, promotion "
+        "WHERE cs_bill_cdemo_sk = cd_demo_sk AND cs_item_sk = i_item_sk "
+        "AND cs_promo_sk = p_promo_sk AND cd_gender = '%s' "
+        "AND cd_marital_status = '%s' AND p_channel_email = 'N' "
+        "GROUP BY i_item_sk ORDER BY i_item_sk LIMIT 100",
+        gender, ms[rng.UniformInt(0, 4)]);
+  }});
+
+  out.push_back({"tpcds_q42_year_category", "tpcds", [](Rng& rng) {
+    const int year = static_cast<int>(rng.UniformInt(1998, 2002));
+    const int moy = static_cast<int>(rng.UniformInt(1, 12));
+    return StrFormat(
+        "SELECT d_year, i_category_id, i_category, SUM(ss_ext_sales_price) "
+        "FROM store_sales, item, date_dim "
+        "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+        "AND d_year = %d AND d_moy = %d "
+        "GROUP BY d_year, i_category_id, i_category "
+        "ORDER BY d_year LIMIT 100",
+        year, moy);
+  }});
+
+  out.push_back({"tpcds_q52_brand_window", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 7, 90);
+    return StrFormat(
+        "SELECT i_brand_id, SUM(ss_ext_sales_price) "
+        "FROM store_sales, item, date_dim "
+        "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+        "AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY i_brand_id ORDER BY i_brand_id LIMIT 100",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_q55_manager_count", "tpcds", [](Rng& rng) {
+    const int manager = static_cast<int>(rng.UniformInt(1, 100));
+    const DateWindow w = DrawDateWindow(rng, 14, 60);
+    return StrFormat(
+        "SELECT i_brand, COUNT(*), SUM(ss_ext_sales_price) "
+        "FROM store_sales, item, date_dim "
+        "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+        "AND i_manager_id = %d AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY i_brand ORDER BY i_brand",
+        manager, static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_inventory_position", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 7, 60);
+    const int cls = static_cast<int>(rng.UniformInt(1, 16));
+    return StrFormat(
+        "SELECT w_state, AVG(inv_quantity_on_hand) "
+        "FROM inventory, warehouse, item "
+        "WHERE inv_warehouse_sk = w_warehouse_sk "
+        "AND inv_item_sk = i_item_sk AND i_class_id = %d "
+        "AND inv_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY w_state ORDER BY w_state",
+        cls, static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_returns_reason", "tpcds", [](Rng& rng) {
+    const int q = static_cast<int>(rng.UniformInt(1, 80));
+    return StrFormat(
+        "SELECT r_reason_desc, COUNT(*), SUM(sr_return_amt) "
+        "FROM store_returns, reason "
+        "WHERE sr_reason_sk = r_reason_sk AND sr_return_quantity > %d "
+        "GROUP BY r_reason_desc ORDER BY r_reason_desc",
+        q);
+  }});
+
+  out.push_back({"tpcds_customer_in_category", "tpcds", [](Rng& rng) {
+    const int cat = static_cast<int>(rng.UniformInt(1, 10));
+    const int by = static_cast<int>(rng.UniformInt(1930, 1985));
+    return StrFormat(
+        "SELECT COUNT(*) FROM customer "
+        "WHERE c_birth_year > %d AND c_customer_sk IN "
+        "(SELECT ss_customer_sk FROM store_sales, item "
+        "WHERE ss_item_sk = i_item_sk AND i_category_id = %d)",
+        by, cat);
+  }});
+
+  out.push_back({"tpcds_items_with_returns", "tpcds", [](Rng& rng) {
+    const int q = static_cast<int>(rng.UniformInt(10, 95));
+    const double price = rng.Uniform(10.0, 90.0);
+    return StrFormat(
+        "SELECT COUNT(*) FROM item WHERE i_current_price > %.2f "
+        "AND EXISTS (SELECT sr_ticket_number FROM store_returns "
+        "WHERE sr_item_sk = i_item_sk AND sr_return_quantity > %d)",
+        price, q);
+  }});
+
+  out.push_back({"tpcds_store_state_sales", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 365);
+    return StrFormat(
+        "SELECT s_state, COUNT(*), SUM(ss_net_profit) "
+        "FROM store_sales, store, date_dim "
+        "WHERE ss_store_sk = s_store_sk AND ss_sold_date_sk = d_date_sk "
+        "AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY s_state ORDER BY s_state",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_hdemo_potential", "tpcds", [](Rng& rng) {
+    const char* bp = PickBuyPotential(rng);
+    const int dep = static_cast<int>(rng.UniformInt(0, 9));
+    return StrFormat(
+        "SELECT hd_income_band_sk, COUNT(*) "
+        "FROM store_sales, household_demographics "
+        "WHERE ss_hdemo_sk = hd_demo_sk AND hd_buy_potential = '%s' "
+        "AND hd_dep_count > %d "
+        "GROUP BY hd_income_band_sk ORDER BY hd_income_band_sk",
+        bp, dep);
+  }});
+
+  out.push_back({"tpcds_top_customers", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 180);
+    const int limit = static_cast<int>(rng.UniformInt(10, 100));
+    return StrFormat(
+        "SELECT c_customer_sk, SUM(ss_net_paid) "
+        "FROM store_sales, customer, date_dim "
+        "WHERE ss_customer_sk = c_customer_sk "
+        "AND ss_sold_date_sk = d_date_sk "
+        "AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY c_customer_sk ORDER BY c_customer_sk DESC LIMIT %d",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi), limit);
+  }});
+
+  out.push_back({"tpcds_dim_lookup", "tpcds", [](Rng& rng) {
+    const int year = static_cast<int>(rng.UniformInt(1990, 2005));
+    return StrFormat(
+        "SELECT d_moy, COUNT(*) FROM date_dim WHERE d_year = %d "
+        "GROUP BY d_moy ORDER BY d_moy",
+        year);
+  }});
+
+  out.push_back({"tpcds_item_listing", "tpcds", [](Rng& rng) {
+    const double lo = rng.Uniform(1.0, 50.0);
+    const double hi = lo + rng.Uniform(5.0, 45.0);
+    return StrFormat(
+        "SELECT i_item_sk, i_brand, i_current_price FROM item "
+        "WHERE i_current_price BETWEEN %.2f AND %.2f "
+        "ORDER BY i_current_price LIMIT 200",
+        lo, hi);
+  }});
+
+  out.push_back({"tpcds_cross_channel_items", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 14, 120);
+    return StrFormat(
+        "SELECT ws_item_sk, COUNT(*) "
+        "FROM web_sales, catalog_sales, date_dim "
+        "WHERE ws_item_sk = cs_item_sk AND ws_sold_date_sk = d_date_sk "
+        "AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY ws_item_sk ORDER BY ws_item_sk LIMIT 100",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_sales_returns_match", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 365);
+    return StrFormat(
+        "SELECT COUNT(*), SUM(sr_return_amt) "
+        "FROM store_sales, store_returns, date_dim "
+        "WHERE ss_ticket_number = sr_ticket_number "
+        "AND ss_item_sk = sr_item_sk AND ss_sold_date_sk = d_date_sk "
+        "AND d_date_sk BETWEEN %lld AND %lld",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_address_gmt", "tpcds", [](Rng& rng) {
+    const int off = static_cast<int>(rng.UniformInt(-10, -5));
+    return StrFormat(
+        "SELECT ca_state, COUNT(*) FROM customer, customer_address "
+        "WHERE c_current_addr_sk = ca_address_sk AND ca_gmt_offset = %d "
+        "GROUP BY ca_state ORDER BY ca_state",
+        off);
+  }});
+
+
+  out.push_back({"tpcds_q96_hour_traffic", "tpcds", [](Rng& rng) {
+    const int hour = static_cast<int>(rng.UniformInt(8, 20));
+    const int dep = static_cast<int>(rng.UniformInt(0, 9));
+    return StrFormat(
+        "SELECT COUNT(*) FROM store_sales, household_demographics, time_dim "
+        "WHERE ss_hdemo_sk = hd_demo_sk AND ss_sold_time_sk = t_time_sk "
+        "AND t_hour = %d AND hd_dep_count = %d",
+        hour, dep);
+  }});
+
+  out.push_back({"tpcds_q98_class_revenue", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 14, 90);
+    const int cat = static_cast<int>(rng.UniformInt(1, 10));
+    return StrFormat(
+        "SELECT i_class, SUM(ss_ext_sales_price), COUNT(*) "
+        "FROM store_sales, item, date_dim "
+        "WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk "
+        "AND i_category_id = %d AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY i_class ORDER BY i_class",
+        cat, static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_web_return_rate", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 365);
+    return StrFormat(
+        "SELECT wp_type, COUNT(*), SUM(wr_return_amt) "
+        "FROM web_sales, web_returns, web_page, date_dim "
+        "WHERE ws_order_number = wr_order_number "
+        "AND ws_item_sk = wr_item_sk AND ws_web_page_sk = wp_web_page_sk "
+        "AND ws_sold_date_sk = d_date_sk "
+        "AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY wp_type ORDER BY wp_type",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_q82_stock_items", "tpcds", [](Rng& rng) {
+    const double lo = rng.Uniform(10.0, 60.0);
+    const int qlo = static_cast<int>(rng.UniformInt(100, 500));
+    const DateWindow w = DrawDateWindow(rng, 14, 60);
+    return StrFormat(
+        "SELECT i_item_sk, i_current_price FROM item, inventory "
+        "WHERE inv_item_sk = i_item_sk "
+        "AND i_current_price BETWEEN %.2f AND %.2f "
+        "AND inv_quantity_on_hand BETWEEN %d AND %d "
+        "AND inv_date_sk BETWEEN %lld AND %lld "
+        "ORDER BY i_item_sk LIMIT 100",
+        lo, lo + 30.0, qlo, qlo + 200,
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_catalog_promo_lift", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 180);
+    const char* tv = rng.Bernoulli(0.5) ? "Y" : "N";
+    return StrFormat(
+        "SELECT i_category, SUM(cs_ext_sales_price) "
+        "FROM catalog_sales, promotion, item, date_dim "
+        "WHERE cs_promo_sk = p_promo_sk AND cs_item_sk = i_item_sk "
+        "AND cs_sold_date_sk = d_date_sk AND p_channel_tv = '%s' "
+        "AND d_date_sk BETWEEN %lld AND %lld "
+        "GROUP BY i_category ORDER BY i_category",
+        tv, static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_multichannel_customers", "tpcds", [](Rng& rng) {
+    const int cat = static_cast<int>(rng.UniformInt(1, 10));
+    const int by = static_cast<int>(rng.UniformInt(1940, 1980));
+    return StrFormat(
+        "SELECT COUNT(*) FROM customer WHERE c_birth_year BETWEEN %d AND %d "
+        "AND c_customer_sk IN (SELECT ws_bill_customer_sk FROM web_sales, "
+        "item WHERE ws_item_sk = i_item_sk AND i_category_id = %d) "
+        "AND c_customer_sk IN (SELECT ss_customer_sk FROM store_sales)",
+        by, by + 10, cat);
+  }});
+
+  out.push_back({"tpcds_ship_mode_lag", "tpcds", [](Rng& rng) {
+    const DateWindow w = DrawDateWindow(rng, 30, 365);
+    return StrFormat(
+        "SELECT sm_type, COUNT(*) FROM catalog_sales, ship_mode, call_center "
+        "WHERE cs_ship_mode_sk = sm_ship_mode_sk "
+        "AND cs_call_center_sk = cc_call_center_sk "
+        "AND cs_ship_date_sk BETWEEN %lld AND %lld "
+        "AND cs_ship_date_sk > cs_sold_date_sk "
+        "GROUP BY sm_type ORDER BY sm_type",
+        static_cast<long long>(w.lo), static_cast<long long>(w.hi));
+  }});
+
+  out.push_back({"tpcds_store_returns_customers", "tpcds", [](Rng& rng) {
+    const int q = static_cast<int>(rng.UniformInt(2, 40));
+    return StrFormat(
+        "SELECT COUNT(DISTINCT sr_customer_sk) "
+        "FROM store_returns, store "
+        "WHERE sr_store_sk = s_store_sk AND s_market_id = %d "
+        "AND sr_return_quantity > %d",
+        static_cast<int>(rng.UniformInt(1, 10)), q);
+  }});
+
+  return out;
+}
+
+}  // namespace qpp::workload

@@ -1,0 +1,14 @@
+// TPC-DS-shaped query templates (mostly feathers at SF 1, a few golf balls
+// when wide parameter windows are drawn).
+#pragma once
+
+#include <vector>
+
+#include "workload/templates.h"
+
+namespace qpp::workload {
+
+/// The benchmark-shaped template set over the tpcds catalog.
+std::vector<QueryTemplate> TpcdsTemplates();
+
+}  // namespace qpp::workload

@@ -1,0 +1,341 @@
+// Tests for core/: Predictor facade, two-step predictor, model file I/O,
+// WorkloadManager, CapacityPlanner.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/capacity_planner.h"
+#include "core/experiment.h"
+#include "core/model_io.h"
+#include "core/predictor.h"
+#include "core/two_step.h"
+#include "core/workload_manager.h"
+
+namespace qpp::core {
+namespace {
+
+/// Synthetic examples: features on a line; elapsed grows with the feature.
+/// Three "performance regimes" give the projection something to cluster.
+std::vector<ml::TrainingExample> SyntheticExamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int regime = static_cast<int>(rng.UniformInt(0, 2));
+    const double base = regime == 0 ? 1.0 : (regime == 1 ? 400.0 : 3000.0);
+    const double wobble = rng.Uniform(0.9, 1.1);
+    ml::TrainingExample ex;
+    ex.query_features = {static_cast<double>(regime),
+                         base * wobble,
+                         base * base * wobble,
+                         rng.Uniform(0.0, 1.0)};
+    ex.metrics.elapsed_seconds = base * wobble;
+    ex.metrics.records_accessed = base * 1000.0 * wobble;
+    ex.metrics.records_used = base * 100.0 * wobble;
+    ex.metrics.disk_ios = regime == 2 ? 500.0 * wobble : 0.0;
+    ex.metrics.message_count = base * 10.0 * wobble;
+    ex.metrics.message_bytes = base * 8000.0 * wobble;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+TEST(PredictorTest, PredictsRegimeMetricsAccurately) {
+  const auto train = SyntheticExamples(200, 1);
+  Predictor pred;
+  pred.Train(train);
+  ASSERT_TRUE(pred.trained());
+  const auto test = SyntheticExamples(30, 2);
+  for (const auto& ex : test) {
+    const Prediction p = pred.Predict(ex.query_features);
+    EXPECT_NEAR(p.metrics.elapsed_seconds, ex.metrics.elapsed_seconds,
+                0.3 * ex.metrics.elapsed_seconds + 1.0);
+    EXPECT_FALSE(p.anomalous);
+    EXPECT_EQ(p.neighbor_indices.size(), 3u);
+    EXPECT_GT(p.confidence, 0.0);
+    EXPECT_LE(p.confidence, 1.0);
+  }
+}
+
+TEST(PredictorTest, PredictBeforeTrainThrows) {
+  Predictor pred;
+  EXPECT_THROW(pred.Predict({1.0, 2.0, 3.0, 4.0}), CheckFailure);
+}
+
+TEST(PredictorTest, NeedsMoreExamplesThanNeighbors) {
+  Predictor pred;
+  EXPECT_THROW(pred.Train(SyntheticExamples(3, 1)), CheckFailure);
+}
+
+TEST(PredictorTest, AnomalyFlagFiresFarFromTraining) {
+  const auto train = SyntheticExamples(200, 3);
+  Predictor pred;
+  pred.Train(train);
+  const Prediction p = pred.Predict({9.0, 1e9, 1e18, 0.5});
+  EXPECT_TRUE(p.anomalous);
+  EXPECT_LT(p.confidence, 0.6);
+}
+
+TEST(PredictorTest, PredictedTypeFollowsNeighborElapsed) {
+  const auto train = SyntheticExamples(300, 4);
+  Predictor pred;
+  pred.Train(train);
+  // Regime 2 examples (~3000 s) are bowling balls; regime 0 are feathers.
+  const Prediction fast = pred.Predict({0.0, 1.0, 1.0, 0.5});
+  EXPECT_EQ(fast.predicted_type, workload::QueryType::kFeather);
+  const Prediction slow = pred.Predict({2.0, 3000.0, 9e6, 0.5});
+  EXPECT_EQ(slow.predicted_type, workload::QueryType::kBowlingBall);
+}
+
+TEST(PredictorTest, RegressionModeWorks) {
+  PredictorConfig cfg;
+  cfg.model = ModelKind::kRegression;
+  Predictor pred(cfg);
+  pred.Train(SyntheticExamples(200, 5));
+  const Prediction p = pred.Predict({1.0, 400.0, 160000.0, 0.5});
+  EXPECT_GT(p.metrics.elapsed_seconds, 100.0);
+  EXPECT_LT(p.metrics.elapsed_seconds, 2000.0);
+}
+
+TEST(PredictorTest, StreamSaveLoadPreservesPredictions) {
+  const auto train = SyntheticExamples(150, 6);
+  Predictor pred;
+  pred.Train(train);
+  std::stringstream ss;
+  pred.Save(&ss);
+  const Predictor back = Predictor::Load(&ss);
+  for (uint64_t s = 0; s < 5; ++s) {
+    const auto probe = SyntheticExamples(1, 100 + s)[0].query_features;
+    const Prediction a = pred.Predict(probe);
+    const Prediction b = back.Predict(probe);
+    EXPECT_EQ(a.metrics.ToVector(), b.metrics.ToVector());
+    EXPECT_EQ(a.neighbor_indices, b.neighbor_indices);
+    EXPECT_EQ(a.anomalous, b.anomalous);
+  }
+}
+
+TEST(PredictorTest, RegressionSaveLoadRoundTrip) {
+  PredictorConfig cfg;
+  cfg.model = ModelKind::kRegression;
+  Predictor pred(cfg);
+  pred.Train(SyntheticExamples(150, 7));
+  std::stringstream ss;
+  pred.Save(&ss);
+  const Predictor back = Predictor::Load(&ss);
+  const auto probe = SyntheticExamples(1, 200)[0].query_features;
+  EXPECT_EQ(back.Predict(probe).metrics.ToVector(),
+            pred.Predict(probe).metrics.ToVector());
+}
+
+TEST(ModelIoTest, FileRoundTripAndErrors) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "qpp_model_test.bin")
+          .string();
+  Predictor pred;
+  pred.Train(SyntheticExamples(100, 8));
+  ASSERT_TRUE(SaveModelFile(pred, path).ok());
+  const auto loaded = LoadModelFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const auto probe = SyntheticExamples(1, 300)[0].query_features;
+  EXPECT_EQ(loaded.value().Predict(probe).metrics.ToVector(),
+            pred.Predict(probe).metrics.ToVector());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadModelFile(path).ok());
+  EXPECT_FALSE(LoadModelFile("/nonexistent/dir/model.bin").ok());
+}
+
+TEST(ModelIoTest, CorruptFileReportsError) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "qpp_corrupt.bin").string();
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a model";
+  }
+  EXPECT_FALSE(LoadModelFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TwoStepTest, BuildsPerCategoryModels) {
+  // 100 of each regime so every category clears min_category_size.
+  std::vector<ml::TrainingExample> train;
+  Rng rng(9);
+  for (int regime = 0; regime < 3; ++regime) {
+    const double base = regime == 0 ? 1.0 : (regime == 1 ? 400.0 : 3000.0);
+    for (int i = 0; i < 100; ++i) {
+      const double wobble = rng.Uniform(0.9, 1.1);
+      ml::TrainingExample ex;
+      ex.query_features = {static_cast<double>(regime), base * wobble,
+                           base * base * wobble, rng.Uniform(0.0, 1.0)};
+      ex.metrics.elapsed_seconds = base * wobble;
+      ex.metrics.records_accessed = base * 1000.0;
+      train.push_back(std::move(ex));
+    }
+  }
+  TwoStepPredictor ts;
+  ts.Train(train);
+  EXPECT_TRUE(ts.HasCategoryModel(workload::QueryType::kFeather));
+  EXPECT_TRUE(ts.HasCategoryModel(workload::QueryType::kGolfBall));
+  EXPECT_TRUE(ts.HasCategoryModel(workload::QueryType::kBowlingBall));
+  const Prediction p = ts.Predict({1.0, 410.0, 168100.0, 0.5});
+  EXPECT_EQ(p.predicted_type, workload::QueryType::kGolfBall);
+  EXPECT_NEAR(p.metrics.elapsed_seconds, 410.0, 100.0);
+}
+
+TEST(TwoStepTest, FallsBackWhenCategoryTooSmall) {
+  // Only feathers in training: golf/bowling categories have no model.
+  std::vector<ml::TrainingExample> train;
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    ml::TrainingExample ex;
+    const double w = rng.Uniform(0.5, 2.0);
+    ex.query_features = {w, w * 2.0, w * w, 0.0};
+    ex.metrics.elapsed_seconds = w;
+    train.push_back(std::move(ex));
+  }
+  TwoStepPredictor ts;
+  ts.Train(train);
+  EXPECT_TRUE(ts.HasCategoryModel(workload::QueryType::kFeather));
+  EXPECT_FALSE(ts.HasCategoryModel(workload::QueryType::kBowlingBall));
+  // Still predicts (via base fallback).
+  const Prediction p = ts.Predict({1.0, 2.0, 1.0, 0.0});
+  EXPECT_GT(p.metrics.elapsed_seconds, 0.0);
+}
+
+TEST(WorkloadManagerTest, DecisionsFollowThresholds) {
+  const auto train = SyntheticExamples(300, 11);
+  Predictor pred;
+  pred.Train(train);
+  WorkloadManagerConfig cfg;
+  cfg.offpeak_threshold_seconds = 100.0;
+  cfg.reject_threshold_seconds = 2000.0;
+  const WorkloadManager manager(&pred, cfg);
+
+  const auto fast = manager.Admit({0.0, 1.0, 1.0, 0.5});
+  EXPECT_EQ(fast.decision, AdmissionDecision::kRunImmediately);
+  const auto medium = manager.Admit({1.0, 400.0, 160000.0, 0.5});
+  EXPECT_EQ(medium.decision, AdmissionDecision::kScheduleOffPeak);
+  const auto heavy = manager.Admit({2.0, 3000.0, 9e6, 0.5});
+  EXPECT_EQ(heavy.decision, AdmissionDecision::kReject);
+}
+
+TEST(WorkloadManagerTest, AnomaliesRoutedToReview) {
+  const auto train = SyntheticExamples(300, 12);
+  Predictor pred;
+  pred.Train(train);
+  const WorkloadManager manager(&pred, {});
+  const auto weird = manager.Admit({9.0, 1e9, 1e18, 0.5});
+  EXPECT_EQ(weird.decision, AdmissionDecision::kNeedsReview);
+}
+
+TEST(WorkloadManagerTest, KillDeadlineScalesWithPrediction) {
+  const auto train = SyntheticExamples(300, 13);
+  Predictor pred;
+  pred.Train(train);
+  WorkloadManagerConfig cfg;
+  cfg.kill_multiplier = 3.0;
+  cfg.kill_floor_seconds = 60.0;
+  const WorkloadManager manager(&pred, cfg);
+  const auto fast = manager.Admit({0.0, 1.0, 1.0, 0.5});
+  EXPECT_EQ(fast.kill_deadline_seconds, 60.0);  // floor
+  const auto slow = manager.Admit({2.0, 3000.0, 9e6, 0.5});
+  EXPECT_NEAR(slow.kill_deadline_seconds,
+              3.0 * slow.prediction.metrics.elapsed_seconds, 1e-9);
+}
+
+TEST(CapacityPlannerTest, RecommendsCheapestConfigMeetingDeadline) {
+  // Two predictors: the "big" one predicts 4x faster.
+  const auto train_small = SyntheticExamples(200, 14);
+  auto train_big = train_small;
+  for (auto& ex : train_big) {
+    ex.metrics.elapsed_seconds /= 4.0;
+  }
+  Predictor small, big;
+  small.Train(train_small);
+  big.Train(train_big);
+
+  CapacityPlanner planner;
+  planner.AddConfiguration({"small", 4, 1.0, &small});
+  planner.AddConfiguration({"big", 16, 4.0, &big});
+
+  std::vector<linalg::Vector> workload;
+  Rng rng(15);
+  for (int i = 0; i < 10; ++i) {
+    workload.push_back({1.0, 400.0 * rng.Uniform(0.95, 1.05), 160000.0, 0.5});
+  }
+  const auto est_small = planner.Estimate("small", workload);
+  const auto est_big = planner.Estimate("big", workload);
+  EXPECT_GT(est_small.total_elapsed_seconds,
+            3.0 * est_big.total_elapsed_seconds);
+
+  // Loose deadline: the cheap config wins.
+  auto rec = planner.Recommend({workload, workload},
+                               est_small.total_elapsed_seconds * 1.1);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->config_name, "small");
+  // Tight deadline: only the big one qualifies.
+  rec = planner.Recommend({workload, workload},
+                          est_small.total_elapsed_seconds * 0.5);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->config_name, "big");
+  // Impossible deadline: no recommendation.
+  rec = planner.Recommend({workload, workload}, 0.001);
+  EXPECT_FALSE(rec.has_value());
+}
+
+TEST(CapacityPlannerTest, UnknownConfigurationThrows) {
+  const auto train = SyntheticExamples(100, 16);
+  Predictor pred;
+  pred.Train(train);
+  CapacityPlanner planner;
+  planner.AddConfiguration({"only", 4, 1.0, &pred});
+  EXPECT_THROW(planner.Estimate("nonexistent", {}), CheckFailure);
+}
+
+TEST(CapacityPlannerTest, UntrainedPredictorRejected) {
+  Predictor untrained;
+  CapacityPlanner planner;
+  EXPECT_THROW(planner.AddConfiguration({"x", 4, 1.0, &untrained}),
+               CheckFailure);
+  EXPECT_THROW(planner.AddConfiguration({"y", 4, 1.0, nullptr}),
+               CheckFailure);
+}
+
+TEST(PredictorTest, MismatchedFeatureDimensionThrows) {
+  const auto train = SyntheticExamples(100, 17);
+  Predictor pred;
+  pred.Train(train);
+  EXPECT_THROW(pred.Predict({1.0, 2.0}), CheckFailure);  // trained on 4 dims
+}
+
+TEST(PredictorTest, ConfidenceOrderedByNeighborDistance) {
+  const auto train = SyntheticExamples(300, 18);
+  Predictor pred;
+  pred.Train(train);
+  // A typical in-regime point vs a point between regimes.
+  const Prediction typical = pred.Predict({1.0, 400.0, 160000.0, 0.5});
+  const Prediction odd = pred.Predict({1.5, 1700.0, 2.9e6, 0.5});
+  EXPECT_GT(typical.confidence, odd.confidence);
+}
+
+TEST(ExperimentTest, RiskTableAndScatterRender) {
+  MetricEvaluation eval;
+  eval.metric = "elapsed_time";
+  eval.predicted = {1.0, 2.0};
+  eval.actual = {1.1, 2.2};
+  eval.risk = 0.9;
+  eval.risk_drop1 = 0.95;
+  eval.within20 = 1.0;
+  const std::string table = RiskTable({eval});
+  EXPECT_NE(table.find("elapsed_time"), std::string::npos);
+  EXPECT_NE(table.find("0.90"), std::string::npos);
+  const std::string csv = ScatterCsv(eval);
+  EXPECT_NE(csv.find("predicted,actual"), std::string::npos);
+  EXPECT_NE(csv.find("1,1.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qpp::core

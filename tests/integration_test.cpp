@@ -1,0 +1,197 @@
+// End-to-end integration tests: SQL text -> optimizer -> simulator ->
+// features -> KCCA training -> prediction, at reduced scale so the suite
+// stays fast. The full-scale versions of these runs are the bench binaries.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/predictor.h"
+#include "core/two_step.h"
+#include "ml/risk.h"
+
+namespace qpp::core {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentOptions opt;
+    opt.num_candidates = 5200;
+    opt.seed = 21;
+    data_ = new ExperimentData(BuildTpcdsExperiment(opt));
+    // A reduced paper split: enough of each category to train on.
+    split_ = new workload::TrainTestSplit(workload::SampleSplit(
+        *&data_->pools, 180, 40, 8, 24, 4, 4, /*seed=*/5));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete split_;
+    data_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static ExperimentData* data_;
+  static workload::TrainTestSplit* split_;
+};
+
+ExperimentData* IntegrationTest::data_ = nullptr;
+workload::TrainTestSplit* IntegrationTest::split_ = nullptr;
+
+TEST_F(IntegrationTest, AllCandidatesPlanned) {
+  EXPECT_EQ(data_->num_failed_plans, 0u);
+  EXPECT_EQ(data_->pools.queries.size(), 5200u);
+}
+
+TEST_F(IntegrationTest, PoolsContainAllThreeCategories) {
+  EXPECT_GE(data_->pools.OfType(workload::QueryType::kFeather).size(), 200u);
+  EXPECT_GE(data_->pools.OfType(workload::QueryType::kGolfBall).size(), 44u);
+  EXPECT_GE(data_->pools.OfType(workload::QueryType::kBowlingBall).size(),
+            12u);
+}
+
+TEST_F(IntegrationTest, KccaPredictsAccuratelyEndToEnd) {
+  const auto train = MakeExamples(data_->pools, split_->train);
+  const auto test = MakeExamples(data_->pools, split_->test);
+  Predictor pred;
+  pred.Train(train);
+  const auto evals = EvaluatePredictions(
+      [&](const linalg::Vector& f) { return pred.Predict(f).metrics; },
+      test);
+  // Elapsed time: strongly better than predicting the mean, with a large
+  // fraction of queries within 20%. (This reduced split trains on ~230
+  // queries; the full paper-scale split in bench_fig10_exp1_elapsed
+  // reaches the paper's ~85% headline.)
+  EXPECT_GT(evals[0].risk, 0.3);
+  EXPECT_GT(evals[0].within20, 0.4);
+  // Records accessed is the easiest metric (scan inputs): near-perfect.
+  EXPECT_GT(evals[1].risk, 0.8);
+}
+
+TEST_F(IntegrationTest, KccaBeatsRegressionOnRelativeAccuracy) {
+  const auto train = MakeExamples(data_->pools, split_->train);
+  const auto test = MakeExamples(data_->pools, split_->test);
+  Predictor kcca;
+  kcca.Train(train);
+  PredictorConfig rc;
+  rc.model = ModelKind::kRegression;
+  Predictor reg(rc);
+  reg.Train(train);
+  const auto ek = EvaluatePredictions(
+      [&](const linalg::Vector& f) { return kcca.Predict(f).metrics; },
+      test);
+  const auto er = EvaluatePredictions(
+      [&](const linalg::Vector& f) { return reg.Predict(f).metrics; }, test);
+  // The paper's central comparison: the KCCA model is dramatically more
+  // accurate per query than the regression baseline.
+  EXPECT_GT(ek[0].within20, er[0].within20 + 0.3);
+}
+
+TEST_F(IntegrationTest, RegressionProducesNegativePredictions) {
+  // Fig. 3's pathology: negative predicted elapsed times. Train on the
+  // full pools so the regression sees the heavy tail.
+  const auto all = MakeAllExamples(data_->pools);
+  PredictorConfig rc;
+  rc.model = ModelKind::kRegression;
+  Predictor reg(rc);
+  reg.Train(all);
+  size_t negative = 0;
+  for (const auto& ex : all) {
+    if (reg.Predict(ex.query_features).metrics.elapsed_seconds < 0.0) {
+      ++negative;
+    }
+  }
+  EXPECT_GT(negative, 0u);
+}
+
+TEST_F(IntegrationTest, TwoStepClassifiesMostTestQueriesCorrectly) {
+  const auto train = MakeExamples(data_->pools, split_->train);
+  TwoStepPredictor ts;
+  ts.Train(train);
+  size_t correct = 0;
+  for (size_t idx : split_->test) {
+    const auto& q = data_->pools.queries[idx];
+    const Prediction p = ts.Predict(ml::PlanFeatureVector(q.plan));
+    if (p.predicted_type == q.type) ++correct;
+  }
+  // Paper: classification confusion exists near boundaries but is rare.
+  EXPECT_GE(correct * 4, split_->test.size() * 3);  // >= 75%
+}
+
+TEST_F(IntegrationTest, CrossSchemaPredictionRuns) {
+  // Experiment 4's shape: train on TPC-DS, predict retailbank queries.
+  // Features are schema-independent (operator counts + cardinalities).
+  const auto train = MakeExamples(data_->pools, split_->train);
+  Predictor pred;
+  pred.Train(train);
+  ExperimentData bank = BuildRetailBankExperiment(
+      60, 31, engine::SystemConfig::Neoview4());
+  EXPECT_EQ(bank.num_failed_plans, 0u);
+  const auto test = MakeAllExamples(bank.pools);
+  size_t order_of_magnitude = 0;
+  for (const auto& ex : test) {
+    const Prediction p = pred.Predict(ex.query_features);
+    EXPECT_GE(p.metrics.elapsed_seconds, 0.0);
+    const double ratio = (p.metrics.elapsed_seconds + 1e-3) /
+                         (ex.metrics.elapsed_seconds + 1e-3);
+    if (ratio < 10.0 && ratio > 0.1) ++order_of_magnitude;
+  }
+  // The paper found one-model cross-schema predictions often 1-3 orders of
+  // magnitude off; we only require the pipeline to be stable, not accurate.
+  EXPECT_GT(order_of_magnitude, 0u);
+}
+
+TEST_F(IntegrationTest, ModelShipsAcrossProcessBoundary) {
+  // Fig. 1's vendor->customer flow: save at the "vendor", reload fresh and
+  // get identical predictions at the "customer".
+  const auto train = MakeExamples(data_->pools, split_->train);
+  Predictor vendor;
+  vendor.Train(train);
+  std::stringstream wire;
+  vendor.Save(&wire);
+  const Predictor customer = Predictor::Load(&wire);
+  for (size_t idx : split_->test) {
+    const auto f = ml::PlanFeatureVector(data_->pools.queries[idx].plan);
+    EXPECT_EQ(customer.Predict(f).metrics.ToVector(),
+              vendor.Predict(f).metrics.ToVector());
+  }
+}
+
+TEST_F(IntegrationTest, DifferentWorldSeedChangesMetrics) {
+  // Changing the hidden data truth changes the measured metrics (and may
+  // change plan features through histogram-informed estimates — real
+  // optimizer statistics are functions of the data too). Within one world
+  // seed everything is deterministic (covered by
+  // ExperimentBuildIsDeterministic below).
+  ExperimentOptions opt;
+  opt.num_candidates = 40;
+  opt.seed = 77;
+  opt.world_seed = 1001;
+  const ExperimentData a = BuildTpcdsExperiment(opt);
+  opt.world_seed = 2002;
+  const ExperimentData b = BuildTpcdsExperiment(opt);
+  ASSERT_EQ(a.pools.queries.size(), b.pools.queries.size());
+  bool any_metric_differs = false;
+  for (size_t i = 0; i < a.pools.queries.size(); ++i) {
+    if (a.pools.queries[i].metrics.elapsed_seconds !=
+        b.pools.queries[i].metrics.elapsed_seconds) {
+      any_metric_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_metric_differs);
+}
+
+TEST_F(IntegrationTest, ExperimentBuildIsDeterministic) {
+  ExperimentOptions opt;
+  opt.num_candidates = 60;
+  opt.seed = 99;
+  const ExperimentData a = BuildTpcdsExperiment(opt);
+  const ExperimentData b = BuildTpcdsExperiment(opt);
+  ASSERT_EQ(a.pools.queries.size(), b.pools.queries.size());
+  for (size_t i = 0; i < a.pools.queries.size(); ++i) {
+    EXPECT_EQ(a.pools.queries[i].query.sql, b.pools.queries[i].query.sql);
+    EXPECT_EQ(a.pools.queries[i].metrics.ToVector(),
+              b.pools.queries[i].metrics.ToVector());
+  }
+}
+
+}  // namespace
+}  // namespace qpp::core

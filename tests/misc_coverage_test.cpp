@@ -1,0 +1,118 @@
+// Coverage for corner paths not exercised elsewhere: large-domain Zipf,
+// formatting helpers, degenerate model configurations, and guard rails.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "linalg/matrix.h"
+#include "ml/kcca.h"
+#include "ml/kernel.h"
+#include "ml/preprocess.h"
+
+namespace qpp {
+namespace {
+
+TEST(RngCoverageTest, ZipfLargeDomainUsesContinuousApproximation) {
+  Rng rng(1);
+  // n > 4096 takes the continuous-inversion path; check range + skew.
+  int low_decile = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.Zipf(100000, 1.1);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100000);
+    if (v <= 10000) ++low_decile;
+  }
+  EXPECT_GT(low_decile, 4000);  // heavy head
+  // s == 1 branch of the approximation.
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.Zipf(50000, 1.0);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 50000);
+  }
+}
+
+TEST(StrUtilCoverageTest, FormatG) {
+  EXPECT_EQ(FormatG(1234.5678, 4), "1235");
+  EXPECT_EQ(FormatG(0.000123456, 3), "0.000123");
+  EXPECT_EQ(FormatG(1e9, 4), "1e+09");
+}
+
+TEST(MatrixCoverageTest, ToStringRendersRows) {
+  linalg::Matrix m(2, 2);
+  m(0, 0) = 1.5;
+  m(1, 1) = -2.0;
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("-2"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+TEST(MatrixCoverageTest, EmptyMatrixOperations) {
+  linalg::Matrix empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.MaxAbs(), 0.0);
+  EXPECT_EQ(empty.FrobeniusNorm(), 0.0);
+  const linalg::Matrix t = empty.Transpose();
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(PreprocessCoverageTest, TransformBeforeFitThrows) {
+  ml::Preprocessor prep;
+  EXPECT_THROW(prep.TransformRow({1.0}), CheckFailure);
+  linalg::Matrix m(2, 1, 1.0);
+  EXPECT_THROW(prep.Transform(m), CheckFailure);
+}
+
+TEST(KernelCoverageTest, MeanSquaredPairwiseDistanceSmallInputs) {
+  linalg::Matrix one(1, 2, 0.0);
+  EXPECT_EQ(ml::MeanSquaredPairwiseDistance(one), 1.0);  // degenerate guard
+  linalg::Matrix two(2, 1);
+  two(0, 0) = 0.0;
+  two(1, 0) = 3.0;
+  EXPECT_NEAR(ml::MeanSquaredPairwiseDistance(two), 9.0, 1e-12);
+}
+
+TEST(KccaCoverageTest, RequestedDimsClampToAvailableRank) {
+  Rng rng(2);
+  linalg::Matrix x(40, 2), y(40, 2);
+  for (size_t i = 0; i < 40; ++i) {
+    const double t = rng.Gaussian();
+    x(i, 0) = t;
+    x(i, 1) = 2.0 * t + 0.01 * rng.Gaussian();
+    y(i, 0) = -t + 0.01 * rng.Gaussian();
+    y(i, 1) = rng.Gaussian();
+  }
+  ml::KccaOptions opts;
+  opts.num_dims = 999;  // far beyond anything available
+  opts.solver = ml::KccaSolver::kIcd;
+  const ml::KccaModel model = ml::KccaModel::Train(x, y, opts);
+  EXPECT_LE(model.x_projection().cols(), 40u);
+  EXPECT_GE(model.correlations().size(), 1u);
+  // Projection of a training point still works at the clamped width.
+  EXPECT_EQ(model.ProjectX(x.Row(0)).size(), model.x_projection().cols());
+}
+
+TEST(KccaCoverageTest, ConstantFeatureColumnsSurvive) {
+  // A constant dimension must not break the kernel or the solver.
+  Rng rng(3);
+  linalg::Matrix x(30, 3), y(30, 2);
+  for (size_t i = 0; i < 30; ++i) {
+    const double t = rng.Gaussian();
+    x(i, 0) = t;
+    x(i, 1) = 42.0;  // constant
+    x(i, 2) = -t;
+    y(i, 0) = t;
+    y(i, 1) = 42.0;  // constant
+  }
+  ml::KccaOptions opts;
+  opts.solver = ml::KccaSolver::kExact;
+  const ml::KccaModel model = ml::KccaModel::Train(x, y, opts);
+  EXPECT_GT(model.correlations()[0], 0.9);
+}
+
+}  // namespace
+}  // namespace qpp

@@ -1,0 +1,84 @@
+// Parser robustness: random byte soup and mutated valid queries must never
+// crash or hang — only parse successfully or return an error Status.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+#include "workload/tpcds_templates.h"
+
+namespace qpp::sql {
+namespace {
+
+TEST(ParserFuzzTest, RandomPrintableSoupNeverCrashes) {
+  Rng rng(0xF00Dull);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      " \t\n()*,.'<>=+-/;_";
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 120));
+    std::string text;
+    text.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))]);
+    }
+    // Must not throw; ok() either way.
+    const auto result = Parse(text);
+    (void)result.ok();
+  }
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xB17E5);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 64));
+    std::string text;
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(rng.UniformInt(1, 255)));
+    }
+    const auto result = Parse(text);
+    (void)result.ok();
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidQueriesNeverCrash) {
+  // Take real template SQL and corrupt it: truncate, splice, duplicate,
+  // and character-flip. The parser must return a Status, never throw.
+  const auto templates = workload::TpcdsTemplates();
+  Rng rng(0x5EED);
+  size_t parsed_ok = 0, rejected = 0;
+  for (int iter = 0; iter < 1500; ++iter) {
+    const auto& tmpl = templates[iter % templates.size()];
+    Rng inst(rng.NextU64());
+    std::string sql = tmpl.instantiate(inst);
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // truncate
+        sql.resize(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(sql.size()))));
+        break;
+      case 1: {  // flip one character
+        if (!sql.empty()) {
+          sql[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(sql.size()) - 1))] =
+              static_cast<char>(rng.UniformInt(32, 126));
+        }
+        break;
+      }
+      case 2:  // duplicate a slice
+        sql += sql.substr(sql.size() / 2);
+        break;
+      case 3:  // splice two different templates
+        sql = sql.substr(0, sql.size() / 2) +
+              templates[(iter + 7) % templates.size()].instantiate(inst);
+        break;
+    }
+    const auto result = Parse(sql);
+    (result.ok() ? parsed_ok : rejected) += 1;
+  }
+  // Both outcomes must occur: mutations that stay valid and ones that don't.
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+}  // namespace
+}  // namespace qpp::sql

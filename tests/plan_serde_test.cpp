@@ -1,0 +1,126 @@
+// Tests for physical-plan serialization: round trips across all template
+// shapes, corrupt/truncated input handling, and feature-vector equivalence
+// of reloaded plans (the Fig. 1 interchange contract).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "catalog/tpcds.h"
+#include "common/rng.h"
+#include "engine/simulator.h"
+#include "ml/feature_vector.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_serde.h"
+#include "workload/problem_templates.h"
+#include "workload/tpcds_templates.h"
+
+namespace qpp::optimizer {
+namespace {
+
+class PlanSerdeTest : public ::testing::Test {
+ protected:
+  PlanSerdeTest() : catalog_(catalog::MakeTpcdsCatalog(1.0)), opt_(&catalog_, {}) {}
+
+  PhysicalPlan Plan(const std::string& sql) {
+    auto plan = opt_.Plan(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().message();
+    return std::move(plan).value();
+  }
+
+  catalog::Catalog catalog_;
+  Optimizer opt_;
+};
+
+TEST_F(PlanSerdeTest, RoundTripPreservesEverything) {
+  const PhysicalPlan plan = Plan(
+      "SELECT d_year, COUNT(*) FROM store_sales, date_dim "
+      "WHERE ss_sold_date_sk = d_date_sk AND ss_quantity > 10 "
+      "GROUP BY d_year ORDER BY d_year LIMIT 5");
+  std::stringstream ss;
+  WritePlan(plan, &ss);
+  const auto back = ReadPlan(&ss);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back.value().sql, plan.sql);
+  EXPECT_EQ(back.value().query_hash, plan.query_hash);
+  EXPECT_EQ(back.value().optimizer_cost, plan.optimizer_cost);
+  EXPECT_EQ(back.value().ToString(), plan.ToString());
+}
+
+TEST_F(PlanSerdeTest, ReloadedPlanFeaturizesIdentically) {
+  const PhysicalPlan plan = Plan(
+      "SELECT COUNT(*) FROM store_sales, store_returns "
+      "WHERE ss_ext_sales_price > sr_return_amt");
+  std::stringstream ss;
+  WritePlan(plan, &ss);
+  const auto back = ReadPlan(&ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(ml::PlanFeatureVector(back.value()),
+            ml::PlanFeatureVector(plan));
+}
+
+TEST_F(PlanSerdeTest, ReloadedPlanSimulatesIdentically) {
+  const PhysicalPlan plan = Plan(
+      "SELECT i_category, SUM(ss_net_paid) FROM store_sales, item "
+      "WHERE ss_item_sk = i_item_sk GROUP BY i_category");
+  std::stringstream ss;
+  WritePlan(plan, &ss);
+  const auto back = ReadPlan(&ss);
+  ASSERT_TRUE(back.ok());
+  const engine::ExecutionSimulator sim(&catalog_,
+                                       engine::SystemConfig::Neoview4());
+  EXPECT_EQ(sim.Execute(back.value()).ToVector(),
+            sim.Execute(plan).ToVector());
+}
+
+TEST_F(PlanSerdeTest, RoundTripsEveryTemplateShape) {
+  std::vector<workload::QueryTemplate> all = workload::TpcdsTemplates();
+  for (auto& t : workload::ProblemTemplates()) all.push_back(t);
+  for (const auto& tmpl : all) {
+    Rng rng(HashString64(tmpl.name));
+    const PhysicalPlan plan = Plan(tmpl.instantiate(rng));
+    std::stringstream ss;
+    WritePlan(plan, &ss);
+    const auto back = ReadPlan(&ss);
+    ASSERT_TRUE(back.ok()) << tmpl.name;
+    EXPECT_EQ(back.value().ToString(), plan.ToString()) << tmpl.name;
+  }
+}
+
+TEST_F(PlanSerdeTest, RejectsGarbageAndTruncation) {
+  {
+    std::stringstream ss;
+    ss << "this is not a plan";
+    EXPECT_FALSE(ReadPlan(&ss).ok());
+  }
+  {
+    const PhysicalPlan plan = Plan("SELECT i_brand FROM item");
+    std::stringstream ss;
+    WritePlan(plan, &ss);
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() / 2);  // truncate mid-tree
+    std::stringstream cut(bytes);
+    EXPECT_FALSE(ReadPlan(&cut).ok());
+  }
+  {
+    std::stringstream empty;
+    EXPECT_FALSE(ReadPlan(&empty).ok());
+  }
+}
+
+TEST_F(PlanSerdeTest, FileRoundTripAndMissingFile) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "qpp_plan_test.bin").string();
+  const PhysicalPlan plan = Plan("SELECT COUNT(*) FROM customer");
+  ASSERT_TRUE(SavePlanFile(plan, path).ok());
+  const auto back = LoadPlanFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().ToString(), plan.ToString());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadPlanFile(path).ok());
+}
+
+}  // namespace
+}  // namespace qpp::optimizer

@@ -1,0 +1,203 @@
+// Cross-cutting property tests: invariants that must hold for EVERY query
+// any shipped template can generate, swept over templates x seeds. These
+// catch the classes of bugs unit tests of single modules miss: plan-shape
+// violations, cardinality sign errors, metric inconsistencies, feature
+// extraction drift.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/retailbank.h"
+#include "catalog/tpcds.h"
+#include "engine/simulator.h"
+#include "ml/feature_vector.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "workload/generator.h"
+#include "workload/problem_templates.h"
+#include "workload/retailbank_templates.h"
+#include "workload/tpcds_templates.h"
+
+namespace qpp {
+namespace {
+
+struct TemplateCase {
+  workload::QueryTemplate tmpl;
+  bool bank = false;
+};
+
+std::vector<TemplateCase> AllCases() {
+  std::vector<TemplateCase> out;
+  for (auto& t : workload::TpcdsTemplates()) out.push_back({t, false});
+  for (auto& t : workload::ProblemTemplates()) out.push_back({t, false});
+  for (auto& t : workload::RetailBankTemplates()) out.push_back({t, true});
+  return out;
+}
+
+class TemplatePropertyTest : public ::testing::TestWithParam<TemplateCase> {
+ protected:
+  static const catalog::Catalog& Tpcds() {
+    static const catalog::Catalog cat = catalog::MakeTpcdsCatalog(1.0);
+    return cat;
+  }
+  static const catalog::Catalog& Bank() {
+    static const catalog::Catalog cat = catalog::MakeRetailBankCatalog();
+    return cat;
+  }
+  const catalog::Catalog& Catalog() const {
+    return GetParam().bank ? Bank() : Tpcds();
+  }
+};
+
+TEST_P(TemplatePropertyTest, PlanShapeInvariants) {
+  const optimizer::Optimizer opt(&Catalog(), {});
+  Rng rng(HashString64(GetParam().tmpl.name) ^ 0xABCDull);
+  for (int i = 0; i < 8; ++i) {
+    const std::string sql = GetParam().tmpl.instantiate(rng);
+    const auto plan = opt.Plan(sql);
+    ASSERT_TRUE(plan.ok()) << sql << "\n" << plan.status().message();
+    const optimizer::PhysicalNode& root = *plan.value().root;
+
+    // Root at the top, fed by exactly one exchange.
+    EXPECT_EQ(root.op, optimizer::PhysOp::kRoot);
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(root.children[0]->op, optimizer::PhysOp::kExchange);
+
+    size_t scans = 0;
+    plan.value().Visit([&](const optimizer::PhysicalNode& n) {
+      // Cardinalities are finite and non-negative; estimates at least 1
+      // except where semi-join/limit clamping applies.
+      EXPECT_GE(n.est_rows, 0.0);
+      EXPECT_GE(n.true_rows, 0.0);
+      EXPECT_TRUE(std::isfinite(n.est_rows));
+      EXPECT_TRUE(std::isfinite(n.true_rows));
+      EXPECT_GT(n.row_width, 0.0);
+      switch (n.op) {
+        case optimizer::PhysOp::kFileScan:
+          ++scans;
+          EXPECT_TRUE(n.children.empty());
+          EXPECT_FALSE(n.table.empty());
+          EXPECT_NE(Catalog().FindTable(n.table), nullptr);
+          // A scan cannot emit more rows than it reads.
+          EXPECT_LE(n.true_rows, n.true_input_rows * (1.0 + 1e-9));
+          break;
+        case optimizer::PhysOp::kNestedJoin:
+        case optimizer::PhysOp::kHashJoin:
+        case optimizer::PhysOp::kMergeJoin:
+          EXPECT_EQ(n.children.size(), 2u);
+          break;
+        case optimizer::PhysOp::kRoot:
+        case optimizer::PhysOp::kExchange:
+        case optimizer::PhysOp::kSplit:
+        case optimizer::PhysOp::kPartitionAccess:
+        case optimizer::PhysOp::kSort:
+        case optimizer::PhysOp::kTopN:
+        case optimizer::PhysOp::kHashGroupBy:
+        case optimizer::PhysOp::kSortGroupBy:
+        case optimizer::PhysOp::kScalarAgg:
+        case optimizer::PhysOp::kFilter:
+          EXPECT_EQ(n.children.size(), 1u);
+          break;
+      }
+    });
+    // Every FROM relation contributes a scan (derived subqueries add more).
+    EXPECT_GE(scans, 1u);
+    EXPECT_GT(plan.value().optimizer_cost, 0.0);
+  }
+}
+
+TEST_P(TemplatePropertyTest, MetricInvariants) {
+  const optimizer::Optimizer opt(&Catalog(), {});
+  const engine::ExecutionSimulator sim(&Catalog(),
+                                       engine::SystemConfig::Neoview4());
+  Rng rng(HashString64(GetParam().tmpl.name) ^ 0xBEEFull);
+  for (int i = 0; i < 8; ++i) {
+    const std::string sql = GetParam().tmpl.instantiate(rng);
+    const auto plan = opt.Plan(sql);
+    ASSERT_TRUE(plan.ok()) << sql;
+    const engine::QueryMetrics m = sim.Execute(plan.value());
+
+    for (double v : m.ToVector()) {
+      EXPECT_TRUE(std::isfinite(v)) << sql;
+      EXPECT_GE(v, 0.0) << sql;
+    }
+    EXPECT_GT(m.elapsed_seconds, 0.0);
+    EXPECT_GT(m.cpu_seconds, 0.0);
+    // Records used never exceeds records accessed.
+    EXPECT_LE(m.records_used, m.records_accessed + 1e-9) << sql;
+    // Records accessed is the sum of base-table scans: bounded by the sum
+    // of all table sizes times the scan count.
+    EXPECT_GE(m.records_accessed, 1.0) << sql;
+    // Counters are integral (instrumentation-layer contract).
+    EXPECT_EQ(m.disk_ios, std::floor(m.disk_ios));
+    EXPECT_EQ(m.message_count, std::floor(m.message_count));
+    // Payload bytes imply messages; the reverse need not hold (empty
+    // results still exchange zero-payload control messages).
+    if (m.message_bytes > 0) EXPECT_GT(m.message_count, 0.0) << sql;
+  }
+}
+
+TEST_P(TemplatePropertyTest, FeatureVectorInvariants) {
+  const optimizer::Optimizer opt(&Catalog(), {});
+  Rng rng(HashString64(GetParam().tmpl.name) ^ 0xC0DEull);
+  for (int i = 0; i < 5; ++i) {
+    const std::string sql = GetParam().tmpl.instantiate(rng);
+    const auto plan = opt.Plan(sql);
+    ASSERT_TRUE(plan.ok()) << sql;
+    const linalg::Vector v = ml::PlanFeatureVector(plan.value());
+    ASSERT_EQ(v.size(), ml::kPlanFeatureDims);
+    double total_count = 0.0;
+    size_t node_count = 0;
+    plan.value().Visit([&](const optimizer::PhysicalNode&) { ++node_count; });
+    for (size_t d = 0; d < v.size(); d += 2) {
+      EXPECT_GE(v[d], 0.0);
+      EXPECT_EQ(v[d], std::floor(v[d])) << "instance counts are integral";
+      EXPECT_GE(v[d + 1], 0.0) << "cardinality sums are non-negative";
+      // No cardinality mass without instances.
+      if (v[d] == 0.0) EXPECT_EQ(v[d + 1], 0.0);
+      total_count += v[d];
+    }
+    // Counts add up to the number of plan nodes.
+    EXPECT_EQ(total_count, static_cast<double>(node_count));
+
+    // SQL-text features: also finite/non-negative, and integral.
+    const auto stmt = sql::Parse(sql);
+    ASSERT_TRUE(stmt.ok());
+    for (double x : ml::SqlTextFeatureVector(*stmt.value())) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_EQ(x, std::floor(x));
+    }
+  }
+}
+
+TEST_P(TemplatePropertyTest, SimulatorParallelSpeedupNeverNegative) {
+  // More nodes never makes a query slower by more than the noise band.
+  const engine::SystemConfig c8 = engine::SystemConfig::Neoview32(8);
+  const engine::SystemConfig c32 = engine::SystemConfig::Neoview32(32);
+  optimizer::OptimizerOptions o8, o32;
+  o8.nodes_used = 8;
+  o32.nodes_used = 32;
+  const optimizer::Optimizer opt8(&Catalog(), o8), opt32(&Catalog(), o32);
+  const engine::ExecutionSimulator sim8(&Catalog(), c8);
+  const engine::ExecutionSimulator sim32(&Catalog(), c32);
+  Rng rng(HashString64(GetParam().tmpl.name) ^ 0xD00Dull);
+  for (int i = 0; i < 4; ++i) {
+    const std::string sql = GetParam().tmpl.instantiate(rng);
+    const auto p8 = opt8.Plan(sql);
+    const auto p32 = opt32.Plan(sql);
+    ASSERT_TRUE(p8.ok() && p32.ok()) << sql;
+    const double t8 = sim8.Execute(p8.value()).elapsed_seconds;
+    const double t32 = sim32.Execute(p32.value()).elapsed_seconds;
+    // Allow noise + fixed startup costs to dominate for tiny queries.
+    EXPECT_LE(t32, t8 * 1.3 + 0.5) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, TemplatePropertyTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<TemplateCase>& info) {
+      return info.param.tmpl.name;
+    });
+
+}  // namespace
+}  // namespace qpp

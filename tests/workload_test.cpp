@@ -1,0 +1,186 @@
+// Tests for workload/: template instantiation, generation, pooling, splits.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/retailbank.h"
+#include "catalog/tpcds.h"
+#include "engine/simulator.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "workload/generator.h"
+#include "workload/pools.h"
+#include "workload/problem_templates.h"
+#include "workload/retailbank_templates.h"
+#include "workload/tpcds_templates.h"
+
+namespace qpp::workload {
+namespace {
+
+TEST(TemplatesTest, SetsAreNonEmptyAndNamed) {
+  for (const auto& [set, family] :
+       {std::pair{TpcdsTemplates(), std::string("tpcds")},
+        std::pair{ProblemTemplates(), std::string("problem")},
+        std::pair{RetailBankTemplates(), std::string("retailbank")}}) {
+    EXPECT_GE(set.size(), 8u);
+    std::set<std::string> names;
+    for (const QueryTemplate& t : set) {
+      EXPECT_EQ(t.family, family);
+      EXPECT_FALSE(t.name.empty());
+      names.insert(t.name);
+    }
+    EXPECT_EQ(names.size(), set.size()) << "duplicate template names";
+  }
+}
+
+TEST(TemplatesTest, InstantiationIsSeedDeterministic) {
+  const auto set = ProblemTemplates();
+  for (const QueryTemplate& t : set) {
+    Rng a(5), b(5), c(6);
+    EXPECT_EQ(t.instantiate(a), t.instantiate(b)) << t.name;
+    Rng a2(5);
+    EXPECT_NE(t.instantiate(a2), t.instantiate(c)) << t.name;
+  }
+}
+
+TEST(TemplatesTest, DateWindowWithinDomain) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const DateWindow w = DrawDateWindow(rng, 3, 1800);
+    EXPECT_GE(w.lo, kSalesDateLo);
+    EXPECT_LE(w.hi, kSalesDateHi + 1800);
+    EXPECT_LT(w.lo, w.hi);
+  }
+}
+
+TEST(TemplatesTest, LogUniformRange) {
+  Rng rng(4);
+  int low_half = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = DrawLogUniform(rng, 1, 1000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+    if (v <= 31) ++low_half;  // sqrt(1000) ~ 31: half the log mass
+  }
+  EXPECT_GT(low_half, 700);
+  EXPECT_LT(low_half, 1300);
+}
+
+TEST(GeneratorTest, CyclesTemplatesAndIsDeterministic) {
+  const auto templates = TpcdsTemplates();
+  const auto w1 = GenerateWorkload(templates, 50, 9);
+  const auto w2 = GenerateWorkload(templates, 50, 9);
+  const auto w3 = GenerateWorkload(templates, 50, 10);
+  ASSERT_EQ(w1.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(w1[i].sql, w2[i].sql);
+    EXPECT_EQ(w1[i].template_name, templates[i % templates.size()].name);
+  }
+  EXPECT_NE(w1[0].sql, w3[0].sql);
+}
+
+TEST(PoolsTest, ClassificationBoundaries) {
+  EXPECT_EQ(ClassifyElapsed(0.01), QueryType::kFeather);
+  EXPECT_EQ(ClassifyElapsed(179.99), QueryType::kFeather);
+  EXPECT_EQ(ClassifyElapsed(180.0), QueryType::kGolfBall);
+  EXPECT_EQ(ClassifyElapsed(1799.0), QueryType::kGolfBall);
+  EXPECT_EQ(ClassifyElapsed(1800.0), QueryType::kBowlingBall);
+  EXPECT_EQ(ClassifyElapsed(7200.0), QueryType::kBowlingBall);
+  EXPECT_EQ(ClassifyElapsed(7200.01), QueryType::kWreckingBall);
+}
+
+class PoolsFixture : public ::testing::Test {
+ protected:
+  PoolsFixture()
+      : catalog_(catalog::MakeTpcdsCatalog(1.0)),
+        opt_(&catalog_, {}),
+        sim_(&catalog_, engine::SystemConfig::Neoview4()) {}
+
+  QueryPools Build(size_t n, uint64_t seed) {
+    std::vector<QueryTemplate> mix = TpcdsTemplates();
+    for (auto& t : ProblemTemplates()) mix.push_back(t);
+    size_t failed = 0;
+    QueryPools pools =
+        BuildPools(GenerateWorkload(mix, n, seed), opt_, sim_, &failed);
+    EXPECT_EQ(failed, 0u);
+    return pools;
+  }
+
+  catalog::Catalog catalog_;
+  optimizer::Optimizer opt_;
+  engine::ExecutionSimulator sim_;
+};
+
+TEST_F(PoolsFixture, EveryQueryPlansAndClassifies) {
+  const QueryPools pools = Build(150, 1);
+  EXPECT_EQ(pools.queries.size(), 150u);
+  for (const PooledQuery& q : pools.queries) {
+    EXPECT_EQ(q.type, ClassifyElapsed(q.metrics.elapsed_seconds));
+    EXPECT_NE(q.plan.root, nullptr);
+  }
+}
+
+TEST_F(PoolsFixture, SummariesConsistent) {
+  const QueryPools pools = Build(200, 2);
+  size_t total = 0;
+  for (const PoolSummary& s : pools.Summaries()) {
+    total += s.count;
+    if (s.count > 0) {
+      EXPECT_LE(s.min_elapsed, s.mean_elapsed);
+      EXPECT_LE(s.mean_elapsed, s.max_elapsed);
+    }
+  }
+  EXPECT_EQ(total, pools.queries.size());
+  const std::string table = pools.ToTable();
+  EXPECT_NE(table.find("feather"), std::string::npos);
+  EXPECT_NE(table.find("bowling ball"), std::string::npos);
+}
+
+TEST_F(PoolsFixture, SampleSplitDisjointTypedDeterministic) {
+  const QueryPools pools = Build(900, 3);
+  const auto feathers = pools.OfType(QueryType::kFeather).size();
+  ASSERT_GE(feathers, 60u);
+  const TrainTestSplit s1 = SampleSplit(pools, 40, 3, 1, 10, 1, 1, 77);
+  const TrainTestSplit s2 = SampleSplit(pools, 40, 3, 1, 10, 1, 1, 77);
+  EXPECT_EQ(s1.train, s2.train);
+  EXPECT_EQ(s1.test, s2.test);
+  EXPECT_EQ(s1.train.size(), 44u);
+  EXPECT_EQ(s1.test.size(), 12u);
+  std::set<size_t> train(s1.train.begin(), s1.train.end());
+  for (size_t t : s1.test) EXPECT_EQ(train.count(t), 0u);
+  // Type quotas respected.
+  size_t train_golf = 0;
+  for (size_t i : s1.train) {
+    if (pools.queries[i].type == QueryType::kGolfBall) ++train_golf;
+  }
+  EXPECT_EQ(train_golf, 3u);
+}
+
+TEST_F(PoolsFixture, SplitThrowsWhenPoolTooSmall) {
+  const QueryPools pools = Build(60, 4);
+  EXPECT_THROW(SampleSplit(pools, 1000, 0, 0, 0, 0, 0, 1), CheckFailure);
+}
+
+TEST(RetailBankWorkloadTest, TemplatesPlanOnBankCatalog) {
+  const catalog::Catalog bank = catalog::MakeRetailBankCatalog();
+  const optimizer::Optimizer opt(&bank, {});
+  const engine::ExecutionSimulator sim(&bank,
+                                       engine::SystemConfig::Neoview4());
+  size_t failed = 0;
+  const QueryPools pools = BuildPools(
+      GenerateWorkload(RetailBankTemplates(), 60, 5), opt, sim, &failed);
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(pools.queries.size(), 60u);
+  // Customer workloads are dominated by short queries (paper: mini
+  // feathers).
+  size_t feathers = pools.OfType(QueryType::kFeather).size();
+  EXPECT_GE(feathers, 55u);
+}
+
+TEST(QueryTypeTest, Names) {
+  EXPECT_STREQ(QueryTypeName(QueryType::kFeather), "feather");
+  EXPECT_STREQ(QueryTypeName(QueryType::kWreckingBall), "wrecking ball");
+}
+
+}  // namespace
+}  // namespace qpp::workload

@@ -1,0 +1,225 @@
+// qpp_tool — command-line front end for the library.
+//
+//   qpp_tool pools   [--candidates N] [--seed S]
+//       generate a workload, run it on the simulated 4-node system, print
+//       the Fig. 2 pool table.
+//   qpp_tool train   --out MODEL [--candidates N] [--seed S]
+//       train a predictor on a generated workload and write the model file.
+//   qpp_tool plan    --sql "SELECT ..." [--dot] [--out PLAN]
+//       print (or save) the optimizer plan for a query.
+//   qpp_tool predict --model MODEL (--sql "SELECT ..." | --plan PLAN)
+//       predict all six metrics for a query before running it.
+//   qpp_tool explain --model MODEL --sql "SELECT ..."
+//       predict AND simulate, printing predicted vs actual side by side.
+//
+// All commands run against the TPC-DS SF-1 catalog on the Neoview-4
+// configuration; this is a demonstration surface, not a kitchen sink.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "catalog/tpcds.h"
+#include "common/str_util.h"
+#include "core/experiment.h"
+#include "core/model_io.h"
+#include "engine/simulator.h"
+#include "ml/feature_vector.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_serde.h"
+
+using namespace qpp;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "";
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  qpp_tool pools   [--candidates N] [--seed S]\n"
+               "  qpp_tool train   --out MODEL [--candidates N] [--seed S]\n"
+               "  qpp_tool plan    --sql SQL [--dot] [--out PLAN]\n"
+               "  qpp_tool predict --model MODEL (--sql SQL | --plan PLAN)\n"
+               "  qpp_tool explain --model MODEL --sql SQL\n");
+  return 2;
+}
+
+core::ExperimentData BuildData(const Args& args) {
+  core::ExperimentOptions opt;
+  opt.num_candidates =
+      static_cast<size_t>(std::stoul(args.get("candidates", "3000")));
+  opt.seed = std::stoull(args.get("seed", "42"));
+  return core::BuildTpcdsExperiment(opt);
+}
+
+void PrintPrediction(const core::Prediction& p) {
+  const auto names = engine::QueryMetrics::MetricNames();
+  const auto v = p.metrics.ToVector();
+  for (size_t m = 0; m < names.size(); ++m) {
+    if (m == 0) {
+      std::printf("  %-18s %s\n", names[m].c_str(),
+                  FormatDuration(v[m]).c_str());
+    } else {
+      std::printf("  %-18s %.0f\n", names[m].c_str(), v[m]);
+    }
+  }
+  std::printf("  %-18s %.2f%s\n", "confidence", p.confidence,
+              p.anomalous ? "  (ANOMALOUS: far from all training queries)"
+                          : "");
+  std::printf("  %-18s %s\n", "category",
+              workload::QueryTypeName(p.predicted_type));
+}
+
+int CmdPools(const Args& args) {
+  const core::ExperimentData data = BuildData(args);
+  std::printf("%s", data.pools.ToTable().c_str());
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) return Usage();
+  const core::ExperimentData data = BuildData(args);
+  core::Predictor pred;
+  pred.Train(core::MakeAllExamples(data.pools));
+  const Status s = core::SaveModelFile(pred, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("trained on %zu queries; model written to %s\n",
+              pred.num_training_examples(), out.c_str());
+  return 0;
+}
+
+int CmdPlan(const Args& args) {
+  const std::string sql = args.get("sql");
+  if (sql.empty()) return Usage();
+  const catalog::Catalog cat = catalog::MakeTpcdsCatalog(1.0);
+  const optimizer::Optimizer opt(&cat, {});
+  const auto plan = opt.Plan(sql);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().message().c_str());
+    return 1;
+  }
+  if (args.flag("dot")) {
+    std::printf("%s", plan.value().ToDot().c_str());
+  } else {
+    std::printf("%s", plan.value().ToString().c_str());
+    std::printf("optimizer cost: %.1f units\n", plan.value().optimizer_cost);
+  }
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    const Status s = optimizer::SavePlanFile(plan.value(), out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::printf("plan written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+Result<optimizer::PhysicalPlan> ResolvePlan(const Args& args) {
+  const std::string plan_path = args.get("plan");
+  if (!plan_path.empty()) return optimizer::LoadPlanFile(plan_path);
+  const std::string sql = args.get("sql");
+  if (sql.empty()) return Status::Error("need --sql or --plan");
+  const catalog::Catalog cat = catalog::MakeTpcdsCatalog(1.0);
+  const optimizer::Optimizer opt(&cat, {});
+  return opt.Plan(sql);
+}
+
+int CmdPredict(const Args& args) {
+  const std::string model_path = args.get("model");
+  if (model_path.empty()) return Usage();
+  auto model = core::LoadModelFile(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+    return 1;
+  }
+  auto plan = ResolvePlan(args);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().message().c_str());
+    return 1;
+  }
+  const core::Prediction p =
+      model.value().Predict(ml::PlanFeatureVector(plan.value()));
+  std::printf("prediction (before execution):\n");
+  PrintPrediction(p);
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  const std::string model_path = args.get("model");
+  const std::string sql = args.get("sql");
+  if (model_path.empty() || sql.empty()) return Usage();
+  auto model = core::LoadModelFile(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+    return 1;
+  }
+  const catalog::Catalog cat = catalog::MakeTpcdsCatalog(1.0);
+  const optimizer::Optimizer opt(&cat, {});
+  const auto plan = opt.Plan(sql);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().message().c_str());
+    return 1;
+  }
+  std::printf("plan:\n%s\n", plan.value().ToString().c_str());
+  const core::Prediction p =
+      model.value().Predict(ml::PlanFeatureVector(plan.value()));
+  std::printf("prediction:\n");
+  PrintPrediction(p);
+  const engine::ExecutionSimulator sim(&cat,
+                                       engine::SystemConfig::Neoview4());
+  const engine::QueryMetrics actual = sim.Execute(plan.value());
+  std::printf("simulated actual:\n  %s\n", actual.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  try {
+    if (args.command == "pools") return CmdPools(args);
+    if (args.command == "train") return CmdTrain(args);
+    if (args.command == "plan") return CmdPlan(args);
+    if (args.command == "predict") return CmdPredict(args);
+    if (args.command == "explain") return CmdExplain(args);
+  } catch (const CheckFailure& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
