@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kcca.dir/bench_ablation_kcca.cpp.o"
+  "CMakeFiles/bench_ablation_kcca.dir/bench_ablation_kcca.cpp.o.d"
+  "bench_ablation_kcca"
+  "bench_ablation_kcca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kcca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_feature_influence.dir/bench_ext_feature_influence.cpp.o"
+  "CMakeFiles/bench_ext_feature_influence.dir/bench_ext_feature_influence.cpp.o.d"
+  "bench_ext_feature_influence"
+  "bench_ext_feature_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_feature_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

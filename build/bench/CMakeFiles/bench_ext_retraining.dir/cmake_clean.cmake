@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_retraining.dir/bench_ext_retraining.cpp.o"
+  "CMakeFiles/bench_ext_retraining.dir/bench_ext_retraining.cpp.o.d"
+  "bench_ext_retraining"
+  "bench_ext_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_regression_records.dir/bench_fig04_regression_records.cpp.o"
+  "CMakeFiles/bench_fig04_regression_records.dir/bench_fig04_regression_records.cpp.o.d"
+  "bench_fig04_regression_records"
+  "bench_fig04_regression_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_regression_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

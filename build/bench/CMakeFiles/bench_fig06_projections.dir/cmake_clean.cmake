@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_projections.dir/bench_fig06_projections.cpp.o"
+  "CMakeFiles/bench_fig06_projections.dir/bench_fig06_projections.cpp.o.d"
+  "bench_fig06_projections"
+  "bench_fig06_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

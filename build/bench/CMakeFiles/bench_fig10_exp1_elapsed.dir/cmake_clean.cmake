@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_exp1_elapsed.dir/bench_fig10_exp1_elapsed.cpp.o"
+  "CMakeFiles/bench_fig10_exp1_elapsed.dir/bench_fig10_exp1_elapsed.cpp.o.d"
+  "bench_fig10_exp1_elapsed"
+  "bench_fig10_exp1_elapsed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_exp1_elapsed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

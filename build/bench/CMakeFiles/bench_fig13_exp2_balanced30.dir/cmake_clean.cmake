@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_exp2_balanced30.dir/bench_fig13_exp2_balanced30.cpp.o"
+  "CMakeFiles/bench_fig13_exp2_balanced30.dir/bench_fig13_exp2_balanced30.cpp.o.d"
+  "bench_fig13_exp2_balanced30"
+  "bench_fig13_exp2_balanced30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_exp2_balanced30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_exp3_twostep.dir/bench_fig14_exp3_twostep.cpp.o"
+  "CMakeFiles/bench_fig14_exp3_twostep.dir/bench_fig14_exp3_twostep.cpp.o.d"
+  "bench_fig14_exp3_twostep"
+  "bench_fig14_exp3_twostep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_exp3_twostep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

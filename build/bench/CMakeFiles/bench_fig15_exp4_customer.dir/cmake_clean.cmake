@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_exp4_customer.dir/bench_fig15_exp4_customer.cpp.o"
+  "CMakeFiles/bench_fig15_exp4_customer.dir/bench_fig15_exp4_customer.cpp.o.d"
+  "bench_fig15_exp4_customer"
+  "bench_fig15_exp4_customer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_exp4_customer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

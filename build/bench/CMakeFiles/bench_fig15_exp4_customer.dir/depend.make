@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig15_exp4_customer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_32node_configs.dir/bench_fig16_32node_configs.cpp.o"
+  "CMakeFiles/bench_fig16_32node_configs.dir/bench_fig16_32node_configs.cpp.o.d"
+  "bench_fig16_32node_configs"
+  "bench_fig16_32node_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_32node_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_distance_metric.dir/bench_tab1_distance_metric.cpp.o"
+  "CMakeFiles/bench_tab1_distance_metric.dir/bench_tab1_distance_metric.cpp.o.d"
+  "bench_tab1_distance_metric"
+  "bench_tab1_distance_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_distance_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_neighbor_count.dir/bench_tab2_neighbor_count.cpp.o"
+  "CMakeFiles/bench_tab2_neighbor_count.dir/bench_tab2_neighbor_count.cpp.o.d"
+  "bench_tab2_neighbor_count"
+  "bench_tab2_neighbor_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_neighbor_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_neighbor_weights.dir/bench_tab3_neighbor_weights.cpp.o"
+  "CMakeFiles/bench_tab3_neighbor_weights.dir/bench_tab3_neighbor_weights.cpp.o.d"
+  "bench_tab3_neighbor_weights"
+  "bench_tab3_neighbor_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_neighbor_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

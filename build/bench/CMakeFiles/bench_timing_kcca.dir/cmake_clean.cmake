@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_kcca.dir/bench_timing_kcca.cpp.o"
+  "CMakeFiles/bench_timing_kcca.dir/bench_timing_kcca.cpp.o.d"
+  "bench_timing_kcca"
+  "bench_timing_kcca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_kcca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libqpp_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_anomaly_watchdog.dir/anomaly_watchdog.cpp.o"
+  "CMakeFiles/example_anomaly_watchdog.dir/anomaly_watchdog.cpp.o.d"
+  "example_anomaly_watchdog"
+  "example_anomaly_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_anomaly_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_plan_features.dir/plan_features.cpp.o"
+  "CMakeFiles/example_plan_features.dir/plan_features.cpp.o.d"
+  "example_plan_features"
+  "example_plan_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_plan_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

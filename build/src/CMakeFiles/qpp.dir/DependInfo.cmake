@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cpp" "src/CMakeFiles/qpp.dir/catalog/catalog.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/catalog/catalog.cpp.o.d"
+  "/root/repo/src/catalog/retailbank.cpp" "src/CMakeFiles/qpp.dir/catalog/retailbank.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/catalog/retailbank.cpp.o.d"
+  "/root/repo/src/catalog/tpcds.cpp" "src/CMakeFiles/qpp.dir/catalog/tpcds.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/catalog/tpcds.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/qpp.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/serde.cpp" "src/CMakeFiles/qpp.dir/common/serde.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/common/serde.cpp.o.d"
+  "/root/repo/src/common/str_util.cpp" "src/CMakeFiles/qpp.dir/common/str_util.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/common/str_util.cpp.o.d"
+  "/root/repo/src/core/capacity_planner.cpp" "src/CMakeFiles/qpp.dir/core/capacity_planner.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/core/capacity_planner.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/qpp.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/feature_importance.cpp" "src/CMakeFiles/qpp.dir/core/feature_importance.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/core/feature_importance.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/CMakeFiles/qpp.dir/core/model_io.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/core/model_io.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/qpp.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/core/retraining.cpp" "src/CMakeFiles/qpp.dir/core/retraining.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/core/retraining.cpp.o.d"
+  "/root/repo/src/core/two_step.cpp" "src/CMakeFiles/qpp.dir/core/two_step.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/core/two_step.cpp.o.d"
+  "/root/repo/src/core/workload_manager.cpp" "src/CMakeFiles/qpp.dir/core/workload_manager.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/core/workload_manager.cpp.o.d"
+  "/root/repo/src/engine/metrics.cpp" "src/CMakeFiles/qpp.dir/engine/metrics.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/engine/metrics.cpp.o.d"
+  "/root/repo/src/engine/simulator.cpp" "src/CMakeFiles/qpp.dir/engine/simulator.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/engine/simulator.cpp.o.d"
+  "/root/repo/src/engine/system_config.cpp" "src/CMakeFiles/qpp.dir/engine/system_config.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/engine/system_config.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/qpp.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/eigen_sym.cpp" "src/CMakeFiles/qpp.dir/linalg/eigen_sym.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/linalg/eigen_sym.cpp.o.d"
+  "/root/repo/src/linalg/incomplete_cholesky.cpp" "src/CMakeFiles/qpp.dir/linalg/incomplete_cholesky.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/linalg/incomplete_cholesky.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/qpp.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/ml/cca.cpp" "src/CMakeFiles/qpp.dir/ml/cca.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/cca.cpp.o.d"
+  "/root/repo/src/ml/feature_vector.cpp" "src/CMakeFiles/qpp.dir/ml/feature_vector.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/feature_vector.cpp.o.d"
+  "/root/repo/src/ml/kcca.cpp" "src/CMakeFiles/qpp.dir/ml/kcca.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/kcca.cpp.o.d"
+  "/root/repo/src/ml/kernel.cpp" "src/CMakeFiles/qpp.dir/ml/kernel.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/kernel.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/qpp.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/qpp.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/lasso.cpp" "src/CMakeFiles/qpp.dir/ml/lasso.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/lasso.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/CMakeFiles/qpp.dir/ml/linear_regression.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/CMakeFiles/qpp.dir/ml/pca.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/pca.cpp.o.d"
+  "/root/repo/src/ml/preprocess.cpp" "src/CMakeFiles/qpp.dir/ml/preprocess.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/preprocess.cpp.o.d"
+  "/root/repo/src/ml/risk.cpp" "src/CMakeFiles/qpp.dir/ml/risk.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/ml/risk.cpp.o.d"
+  "/root/repo/src/optimizer/cardinality.cpp" "src/CMakeFiles/qpp.dir/optimizer/cardinality.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/optimizer/cardinality.cpp.o.d"
+  "/root/repo/src/optimizer/cost_model.cpp" "src/CMakeFiles/qpp.dir/optimizer/cost_model.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/optimizer/cost_model.cpp.o.d"
+  "/root/repo/src/optimizer/join_order.cpp" "src/CMakeFiles/qpp.dir/optimizer/join_order.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/optimizer/join_order.cpp.o.d"
+  "/root/repo/src/optimizer/logical_plan.cpp" "src/CMakeFiles/qpp.dir/optimizer/logical_plan.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/optimizer/logical_plan.cpp.o.d"
+  "/root/repo/src/optimizer/optimizer.cpp" "src/CMakeFiles/qpp.dir/optimizer/optimizer.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/optimizer/optimizer.cpp.o.d"
+  "/root/repo/src/optimizer/physical_plan.cpp" "src/CMakeFiles/qpp.dir/optimizer/physical_plan.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/optimizer/physical_plan.cpp.o.d"
+  "/root/repo/src/optimizer/plan_serde.cpp" "src/CMakeFiles/qpp.dir/optimizer/plan_serde.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/optimizer/plan_serde.cpp.o.d"
+  "/root/repo/src/sql/ast.cpp" "src/CMakeFiles/qpp.dir/sql/ast.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/sql/ast.cpp.o.d"
+  "/root/repo/src/sql/lexer.cpp" "src/CMakeFiles/qpp.dir/sql/lexer.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/sql/lexer.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/CMakeFiles/qpp.dir/sql/parser.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/sql/parser.cpp.o.d"
+  "/root/repo/src/sql/sql_features.cpp" "src/CMakeFiles/qpp.dir/sql/sql_features.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/sql/sql_features.cpp.o.d"
+  "/root/repo/src/sql/token.cpp" "src/CMakeFiles/qpp.dir/sql/token.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/sql/token.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/qpp.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/pools.cpp" "src/CMakeFiles/qpp.dir/workload/pools.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/workload/pools.cpp.o.d"
+  "/root/repo/src/workload/problem_templates.cpp" "src/CMakeFiles/qpp.dir/workload/problem_templates.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/workload/problem_templates.cpp.o.d"
+  "/root/repo/src/workload/retailbank_templates.cpp" "src/CMakeFiles/qpp.dir/workload/retailbank_templates.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/workload/retailbank_templates.cpp.o.d"
+  "/root/repo/src/workload/templates.cpp" "src/CMakeFiles/qpp.dir/workload/templates.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/workload/templates.cpp.o.d"
+  "/root/repo/src/workload/tpcds_templates.cpp" "src/CMakeFiles/qpp.dir/workload/tpcds_templates.cpp.o" "gcc" "src/CMakeFiles/qpp.dir/workload/tpcds_templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

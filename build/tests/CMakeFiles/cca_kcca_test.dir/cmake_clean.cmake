@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cca_kcca_test.dir/cca_kcca_test.cpp.o"
+  "CMakeFiles/cca_kcca_test.dir/cca_kcca_test.cpp.o.d"
+  "cca_kcca_test"
+  "cca_kcca_test.pdb"
+  "cca_kcca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cca_kcca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_serde_test.dir/plan_serde_test.cpp.o"
+  "CMakeFiles/plan_serde_test.dir/plan_serde_test.cpp.o.d"
+  "plan_serde_test"
+  "plan_serde_test.pdb"
+  "plan_serde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_tool.dir/qpp_tool.cpp.o"
+  "CMakeFiles/qpp_tool.dir/qpp_tool.cpp.o.d"
+  "qpp_tool"
+  "qpp_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
