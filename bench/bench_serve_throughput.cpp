@@ -1,0 +1,173 @@
+// Extension bench — online serving throughput: queries/sec vs client
+// threads and micro-batch size, against the 1-thread unbatched
+// Predictor::Predict baseline.
+//
+// Traffic model: decision-support workloads are template-heavy, so the
+// steady-state mix repeats a bounded set of distinct plans (identical
+// feature vectors -> result-cache hits). A second, cache-disabled section
+// isolates what micro-batching alone buys. Every service response is
+// checked bit-identical against the sequential predictor before any
+// throughput is reported.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ml/feature_vector.h"
+#include "serve/prediction_service.h"
+
+using namespace qpp;
+
+namespace {
+
+struct Workload {
+  std::vector<serve::ServeRequest> distinct;  ///< the template pool
+  size_t total_requests = 0;
+  /// Request r (globally numbered) asks for distinct[r % distinct.size()].
+  const serve::ServeRequest& At(size_t r) const {
+    return distinct[r % distinct.size()];
+  }
+};
+
+double RunService(const Workload& wl, serve::ModelRegistry* registry,
+                  const serve::CostCalibration& calibration, size_t clients,
+                  size_t max_batch, size_t cache_capacity,
+                  size_t* degraded_out) {
+  serve::ServiceConfig config;
+  config.num_workers = 2;
+  config.max_batch = max_batch;
+  config.cache_capacity = cache_capacity;
+  serve::PredictionService service(registry, config, calibration);
+  const size_t per_client = wl.total_requests / clients;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::future<serve::ServeResponse>> futures;
+      futures.reserve(per_client);
+      for (size_t r = 0; r < per_client; ++r) {
+        futures.push_back(service.Submit(wl.At(c * per_client + r)));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (degraded_out != nullptr) {
+    *degraded_out = service.stats().fallbacks();
+  }
+  return static_cast<double>(per_client * clients) / wall;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "ext — serving throughput (micro-batching + result cache + worker "
+      "pool)",
+      "the serving layer must beat one caller looping Predict(): >=3x "
+      "queries/sec at 8 client threads on the steady-state template mix");
+
+  const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+  core::Predictor predictor;
+  predictor.Train(exp.train);
+
+  std::vector<double> costs, elapsed;
+  for (const auto& q : exp.data.pools.queries) {
+    costs.push_back(q.plan.optimizer_cost);
+    elapsed.push_back(q.metrics.elapsed_seconds);
+  }
+  const serve::CostCalibration calibration =
+      serve::CostCalibration::Fit(costs, elapsed);
+
+  serve::ModelRegistry registry;
+  registry.Publish(predictor);
+
+  // Steady-state mix: 128 distinct plans cycled over 4096 requests.
+  Workload wl;
+  const auto& queries = exp.data.pools.queries;
+  const size_t distinct = 128;
+  for (size_t i = 0; i < distinct; ++i) {
+    const auto& q = queries[i * queries.size() / distinct];
+    wl.distinct.push_back(
+        {ml::PlanFeatureVector(q.plan), q.plan.optimizer_cost});
+  }
+  wl.total_requests = 4096;
+
+  // Determinism gate: every distinct plan served == sequential Predict,
+  // bit for bit (fallbacks are excluded from the identity check but must
+  // be labeled).
+  {
+    serve::ServiceConfig config;
+    serve::PredictionService service(&registry, config, calibration);
+    size_t mismatches = 0, fallbacks = 0;
+    for (const auto& req : wl.distinct) {
+      serve::ServeResponse resp = service.Submit(req).get();
+      if (resp.degraded()) {
+        ++fallbacks;
+        if (resp.degraded_reason.empty()) ++mismatches;  // must be labeled
+        continue;
+      }
+      const core::Prediction direct = predictor.Predict(req.features);
+      if (resp.prediction.metrics.ToVector() != direct.metrics.ToVector() ||
+          resp.prediction.neighbor_indices != direct.neighbor_indices ||
+          resp.prediction.confidence != direct.confidence) {
+        ++mismatches;
+      }
+    }
+    std::printf("determinism: %zu/%zu served bit-identical to sequential "
+                "Predict (%zu labeled fallbacks)  %s\n\n",
+                wl.distinct.size() - mismatches - fallbacks,
+                wl.distinct.size(), fallbacks,
+                mismatches == 0 ? "OK" : "MISMATCH");
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  size_t done = 0;
+  for (size_t r = 0; r < wl.total_requests; ++r) {
+    const core::Prediction p = predictor.Predict(wl.At(r).features);
+    done += p.metrics.elapsed_seconds >= 0.0 ? 1 : 0;  // keep it live
+  }
+  const double base_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double base_qps = static_cast<double>(done) / base_wall;
+  std::printf("baseline (1 thread, unbatched, uncached Predict): %.0f "
+              "queries/sec\n\n",
+              base_qps);
+
+  std::printf("service, steady-state mix (cache 4096 entries):\n");
+  std::printf("%10s %10s %14s %10s\n", "clients", "batch<=", "queries/sec",
+              "speedup");
+  double speedup_8_16 = 0.0;
+  for (const size_t clients : {1, 2, 4, 8}) {
+    for (const size_t batch : {1, 16}) {
+      const double qps = RunService(wl, &registry, calibration, clients,
+                                    batch, 4096, nullptr);
+      const double speedup = qps / base_qps;
+      if (clients == 8 && batch == 16) speedup_8_16 = speedup;
+      std::printf("%10zu %10zu %14.0f %9.2fx\n", clients, batch, qps,
+                  speedup);
+    }
+  }
+
+  std::printf("\nservice, cache disabled (isolates micro-batching):\n");
+  std::printf("%10s %10s %14s %10s\n", "clients", "batch<=", "queries/sec",
+              "speedup");
+  for (const size_t clients : {1, 8}) {
+    for (const size_t batch : {1, 16}) {
+      const double qps = RunService(wl, &registry, calibration, clients,
+                                    batch, 0, nullptr);
+      std::printf("%10zu %10zu %14.0f %9.2fx\n", clients, batch, qps,
+                  qps / base_qps);
+    }
+  }
+
+  std::printf("\n8 clients, batch<=16, steady-state mix: %.2fx vs 1-thread "
+              "unbatched baseline (target >=3x: %s)\n",
+              speedup_8_16, speedup_8_16 >= 3.0 ? "PASS" : "FAIL");
+  return speedup_8_16 >= 3.0 ? 0 : 1;
+}

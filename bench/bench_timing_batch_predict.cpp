@@ -1,0 +1,90 @@
+// Microbenchmark for the batch prediction path that backs qpp::serve's
+// micro-batching: Predictor::PredictBatch(B queries) vs B sequential
+// Predict() calls. The batch path is bit-identical by construction; the
+// win comes from amortizing per-query scratch allocations and hoisting
+// query-independent work (training-point norms, projection buffers)
+// across the batch.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/predictor.h"
+
+using namespace qpp;
+
+namespace {
+
+std::vector<ml::TrainingExample> SyntheticExamples(size_t n) {
+  Rng rng(1234);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ml::TrainingExample ex;
+    ex.query_features.resize(ml::kPlanFeatureDims);
+    for (double& v : ex.query_features) {
+      v = rng.Bernoulli(0.3) ? rng.LogNormal(6.0, 3.0) : 0.0;
+    }
+    ex.metrics.elapsed_seconds = rng.LogNormal(1.0, 2.0);
+    ex.metrics.records_accessed = rng.LogNormal(12.0, 2.0);
+    ex.metrics.records_used = rng.LogNormal(10.0, 2.0);
+    ex.metrics.message_count = rng.LogNormal(6.0, 2.0);
+    ex.metrics.message_bytes = rng.LogNormal(14.0, 2.0);
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+const core::Predictor& TrainedPredictor(size_t n) {
+  static std::map<size_t, core::Predictor> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    core::Predictor pred;
+    pred.Train(SyntheticExamples(n));
+    it = cache.emplace(n, std::move(pred)).first;
+  }
+  return it->second;
+}
+
+std::vector<linalg::Vector> ProbeBatch(size_t batch, size_t train_n) {
+  const auto examples = SyntheticExamples(train_n);
+  std::vector<linalg::Vector> probes;
+  probes.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    probes.push_back(examples[(i * 13 + 7) % examples.size()].query_features);
+  }
+  return probes;
+}
+
+constexpr size_t kTrainN = 1024;
+
+void BM_PredictOneByOne(benchmark::State& state) {
+  const core::Predictor& pred = TrainedPredictor(kTrainN);
+  const auto probes = ProbeBatch(static_cast<size_t>(state.range(0)), kTrainN);
+  for (auto _ : state) {
+    for (const auto& probe : probes) {
+      benchmark::DoNotOptimize(pred.Predict(probe).metrics.elapsed_seconds);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(probes.size()));
+}
+BENCHMARK(BM_PredictOneByOne)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PredictBatch(benchmark::State& state) {
+  const core::Predictor& pred = TrainedPredictor(kTrainN);
+  const auto probes = ProbeBatch(static_cast<size_t>(state.range(0)), kTrainN);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.PredictBatch(probes).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(probes.size()));
+}
+BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -89,16 +89,6 @@ Prediction Predictor::Predict(const linalg::Vector& query_features) const {
   const linalg::Vector q = kcca_.ProjectX(xp);
   const std::vector<ml::Neighbor> nbrs = ml::FindNearest(
       kcca_.x_projection(), q, config_.k_neighbors, config_.distance);
-  const linalg::Vector metrics =
-      ml::WeightedAverage(nbrs, train_y_, config_.weighting);
-  out.metrics = engine::QueryMetrics::FromVector(metrics);
-
-  double sum = 0.0;
-  for (const ml::Neighbor& nb : nbrs) {
-    sum += nb.distance;
-    out.neighbor_indices.push_back(nb.index);
-  }
-  out.mean_neighbor_distance = sum / static_cast<double>(nbrs.size());
   // Feature-space distance to the query's own feature-space neighbors (see
   // header: catches far-away inputs the saturating kernel would hide). These
   // are searched independently of the projection neighbors — the projection
@@ -106,9 +96,58 @@ Prediction Predictor::Predict(const linalg::Vector& query_features) const {
   // neighbors can be feature-distant without being anomalous.
   const std::vector<ml::Neighbor> feat_nbrs = ml::FindNearest(
       train_xp_, xp, config_.k_neighbors, config_.distance);
+  return AssembleKccaPrediction(nbrs, feat_nbrs);
+}
+
+std::vector<Prediction> Predictor::PredictBatch(
+    const std::vector<linalg::Vector>& queries) const {
+  QPP_CHECK_MSG(trained_, "PredictBatch before Train");
+  std::vector<Prediction> out;
+  out.reserve(queries.size());
+  if (queries.empty()) return out;
+
+  if (config_.model == ModelKind::kRegression) {
+    // No shared work to amortize in the linear model; keep one code path.
+    for (const linalg::Vector& q : queries) out.push_back(Predict(q));
+    return out;
+  }
+
+  linalg::Matrix xp(queries.size(), preprocessor_.dims());
+  for (size_t r = 0; r < queries.size(); ++r) {
+    xp.SetRow(r, preprocessor_.TransformRow(queries[r]));
+  }
+  const linalg::Matrix projections = kcca_.ProjectXBatch(xp);
+  const std::vector<std::vector<ml::Neighbor>> nbrs =
+      ml::FindNearestBatch(kcca_.x_projection(), projections,
+                           config_.k_neighbors, config_.distance);
+  const std::vector<std::vector<ml::Neighbor>> feat_nbrs =
+      ml::FindNearestBatch(train_xp_, xp, config_.k_neighbors,
+                           config_.distance);
+  for (size_t r = 0; r < queries.size(); ++r) {
+    out.push_back(AssembleKccaPrediction(nbrs[r], feat_nbrs[r]));
+  }
+  return out;
+}
+
+Prediction Predictor::AssembleKccaPrediction(
+    const std::vector<ml::Neighbor>& projection_neighbors,
+    const std::vector<ml::Neighbor>& feature_neighbors) const {
+  Prediction out;
+  const linalg::Vector metrics = ml::WeightedAverage(
+      projection_neighbors, train_y_, config_.weighting);
+  out.metrics = engine::QueryMetrics::FromVector(metrics);
+
+  double sum = 0.0;
+  for (const ml::Neighbor& nb : projection_neighbors) {
+    sum += nb.distance;
+    out.neighbor_indices.push_back(nb.index);
+  }
+  out.mean_neighbor_distance =
+      sum / static_cast<double>(projection_neighbors.size());
   double feat_sum = 0.0;
-  for (const ml::Neighbor& nb : feat_nbrs) feat_sum += nb.distance;
-  const double feat_dist = feat_sum / static_cast<double>(feat_nbrs.size());
+  for (const ml::Neighbor& nb : feature_neighbors) feat_sum += nb.distance;
+  const double feat_dist =
+      feat_sum / static_cast<double>(feature_neighbors.size());
   // Confidence maps the worse of the two normalized distances through
   // 1/(1+d/10): a typical query (distance ~= the training mean) scores
   // ~0.9, ten times the training mean scores 0.5, and far-out queries
@@ -126,7 +165,7 @@ Prediction Predictor::Predict(const linalg::Vector& query_features) const {
 
   // Majority vote over the neighbors' measured categories.
   std::map<workload::QueryType, size_t> votes;
-  for (const ml::Neighbor& nb : nbrs) {
+  for (const ml::Neighbor& nb : projection_neighbors) {
     const double elapsed = train_y_(nb.index, 0);
     votes[workload::ClassifyElapsed(elapsed)] += 1;
   }

@@ -57,6 +57,22 @@ struct Prediction {
   workload::QueryType predicted_type = workload::QueryType::kFeather;
 };
 
+/// Thread-safety contract
+/// ----------------------
+/// A Predictor is immutable once trained: Train()/Load() write the model
+/// state exactly once, and every const member function (Predict,
+/// PredictBatch, PreprocessFeatures, the accessors) only reads it — there
+/// is no mutable state, lazy initialization, or internal caching anywhere
+/// in the predict path (audited down through ml::Preprocessor,
+/// ml::KccaModel, and ml::FindNearest, which are all pure reads too). Any
+/// number of threads may therefore call const methods on one shared
+/// instance concurrently, which is how the serving worker pool uses it
+/// (serve::PredictionService workers predict against one
+/// std::shared_ptr<const Predictor> snapshot).
+///
+/// Train() itself is NOT safe to run concurrently with reads on the same
+/// instance. Never retrain in place under traffic: train a fresh Predictor
+/// and publish it atomically through serve::ModelRegistry instead.
 class Predictor {
  public:
   explicit Predictor(PredictorConfig config = {});
@@ -67,6 +83,15 @@ class Predictor {
 
   /// Predicts all six metrics for a query feature vector.
   Prediction Predict(const linalg::Vector& query_features) const;
+
+  /// Micro-batch prediction: result i is bit-identical to
+  /// Predict(queries[i]). One call projects the whole batch through the
+  /// KCCA model (ml::KccaModel::ProjectXBatch) and runs one batched
+  /// neighbor search per space (ml::FindNearestBatch), amortizing the
+  /// per-row allocations that dominate single-query latency. This is the
+  /// path the serving micro-batcher drains queued requests through.
+  std::vector<Prediction> PredictBatch(
+      const std::vector<linalg::Vector>& queries) const;
 
   const PredictorConfig& config() const { return config_; }
   /// The trained KCCA model (kKcca only). Exposed for the projection
@@ -89,6 +114,13 @@ class Predictor {
 
  private:
   friend class TwoStepPredictor;
+
+  /// Everything downstream of the neighbor searches (metric averaging,
+  /// confidence, anomaly flags, category vote) for one query. Shared by
+  /// Predict and PredictBatch so the two paths cannot drift.
+  Prediction AssembleKccaPrediction(
+      const std::vector<ml::Neighbor>& projection_neighbors,
+      const std::vector<ml::Neighbor>& feature_neighbors) const;
 
   PredictorConfig config_;
   bool trained_ = false;

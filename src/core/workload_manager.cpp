@@ -22,8 +22,14 @@ WorkloadManager::WorkloadManager(const Predictor* predictor,
   QPP_CHECK(predictor != nullptr && predictor->trained());
 }
 
+WorkloadManager::WorkloadManager(WorkloadManagerConfig config)
+    : predictor_(nullptr), config_(config) {}
+
 WorkloadManager::Outcome WorkloadManager::Admit(
     const linalg::Vector& query_features) const {
+  QPP_CHECK_MSG(predictor_ != nullptr,
+                "Admit on a decide-only WorkloadManager; predictions come "
+                "from the service in this mode");
   Outcome out;
   out.prediction = predictor_->Predict(query_features);
   out.decision = Decide(out.prediction);

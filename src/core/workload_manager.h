@@ -38,6 +38,13 @@ class WorkloadManager {
  public:
   WorkloadManager(const Predictor* predictor, WorkloadManagerConfig config);
 
+  /// Decide-only manager for the serving path: admission decisions ride on
+  /// serve::PredictionService responses (which carry their own Prediction,
+  /// possibly a labeled optimizer-cost fallback), so no Predictor is held.
+  /// Admit() is unavailable in this mode; use Decide()/KillDeadlineSeconds
+  /// or serve::AdmitServed.
+  explicit WorkloadManager(WorkloadManagerConfig config);
+
   /// Predicts and decides in one step.
   struct Outcome {
     Prediction prediction;

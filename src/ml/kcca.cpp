@@ -191,6 +191,88 @@ linalg::Vector KccaModel::ProjectX(const linalg::Vector& x) const {
   return out;
 }
 
+linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
+  QPP_CHECK(tau_x_ > 0.0);
+  const size_t b = xs.rows();
+  const size_t dims = xs.cols();
+  const double* xbase = xs.data().data();
+
+  if (solver_used_ == KccaSolver::kExact) {
+    QPP_CHECK(!train_x_.empty());
+    QPP_CHECK(dims == train_x_.cols());
+    const size_t n = train_x_.rows();
+    const size_t d = a_.cols();
+    const double* tbase = train_x_.data().data();
+    const double* abase = a_.data().data();
+    linalg::Matrix out(b, d);
+    linalg::Vector centered(n);
+    for (size_t r = 0; r < b; ++r) {
+      const double* xq = xbase + r * dims;
+      // Kernel vector + centering, fused. Same per-element arithmetic as
+      // KernelVector + CenterKernelVector, minus the two allocations.
+      double mean_star = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double* ti = tbase + i * dims;
+        double sq = 0.0;
+        for (size_t j = 0; j < dims; ++j) {
+          const double diff = ti[j] - xq[j];
+          sq += diff * diff;
+        }
+        centered[i] = std::exp(-sq / tau_x_);
+        mean_star += centered[i];
+      }
+      mean_star /= static_cast<double>(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Same association as CenterKernelVector:
+        // k*[i] - row_mean[i] - mean* + grand_mean, left to right.
+        double v = centered[i] - kx_row_means_[i];
+        v = v - mean_star;
+        centered[i] = v + kx_grand_mean_;
+      }
+      // projection = centered^T A, accumulated row-major over A (each
+      // output column still sums in ascending i, as ProjectX does).
+      double* orow = &out.data()[r * d];
+      for (size_t i = 0; i < n; ++i) {
+        const double ci = centered[i];
+        const double* arow = abase + i * d;
+        for (size_t c = 0; c < d; ++c) orow[c] += ci * arow[c];
+      }
+    }
+    return out;
+  }
+
+  // ICD path: g = Lpp^{-1} k(P, x) per row, then the CCA directions.
+  QPP_CHECK(!pivot_x_.empty());
+  QPP_CHECK(dims == pivot_x_.cols());
+  const size_t m = lpp_.rows();
+  const size_t d = wx_.cols();
+  const double* pbase = pivot_x_.data().data();
+  const double* wbase = wx_.data().data();
+  linalg::Matrix out(b, d);
+  linalg::Vector gvec(m);
+  for (size_t r = 0; r < b; ++r) {
+    const double* xq = xbase + r * dims;
+    for (size_t i = 0; i < m; ++i) {
+      const double* pi = pbase + i * dims;
+      double sq = 0.0;
+      for (size_t j = 0; j < dims; ++j) {
+        const double diff = pi[j] - xq[j];
+        sq += diff * diff;
+      }
+      double s = std::exp(-sq / tau_x_);
+      for (size_t j = 0; j < i; ++j) s -= lpp_(i, j) * gvec[j];
+      gvec[i] = s / lpp_(i, i);
+    }
+    double* orow = &out.data()[r * d];
+    for (size_t j = 0; j < m; ++j) {
+      const double gj = gvec[j] - gx_means_[j];
+      const double* wrow = wbase + j * d;
+      for (size_t c = 0; c < d; ++c) orow[c] += gj * wrow[c];
+    }
+  }
+  return out;
+}
+
 void KccaModel::Save(BinaryWriter* w) const {
   w->WriteU32(solver_used_ == KccaSolver::kExact ? 0u : 1u);
   w->WriteU64(options_.num_dims);

@@ -68,6 +68,14 @@ class KccaModel {
   /// projection space.
   linalg::Vector ProjectX(const linalg::Vector& x) const;
 
+  /// Batch projection: row i of the result is bit-identical to
+  /// ProjectX(xs.Row(i)). One call projects the whole micro-batch, reusing
+  /// the kernel-vector scratch across rows and walking the dual
+  /// coefficients row-major instead of column-striding — the projection is
+  /// the serving hot path and the per-row vector allocations dominate it
+  /// (see bench_timing_batch_predict).
+  linalg::Matrix ProjectXBatch(const linalg::Matrix& xs) const;
+
   void Save(BinaryWriter* w) const;
   static KccaModel Load(BinaryReader* r);
 

@@ -24,27 +24,114 @@ const char* NeighborWeightingName(NeighborWeighting w) {
   return "?";
 }
 
+namespace {
+
+// Row-pointer forms of linalg::SquaredDistance / Dot with the same
+// element order, so the allocation-free paths below match the Row()-copy
+// arithmetic bit for bit.
+double SquaredDistanceRaw(const double* a, const double* b, size_t dims) {
+  double s = 0.0;
+  for (size_t j = 0; j < dims; ++j) {
+    const double d = a[j] - b[j];
+    s += d * d;
+  }
+  return s;
+}
+
+double DotRaw(const double* a, const double* b, size_t dims) {
+  double s = 0.0;
+  for (size_t j = 0; j < dims; ++j) s += a[j] * b[j];
+  return s;
+}
+
+// Distances from one query row to every point row, without materializing
+// row copies. `point_norms` (cosine only) carries the query-independent
+// Norm(points.Row(i)) values so a batch computes them once.
+void DistancesToAll(const linalg::Matrix& points, const double* query,
+                    double query_norm, DistanceKind metric,
+                    const linalg::Vector& point_norms,
+                    std::vector<Neighbor>* all) {
+  const size_t n = points.rows();
+  const size_t dims = points.cols();
+  const double* base = points.data().data();
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = base + i * dims;
+    (*all)[i].index = i;
+    if (metric == DistanceKind::kEuclidean) {
+      (*all)[i].distance = std::sqrt(SquaredDistanceRaw(row, query, dims));
+    } else {
+      // Mirrors linalg::CosineDistance(row, query) exactly, with both norms
+      // hoisted out of the pairwise loop.
+      const double na = point_norms[i];
+      (*all)[i].distance = na == 0.0 || query_norm == 0.0
+                               ? 1.0
+                               : 1.0 - DotRaw(row, query, dims) /
+                                           (na * query_norm);
+    }
+  }
+}
+
+void KeepNearestK(std::vector<Neighbor>* all, size_t k) {
+  const size_t kk = std::min(k, all->size());
+  std::partial_sort(all->begin(), all->begin() + static_cast<ptrdiff_t>(kk),
+                    all->end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.index < b.index);
+                    });
+  all->resize(kk);
+}
+
+linalg::Vector PointNorms(const linalg::Matrix& points, DistanceKind metric) {
+  linalg::Vector norms;
+  if (metric != DistanceKind::kCosine) return norms;
+  const size_t dims = points.cols();
+  const double* base = points.data().data();
+  norms.resize(points.rows());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    norms[i] = std::sqrt(DotRaw(base + i * dims, base + i * dims, dims));
+  }
+  return norms;
+}
+
+}  // namespace
+
 std::vector<Neighbor> FindNearest(const linalg::Matrix& points,
                                   const linalg::Vector& query, size_t k,
                                   DistanceKind metric) {
   QPP_CHECK(points.rows() > 0 && k >= 1);
-  const size_t n = points.rows();
-  std::vector<Neighbor> all(n);
-  for (size_t i = 0; i < n; ++i) {
-    const linalg::Vector row = points.Row(i);
-    all[i].index = i;
-    all[i].distance = metric == DistanceKind::kEuclidean
-                          ? std::sqrt(linalg::SquaredDistance(row, query))
-                          : linalg::CosineDistance(row, query);
-  }
-  const size_t kk = std::min(k, n);
-  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(kk),
-                    all.end(), [](const Neighbor& a, const Neighbor& b) {
-                      return a.distance < b.distance ||
-                             (a.distance == b.distance && a.index < b.index);
-                    });
-  all.resize(kk);
+  QPP_CHECK(points.cols() == query.size());
+  const linalg::Vector point_norms = PointNorms(points, metric);
+  const double query_norm =
+      metric == DistanceKind::kCosine
+          ? std::sqrt(DotRaw(query.data(), query.data(), query.size()))
+          : 0.0;
+  std::vector<Neighbor> all(points.rows());
+  DistancesToAll(points, query.data(), query_norm, metric, point_norms, &all);
+  KeepNearestK(&all, k);
   return all;
+}
+
+std::vector<std::vector<Neighbor>> FindNearestBatch(
+    const linalg::Matrix& points, const linalg::Matrix& queries, size_t k,
+    DistanceKind metric) {
+  QPP_CHECK(points.rows() > 0 && k >= 1);
+  QPP_CHECK(points.cols() == queries.cols());
+  const linalg::Vector point_norms = PointNorms(points, metric);
+  std::vector<std::vector<Neighbor>> out(queries.rows());
+  std::vector<Neighbor> all(points.rows());
+  const size_t dims = queries.cols();
+  const double* qbase = queries.data().data();
+  for (size_t r = 0; r < queries.rows(); ++r) {
+    const double* query = qbase + r * dims;
+    const double query_norm = metric == DistanceKind::kCosine
+                                  ? std::sqrt(DotRaw(query, query, dims))
+                                  : 0.0;
+    all.resize(points.rows());
+    DistancesToAll(points, query, query_norm, metric, point_norms, &all);
+    KeepNearestK(&all, k);
+    out[r] = all;
+  }
+  return out;
 }
 
 linalg::Vector NeighborWeights(const std::vector<Neighbor>& neighbors,

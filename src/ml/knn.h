@@ -30,6 +30,17 @@ std::vector<Neighbor> FindNearest(const linalg::Matrix& points,
                                   const linalg::Vector& query, size_t k,
                                   DistanceKind metric);
 
+/// Batch form: the k nearest rows of `points` for every row of `queries`.
+/// Result i is bit-identical to FindNearest(points, queries.Row(i), ...) —
+/// the batch path runs the same per-element arithmetic in the same order,
+/// it only amortizes the per-row vector allocations, reuses one candidate
+/// buffer across queries, and hoists the query-independent point norms out
+/// of the loop (cosine). Used by the serving micro-batcher
+/// (serve::PredictionService) via core::Predictor::PredictBatch.
+std::vector<std::vector<Neighbor>> FindNearestBatch(
+    const linalg::Matrix& points, const linalg::Matrix& queries, size_t k,
+    DistanceKind metric);
+
 /// Neighbor weights under a scheme, normalized to sum 1. kRankRatio gives
 /// k : k-1 : ... : 1 by nearness (the paper's 3:2:1 for k = 3);
 /// kInverseDistance uses 1/(d + eps).

@@ -1,0 +1,56 @@
+#include "serve/cost_fallback.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpp::serve {
+
+CostCalibration CostCalibration::Fit(
+    const std::vector<double>& costs,
+    const std::vector<double>& elapsed_seconds) {
+  QPP_CHECK(costs.size() == elapsed_seconds.size() && costs.size() >= 2);
+  const size_t n = costs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = std::log10(std::max(costs[i], 1e-9));
+    const double y = std::log10(std::max(elapsed_seconds[i], 1e-6));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  CostCalibration c;
+  if (std::abs(denom) < 1e-12) {
+    // Degenerate (all costs equal): predict the geometric-mean elapsed.
+    c.slope = 0.0;
+    c.intercept = sy / dn;
+  } else {
+    c.slope = (dn * sxy - sx * sy) / denom;
+    c.intercept = (sy - c.slope * sx) / dn;
+  }
+  c.fitted = true;
+  return c;
+}
+
+double CostCalibration::EstimateSeconds(double optimizer_cost) const {
+  const double log_cost = std::log10(std::max(optimizer_cost, 1e-9));
+  return std::pow(10.0, slope * log_cost + intercept);
+}
+
+core::Prediction FallbackPrediction(const CostCalibration& calibration,
+                                    double optimizer_cost, bool anomalous) {
+  core::Prediction p;
+  if (optimizer_cost >= 0.0) {
+    p.metrics.elapsed_seconds = calibration.EstimateSeconds(optimizer_cost);
+  }
+  p.confidence = 0.0;
+  p.anomalous = anomalous;
+  p.predicted_type = workload::ClassifyElapsed(p.metrics.elapsed_seconds);
+  return p;
+}
+
+}  // namespace qpp::serve

@@ -1,0 +1,39 @@
+// Graceful-degradation baseline: the optimizer's cost estimate, calibrated
+// to seconds the same way Fig. 17 relates the two — a least-squares line in
+// log-log space. This is exactly the predictor sites had *before* the
+// paper's model (and the paper shows it is 10x-100x off for many queries),
+// so it is the honest thing to answer with when the learned model cannot
+// be trusted: no model published yet, the query is anomalous (far from all
+// training neighbors), or the request sat in the queue past its deadline.
+// Responses built from it are always labeled (ResponseSource::
+// kOptimizerFallback) so downstream decisions know what they are riding on.
+#pragma once
+
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace qpp::serve {
+
+struct CostCalibration {
+  /// log10(elapsed_seconds) = slope * log10(cost) + intercept.
+  double slope = 1.0;
+  double intercept = 0.0;
+  bool fitted = false;
+
+  /// Least-squares fit in log-log space over (cost, measured elapsed)
+  /// pairs, e.g. the training pool. Costs and times are clamped away from
+  /// zero exactly as the Fig. 17 bench does.
+  static CostCalibration Fit(const std::vector<double>& costs,
+                             const std::vector<double>& elapsed_seconds);
+
+  double EstimateSeconds(double optimizer_cost) const;
+};
+
+/// Builds the degraded prediction for a fallback response: elapsed from the
+/// calibrated cost estimate, the remaining five metrics unknown (zero),
+/// zero confidence, and the category implied by the estimated elapsed.
+core::Prediction FallbackPrediction(const CostCalibration& calibration,
+                                    double optimizer_cost, bool anomalous);
+
+}  // namespace qpp::serve

@@ -1,0 +1,71 @@
+// Least-recently-used result cache for the prediction service.
+//
+// Decision-support workloads are template-heavy: the same plan instantiated
+// with different constants often produces the *identical* feature vector
+// (counts and estimated-cardinality sums per operator), and prediction is a
+// pure function of that vector. Caching on the exact feature vector
+// therefore returns bit-identical results to re-running the model — the
+// service's determinism guarantee survives caching.
+//
+// Not internally synchronized: PredictionService guards its cache with a
+// mutex (touched once per request, far off the model hot path).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace qpp::serve {
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+class LruCache {
+ public:
+  /// capacity == 0 disables the cache (Get misses, Put is a no-op).
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Copies the cached value into *out and promotes the entry to
+  /// most-recently-used. False on miss.
+  bool Get(const K& key, V* out) {
+    QPP_CHECK(out != nullptr);
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);
+    *out = it->second->second;
+    return true;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry when over
+  /// capacity.
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  ///< front = most recently used
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash,
+                     Eq>
+      index_;
+};
+
+}  // namespace qpp::serve

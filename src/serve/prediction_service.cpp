@@ -1,0 +1,215 @@
+#include "serve/prediction_service.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/check.h"
+
+namespace qpp::serve {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+const char* ResponseSourceName(ResponseSource s) {
+  switch (s) {
+    case ResponseSource::kModel: return "model";
+    case ResponseSource::kCache: return "cache";
+    case ResponseSource::kOptimizerFallback: return "optimizer-cost";
+  }
+  return "?";
+}
+
+size_t PredictionService::FeatureHash::operator()(
+    const linalg::Vector& v) const {
+  // FNV-1a over the raw double bit patterns: exact-match semantics, and
+  // +0.0 vs -0.0 hashing apart is fine (equal_to would match them, but a
+  // spurious miss only costs a model call).
+  uint64_t h = 1469598103934665603ull;
+  for (const double d : v) {
+    h ^= std::bit_cast<uint64_t>(d);
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+PredictionService::PredictionService(ModelRegistry* registry,
+                                     ServiceConfig config,
+                                     CostCalibration calibration)
+    : registry_(registry),
+      config_(config),
+      calibration_(calibration),
+      queue_(config.queue_capacity),
+      cache_(config.cache_capacity) {
+  QPP_CHECK(registry_ != nullptr);
+  QPP_CHECK(config_.num_workers >= 1 && config_.max_batch >= 1);
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+std::future<ServeResponse> PredictionService::Submit(ServeRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  std::future<ServeResponse> future = pending.promise.get_future();
+  if (!queue_.Push(std::move(pending))) {
+    // Lost the race with Shutdown(): answer directly instead of dropping.
+    stats_.RecordFallbackNoModel();
+    Respond(&pending,
+            FallbackPrediction(calibration_, pending.request.optimizer_cost,
+                               /*anomalous=*/false),
+            ResponseSource::kOptimizerFallback, "shutdown",
+            /*generation=*/0);
+  }
+  return future;
+}
+
+bool PredictionService::TrySubmit(ServeRequest request,
+                                  std::future<ServeResponse>* out) {
+  QPP_CHECK(out != nullptr);
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  std::future<ServeResponse> future = pending.promise.get_future();
+  if (!queue_.TryPush(std::move(pending))) {
+    stats_.RecordRejected();
+    return false;
+  }
+  *out = std::move(future);
+  return true;
+}
+
+void PredictionService::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.Close();
+    for (std::thread& w : workers_) w.join();
+  });
+}
+
+void PredictionService::WorkerLoop() {
+  std::vector<Pending> batch;
+  while (true) {
+    batch.clear();
+    const size_t taken = queue_.PopBatch(config_.max_batch, &batch);
+    if (taken == 0) return;  // closed and drained
+    stats_.RecordBatch(taken);
+    ProcessBatch(&batch);
+  }
+}
+
+void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
+  const ModelRegistry::Snapshot snap = registry_->Acquire();
+  const auto picked_up_at = std::chrono::steady_clock::now();
+
+  // Pass 1: deadline policy and cache probes; collect the model's work.
+  std::vector<size_t> miss_indices;
+  std::vector<linalg::Vector> miss_features;
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Pending& p = (*batch)[i];
+    if (config_.queue_deadline_seconds > 0.0 &&
+        SecondsSince(p.enqueued_at, picked_up_at) >
+            config_.queue_deadline_seconds) {
+      stats_.RecordFallbackDeadline();
+      Respond(&p,
+              FallbackPrediction(calibration_, p.request.optimizer_cost,
+                                 /*anomalous=*/false),
+              ResponseSource::kOptimizerFallback, "deadline",
+              snap.generation);
+      continue;
+    }
+    if (!snap.valid()) {
+      stats_.RecordFallbackNoModel();
+      Respond(&p,
+              FallbackPrediction(calibration_, p.request.optimizer_cost,
+                                 /*anomalous=*/false),
+              ResponseSource::kOptimizerFallback, "no-model",
+              /*generation=*/0);
+      continue;
+    }
+    if (config_.cache_capacity > 0) {
+      CachedPrediction cached;
+      bool hit;
+      {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        hit = cache_.Get(p.request.features, &cached);
+      }
+      // Entries from a retired model generation are treated as misses and
+      // overwritten below, so a hot-swap can never serve stale results.
+      if (hit && cached.generation == snap.generation) {
+        stats_.RecordCacheHit();
+        Respond(&p, std::move(cached.prediction), ResponseSource::kCache,
+                "", snap.generation);
+        continue;
+      }
+    }
+    miss_indices.push_back(i);
+    miss_features.push_back(p.request.features);
+  }
+  if (miss_indices.empty()) return;
+
+  // Pass 2: one batched prediction for everything the cache did not cover.
+  // PredictBatch is bit-identical to per-query Predict, so batching never
+  // changes an answer.
+  const std::vector<core::Prediction> predictions =
+      snap.model->PredictBatch(miss_features);
+  for (size_t j = 0; j < miss_indices.size(); ++j) {
+    Pending& p = (*batch)[miss_indices[j]];
+    const core::Prediction& prediction = predictions[j];
+    if (prediction.anomalous && config_.fallback_on_anomalous) {
+      // The model says "this query is far from everything I trained on";
+      // answering with the optimizer baseline (labeled) beats answering
+      // with a number the paper shows is untrustworthy there. Anomalous
+      // predictions are not cached: they are rare, and the cache only
+      // holds what was actually served as a model answer.
+      stats_.RecordFallbackAnomalous();
+      Respond(&p,
+              FallbackPrediction(calibration_, p.request.optimizer_cost,
+                                 /*anomalous=*/true),
+              ResponseSource::kOptimizerFallback, "anomalous",
+              snap.generation);
+      continue;
+    }
+    if (config_.cache_capacity > 0) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      cache_.Put(p.request.features, {snap.generation, prediction});
+    }
+    stats_.RecordModelPrediction();
+    Respond(&p, prediction, ResponseSource::kModel, "", snap.generation);
+  }
+}
+
+void PredictionService::Respond(Pending* pending,
+                                core::Prediction prediction,
+                                ResponseSource source,
+                                std::string degraded_reason,
+                                uint64_t generation) {
+  ServeResponse response;
+  response.prediction = std::move(prediction);
+  response.source = source;
+  response.degraded_reason = std::move(degraded_reason);
+  response.model_generation = generation;
+  response.latency_seconds =
+      SecondsSince(pending->enqueued_at, std::chrono::steady_clock::now());
+  stats_.RecordResponse(response.latency_seconds);
+  pending->promise.set_value(std::move(response));
+}
+
+core::WorkloadManager::Outcome AdmitServed(const core::WorkloadManager& wm,
+                                           const ServeResponse& response) {
+  core::WorkloadManager::Outcome out;
+  out.prediction = response.prediction;
+  out.decision = wm.Decide(response.prediction);
+  out.kill_deadline_seconds = wm.KillDeadlineSeconds(response.prediction);
+  return out;
+}
+
+}  // namespace qpp::serve

@@ -1,0 +1,167 @@
+// The online prediction service (the customer-site half of the paper's
+// Fig. 1, grown into a serving layer): many client threads submit plan
+// feature vectors, a worker pool drains them in micro-batches through the
+// batched KCCA path, and every client gets a future that resolves to a
+// labeled response.
+//
+//   clients ──Submit()──▶ BoundedQueue ──PopBatch()──▶ workers
+//                                                        │ LRU cache probe
+//                                                        │ Predictor::PredictBatch
+//                                                        │ fallback policy
+//                                                        ▼
+//                                             std::promise → client future
+//
+// Guarantees:
+//  * Determinism — for any request answered from the model or the cache,
+//    response.prediction is bit-identical to core::Predictor::Predict on
+//    the same features against the same model generation, regardless of
+//    batching, caching, thread count, or arrival order.
+//  * Graceful degradation — when the model cannot be trusted (none
+//    published, query anomalous, queue deadline exceeded) the service
+//    answers with the calibrated optimizer-cost baseline instead of
+//    failing, and the response says so (`source`, `degraded_reason`).
+//  * No accepted request is dropped: Shutdown() drains the queue before
+//    the workers exit, and destruction shuts down cleanly.
+//  * Backpressure — Submit blocks when the queue is full; TrySubmit
+//    refuses instead (and the refusal is counted).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/workload_manager.h"
+#include "serve/bounded_queue.h"
+#include "serve/cost_fallback.h"
+#include "serve/lru_cache.h"
+#include "serve/model_registry.h"
+#include "serve/service_stats.h"
+
+namespace qpp::serve {
+
+enum class ResponseSource {
+  kModel,              ///< answered by the published model
+  kCache,              ///< identical feature vector answered before
+  kOptimizerFallback,  ///< degraded: calibrated optimizer cost estimate
+};
+
+const char* ResponseSourceName(ResponseSource s);
+
+struct ServeRequest {
+  linalg::Vector features;       ///< raw plan feature vector
+  /// The plan's optimizer cost, carried along as the degradation baseline;
+  /// negative = unavailable (fallback then predicts zero metrics).
+  double optimizer_cost = -1.0;
+};
+
+struct ServeResponse {
+  core::Prediction prediction;
+  ResponseSource source = ResponseSource::kModel;
+  /// Non-empty iff source == kOptimizerFallback: "no-model", "anomalous",
+  /// "deadline", or "shutdown" (Submit lost the race with Shutdown()).
+  std::string degraded_reason;
+  /// Registry generation that answered (0 for no-model fallback).
+  uint64_t model_generation = 0;
+  /// Submit-to-response wall time.
+  double latency_seconds = 0.0;
+
+  bool degraded() const { return source == ResponseSource::kOptimizerFallback; }
+};
+
+struct ServiceConfig {
+  size_t num_workers = 2;
+  /// Upper bound on one micro-batch; workers take whatever is queued up to
+  /// this, so light load degenerates to batch size 1 (lowest latency).
+  size_t max_batch = 16;
+  size_t queue_capacity = 1024;
+  /// Requests older than this when a worker picks them up are answered
+  /// with the fallback instead of the model ("better a rough answer now
+  /// than a good answer too late"). <= 0 disables the deadline — the
+  /// default, because deadline fallbacks are inherently timing-dependent
+  /// and forfeit the determinism guarantee.
+  double queue_deadline_seconds = 0.0;
+  /// Answer anomalous queries (far from all training neighbors) with the
+  /// optimizer baseline; the paper's model is explicitly untrustworthy
+  /// there. Requires the request to carry an optimizer cost.
+  bool fallback_on_anomalous = true;
+  /// Result-cache entries (exact feature-vector match); 0 disables.
+  size_t cache_capacity = 4096;
+};
+
+class PredictionService {
+ public:
+  /// The registry is the service's model source and must outlive it.
+  /// Publishing to it mid-traffic hot-swaps the model between batches.
+  PredictionService(ModelRegistry* registry, ServiceConfig config = {},
+                    CostCalibration calibration = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Enqueues a request; blocks while the queue is full (backpressure).
+  /// The future resolves once a worker answers.
+  std::future<ServeResponse> Submit(ServeRequest request);
+
+  /// Non-blocking submit: false (and a counted rejection) when the queue
+  /// is full or the service is shutting down.
+  bool TrySubmit(ServeRequest request, std::future<ServeResponse>* out);
+
+  /// Stops accepting requests, drains everything already queued, joins the
+  /// workers. Idempotent.
+  void Shutdown();
+
+  ServiceStatsSnapshot stats() const { return stats_.Snapshot(); }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending>* batch);
+  void Respond(Pending* pending, core::Prediction prediction,
+               ResponseSource source, std::string degraded_reason,
+               uint64_t generation);
+
+  // Hash/equality for exact feature-vector cache keys: doubles hashed by
+  // bit pattern, so a hit implies bit-identical input.
+  struct FeatureHash {
+    size_t operator()(const linalg::Vector& v) const;
+  };
+
+  // Cached entries are tagged with the model generation that produced
+  // them; a hot-swap makes older entries miss (and get overwritten) rather
+  // than serve predictions from a retired model.
+  struct CachedPrediction {
+    uint64_t generation = 0;
+    core::Prediction prediction;
+  };
+
+  ModelRegistry* const registry_;
+  const ServiceConfig config_;
+  const CostCalibration calibration_;
+  BoundedQueue<Pending> queue_;
+  ServiceStats stats_;
+  std::mutex cache_mu_;
+  LruCache<linalg::Vector, CachedPrediction, FeatureHash> cache_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+/// Admission control riding on the service: the WorkloadManager thresholds
+/// applied to a served response. Works for degraded responses too — a
+/// fallback triggered by an anomaly keeps the anomalous flag, so the
+/// review-anomalies policy still routes it to a human.
+core::WorkloadManager::Outcome AdmitServed(const core::WorkloadManager& wm,
+                                           const ServeResponse& response);
+
+}  // namespace qpp::serve

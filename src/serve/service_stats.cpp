@@ -1,0 +1,106 @@
+#include "serve/service_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace qpp::serve {
+
+void LatencyHistogram::Record(double seconds) {
+  // Clamp into the representable range; sub-100ns and >100s latencies land
+  // in the edge buckets.
+  double idx_f = (std::log10(std::max(seconds, 1e-300)) - kMinExponent) *
+                 static_cast<double>(kBucketsPerDecade);
+  idx_f = std::clamp(idx_f, 0.0, static_cast<double>(kNumBuckets - 1));
+  buckets_[static_cast<size_t>(idx_f)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = 0;
+  std::array<uint64_t, kNumBuckets> counts;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= std::max<uint64_t>(rank, 1)) {
+      // Geometric midpoint of the bucket.
+      const double exp = kMinExponent +
+                         (static_cast<double>(i) + 0.5) /
+                             static_cast<double>(kBucketsPerDecade);
+      return std::pow(10.0, exp);
+    }
+  }
+  return std::pow(10.0, kMaxExponent);
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+ServiceStatsSnapshot ServiceStats::Snapshot() const {
+  ServiceStatsSnapshot s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.model_predictions = model_predictions_.load(std::memory_order_relaxed);
+  s.fallback_no_model = fallback_no_model_.load(std::memory_order_relaxed);
+  s.fallback_anomalous = fallback_anomalous_.load(std::memory_order_relaxed);
+  s.fallback_deadline = fallback_deadline_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.p50_seconds = latency_.Quantile(0.50);
+  s.p95_seconds = latency_.Quantile(0.95);
+  s.p99_seconds = latency_.Quantile(0.99);
+  return s;
+}
+
+namespace {
+std::string FormatLatency(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string ServiceStatsSnapshot::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests:          %llu (rejected: %llu)\n"
+      "cache hits:        %llu (%.1f%%)\n"
+      "model predictions: %llu\n"
+      "fallbacks:         %llu (no-model %llu, anomalous %llu, deadline "
+      "%llu)\n"
+      "batches:           %llu (mean size %.2f)\n"
+      "latency:           p50 %s, p95 %s, p99 %s\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(cache_hits), 100.0 * cache_hit_rate(),
+      static_cast<unsigned long long>(model_predictions),
+      static_cast<unsigned long long>(fallbacks()),
+      static_cast<unsigned long long>(fallback_no_model),
+      static_cast<unsigned long long>(fallback_anomalous),
+      static_cast<unsigned long long>(fallback_deadline),
+      static_cast<unsigned long long>(batches), mean_batch_size(),
+      FormatLatency(p50_seconds).c_str(), FormatLatency(p95_seconds).c_str(),
+      FormatLatency(p99_seconds).c_str());
+  return buf;
+}
+
+}  // namespace qpp::serve

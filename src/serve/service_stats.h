@@ -1,0 +1,112 @@
+// Built-in service observability: request/fallback/cache counters and a
+// lock-free log-bucketed latency histogram with p50/p95/p99 estimates.
+//
+// Everything is std::atomic with relaxed ordering — the counters are
+// monotonic tallies, not synchronization, and a snapshot taken under
+// traffic is allowed to be a few requests stale.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace qpp::serve {
+
+/// Log-spaced latency histogram: 8 buckets per decade across 1e-7s..1e2s.
+/// Record() is wait-free; quantiles are estimated as the geometric midpoint
+/// of the bucket containing the requested rank (≤ ~15% relative error,
+/// plenty for a p99 readout).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBucketsPerDecade = 8;
+  static constexpr int kMinExponent = -7;  ///< 100 ns
+  static constexpr int kMaxExponent = 2;   ///< 100 s
+  static constexpr size_t kNumBuckets =
+      kBucketsPerDecade * static_cast<size_t>(kMaxExponent - kMinExponent);
+
+  void Record(double seconds);
+
+  /// Latency (seconds) at quantile q in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+
+  uint64_t count() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// One consistent-enough read of the service counters.
+struct ServiceStatsSnapshot {
+  uint64_t requests = 0;           ///< responses delivered
+  uint64_t cache_hits = 0;
+  uint64_t model_predictions = 0;  ///< answered by the live model
+  uint64_t fallback_no_model = 0;
+  uint64_t fallback_anomalous = 0;
+  uint64_t fallback_deadline = 0;
+  uint64_t rejected = 0;           ///< TrySubmit refused (queue full)
+  uint64_t batches = 0;
+  uint64_t batched_requests = 0;   ///< sum of batch sizes
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+
+  uint64_t fallbacks() const {
+    return fallback_no_model + fallback_anomalous + fallback_deadline;
+  }
+  double cache_hit_rate() const {
+    return requests > 0 ? static_cast<double>(cache_hits) /
+                              static_cast<double>(requests)
+                        : 0.0;
+  }
+  double mean_batch_size() const {
+    return batches > 0 ? static_cast<double>(batched_requests) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+
+  /// Multi-line human-readable report (printed by `qpp_tool serve`).
+  std::string ToString() const;
+};
+
+class ServiceStats {
+ public:
+  void RecordResponse(double latency_seconds) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    latency_.Record(latency_seconds);
+  }
+  void RecordCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordModelPrediction() {
+    model_predictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFallbackNoModel() {
+    fallback_no_model_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFallbackAnomalous() {
+    fallback_anomalous_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFallbackDeadline() {
+    fallback_deadline_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordBatch(size_t batch_size) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
+  }
+
+  ServiceStatsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> model_predictions_{0};
+  std::atomic<uint64_t> fallback_no_model_{0};
+  std::atomic<uint64_t> fallback_anomalous_{0};
+  std::atomic<uint64_t> fallback_deadline_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace qpp::serve

@@ -1,0 +1,425 @@
+// End-to-end tests for the prediction service: batched prediction is
+// bit-identical to sequential Predict (the serving determinism guarantee),
+// the service answers multi-threaded traffic with exactly those bits,
+// every degraded answer is labeled with its reason, hot-swap switches
+// generations without serving stale cache entries, and the retraining
+// publish hook closes the train → publish → serve loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/predictor.h"
+#include "core/retraining.h"
+#include "core/workload_manager.h"
+#include "serve/prediction_service.h"
+
+namespace qpp::serve {
+namespace {
+
+/// Small synthetic workload with nonlinear metric structure — enough for
+/// KCCA+kNN to train on in milliseconds.
+std::vector<ml::TrainingExample> MakeExamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ml::TrainingExample ex;
+    const double a = rng.Uniform(1.0, 10.0);
+    const double b = rng.Uniform(1.0, 10.0);
+    const double c = rng.Uniform(0.0, 5.0);
+    ex.query_features = {a, b, c, a * b, rng.Uniform(0.0, 1.0)};
+    ex.metrics.elapsed_seconds = 0.5 * a * b + c;
+    ex.metrics.records_accessed = 1000.0 * a + 50.0 * c;
+    ex.metrics.records_used = 100.0 * a;
+    ex.metrics.message_count = 10.0 * b;
+    ex.metrics.message_bytes = 1000.0 * b + 10.0 * a;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+core::Predictor TrainPredictor(size_t n, uint64_t seed,
+                               ml::KccaSolver solver) {
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = solver;
+  core::Predictor pred(cfg);
+  pred.Train(MakeExamples(n, seed));
+  return pred;
+}
+
+/// Bitwise equality of everything a Prediction carries — EXPECT_EQ on
+/// doubles is exact comparison, which is the point.
+void ExpectBitIdentical(const core::Prediction& a, const core::Prediction& b) {
+  EXPECT_EQ(a.metrics.ToVector(), b.metrics.ToVector());
+  EXPECT_EQ(a.mean_neighbor_distance, b.mean_neighbor_distance);
+  EXPECT_EQ(a.confidence, b.confidence);
+  EXPECT_EQ(a.anomalous, b.anomalous);
+  EXPECT_EQ(a.neighbor_indices, b.neighbor_indices);
+  EXPECT_EQ(a.predicted_type, b.predicted_type);
+}
+
+CostCalibration TestCalibration() {
+  // elapsed = cost / 100 in log-log space.
+  CostCalibration cal;
+  cal.slope = 1.0;
+  cal.intercept = -2.0;
+  cal.fitted = true;
+  return cal;
+}
+
+// --------------------------------------------------------- PredictBatch --
+
+void CheckBatchMatchesSequential(ml::KccaSolver solver) {
+  const core::Predictor pred = TrainPredictor(64, 7, solver);
+  const auto probes_src = MakeExamples(20, 99);
+  std::vector<linalg::Vector> probes;
+  for (const auto& ex : probes_src) probes.push_back(ex.query_features);
+  const std::vector<core::Prediction> batch = pred.PredictBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ExpectBitIdentical(batch[i], pred.Predict(probes[i]));
+  }
+}
+
+TEST(PredictBatchTest, BitIdenticalToSequentialExactSolver) {
+  CheckBatchMatchesSequential(ml::KccaSolver::kExact);
+}
+
+TEST(PredictBatchTest, BitIdenticalToSequentialIcdSolver) {
+  CheckBatchMatchesSequential(ml::KccaSolver::kIcd);
+}
+
+TEST(PredictBatchTest, BitIdenticalForRegressionModel) {
+  core::PredictorConfig cfg;
+  cfg.model = core::ModelKind::kRegression;
+  core::Predictor pred(cfg);
+  pred.Train(MakeExamples(50, 3));
+  const auto probes_src = MakeExamples(10, 4);
+  std::vector<linalg::Vector> probes;
+  for (const auto& ex : probes_src) probes.push_back(ex.query_features);
+  const auto batch = pred.PredictBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ExpectBitIdentical(batch[i], pred.Predict(probes[i]));
+  }
+}
+
+TEST(PredictBatchTest, EmptyBatchIsEmpty) {
+  const core::Predictor pred = TrainPredictor(40, 1, ml::KccaSolver::kExact);
+  EXPECT_TRUE(pred.PredictBatch({}).empty());
+}
+
+// -------------------------------------------------------------- service --
+
+TEST(PredictionServiceTest, MultiThreadedTrafficMatchesSequentialPredict) {
+  const core::Predictor pred = TrainPredictor(64, 7, ml::KccaSolver::kExact);
+  ModelRegistry registry;
+  registry.Publish(pred);
+
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.max_batch = 4;
+  config.cache_capacity = 64;
+  PredictionService service(&registry, config, TestCalibration());
+
+  // 10 distinct probes, requested 20x each from 4 client threads: exercises
+  // batching, the cache, and concurrent submission at once.
+  const auto probes_src = MakeExamples(10, 21);
+  std::vector<linalg::Vector> probes;
+  std::vector<core::Prediction> expected;
+  for (const auto& ex : probes_src) {
+    probes.push_back(ex.query_features);
+    expected.push_back(pred.Predict(ex.query_features));
+  }
+
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::pair<size_t, std::future<ServeResponse>>> futures;
+      for (int r = 0; r < 50; ++r) {
+        const size_t which = (static_cast<size_t>(c) * 13 + r) % probes.size();
+        futures.emplace_back(which, service.Submit({probes[which], 100.0}));
+      }
+      for (auto& [which, future] : futures) {
+        const ServeResponse resp = future.get();
+        if (resp.degraded()) {
+          mismatches.fetch_add(1);  // nothing here should degrade
+          continue;
+        }
+        if (resp.model_generation != 1 ||
+            resp.prediction.metrics.ToVector() !=
+                expected[which].metrics.ToVector() ||
+            resp.prediction.neighbor_indices !=
+                expected[which].neighbor_indices ||
+            resp.prediction.confidence != expected[which].confidence) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServiceStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.requests, 200u);
+  EXPECT_EQ(stats.fallbacks(), 0u);
+  EXPECT_EQ(stats.cache_hits + stats.model_predictions, 200u);
+  // 10 distinct vectors, so almost everything repeats; duplicates in flight
+  // within one batch window can each miss, hence >= and not ==.
+  EXPECT_GE(stats.cache_hits, 150u);
+  EXPECT_GE(stats.model_predictions, 10u);
+}
+
+TEST(PredictionServiceTest, CacheHitIsBitIdenticalAndCounted) {
+  const core::Predictor pred = TrainPredictor(48, 5, ml::KccaSolver::kExact);
+  ModelRegistry registry;
+  registry.Publish(pred);
+  PredictionService service(&registry, {}, TestCalibration());
+
+  const linalg::Vector probe = MakeExamples(1, 77)[0].query_features;
+  const ServeResponse first = service.Submit({probe, 10.0}).get();
+  EXPECT_EQ(first.source, ResponseSource::kModel);
+  const ServeResponse second = service.Submit({probe, 10.0}).get();
+  EXPECT_EQ(second.source, ResponseSource::kCache);
+  ExpectBitIdentical(second.prediction, first.prediction);
+  ExpectBitIdentical(second.prediction, pred.Predict(probe));
+  EXPECT_GE(service.stats().cache_hits, 1u);
+}
+
+TEST(PredictionServiceTest, NoModelFallbackIsLabeled) {
+  ModelRegistry registry;  // nothing published
+  const CostCalibration cal = TestCalibration();
+  PredictionService service(&registry, {}, cal);
+  const ServeResponse resp = service.Submit({{1.0, 2.0, 3.0}, 500.0}).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.source, ResponseSource::kOptimizerFallback);
+  EXPECT_EQ(resp.degraded_reason, "no-model");
+  EXPECT_EQ(resp.model_generation, 0u);
+  EXPECT_EQ(resp.prediction.confidence, 0.0);
+  EXPECT_EQ(resp.prediction.metrics.elapsed_seconds,
+            cal.EstimateSeconds(500.0));
+  EXPECT_EQ(service.stats().fallback_no_model, 1u);
+}
+
+TEST(PredictionServiceTest, AnomalousQueryFallsBackLabeled) {
+  const core::Predictor pred = TrainPredictor(64, 7, ml::KccaSolver::kExact);
+  // A probe absurdly far from all training data must be flagged anomalous
+  // by the model itself...
+  const linalg::Vector far_probe(5, 1e12);
+  ASSERT_TRUE(pred.Predict(far_probe).anomalous);
+
+  ModelRegistry registry;
+  registry.Publish(pred);
+  const CostCalibration cal = TestCalibration();
+  PredictionService service(&registry, {}, cal);
+  // ...and the service then answers with the labeled optimizer baseline.
+  const ServeResponse resp = service.Submit({far_probe, 1e4}).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "anomalous");
+  EXPECT_TRUE(resp.prediction.anomalous);  // survives for admission review
+  EXPECT_EQ(resp.prediction.confidence, 0.0);
+  EXPECT_EQ(resp.prediction.metrics.elapsed_seconds, cal.EstimateSeconds(1e4));
+  EXPECT_EQ(service.stats().fallback_anomalous, 1u);
+
+  // With the policy off, the model's own (untrusted) answer is returned.
+  ServiceConfig keep;
+  keep.fallback_on_anomalous = false;
+  PredictionService service2(&registry, keep, cal);
+  const ServeResponse kept = service2.Submit({far_probe, 1e4}).get();
+  EXPECT_FALSE(kept.degraded());
+  EXPECT_TRUE(kept.prediction.anomalous);
+}
+
+TEST(PredictionServiceTest, QueueDeadlineExceededFallsBack) {
+  const core::Predictor pred = TrainPredictor(48, 5, ml::KccaSolver::kExact);
+  ModelRegistry registry;
+  registry.Publish(pred);
+  ServiceConfig config;
+  config.queue_deadline_seconds = 1e-12;  // any queue wait exceeds this
+  const CostCalibration cal = TestCalibration();
+  PredictionService service(&registry, config, cal);
+  const linalg::Vector probe = MakeExamples(1, 8)[0].query_features;
+  const ServeResponse resp = service.Submit({probe, 200.0}).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "deadline");
+  EXPECT_EQ(resp.prediction.metrics.elapsed_seconds,
+            cal.EstimateSeconds(200.0));
+  EXPECT_EQ(service.stats().fallback_deadline, 1u);
+}
+
+TEST(PredictionServiceTest, SubmitAfterShutdownAnswersLabeledFallback) {
+  ModelRegistry registry;
+  PredictionService service(&registry, {}, TestCalibration());
+  service.Shutdown();
+  // No accepted request is dropped — even one that lost the race with
+  // shutdown gets a (labeled) answer rather than a broken future.
+  std::future<ServeResponse> future = service.Submit({{1.0, 2.0}, 50.0});
+  const ServeResponse resp = future.get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "shutdown");
+
+  std::future<ServeResponse> rejected;
+  EXPECT_FALSE(service.TrySubmit({{1.0, 2.0}, 50.0}, &rejected));
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(PredictionServiceTest, HotSwapServesTheNewGenerationNotStaleCache) {
+  const core::Predictor gen1 = TrainPredictor(64, 7, ml::KccaSolver::kExact);
+  const core::Predictor gen2 = TrainPredictor(64, 8, ml::KccaSolver::kExact);
+  ModelRegistry registry;
+  registry.Publish(gen1);
+  PredictionService service(&registry, {}, TestCalibration());
+
+  const linalg::Vector probe = MakeExamples(1, 31)[0].query_features;
+  const ServeResponse r1 = service.Submit({probe, 100.0}).get();
+  EXPECT_EQ(r1.model_generation, 1u);
+  ExpectBitIdentical(r1.prediction, gen1.Predict(probe));
+  // Prime the cache under generation 1.
+  EXPECT_EQ(service.Submit({probe, 100.0}).get().source,
+            ResponseSource::kCache);
+
+  registry.Publish(gen2);  // hot-swap mid-traffic
+
+  // Same probe again: the generation-1 cache entry must NOT be served; the
+  // answer comes from the new model, bit-identical to gen2's Predict.
+  const ServeResponse r2 = service.Submit({probe, 100.0}).get();
+  EXPECT_EQ(r2.model_generation, 2u);
+  EXPECT_NE(r2.source, ResponseSource::kCache);
+  ExpectBitIdentical(r2.prediction, gen2.Predict(probe));
+  // And the refreshed entry serves generation-2 bits from the cache.
+  const ServeResponse r3 = service.Submit({probe, 100.0}).get();
+  EXPECT_EQ(r3.source, ResponseSource::kCache);
+  EXPECT_EQ(r3.model_generation, 2u);
+  ExpectBitIdentical(r3.prediction, gen2.Predict(probe));
+}
+
+TEST(PredictionServiceTest, HotSwapUnderConcurrentTrafficStaysConsistent) {
+  const auto gen1 =
+      std::make_shared<const core::Predictor>(TrainPredictor(
+          64, 7, ml::KccaSolver::kExact));
+  const auto gen2 =
+      std::make_shared<const core::Predictor>(TrainPredictor(
+          64, 8, ml::KccaSolver::kExact));
+  ModelRegistry registry;
+  registry.Publish(gen1);
+
+  ServiceConfig config;
+  config.num_workers = 2;
+  config.max_batch = 8;
+  PredictionService service(&registry, config, TestCalibration());
+
+  const auto probes_src = MakeExamples(8, 55);
+  std::vector<linalg::Vector> probes;
+  for (const auto& ex : probes_src) probes.push_back(ex.query_features);
+
+  // Clients hammer the service while a publisher flips between two models.
+  // Every response must match the predictor of the generation it reports —
+  // never a blend, never a stale cache line.
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < 60; ++r) {
+        const size_t which = (static_cast<size_t>(c) + r) % probes.size();
+        const ServeResponse resp =
+            service.Submit({probes[which], 100.0}).get();
+        if (resp.degraded()) continue;  // anomaly policy may fire; labeled
+        const core::Predictor& truth =
+            resp.model_generation % 2 == 1 ? *gen1 : *gen2;
+        const core::Prediction direct = truth.Predict(probes[which]);
+        if (resp.prediction.metrics.ToVector() != direct.metrics.ToVector() ||
+            resp.prediction.neighbor_indices != direct.neighbor_indices) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread publisher([&] {
+    for (int i = 0; i < 20; ++i) {
+      registry.Publish(i % 2 == 0 ? gen2 : gen1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& t : clients) t.join();
+  publisher.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(registry.generation(), 21u);
+}
+
+// ---------------------------------------------- retraining publish hook --
+
+TEST(RetrainingPublishHookTest, SlidingWindowRetrainPublishesToRegistry) {
+  ModelRegistry registry;
+  core::SlidingWindowConfig cfg;
+  cfg.retrain_every = 10;
+  cfg.predictor.model = core::ModelKind::kRegression;
+  core::SlidingWindowPredictor sliding(cfg);
+  sliding.set_publish_hook(
+      [&](const core::Predictor& p) { registry.Publish(p); });
+
+  EXPECT_FALSE(registry.has_model());
+  const auto observations = MakeExamples(25, 13);
+  for (const auto& obs : observations) {
+    sliding.Observe(obs.query_features, obs.metrics);
+  }
+  ASSERT_TRUE(sliding.trained());
+  ASSERT_TRUE(registry.has_model());
+  EXPECT_EQ(registry.generation(), sliding.generation());
+
+  // The published snapshot is a faithful copy: the service answers with the
+  // same bits as the registry's model.
+  PredictionService service(&registry, {}, TestCalibration());
+  const linalg::Vector probe = MakeExamples(1, 14)[0].query_features;
+  const ServeResponse resp = service.Submit({probe, 100.0}).get();
+  ASSERT_FALSE(resp.degraded());
+  ExpectBitIdentical(resp.prediction,
+                     registry.Acquire().model->Predict(probe));
+}
+
+// ----------------------------------------------------------- admission --
+
+TEST(AdmitServedTest, DecisionsRideOnServedResponses) {
+  core::WorkloadManagerConfig cfg;
+  cfg.offpeak_threshold_seconds = 10.0;
+  cfg.reject_threshold_seconds = 100.0;
+  cfg.review_anomalies = true;
+  cfg.kill_multiplier = 3.0;
+  cfg.kill_floor_seconds = 60.0;
+  const core::WorkloadManager wm(cfg);  // decide-only: no predictor held
+
+  ServeResponse cheap;
+  cheap.prediction.metrics.elapsed_seconds = 1.0;
+  EXPECT_EQ(AdmitServed(wm, cheap).decision,
+            core::AdmissionDecision::kRunImmediately);
+
+  ServeResponse heavy;
+  heavy.prediction.metrics.elapsed_seconds = 50.0;
+  EXPECT_EQ(AdmitServed(wm, heavy).decision,
+            core::AdmissionDecision::kScheduleOffPeak);
+  EXPECT_DOUBLE_EQ(AdmitServed(wm, heavy).kill_deadline_seconds, 150.0);
+
+  ServeResponse monster;
+  monster.prediction.metrics.elapsed_seconds = 5000.0;
+  EXPECT_EQ(AdmitServed(wm, monster).decision,
+            core::AdmissionDecision::kReject);
+
+  // A degraded anomalous response still routes to human review: the
+  // fallback keeps the anomalous flag exactly for this.
+  ServeResponse anomalous;
+  anomalous.source = ResponseSource::kOptimizerFallback;
+  anomalous.degraded_reason = "anomalous";
+  anomalous.prediction.anomalous = true;
+  anomalous.prediction.metrics.elapsed_seconds = 1.0;
+  EXPECT_EQ(AdmitServed(wm, anomalous).decision,
+            core::AdmissionDecision::kNeedsReview);
+}
+
+}  // namespace
+}  // namespace qpp::serve

@@ -11,22 +11,34 @@
 //       predict all six metrics for a query before running it.
 //   qpp_tool explain --model MODEL --sql "SELECT ..."
 //       predict AND simulate, printing predicted vs actual side by side.
+//   qpp_tool serve   [--model MODEL] [--clients C] [--requests R] ...
+//       run the concurrent prediction service against a simulated
+//       multi-client workload and print service stats + admission decisions.
 //
 // All commands run against the TPC-DS SF-1 catalog on the Neoview-4
 // configuration; this is a demonstration surface, not a kitchen sink.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "catalog/tpcds.h"
+#include "common/rng.h"
 #include "common/str_util.h"
 #include "core/experiment.h"
 #include "core/model_io.h"
+#include "core/workload_manager.h"
 #include "engine/simulator.h"
 #include "ml/feature_vector.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_serde.h"
+#include "serve/prediction_service.h"
 
 using namespace qpp;
 
@@ -66,7 +78,12 @@ int Usage() {
                "  qpp_tool train   --out MODEL [--candidates N] [--seed S]\n"
                "  qpp_tool plan    --sql SQL [--dot] [--out PLAN]\n"
                "  qpp_tool predict --model MODEL (--sql SQL | --plan PLAN)\n"
-               "  qpp_tool explain --model MODEL --sql SQL\n");
+               "  qpp_tool explain --model MODEL --sql SQL\n"
+               "  qpp_tool serve   [--model MODEL] [--candidates N] [--seed "
+               "S]\n"
+               "                   [--clients C] [--requests R] [--workers "
+               "W]\n"
+               "                   [--batch B] [--cache N] [--distinct D]\n");
   return 2;
 }
 
@@ -204,6 +221,128 @@ int CmdExplain(const Args& args) {
   return 0;
 }
 
+// Runs the online prediction service against a simulated multi-client
+// workload: C client threads each submit R requests drawn from a pool of D
+// distinct queries (decision-support traffic is template-heavy, so repeats
+// are the realistic case and exercise the result cache), admission
+// decisions ride on the responses, and the built-in service stats are
+// printed at the end.
+int CmdServe(const Args& args) {
+  const size_t clients =
+      static_cast<size_t>(std::stoul(args.get("clients", "4")));
+  const size_t requests_per_client =
+      static_cast<size_t>(std::stoul(args.get("requests", "500")));
+  const size_t distinct =
+      static_cast<size_t>(std::stoul(args.get("distinct", "64")));
+  serve::ServiceConfig service_config;
+  service_config.num_workers =
+      static_cast<size_t>(std::stoul(args.get("workers", "2")));
+  service_config.max_batch =
+      static_cast<size_t>(std::stoul(args.get("batch", "16")));
+  service_config.cache_capacity =
+      static_cast<size_t>(std::stoul(args.get("cache", "4096")));
+
+  std::printf("building workload...\n");
+  const core::ExperimentData data = BuildData(args);
+  QPP_CHECK(!data.pools.queries.empty());
+
+  // The optimizer-cost fallback baseline, calibrated Fig. 17-style on the
+  // measured pool.
+  std::vector<double> costs, elapsed;
+  for (const auto& q : data.pools.queries) {
+    costs.push_back(q.plan.optimizer_cost);
+    elapsed.push_back(q.metrics.elapsed_seconds);
+  }
+  const serve::CostCalibration calibration =
+      serve::CostCalibration::Fit(costs, elapsed);
+
+  serve::ModelRegistry registry;
+  const std::string model_path = args.get("model");
+  if (!model_path.empty()) {
+    auto model = core::LoadModelFile(model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+      return 1;
+    }
+    registry.Publish(std::move(model).value());
+    std::printf("serving model %s (generation %llu)\n", model_path.c_str(),
+                static_cast<unsigned long long>(registry.generation()));
+  } else {
+    std::printf("training in-process (pass --model to serve a file)...\n");
+    core::Predictor pred;
+    pred.Train(core::MakeAllExamples(data.pools));
+    registry.Publish(pred);
+    std::printf("trained on %zu queries, published as generation %llu\n",
+                pred.num_training_examples(),
+                static_cast<unsigned long long>(registry.generation()));
+  }
+
+  serve::PredictionService service(&registry, service_config, calibration);
+  const core::WorkloadManager manager{core::WorkloadManagerConfig{}};
+
+  // The distinct request pool every client draws from.
+  std::vector<serve::ServeRequest> request_pool;
+  const size_t pool_size = std::min(distinct, data.pools.queries.size());
+  for (size_t i = 0; i < pool_size; ++i) {
+    const auto& q =
+        data.pools.queries[i * data.pools.queries.size() / pool_size];
+    request_pool.push_back(
+        {ml::PlanFeatureVector(q.plan), q.plan.optimizer_cost});
+  }
+
+  std::printf("serving %zu clients x %zu requests (%zu distinct queries, "
+              "%zu workers, batch <= %zu)...\n",
+              clients, requests_per_client, pool_size,
+              service_config.num_workers, service_config.max_batch);
+  std::map<core::AdmissionDecision, size_t> decisions;
+  std::map<serve::ResponseSource, size_t> sources;
+  std::mutex agg_mu;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  for (size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      Rng rng(0xC11E47ull * (c + 1));
+      std::vector<std::future<serve::ServeResponse>> futures;
+      futures.reserve(requests_per_client);
+      for (size_t r = 0; r < requests_per_client; ++r) {
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(request_pool.size()) - 1));
+        futures.push_back(service.Submit(request_pool[pick]));
+      }
+      std::map<core::AdmissionDecision, size_t> local_decisions;
+      std::map<serve::ResponseSource, size_t> local_sources;
+      for (auto& f : futures) {
+        const serve::ServeResponse resp = f.get();
+        const auto outcome = serve::AdmitServed(manager, resp);
+        local_decisions[outcome.decision] += 1;
+        local_sources[resp.source] += 1;
+      }
+      std::lock_guard<std::mutex> lock(agg_mu);
+      for (const auto& [d, n] : local_decisions) decisions[d] += n;
+      for (const auto& [s, n] : local_sources) sources[s] += n;
+    });
+  }
+  for (auto& t : client_threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  service.Shutdown();
+
+  const size_t total = clients * requests_per_client;
+  std::printf("\n%zu responses in %.3fs (%.0f predictions/sec)\n\n", total,
+              wall, static_cast<double>(total) / wall);
+  std::printf("admission decisions:\n");
+  for (const auto& [d, n] : decisions) {
+    std::printf("  %-10s %zu\n", core::AdmissionDecisionName(d), n);
+  }
+  std::printf("response sources:\n");
+  for (const auto& [s, n] : sources) {
+    std::printf("  %-15s %zu\n", serve::ResponseSourceName(s), n);
+  }
+  std::printf("\nservice stats:\n%s", service.stats().ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +353,7 @@ int main(int argc, char** argv) {
     if (args.command == "plan") return CmdPlan(args);
     if (args.command == "predict") return CmdPredict(args);
     if (args.command == "explain") return CmdExplain(args);
+    if (args.command == "serve") return CmdServe(args);
   } catch (const CheckFailure& e) {
     std::fprintf(stderr, "internal error: %s\n", e.what());
     return 1;
