@@ -100,7 +100,8 @@ Prediction Predictor::Predict(const linalg::Vector& query_features) const {
 }
 
 std::vector<Prediction> Predictor::PredictBatch(
-    const std::vector<linalg::Vector>& queries) const {
+    const std::vector<linalg::Vector>& queries,
+    obs::TraceRecorder* trace) const {
   QPP_CHECK_MSG(trained_, "PredictBatch before Train");
   std::vector<Prediction> out;
   out.reserve(queries.size());
@@ -108,21 +109,36 @@ std::vector<Prediction> Predictor::PredictBatch(
 
   if (config_.model == ModelKind::kRegression) {
     // No shared work to amortize in the linear model; keep one code path.
+    obs::Span span(trace, "regression_predict", "predict");
     for (const linalg::Vector& q : queries) out.push_back(Predict(q));
     return out;
   }
 
   linalg::Matrix xp(queries.size(), preprocessor_.dims());
-  for (size_t r = 0; r < queries.size(); ++r) {
-    xp.SetRow(r, preprocessor_.TransformRow(queries[r]));
+  {
+    obs::Span span(trace, "preprocess", "predict");
+    for (size_t r = 0; r < queries.size(); ++r) {
+      xp.SetRow(r, preprocessor_.TransformRow(queries[r]));
+    }
   }
-  const linalg::Matrix projections = kcca_.ProjectXBatch(xp);
-  const std::vector<std::vector<ml::Neighbor>> nbrs =
-      ml::FindNearestBatch(kcca_.x_projection(), projections,
-                           config_.k_neighbors, config_.distance);
-  const std::vector<std::vector<ml::Neighbor>> feat_nbrs =
-      ml::FindNearestBatch(train_xp_, xp, config_.k_neighbors,
-                           config_.distance);
+  linalg::Matrix projections;
+  {
+    obs::Span span(trace, "kcca_project", "predict");
+    projections = kcca_.ProjectXBatch(xp);
+  }
+  std::vector<std::vector<ml::Neighbor>> nbrs;
+  {
+    obs::Span span(trace, "knn_projection_space", "predict");
+    nbrs = ml::FindNearestBatch(kcca_.x_projection(), projections,
+                                config_.k_neighbors, config_.distance);
+  }
+  std::vector<std::vector<ml::Neighbor>> feat_nbrs;
+  {
+    obs::Span span(trace, "knn_feature_space", "predict");
+    feat_nbrs = ml::FindNearestBatch(train_xp_, xp, config_.k_neighbors,
+                                     config_.distance);
+  }
+  obs::Span span(trace, "assemble", "predict");
   for (size_t r = 0; r < queries.size(); ++r) {
     out.push_back(AssembleKccaPrediction(nbrs[r], feat_nbrs[r]));
   }

@@ -19,6 +19,7 @@
 #include "ml/knn.h"
 #include "ml/linear_regression.h"
 #include "ml/preprocess.h"
+#include "obs/trace.h"
 #include "workload/pools.h"
 
 namespace qpp::core {
@@ -90,8 +91,14 @@ class Predictor {
   /// neighbor search per space (ml::FindNearestBatch), amortizing the
   /// per-row allocations that dominate single-query latency. This is the
   /// path the serving micro-batcher drains queued requests through.
+  ///
+  /// When `trace` is non-null, the internal stages (preprocess, KCCA
+  /// kernel/projection, the two kNN searches, prediction assembly) are
+  /// recorded as spans; a null trace costs one branch per stage. Tracing
+  /// never changes the arithmetic.
   std::vector<Prediction> PredictBatch(
-      const std::vector<linalg::Vector>& queries) const;
+      const std::vector<linalg::Vector>& queries,
+      obs::TraceRecorder* trace = nullptr) const;
 
   const PredictorConfig& config() const { return config_; }
   /// The trained KCCA model (kKcca only). Exposed for the projection

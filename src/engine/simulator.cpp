@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/json_util.h"
 
 namespace qpp::engine {
 
@@ -155,8 +158,8 @@ ExecutionSimulator::OpCosts ExecutionSimulator::CostOf(
   return c;
 }
 
-QueryMetrics ExecutionSimulator::Execute(
-    const optimizer::PhysicalPlan& plan) const {
+QueryMetrics ExecutionSimulator::Execute(const optimizer::PhysicalPlan& plan,
+                                         obs::TraceRecorder* trace) const {
   QPP_CHECK(plan.root != nullptr);
 
   // Deterministic per (query, configuration) randomness.
@@ -174,6 +177,31 @@ QueryMetrics ExecutionSimulator::Execute(
   double elapsed = config_.startup_seconds;
   double peak_mem = 0.0;
 
+  // Profiling lanes for this query: operators on `tid0`, the cpu/io/net
+  // resource breakdown on the three tracks after it. Spans are placed at
+  // the query's position on the recorder's wall-clock timeline, but extend
+  // in simulated time — so the trace shows the simulated critical path
+  // "as if" it started now.
+  const uint64_t base_us = trace != nullptr ? trace->NowMicros() : 0;
+  const uint32_t tid0 = trace != nullptr ? trace->AllocateTrackIds(4) : 0;
+  const auto emit = [&](const char* name, uint32_t lane, double start_s,
+                        double dur_s,
+                        std::vector<std::pair<std::string, std::string>>
+                            args = {}) {
+    obs::TraceEvent e;
+    e.name = name;
+    e.category = "simulator";
+    e.pid = obs::TraceRecorder::kSimulatorPid;
+    e.tid = tid0 + lane;
+    e.ts_us = base_us + static_cast<uint64_t>(start_s * 1e6);
+    e.dur_us = static_cast<uint64_t>(std::max(dur_s, 0.0) * 1e6);
+    e.args = std::move(args);
+    trace->Add(std::move(e));
+  };
+  if (trace != nullptr && config_.startup_seconds > 0.0) {
+    emit("startup", 0, 0.0, config_.startup_seconds);
+  }
+
   plan.Visit([&](const optimizer::PhysicalNode& n) {
     const OpCosts c = CostOf(n);
     const double cpu_t = c.cpu_seconds / eff_nodes;
@@ -181,13 +209,43 @@ QueryMetrics ExecutionSimulator::Execute(
     const double net_t = c.net_bytes / net_bw +
                          c.net_messages * config_.msg_overhead_us * kUs /
                              config_.nodes_used;
-    elapsed += std::max({cpu_t, io_t, net_t});
+    const double op_t = std::max({cpu_t, io_t, net_t});
+    if (trace != nullptr) {
+      std::vector<std::pair<std::string, std::string>> args;
+      args.emplace_back("cpu_s", obs::JsonNumber(cpu_t));
+      args.emplace_back("io_s", obs::JsonNumber(io_t));
+      args.emplace_back("net_s", obs::JsonNumber(net_t));
+      args.emplace_back("rows", obs::JsonNumber(n.true_rows));
+      if (!n.table.empty()) {
+        args.emplace_back("table", obs::JsonString(n.table));
+      }
+      emit(optimizer::PhysOpName(n.op), 0, elapsed, op_t, std::move(args));
+      if (cpu_t > 0.0) emit("cpu", 1, elapsed, cpu_t);
+      if (io_t > 0.0) emit("io", 2, elapsed, io_t);
+      if (net_t > 0.0) emit("net", 3, elapsed, net_t);
+    }
+    elapsed += op_t;
     m.cpu_seconds += c.cpu_seconds;
     m.disk_ios += c.io_pages;
     m.message_bytes += c.net_bytes;
     m.message_count += c.net_messages;
     peak_mem = std::max(peak_mem, c.working_bytes);
   });
+  if (trace != nullptr) {
+    std::vector<std::pair<std::string, std::string>> args;
+    args.emplace_back("query_hash", obs::JsonNumber(plan.query_hash));
+    args.emplace_back("elapsed_s_prenoise", obs::JsonNumber(elapsed));
+    args.emplace_back("noise_factor", obs::JsonNumber(noise));
+    obs::TraceEvent e;
+    e.name = "query";
+    e.category = "simulator";
+    e.pid = obs::TraceRecorder::kSimulatorPid;
+    e.tid = tid0;
+    e.ts_us = base_us;
+    e.dur_us = static_cast<uint64_t>(elapsed * 1e6);
+    e.args = std::move(args);
+    trace->Add(std::move(e));
+  }
 
   m.elapsed_seconds = elapsed * noise;
   m.records_accessed = plan.TrueRecordsAccessed();

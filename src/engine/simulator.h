@@ -22,6 +22,7 @@
 #include "catalog/catalog.h"
 #include "engine/metrics.h"
 #include "engine/system_config.h"
+#include "obs/trace.h"
 #include "optimizer/physical_plan.h"
 
 namespace qpp::engine {
@@ -31,7 +32,17 @@ class ExecutionSimulator {
   ExecutionSimulator(const catalog::Catalog* catalog, SystemConfig config);
 
   /// Runs the plan; deterministic for a given (plan.query_hash, config).
-  QueryMetrics Execute(const optimizer::PhysicalPlan& plan) const;
+  ///
+  /// When `trace` is non-null, the run additionally emits profiling spans
+  /// in *simulated* time onto the recorder's timeline (pid kSimulatorPid):
+  /// a whole-query span containing one span per operator (laid out along
+  /// the simulated critical path, pre-noise), plus cpu/io/net resource
+  /// lanes showing each operator's per-resource time so the max() that
+  /// decided its elapsed contribution is visible. Each traced call takes a
+  /// fresh group of tracks, so successive queries never interleave.
+  /// Tracing does not change the returned metrics.
+  QueryMetrics Execute(const optimizer::PhysicalPlan& plan,
+                       obs::TraceRecorder* trace = nullptr) const;
 
   const SystemConfig& config() const { return config_; }
 

@@ -1,0 +1,59 @@
+// Tiny JSON emission helpers shared by the metrics registry and the trace
+// exporter. Emission only — qpp never parses JSON; the exported files are
+// consumed by chrome://tracing, Perfetto, and external dashboards.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace qpp::obs {
+
+/// Appends `s` to `*out` with JSON string escaping (quotes not included).
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// `"s"` with escaping.
+inline std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  AppendJsonEscaped(&out, s);
+  out += '"';
+  return out;
+}
+
+/// A double as a JSON number token. NaN/inf are not representable in JSON;
+/// they render as 0 (snapshots normalize empty min/max before export, so
+/// this is a belt-and-suspenders guard, not a data path).
+inline std::string JsonNumber(double v) {
+  if (!(v == v) || v > 1.7e308 || v < -1.7e308) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+inline std::string JsonNumber(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace qpp::obs

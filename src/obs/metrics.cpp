@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace qpp::obs {
+
+uint64_t HistogramSnapshot::count() const {
+  uint64_t total = underflow + overflow;
+  for (const uint64_t b : buckets) total += b;
+  return total;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  const uint64_t rank = std::max<uint64_t>(
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))), 1);
+  if (rank <= underflow) return min;
+  uint64_t seen = underflow;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      const double exp =
+          options.min_exponent +
+          (static_cast<double>(i) + 0.5) /
+              static_cast<double>(options.buckets_per_decade);
+      return std::pow(10.0, exp);
+    }
+  }
+  return max;  // rank lands in the overflow bucket
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  QPP_CHECK_MSG(options == other.options,
+                "cannot merge histograms with different bucket layouts");
+  if (other.count() == 0) return;
+  const bool was_empty = count() == 0;
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  underflow += other.underflow;
+  overflow += other.overflow;
+  min = was_empty ? other.min : std::min(min, other.min);
+  max = was_empty ? other.max : std::max(max, other.max);
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : options_(options),
+      buckets_(options.num_buckets()),
+      min_bits_(std::bit_cast<uint64_t>(
+          std::numeric_limits<double>::infinity())),
+      max_bits_(std::bit_cast<uint64_t>(
+          -std::numeric_limits<double>::infinity())) {
+  QPP_CHECK(options.max_exponent > options.min_exponent &&
+            options.buckets_per_decade >= 1);
+}
+
+void Histogram::UpdateExtremes(double value) {
+  uint64_t cur = min_bits_.load(std::memory_order_relaxed);
+  while (value < std::bit_cast<double>(cur) &&
+         !min_bits_.compare_exchange_weak(
+             cur, std::bit_cast<uint64_t>(value), std::memory_order_relaxed)) {
+  }
+  cur = max_bits_.load(std::memory_order_relaxed);
+  while (value > std::bit_cast<double>(cur) &&
+         !max_bits_.compare_exchange_weak(
+             cur, std::bit_cast<uint64_t>(value), std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(double value) {
+  UpdateExtremes(value);
+  if (!(value >= std::pow(10.0, options_.min_exponent))) {
+    // <= 0, NaN, and sub-range values are all "below the first bucket".
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const double idx_f =
+      (std::log10(value) - options_.min_exponent) *
+      static_cast<double>(options_.buckets_per_decade);
+  if (idx_f >= static_cast<double>(buckets_.size())) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buckets_[static_cast<size_t>(idx_f)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.options = options_;
+  s.buckets.resize(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.underflow = underflow_.load(std::memory_order_relaxed);
+  s.overflow = overflow_.load(std::memory_order_relaxed);
+  const double min_v =
+      std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  const double max_v =
+      std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  const bool has_samples = s.count() > 0;
+  s.min = has_samples && std::isfinite(min_v) ? min_v : 0.0;
+  s.max = has_samples && std::isfinite(max_v) ? max_v : 0.0;
+  return s;
+}
+
+}  // namespace qpp::obs

@@ -1,0 +1,114 @@
+// Metric primitives: counters, gauges, and log-bucketed histograms with
+// lock-free hot-path recording.
+//
+// These generalize the one-off latency histogram the serving layer started
+// with (PR 1's serve::LatencyHistogram is now an alias of obs::Histogram).
+// Everything on the record path is a relaxed std::atomic operation — the
+// values are monotonic tallies or last-write-wins gauges, not
+// synchronization, and a snapshot taken under traffic may be a few events
+// stale. Instances are created and owned by obs::MetricsRegistry (see
+// registry.h); the returned pointers are stable for the registry's
+// lifetime, so call sites resolve a metric once and record through the
+// pointer forever.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace qpp::obs {
+
+/// Monotonic event tally. Inc() is wait-free.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (drift EWMAs, queue depths, shares).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a log-spaced histogram: `buckets_per_decade` buckets
+/// per power of ten across [10^min_exponent, 10^max_exponent). Values
+/// outside the range land in explicit underflow/overflow buckets instead
+/// of being silently clamped into the edge buckets.
+struct HistogramOptions {
+  int min_exponent = -7;  ///< 100 ns (the serving latency default)
+  int max_exponent = 2;   ///< 100 s
+  size_t buckets_per_decade = 8;
+
+  size_t num_buckets() const {
+    return buckets_per_decade * static_cast<size_t>(max_exponent -
+                                                    min_exponent);
+  }
+  bool operator==(const HistogramOptions&) const = default;
+};
+
+/// One consistent-enough read of a Histogram, safe to keep, merge, and
+/// query after the source histogram moved on (or was destroyed).
+struct HistogramSnapshot {
+  HistogramOptions options;
+  std::vector<uint64_t> buckets;
+  uint64_t underflow = 0;  ///< samples below 10^min_exponent (incl. <= 0)
+  uint64_t overflow = 0;   ///< samples >= 10^max_exponent
+  /// Exact extreme values observed (not bucket estimates); 0 when empty.
+  double min = 0.0;
+  double max = 0.0;
+
+  uint64_t count() const;
+
+  /// Value at quantile q in [0, 1]; 0 when empty. In-range ranks resolve
+  /// to the geometric midpoint of their bucket (<= ~15% relative error at
+  /// 8 buckets/decade); ranks landing in the underflow/overflow buckets
+  /// resolve to the exact observed min/max.
+  double Quantile(double q) const;
+
+  /// Accumulates `other` into this snapshot. Layouts must match.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Log-spaced histogram. Record() is wait-free; Snapshot() walks the
+/// buckets with relaxed loads.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+
+  HistogramSnapshot Snapshot() const;
+  const HistogramOptions& options() const { return options_; }
+
+  // Conveniences over a fresh snapshot (the shape of the original
+  // serve::LatencyHistogram API, kept so existing call sites read the same).
+  uint64_t count() const { return Snapshot().count(); }
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
+
+ private:
+  void UpdateExtremes(double value);
+
+  HistogramOptions options_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> underflow_{0};
+  std::atomic<uint64_t> overflow_{0};
+  // Observed extremes as CAS-updated double bit patterns (+inf / -inf
+  // sentinels until the first sample).
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+}  // namespace qpp::obs

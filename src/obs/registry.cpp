@@ -1,0 +1,187 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/json_util.h"
+
+namespace qpp::obs {
+
+namespace {
+
+void SortLabels(Labels* labels) {
+  std::sort(labels->begin(), labels->end());
+}
+
+/// `{k="v",k2="v2"}`, or "" when unlabeled; `extra` appends one more pair
+/// (used for quantile labels on histogram lines).
+std::string RenderLabels(const Labels& labels,
+                         const std::pair<std::string, std::string>* extra =
+                             nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ',';
+    out += extra->first + "=\"" + extra->second + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string LabelsJson(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonString(k) + ":" + JsonString(v);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels) {
+  SortLabels(&labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = counters_[Key(name, labels)];
+  if (entry.metric == nullptr) {
+    entry.name = name;
+    entry.labels = std::move(labels);
+    entry.metric = std::make_unique<Counter>();
+  }
+  return entry.metric.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels) {
+  SortLabels(&labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = gauges_[Key(name, labels)];
+  if (entry.metric == nullptr) {
+    entry.name = name;
+    entry.labels = std::move(labels);
+    entry.metric = std::make_unique<Gauge>();
+  }
+  return entry.metric.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Labels labels,
+                                         HistogramOptions options) {
+  SortLabels(&labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = histograms_[Key(name, labels)];
+  if (entry.metric == nullptr) {
+    entry.name = name;
+    entry.labels = std::move(labels);
+    entry.metric = std::make_unique<Histogram>(options);
+  } else {
+    QPP_CHECK_MSG(entry.metric->options() == options,
+                  "histogram '" << name
+                                << "' re-registered with a different layout");
+  }
+  return entry.metric.get();
+}
+
+std::string MetricsRegistry::StatszText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [key, e] : counters_) {
+    (void)key;
+    out += e.name + RenderLabels(e.labels) + " " +
+           JsonNumber(e.metric->value()) + "\n";
+  }
+  for (const auto& [key, e] : gauges_) {
+    (void)key;
+    out += e.name + RenderLabels(e.labels) + " " +
+           JsonNumber(e.metric->value()) + "\n";
+  }
+  for (const auto& [key, e] : histograms_) {
+    (void)key;
+    const HistogramSnapshot s = e.metric->Snapshot();
+    const std::string labels = RenderLabels(e.labels);
+    out += e.name + "_count" + labels + " " + JsonNumber(s.count()) + "\n";
+    out += e.name + "_underflow" + labels + " " + JsonNumber(s.underflow) +
+           "\n";
+    out += e.name + "_overflow" + labels + " " + JsonNumber(s.overflow) +
+           "\n";
+    out += e.name + "_min" + labels + " " + JsonNumber(s.min) + "\n";
+    out += e.name + "_max" + labels + " " + JsonNumber(s.max) + "\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      const std::pair<std::string, std::string> quantile = {
+          "quantile", JsonNumber(q)};
+      out += e.name + RenderLabels(e.labels, &quantile) + " " +
+             JsonNumber(s.Quantile(q)) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& [key, e] : counters_) {
+    (void)key;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + JsonString(e.name) +
+           ",\"labels\":" + LabelsJson(e.labels) +
+           ",\"value\":" + JsonNumber(e.metric->value()) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, e] : gauges_) {
+    (void)key;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + JsonString(e.name) +
+           ",\"labels\":" + LabelsJson(e.labels) +
+           ",\"value\":" + JsonNumber(e.metric->value()) + "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, e] : histograms_) {
+    (void)key;
+    if (!first) out += ',';
+    first = false;
+    const HistogramSnapshot s = e.metric->Snapshot();
+    out += "{\"name\":" + JsonString(e.name) +
+           ",\"labels\":" + LabelsJson(e.labels) +
+           ",\"count\":" + JsonNumber(s.count()) +
+           ",\"underflow\":" + JsonNumber(s.underflow) +
+           ",\"overflow\":" + JsonNumber(s.overflow) +
+           ",\"min\":" + JsonNumber(s.min) + ",\"max\":" + JsonNumber(s.max) +
+           ",\"p50\":" + JsonNumber(s.Quantile(0.5)) +
+           ",\"p95\":" + JsonNumber(s.Quantile(0.95)) +
+           ",\"p99\":" + JsonNumber(s.Quantile(0.99)) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace qpp::obs

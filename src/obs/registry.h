@@ -1,0 +1,72 @@
+// The unified metrics registry: named + labeled counters, gauges, and
+// histograms with a snapshot/export API.
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and
+// returns a stable pointer — resolve once, then record through the pointer
+// with zero registry involvement (the metric primitives themselves are
+// lock-free, see metrics.h). Re-requesting the same (name, labels) returns
+// the same instance, so independent components can share a metric.
+//
+// Exports:
+//   StatszText() — plaintext exposition, one `name{labels} value` line per
+//                  sample in deterministic order (Prometheus-style; the
+//                  /statsz page of the service).
+//   ToJson()     — the same data as a JSON document for dashboards.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace qpp::obs {
+
+/// Metric labels as key/value pairs; sorted by key at registration time so
+/// label order never distinguishes metrics.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  /// The histogram's layout is fixed at first registration; re-requesting
+  /// with different options is a programming error (QPP_CHECK).
+  Histogram* GetHistogram(const std::string& name, Labels labels = {},
+                          HistogramOptions options = {});
+
+  /// Plaintext dump. Histograms expand into _count/_underflow/_overflow/
+  /// _min/_max samples plus quantile-labeled value lines.
+  std::string StatszText() const;
+
+  /// {"counters": [...], "gauges": [...], "histograms": [...]}.
+  std::string ToJson() const;
+
+  size_t num_metrics() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+
+  static std::string Key(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  // std::map keeps export order deterministic (sorted by name + labels).
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+}  // namespace qpp::obs

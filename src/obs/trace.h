@@ -1,0 +1,131 @@
+// Per-request span tracing with Chrome trace_event JSON export.
+//
+// A TraceRecorder collects timestamped spans from any number of threads;
+// WriteChromeTrace() emits a file loadable in chrome://tracing or
+// https://ui.perfetto.dev. Two kinds of producers feed it:
+//
+//  * RAII spans (obs::Span) measured against the wall clock — the serve
+//    pipeline stages (batch assembly, cache lookup, predict, respond) and
+//    the predictor's internal stages (preprocess, kcca_project, knn, ...).
+//  * Manually timed complete events — queue-wait intervals whose endpoints
+//    were observed on different threads, and the execution simulator's
+//    per-operator spans, which live in *simulated* time but are placed on
+//    the recorder's timeline so a simulated query's critical path renders
+//    next to the service's own latency (separate pid / track group).
+//
+// Cost model: tracing must be free when disabled. Every recording helper
+// takes a `TraceRecorder*` that is null when tracing is off, and bails on
+// one pointer test before touching the clock — a Span on a null recorder
+// compiles down to two branches and no stores. The serve throughput gate
+// (bench_serve_throughput) runs with tracing off and verifies the hot path
+// stayed intact.
+//
+// Thread safety: all members are safe to call concurrently; event append
+// takes a mutex (one lock per span *end*, never on the disabled path).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace qpp::obs {
+
+/// One Chrome trace_event. `args` values are pre-encoded JSON tokens
+/// (quoted strings or bare numbers) — see Span::AddArg.
+struct TraceEvent {
+  /// 'X' = complete span, 'b'/'e' = async begin/end (overlap-safe, used
+  /// for queue waits), 'M' = metadata, 'i' = instant.
+  char phase = 'X';
+  std::string name;
+  std::string category;
+  uint32_t pid = 1;
+  uint32_t tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;  ///< complete events only
+  uint64_t id = 0;      ///< async events only
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceRecorder {
+ public:
+  /// Track groups (Chrome "processes") the stack records into.
+  static constexpr uint32_t kServicePid = 1;    ///< serve pipeline wall time
+  static constexpr uint32_t kSimulatorPid = 2;  ///< simulated query time
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since the recorder was created (monotonic clock).
+  uint64_t NowMicros() const;
+  /// The same timeline for an externally captured steady_clock instant
+  /// (clamped to 0 for instants predating the recorder).
+  uint64_t MicrosAt(std::chrono::steady_clock::time_point tp) const;
+
+  /// Small stable id for the calling thread (1, 2, ... in first-seen
+  /// order), used as the Chrome tid.
+  uint32_t CurrentThreadTid();
+
+  /// Reserves `n` consecutive track ids for manually timed spans (the
+  /// simulator takes one group of lanes per traced query so queries never
+  /// interleave on a track). Independent of thread tids only across pids —
+  /// callers use these with pid != kServicePid.
+  uint32_t AllocateTrackIds(uint32_t n);
+
+  /// Unique id for async ('b'/'e') event pairing.
+  uint64_t NextAsyncId();
+
+  void Add(TraceEvent event);
+
+  size_t event_count() const;
+  std::vector<TraceEvent> Events() const;  ///< snapshot copy (tests/tools)
+
+  /// The full Chrome trace JSON document:
+  /// {"displayTimeUnit":"ms","traceEvents":[...]}.
+  std::string ToJson() const;
+  void WriteChromeTrace(std::ostream* os) const;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, uint32_t> thread_tids_;
+  uint32_t next_thread_tid_ = 1;
+  uint32_t next_track_id_ = 1;
+  uint64_t next_async_id_ = 1;
+};
+
+/// RAII complete-event span. Constructed against a possibly-null recorder:
+/// null means tracing is disabled and every member function is an inert
+/// branch (no clock read, no allocation).
+///
+///   obs::Span span(trace, "predict");      // trace may be nullptr
+///   span.AddArg("batch", batch.size());
+///   ...                                     // span closes at scope exit
+class Span {
+ public:
+  Span(TraceRecorder* recorder, const char* name,
+       const char* category = "serve");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void AddArg(const char* key, double value);
+  void AddArg(const char* key, uint64_t value);
+  void AddArg(const char* key, const char* value);
+
+ private:
+  TraceRecorder* const recorder_;
+  const char* const name_;
+  const char* const category_;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace qpp::obs

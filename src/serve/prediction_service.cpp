@@ -107,12 +107,46 @@ void PredictionService::WorkerLoop() {
 }
 
 void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
+  obs::TraceRecorder* const trace = config_.trace;
+  obs::Span batch_span(trace, "batch");
+  batch_span.AddArg("size", static_cast<uint64_t>(batch->size()));
+
   const ModelRegistry::Snapshot snap = registry_->Acquire();
   const auto picked_up_at = std::chrono::steady_clock::now();
+
+  if (trace != nullptr) {
+    // Queue-wait intervals: begun at Submit() on a client thread, ended at
+    // pickup here. Emitted as async begin/end pairs — unlike complete
+    // spans, overlapping waits from concurrent requests render correctly.
+    for (const Pending& p : *batch) {
+      const uint64_t id = trace->NextAsyncId();
+      const uint32_t tid = trace->CurrentThreadTid();
+      obs::TraceEvent b;
+      b.phase = 'b';
+      b.name = "queue_wait";
+      b.category = "serve";
+      b.pid = obs::TraceRecorder::kServicePid;
+      b.tid = tid;
+      b.ts_us = trace->MicrosAt(p.enqueued_at);
+      b.id = id;
+      trace->Add(std::move(b));
+      obs::TraceEvent e;
+      e.phase = 'e';
+      e.name = "queue_wait";
+      e.category = "serve";
+      e.pid = obs::TraceRecorder::kServicePid;
+      e.tid = tid;
+      e.ts_us = trace->MicrosAt(picked_up_at);
+      e.id = id;
+      trace->Add(std::move(e));
+    }
+  }
 
   // Pass 1: deadline policy and cache probes; collect the model's work.
   std::vector<size_t> miss_indices;
   std::vector<linalg::Vector> miss_features;
+  {
+  obs::Span cache_span(trace, "cache_lookup");
   for (size_t i = 0; i < batch->size(); ++i) {
     Pending& p = (*batch)[i];
     if (config_.queue_deadline_seconds > 0.0 &&
@@ -154,13 +188,20 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
     miss_indices.push_back(i);
     miss_features.push_back(p.request.features);
   }
+  }  // cache_span
   if (miss_indices.empty()) return;
 
   // Pass 2: one batched prediction for everything the cache did not cover.
   // PredictBatch is bit-identical to per-query Predict, so batching never
-  // changes an answer.
-  const std::vector<core::Prediction> predictions =
-      snap.model->PredictBatch(miss_features);
+  // changes an answer (tracing doesn't either — it only wraps the stages).
+  std::vector<core::Prediction> predictions;
+  {
+    obs::Span predict_span(trace, "predict");
+    predict_span.AddArg("misses", static_cast<uint64_t>(miss_indices.size()));
+    predict_span.AddArg("generation", snap.generation);
+    predictions = snap.model->PredictBatch(miss_features, trace);
+  }
+  obs::Span respond_span(trace, "respond");
   for (size_t j = 0; j < miss_indices.size(); ++j) {
     Pending& p = (*batch)[miss_indices[j]];
     const core::Prediction& prediction = predictions[j];

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/workload_manager.h"
+#include "obs/trace.h"
 #include "serve/bounded_queue.h"
 #include "serve/cost_fallback.h"
 #include "serve/lru_cache.h"
@@ -91,6 +92,12 @@ struct ServiceConfig {
   bool fallback_on_anomalous = true;
   /// Result-cache entries (exact feature-vector match); 0 disables.
   size_t cache_capacity = 4096;
+  /// Per-request span tracing (queue wait, batch assembly, cache lookup,
+  /// predict stages, respond) into this recorder; null (the default)
+  /// disables tracing at the cost of one pointer test per stage — the
+  /// serve throughput gate runs in this mode and must not move. The
+  /// recorder must outlive the service.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class PredictionService {
@@ -117,6 +124,10 @@ class PredictionService {
   void Shutdown();
 
   ServiceStatsSnapshot stats() const { return stats_.Snapshot(); }
+  /// The service's metrics registry (statsz/JSON export surface; see
+  /// docs/OBSERVABILITY.md for the metric names).
+  obs::MetricsRegistry* metrics() { return stats_.registry(); }
+  const obs::MetricsRegistry& metrics() const { return stats_.registry(); }
   const ServiceConfig& config() const { return config_; }
 
  private:

@@ -1,66 +1,45 @@
 #include "serve/service_stats.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace qpp::serve {
 
-void LatencyHistogram::Record(double seconds) {
-  // Clamp into the representable range; sub-100ns and >100s latencies land
-  // in the edge buckets.
-  double idx_f = (std::log10(std::max(seconds, 1e-300)) - kMinExponent) *
-                 static_cast<double>(kBucketsPerDecade);
-  idx_f = std::clamp(idx_f, 0.0, static_cast<double>(kNumBuckets - 1));
-  buckets_[static_cast<size_t>(idx_f)].fetch_add(1,
-                                                 std::memory_order_relaxed);
-}
-
-double LatencyHistogram::Quantile(double q) const {
-  q = std::clamp(q, 0.0, 1.0);
-  uint64_t total = 0;
-  std::array<uint64_t, kNumBuckets> counts;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  if (total == 0) return 0.0;
-  const uint64_t rank = static_cast<uint64_t>(
-      std::ceil(q * static_cast<double>(total)));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    seen += counts[i];
-    if (seen >= std::max<uint64_t>(rank, 1)) {
-      // Geometric midpoint of the bucket.
-      const double exp = kMinExponent +
-                         (static_cast<double>(i) + 0.5) /
-                             static_cast<double>(kBucketsPerDecade);
-      return std::pow(10.0, exp);
-    }
-  }
-  return std::pow(10.0, kMaxExponent);
-}
-
-uint64_t LatencyHistogram::count() const {
-  uint64_t total = 0;
-  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
-  return total;
-}
+ServiceStats::ServiceStats()
+    : requests_(registry_.GetCounter("qpp_serve_requests_total")),
+      cache_hits_(registry_.GetCounter("qpp_serve_cache_hits_total")),
+      model_predictions_(
+          registry_.GetCounter("qpp_serve_model_predictions_total")),
+      fallback_no_model_(registry_.GetCounter(
+          "qpp_serve_fallbacks_total", {{"reason", "no-model"}})),
+      fallback_anomalous_(registry_.GetCounter(
+          "qpp_serve_fallbacks_total", {{"reason", "anomalous"}})),
+      fallback_deadline_(registry_.GetCounter(
+          "qpp_serve_fallbacks_total", {{"reason", "deadline"}})),
+      rejected_(registry_.GetCounter("qpp_serve_rejected_total")),
+      batches_(registry_.GetCounter("qpp_serve_batches_total")),
+      batched_requests_(
+          registry_.GetCounter("qpp_serve_batched_requests_total")),
+      latency_(registry_.GetHistogram("qpp_serve_latency_seconds")) {}
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
   ServiceStatsSnapshot s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.model_predictions = model_predictions_.load(std::memory_order_relaxed);
-  s.fallback_no_model = fallback_no_model_.load(std::memory_order_relaxed);
-  s.fallback_anomalous = fallback_anomalous_.load(std::memory_order_relaxed);
-  s.fallback_deadline = fallback_deadline_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
-  s.p50_seconds = latency_.Quantile(0.50);
-  s.p95_seconds = latency_.Quantile(0.95);
-  s.p99_seconds = latency_.Quantile(0.99);
+  s.requests = requests_->value();
+  s.cache_hits = cache_hits_->value();
+  s.model_predictions = model_predictions_->value();
+  s.fallback_no_model = fallback_no_model_->value();
+  s.fallback_anomalous = fallback_anomalous_->value();
+  s.fallback_deadline = fallback_deadline_->value();
+  s.rejected = rejected_->value();
+  s.batches = batches_->value();
+  s.batched_requests = batched_requests_->value();
+  const obs::HistogramSnapshot latency = latency_->Snapshot();
+  s.p50_seconds = latency.Quantile(0.50);
+  s.p95_seconds = latency.Quantile(0.95);
+  s.p99_seconds = latency.Quantile(0.99);
+  s.latency_min_seconds = latency.min;
+  s.latency_max_seconds = latency.max;
+  s.latency_underflow = latency.underflow;
+  s.latency_overflow = latency.overflow;
   return s;
 }
 
@@ -79,7 +58,7 @@ std::string FormatLatency(double seconds) {
 }  // namespace
 
 std::string ServiceStatsSnapshot::ToString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "requests:          %llu (rejected: %llu)\n"
@@ -88,7 +67,8 @@ std::string ServiceStatsSnapshot::ToString() const {
       "fallbacks:         %llu (no-model %llu, anomalous %llu, deadline "
       "%llu)\n"
       "batches:           %llu (mean size %.2f)\n"
-      "latency:           p50 %s, p95 %s, p99 %s\n",
+      "latency:           p50 %s, p95 %s, p99 %s\n"
+      "latency range:     min %s, max %s\n",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(cache_hits), 100.0 * cache_hit_rate(),
@@ -99,7 +79,9 @@ std::string ServiceStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(fallback_deadline),
       static_cast<unsigned long long>(batches), mean_batch_size(),
       FormatLatency(p50_seconds).c_str(), FormatLatency(p95_seconds).c_str(),
-      FormatLatency(p99_seconds).c_str());
+      FormatLatency(p99_seconds).c_str(),
+      FormatLatency(latency_min_seconds).c_str(),
+      FormatLatency(latency_max_seconds).c_str());
   return buf;
 }
 

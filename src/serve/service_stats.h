@@ -1,40 +1,28 @@
 // Built-in service observability: request/fallback/cache counters and a
-// lock-free log-bucketed latency histogram with p50/p95/p99 estimates.
+// wait-free log-bucketed latency histogram with p50/p95/p99 estimates.
 //
-// Everything is std::atomic with relaxed ordering — the counters are
-// monotonic tallies, not synchronization, and a snapshot taken under
-// traffic is allowed to be a few requests stale.
+// Since the qpp::obs subsystem landed, ServiceStats is a facade over an
+// obs::MetricsRegistry: every counter and the latency histogram live in
+// the registry under stable names (qpp_serve_*, see docs/OBSERVABILITY.md)
+// so the same numbers are available through the statsz/JSON exports, while
+// this header keeps the original narrow Record*/Snapshot API the service
+// and its tests were written against. The hot path is unchanged — the
+// registry hands back stable metric pointers that are resolved once in the
+// constructor, and recording through them is the same relaxed-atomic
+// fetch_add it always was.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/registry.h"
+
 namespace qpp::serve {
 
-/// Log-spaced latency histogram: 8 buckets per decade across 1e-7s..1e2s.
-/// Record() is wait-free; quantiles are estimated as the geometric midpoint
-/// of the bucket containing the requested rank (≤ ~15% relative error,
-/// plenty for a p99 readout).
-class LatencyHistogram {
- public:
-  static constexpr size_t kBucketsPerDecade = 8;
-  static constexpr int kMinExponent = -7;  ///< 100 ns
-  static constexpr int kMaxExponent = 2;   ///< 100 s
-  static constexpr size_t kNumBuckets =
-      kBucketsPerDecade * static_cast<size_t>(kMaxExponent - kMinExponent);
-
-  void Record(double seconds);
-
-  /// Latency (seconds) at quantile q in [0, 1]; 0 when empty.
-  double Quantile(double q) const;
-
-  uint64_t count() const;
-
- private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-};
+/// Log-spaced latency histogram: 8 buckets per decade across 1e-7s..1e2s,
+/// with explicit underflow/overflow buckets and exact observed min/max
+/// (obs::Histogram's defaults are exactly this layout).
+using LatencyHistogram = obs::Histogram;
 
 /// One consistent-enough read of the service counters.
 struct ServiceStatsSnapshot {
@@ -50,6 +38,14 @@ struct ServiceStatsSnapshot {
   double p50_seconds = 0.0;
   double p95_seconds = 0.0;
   double p99_seconds = 0.0;
+  /// Exact extreme latencies observed (not bucket estimates); 0 when no
+  /// responses were recorded.
+  double latency_min_seconds = 0.0;
+  double latency_max_seconds = 0.0;
+  /// Samples outside the histogram range (sub-100ns / >100s); they count
+  /// toward `requests` and the quantile ranks but carry no bucket.
+  uint64_t latency_underflow = 0;
+  uint64_t latency_overflow = 0;
 
   uint64_t fallbacks() const {
     return fallback_no_model + fallback_anomalous + fallback_deadline;
@@ -71,42 +67,43 @@ struct ServiceStatsSnapshot {
 
 class ServiceStats {
  public:
+  ServiceStats();
+
   void RecordResponse(double latency_seconds) {
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    latency_.Record(latency_seconds);
+    requests_->Inc();
+    latency_->Record(latency_seconds);
   }
-  void RecordCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordModelPrediction() {
-    model_predictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordFallbackNoModel() {
-    fallback_no_model_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordFallbackAnomalous() {
-    fallback_anomalous_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordFallbackDeadline() {
-    fallback_deadline_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordCacheHit() { cache_hits_->Inc(); }
+  void RecordModelPrediction() { model_predictions_->Inc(); }
+  void RecordFallbackNoModel() { fallback_no_model_->Inc(); }
+  void RecordFallbackAnomalous() { fallback_anomalous_->Inc(); }
+  void RecordFallbackDeadline() { fallback_deadline_->Inc(); }
+  void RecordRejected() { rejected_->Inc(); }
   void RecordBatch(size_t batch_size) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
+    batches_->Inc();
+    batched_requests_->Inc(batch_size);
   }
 
   ServiceStatsSnapshot Snapshot() const;
 
+  /// The backing registry — the statsz/JSON export surface, and where
+  /// components sharing the service's observability (e.g. a DriftMonitor)
+  /// register their own metrics.
+  obs::MetricsRegistry* registry() { return &registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> model_predictions_{0};
-  std::atomic<uint64_t> fallback_no_model_{0};
-  std::atomic<uint64_t> fallback_anomalous_{0};
-  std::atomic<uint64_t> fallback_deadline_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batched_requests_{0};
-  LatencyHistogram latency_;
+  obs::MetricsRegistry registry_;
+  obs::Counter* requests_;
+  obs::Counter* cache_hits_;
+  obs::Counter* model_predictions_;
+  obs::Counter* fallback_no_model_;
+  obs::Counter* fallback_anomalous_;
+  obs::Counter* fallback_deadline_;
+  obs::Counter* rejected_;
+  obs::Counter* batches_;
+  obs::Counter* batched_requests_;
+  obs::Histogram* latency_;
 };
 
 }  // namespace qpp::serve

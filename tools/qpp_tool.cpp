@@ -13,19 +13,28 @@
 //       predict AND simulate, printing predicted vs actual side by side.
 //   qpp_tool serve   [--model MODEL] [--clients C] [--requests R] ...
 //       run the concurrent prediction service against a simulated
-//       multi-client workload and print service stats + admission decisions.
+//       multi-client workload and print service stats, drift-monitor
+//       EWMAs, and admission decisions. --trace-out FILE drops a Chrome
+//       trace-event JSON (chrome://tracing / Perfetto) of the serve
+//       pipeline plus simulated operator spans; --statsz FILE dumps the
+//       metrics registry (plaintext + .json sibling).
+//   qpp_tool obs     --sql SQL [--model MODEL] --trace-out FILE
+//       trace one query end to end: traced prediction stages + the
+//       simulator's per-operator critical path, in one loadable file.
 //
 // All commands run against the TPC-DS SF-1 catalog on the Neoview-4
 // configuration; this is a demonstration surface, not a kitchen sink.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "catalog/tpcds.h"
@@ -36,6 +45,8 @@
 #include "core/workload_manager.h"
 #include "engine/simulator.h"
 #include "ml/feature_vector.h"
+#include "obs/drift_monitor.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_serde.h"
 #include "serve/prediction_service.h"
@@ -83,8 +94,22 @@ int Usage() {
                "S]\n"
                "                   [--clients C] [--requests R] [--workers "
                "W]\n"
-               "                   [--batch B] [--cache N] [--distinct D]\n");
+               "                   [--batch B] [--cache N] [--distinct D]\n"
+               "                   [--trace-out FILE] [--statsz FILE]\n"
+               "  qpp_tool obs     --sql SQL --trace-out FILE [--model "
+               "MODEL]\n"
+               "                   [--candidates N] [--seed S]\n");
   return 2;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return out.good();
 }
 
 core::ExperimentData BuildData(const Args& args) {
@@ -241,6 +266,13 @@ int CmdServe(const Args& args) {
       static_cast<size_t>(std::stoul(args.get("batch", "16")));
   service_config.cache_capacity =
       static_cast<size_t>(std::stoul(args.get("cache", "4096")));
+  const std::string trace_path = args.get("trace-out");
+  const std::string statsz_path = args.get("statsz");
+  std::unique_ptr<obs::TraceRecorder> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::TraceRecorder>();
+    service_config.trace = trace.get();
+  }
 
   std::printf("building workload...\n");
   const core::ExperimentData data = BuildData(args);
@@ -280,15 +312,24 @@ int CmdServe(const Args& args) {
   serve::PredictionService service(&registry, service_config, calibration);
   const core::WorkloadManager manager{core::WorkloadManagerConfig{}};
 
-  // The distinct request pool every client draws from.
+  // The distinct request pool every client draws from, plus each entry's
+  // simulator-observed metrics — the "actuals" the drift monitor scores
+  // served predictions against.
   std::vector<serve::ServeRequest> request_pool;
+  std::vector<const workload::PooledQuery*> pool_queries;
   const size_t pool_size = std::min(distinct, data.pools.queries.size());
   for (size_t i = 0; i < pool_size; ++i) {
     const auto& q =
         data.pools.queries[i * data.pools.queries.size() / pool_size];
     request_pool.push_back(
         {ml::PlanFeatureVector(q.plan), q.plan.optimizer_cost});
+    pool_queries.push_back(&q);
   }
+
+  // Online drift monitoring: every response is compared against the
+  // simulator's observed metrics for its query; EWMAs land in the
+  // service's own registry (so --statsz exposes them too).
+  obs::DriftMonitor drift({}, service.metrics());
 
   std::printf("serving %zu clients x %zu requests (%zu distinct queries, "
               "%zu workers, batch <= %zu)...\n",
@@ -303,19 +344,26 @@ int CmdServe(const Args& args) {
     client_threads.emplace_back([&, c] {
       Rng rng(0xC11E47ull * (c + 1));
       std::vector<std::future<serve::ServeResponse>> futures;
+      std::vector<size_t> picks;
       futures.reserve(requests_per_client);
+      picks.reserve(requests_per_client);
       for (size_t r = 0; r < requests_per_client; ++r) {
         const size_t pick = static_cast<size_t>(
             rng.UniformInt(0, static_cast<int64_t>(request_pool.size()) - 1));
         futures.push_back(service.Submit(request_pool[pick]));
+        picks.push_back(pick);
       }
       std::map<core::AdmissionDecision, size_t> local_decisions;
       std::map<serve::ResponseSource, size_t> local_sources;
-      for (auto& f : futures) {
-        const serve::ServeResponse resp = f.get();
+      for (size_t i = 0; i < futures.size(); ++i) {
+        const serve::ServeResponse resp = futures[i].get();
         const auto outcome = serve::AdmitServed(manager, resp);
         local_decisions[outcome.decision] += 1;
         local_sources[resp.source] += 1;
+        drift.Observe(resp.source == serve::ResponseSource::kOptimizerFallback
+                          ? obs::DriftMonitor::Source::kFallback
+                          : obs::DriftMonitor::Source::kModel,
+                      resp.prediction.metrics, pool_queries[picks[i]]->metrics);
       }
       std::lock_guard<std::mutex> lock(agg_mu);
       for (const auto& [d, n] : local_decisions) decisions[d] += n;
@@ -340,6 +388,85 @@ int CmdServe(const Args& args) {
     std::printf("  %-15s %zu\n", serve::ResponseSourceName(s), n);
   }
   std::printf("\nservice stats:\n%s", service.stats().ToString().c_str());
+  std::printf("\n%s", drift.ToString().c_str());
+
+  if (trace != nullptr) {
+    // Append the simulated critical path of a few distinct queries to the
+    // same trace, so the serve-pipeline spans and the simulator's
+    // per-operator breakdown load side by side in Perfetto.
+    const engine::ExecutionSimulator sim(data.catalog.get(), data.config);
+    const size_t traced = std::min<size_t>(3, pool_queries.size());
+    for (size_t i = 0; i < traced; ++i) {
+      sim.Execute(pool_queries[i]->plan, trace.get());
+    }
+    if (!WriteTextFile(trace_path, trace->ToJson())) return 1;
+    std::printf("\ntrace: %zu events written to %s "
+                "(load in chrome://tracing or ui.perfetto.dev)\n",
+                trace->event_count(), trace_path.c_str());
+  }
+  if (!statsz_path.empty()) {
+    const obs::MetricsRegistry& registry = std::as_const(service).metrics();
+    if (!WriteTextFile(statsz_path, registry.StatszText())) return 1;
+    if (!WriteTextFile(statsz_path + ".json", registry.ToJson())) return 1;
+    std::printf("statsz: %zu metrics written to %s (+ .json)\n",
+                registry.num_metrics(), statsz_path.c_str());
+  }
+  return 0;
+}
+
+// Traces a single query end to end: the predictor's internal stages
+// (preprocess, kcca_project, knn, assemble) measured in wall time, then the
+// execution simulator's per-operator critical path with cpu/io/net lanes in
+// simulated time — one file, two track groups.
+int CmdObs(const Args& args) {
+  const std::string sql = args.get("sql");
+  const std::string trace_path = args.get("trace-out");
+  if (sql.empty() || trace_path.empty()) return Usage();
+
+  core::Predictor predictor;
+  const std::string model_path = args.get("model");
+  if (!model_path.empty()) {
+    auto model = core::LoadModelFile(model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+      return 1;
+    }
+    predictor = std::move(model).value();
+  } else {
+    std::printf("training in-process (pass --model to use a file)...\n");
+    Args train_args = args;
+    train_args.options.emplace("candidates", "600");  // keeps no-op if set
+    const core::ExperimentData data = BuildData(train_args);
+    predictor.Train(core::MakeAllExamples(data.pools));
+  }
+
+  const catalog::Catalog cat = catalog::MakeTpcdsCatalog(1.0);
+  const optimizer::Optimizer opt(&cat, {});
+  const auto plan = opt.Plan(sql);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().message().c_str());
+    return 1;
+  }
+
+  obs::TraceRecorder trace;
+  std::vector<core::Prediction> predictions;
+  {
+    obs::Span span(&trace, "predict");
+    predictions = predictor.PredictBatch(
+        {ml::PlanFeatureVector(plan.value())}, &trace);
+  }
+  std::printf("prediction:\n");
+  PrintPrediction(predictions[0]);
+
+  const engine::ExecutionSimulator sim(&cat,
+                                       engine::SystemConfig::Neoview4());
+  const engine::QueryMetrics actual = sim.Execute(plan.value(), &trace);
+  std::printf("simulated actual:\n  %s\n", actual.ToString().c_str());
+
+  if (!WriteTextFile(trace_path, trace.ToJson())) return 1;
+  std::printf("trace: %zu events written to %s "
+              "(load in chrome://tracing or ui.perfetto.dev)\n",
+              trace.event_count(), trace_path.c_str());
   return 0;
 }
 
@@ -354,6 +481,7 @@ int main(int argc, char** argv) {
     if (args.command == "predict") return CmdPredict(args);
     if (args.command == "explain") return CmdExplain(args);
     if (args.command == "serve") return CmdServe(args);
+    if (args.command == "obs") return CmdObs(args);
   } catch (const CheckFailure& e) {
     std::fprintf(stderr, "internal error: %s\n", e.what());
     return 1;
