@@ -23,13 +23,14 @@ ExecutionSimulator::ExecutionSimulator(const catalog::Catalog* catalog,
 }
 
 ExecutionSimulator::OpCosts ExecutionSimulator::CostOf(
-    const optimizer::PhysicalNode& n) const {
+    const optimizer::PhysicalNode& n, int nodes,
+    double work_mem_bytes) const {
   using optimizer::PhysOp;
   OpCosts c;
   const double out_rows = std::max(n.true_rows, 0.0);
   const double width = std::max(n.row_width, 1.0);
   const double page_bytes = config_.page_kb * 1024.0;
-  const int P = config_.nodes_used;
+  const int P = nodes;
 
   // OS version 2 shifted join/sort costs (the paper's upgrade anecdote).
   const double os_join = config_.os_version >= 2 ? 1.25 : 1.0;
@@ -80,7 +81,7 @@ ExecutionSimulator::OpCosts ExecutionSimulator::CostOf(
                       os_join * kNs;
       const double inner_bytes = inner * n.children[1]->row_width;
       c.working_bytes = inner_bytes;
-      if (inner_bytes > config_.WorkMemBytes()) {
+      if (inner_bytes > work_mem_bytes) {
         // Inner does not fit: one materialization round-trip.
         c.io_pages += 2.0 * inner_bytes / page_bytes;
       }
@@ -96,7 +97,7 @@ ExecutionSimulator::OpCosts ExecutionSimulator::CostOf(
       const double build_bytes = build * n.children[1]->row_width;
       const double probe_bytes = probe * n.children[0]->row_width;
       c.working_bytes = build_bytes / P;
-      if (build_bytes / P > config_.WorkMemBytes()) {
+      if (build_bytes / P > work_mem_bytes) {
         // Grace hash join: spill both inputs once (write + read).
         c.io_pages += 2.0 * (build_bytes + probe_bytes) / page_bytes;
         c.cpu_seconds *= 1.6;  // re-partitioning passes
@@ -118,7 +119,7 @@ ExecutionSimulator::OpCosts ExecutionSimulator::CostOf(
       c.cpu_seconds = in_rows * log_n * config_.sort_cmp_us * os_join * kUs;
       const double bytes = in_rows * width;
       c.working_bytes = bytes / P;
-      if (n.op == PhysOp::kSort && bytes / P > config_.WorkMemBytes()) {
+      if (n.op == PhysOp::kSort && bytes / P > work_mem_bytes) {
         // External sort: one spill-and-merge pass.
         c.io_pages += 2.0 * bytes / page_bytes;
       }
@@ -132,7 +133,7 @@ ExecutionSimulator::OpCosts ExecutionSimulator::CostOf(
           (config_.agg_row_us + 0.1 * static_cast<double>(n.num_aggs)) * kUs;
       const double ht_bytes = out_rows * width;
       c.working_bytes = ht_bytes / P;
-      if (ht_bytes / P > config_.WorkMemBytes()) {
+      if (ht_bytes / P > work_mem_bytes) {
         c.io_pages += 2.0 * in_rows * width / page_bytes;
         c.cpu_seconds *= 1.5;
       }
@@ -159,22 +160,39 @@ ExecutionSimulator::OpCosts ExecutionSimulator::CostOf(
 }
 
 QueryMetrics ExecutionSimulator::Execute(const optimizer::PhysicalPlan& plan,
-                                         obs::TraceRecorder* trace) const {
+                                         obs::TraceRecorder* trace,
+                                         const fault::FaultInjector* faults)
+    const {
   QPP_CHECK(plan.root != nullptr);
 
-  // Deterministic per (query, configuration) randomness.
+  // Deterministic per (query, configuration) randomness. Fault decisions
+  // draw from their own (fault seed, query_hash)-keyed streams inside the
+  // injector, so injecting faults never perturbs the skew/noise draws —
+  // a faulted run differs from the clean run only by the fault effects.
   Rng rng(SplitMix64(plan.query_hash ^ config_.Fingerprint()));
   const double skew = rng.Uniform(0.0, 0.05);
   const double noise = std::exp(config_.noise_sigma * rng.Gaussian());
 
-  const double eff_nodes = std::max(1.0, config_.nodes_used * (1.0 - skew));
+  fault::FaultInjector::QueryFaults qf;
+  const bool faulted = faults != nullptr && faults->engine_enabled();
+  if (faulted) qf = faults->SampleQuery(plan.query_hash, config_.nodes_used);
+
+  // Node failure re-partitions the failed nodes' work over the survivors:
+  // fewer processors per operator, fewer network endpoints, smaller
+  // aggregate working memory — plus a one-time failover cost.
+  const int live_nodes = std::max(1, config_.nodes_used - qf.failed_nodes);
+  const double work_mem = config_.WorkMemBytes() * qf.work_mem_multiplier;
+  const double eff_nodes = std::max(1.0, live_nodes * (1.0 - skew));
   // I/O parallelism: data spans all disks of the machine.
   const double eff_disks = std::max(1, config_.total_nodes);
   const double net_bw =
-      config_.net_mb_per_s * 1024.0 * 1024.0 * config_.nodes_used;
+      config_.net_mb_per_s * 1024.0 * 1024.0 * live_nodes;
+  const double retransmit_factor =
+      faulted ? std::max(1.0, faults->plan().engine.retransmit_cost_factor)
+              : 1.0;
 
   QueryMetrics m;
-  double elapsed = config_.startup_seconds;
+  double elapsed = config_.startup_seconds + qf.repartition_seconds;
   double peak_mem = 0.0;
 
   // Profiling lanes for this query: operators on `tid0`, the cpu/io/net
@@ -201,14 +219,34 @@ QueryMetrics ExecutionSimulator::Execute(const optimizer::PhysicalPlan& plan,
   if (trace != nullptr && config_.startup_seconds > 0.0) {
     emit("startup", 0, 0.0, config_.startup_seconds);
   }
+  if (trace != nullptr && qf.repartition_seconds > 0.0) {
+    std::vector<std::pair<std::string, std::string>> args;
+    args.emplace_back("failed_nodes",
+                      obs::JsonNumber(static_cast<uint64_t>(qf.failed_nodes)));
+    emit("fault:node_failover", 0, config_.startup_seconds,
+         qf.repartition_seconds, std::move(args));
+  }
 
+  size_t op_index = 0;
   plan.Visit([&](const optimizer::PhysicalNode& n) {
-    const OpCosts c = CostOf(n);
-    const double cpu_t = c.cpu_seconds / eff_nodes;
-    const double io_t = c.io_pages * config_.disk_page_ms * 1e-3 / eff_disks;
-    const double net_t = c.net_bytes / net_bw +
-                         c.net_messages * config_.msg_overhead_us * kUs /
-                             config_.nodes_used;
+    const OpCosts c = CostOf(n, live_nodes, work_mem);
+    fault::FaultInjector::OpFaults of;
+    if (faulted) of = faults->SampleOp(qf, op_index, c.net_messages);
+    ++op_index;
+    // Lost messages are retransmitted: the payload crosses the wire again
+    // and each loss costs retransmit_factor sent-message equivalents
+    // (timeout + resend). Both land in the observable message counters.
+    const double extra_messages =
+        c.net_messages * of.message_loss * retransmit_factor;
+    const double extra_bytes = c.net_bytes * of.message_loss;
+    const double net_messages = c.net_messages + extra_messages;
+    const double net_bytes = c.net_bytes + extra_bytes;
+    const double cpu_t = c.cpu_seconds * qf.cpu_multiplier / eff_nodes;
+    const double io_t = c.io_pages * of.io_multiplier *
+                        config_.disk_page_ms * 1e-3 / eff_disks;
+    const double net_t = net_bytes / net_bw +
+                         net_messages * config_.msg_overhead_us * kUs /
+                             live_nodes;
     const double op_t = std::max({cpu_t, io_t, net_t});
     if (trace != nullptr) {
       std::vector<std::pair<std::string, std::string>> args;
@@ -219,6 +257,12 @@ QueryMetrics ExecutionSimulator::Execute(const optimizer::PhysicalPlan& plan,
       if (!n.table.empty()) {
         args.emplace_back("table", obs::JsonString(n.table));
       }
+      if (of.io_multiplier > 1.0) {
+        args.emplace_back("fault_io_stall", obs::JsonNumber(of.io_multiplier));
+      }
+      if (extra_messages > 0.0) {
+        args.emplace_back("fault_retransmits", obs::JsonNumber(extra_messages));
+      }
       emit(optimizer::PhysOpName(n.op), 0, elapsed, op_t, std::move(args));
       if (cpu_t > 0.0) emit("cpu", 1, elapsed, cpu_t);
       if (io_t > 0.0) emit("io", 2, elapsed, io_t);
@@ -227,8 +271,8 @@ QueryMetrics ExecutionSimulator::Execute(const optimizer::PhysicalPlan& plan,
     elapsed += op_t;
     m.cpu_seconds += c.cpu_seconds;
     m.disk_ios += c.io_pages;
-    m.message_bytes += c.net_bytes;
-    m.message_count += c.net_messages;
+    m.message_bytes += net_bytes;
+    m.message_count += net_messages;
     peak_mem = std::max(peak_mem, c.working_bytes);
   });
   if (trace != nullptr) {

@@ -22,6 +22,7 @@
 #include "catalog/catalog.h"
 #include "engine/metrics.h"
 #include "engine/system_config.h"
+#include "fault/fault_injector.h"
 #include "obs/trace.h"
 #include "optimizer/physical_plan.h"
 
@@ -41,8 +42,19 @@ class ExecutionSimulator {
   /// decided its elapsed contribution is visible. Each traced call takes a
   /// fresh group of tracks, so successive queries never interleave.
   /// Tracing does not change the returned metrics.
+  ///
+  /// When `faults` is non-null and its plan enables engine faults, the run
+  /// suffers the injected faults — disk stalls, message loss with
+  /// retransmits, straggler nodes, node failures with work re-partitioning,
+  /// buffer-pool pressure — sampled deterministically per
+  /// (fault seed, query_hash, operator), so a faulted run is exactly as
+  /// replayable as a clean one. Faults only ever slow the query down:
+  /// every faulted metric is >= its clean value. A null injector (or a
+  /// disabled plan) leaves the metrics bit-identical to the pre-fault
+  /// code path.
   QueryMetrics Execute(const optimizer::PhysicalPlan& plan,
-                       obs::TraceRecorder* trace = nullptr) const;
+                       obs::TraceRecorder* trace = nullptr,
+                       const fault::FaultInjector* faults = nullptr) const;
 
   const SystemConfig& config() const { return config_; }
 
@@ -55,7 +67,10 @@ class ExecutionSimulator {
     double working_bytes = 0.0; // operator working set
   };
 
-  OpCosts CostOf(const optimizer::PhysicalNode& node) const;
+  /// `nodes` and `work_mem_bytes` default to the configured values; fault
+  /// injection passes survivors-after-failure and pressured working memory.
+  OpCosts CostOf(const optimizer::PhysicalNode& node, int nodes,
+                 double work_mem_bytes) const;
 
   const catalog::Catalog* catalog_;
   SystemConfig config_;

@@ -1,0 +1,626 @@
+#include "fault/chaos.h"
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "catalog/tpcds.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/predictor.h"
+#include "engine/simulator.h"
+#include "fault/fault_injector.h"
+#include "obs/drift_monitor.h"
+#include "obs/registry.h"
+#include "optimizer/optimizer.h"
+#include "serve/prediction_service.h"
+#include "workload/generator.h"
+#include "workload/tpcds_templates.h"
+
+namespace qpp::fault {
+namespace {
+
+// ------------------------------------------------------------ utilities --
+
+/// Violation collector with printf ergonomics.
+class Violations {
+ public:
+  explicit Violations(ScenarioResult* result) : result_(result) {}
+
+  void Check(bool ok, const std::string& message) {
+    if (!ok) result_->violations.push_back(message);
+  }
+
+ private:
+  ScenarioResult* result_;
+};
+
+/// All eight fault kinds, for the report's fault digest.
+const char* kAllKinds[] = {
+    "disk_stall",      "message_loss",  "node_slowdown", "node_failure",
+    "buffer_pressure", "submit_reject", "worker_stall",  "registry_swap",
+};
+
+std::string FaultDigest(const FaultInjector& injector) {
+  std::string out = "injected faults:\n";
+  for (const char* kind : kAllKinds) {
+    out += StrFormat("  %-16s %llu\n", kind,
+                     static_cast<unsigned long long>(injector.injected(kind)));
+  }
+  return out;
+}
+
+/// The deterministic subset of the serve counters (everything except
+/// wall-clock latency, which can never be replay-stable).
+std::string ServeCounters(const serve::ServiceStatsSnapshot& s) {
+  return StrFormat(
+      "serve counters:\n"
+      "  requests          %llu\n"
+      "  cache_hits        %llu\n"
+      "  model_predictions %llu\n"
+      "  fb_no_model       %llu\n"
+      "  fb_anomalous      %llu\n"
+      "  fb_deadline       %llu\n"
+      "  fb_shutdown       %llu\n"
+      "  fb_overload       %llu\n"
+      "  fb_circuit_open   %llu\n"
+      "  rejected          %llu\n",
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.model_predictions),
+      static_cast<unsigned long long>(s.fallback_no_model),
+      static_cast<unsigned long long>(s.fallback_anomalous),
+      static_cast<unsigned long long>(s.fallback_deadline),
+      static_cast<unsigned long long>(s.fallback_shutdown),
+      static_cast<unsigned long long>(s.fallback_overload),
+      static_cast<unsigned long long>(s.fallback_circuit_open),
+      static_cast<unsigned long long>(s.rejected));
+}
+
+/// The serving accounting identity: every delivered response was answered
+/// by exactly one of cache / model / fallback.
+void CheckAccounting(const serve::ServiceStatsSnapshot& s, Violations* v) {
+  v->Check(s.cache_hits + s.model_predictions + s.fallbacks() == s.requests,
+           StrFormat("accounting identity broken: cache %llu + model %llu + "
+                     "fallbacks %llu != requests %llu",
+                     static_cast<unsigned long long>(s.cache_hits),
+                     static_cast<unsigned long long>(s.model_predictions),
+                     static_cast<unsigned long long>(s.fallbacks()),
+                     static_cast<unsigned long long>(s.requests)));
+}
+
+// --------------------------------------------------- serve scenario rig --
+
+/// Small synthetic workload with nonlinear metric structure; the same
+/// shape the serve tests train on (milliseconds to fit).
+std::vector<ml::TrainingExample> SyntheticExamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ml::TrainingExample ex;
+    const double a = rng.Uniform(1.0, 10.0);
+    const double b = rng.Uniform(1.0, 10.0);
+    const double c = rng.Uniform(0.0, 5.0);
+    ex.query_features = {a, b, c, a * b, rng.Uniform(0.0, 1.0)};
+    ex.metrics.elapsed_seconds = 0.5 * a * b + c;
+    ex.metrics.records_accessed = 1000.0 * a + 50.0 * c;
+    ex.metrics.records_used = 100.0 * a;
+    ex.metrics.message_count = 10.0 * b;
+    ex.metrics.message_bytes = 1000.0 * b + 10.0 * a;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+std::shared_ptr<const core::Predictor> TrainModel(uint64_t seed) {
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  auto pred = std::make_shared<core::Predictor>(cfg);
+  pred->Train(SyntheticExamples(64, seed));
+  return pred;
+}
+
+/// In-distribution probe vectors (anomaly policy must not fire on them).
+std::vector<linalg::Vector> MakeProbes(size_t n, uint64_t seed) {
+  std::vector<linalg::Vector> out;
+  out.reserve(n);
+  for (const auto& ex : SyntheticExamples(n, seed)) {
+    out.push_back(ex.query_features);
+  }
+  return out;
+}
+
+serve::CostCalibration ChaosCalibration() {
+  serve::CostCalibration cal;
+  cal.slope = 1.0;
+  cal.intercept = -2.0;
+  cal.fitted = true;
+  return cal;
+}
+
+bool BitIdentical(const core::Prediction& a, const core::Prediction& b) {
+  return a.metrics.ToVector() == b.metrics.ToVector() &&
+         a.mean_neighbor_distance == b.mean_neighbor_distance &&
+         a.confidence == b.confidence && a.anomalous == b.anomalous &&
+         a.neighbor_indices == b.neighbor_indices;
+}
+
+// -------------------------------------------------------- engine: plans --
+
+engine::QueryMetrics ScaleMetrics(const engine::QueryMetrics& m,
+                                  double factor) {
+  return engine::QueryMetrics::FromVector(
+      linalg::ScaleVec(m.ToVector(), factor));
+}
+
+// ----------------------------------------------------------- scenarios --
+
+/// node-death: engine faults under the simulator. Determinism (two
+/// injectors with the same plan produce bit-identical metrics), clean-run
+/// bit-identity (a disabled injector changes nothing), and the
+/// faults-only-slow-queries contract on elapsed time.
+ScenarioResult RunNodeDeath(const FaultPlan& plan, const ChaosOptions& opts) {
+  ScenarioResult result;
+  result.name = "node-death";
+  Violations v(&result);
+
+  const catalog::Catalog catalog = catalog::MakeTpcdsCatalog(1.0);
+  optimizer::OptimizerOptions oopts;
+  oopts.nodes_used = 8;
+  const optimizer::Optimizer opt(&catalog, oopts);
+  const engine::ExecutionSimulator sim(&catalog,
+                                       engine::SystemConfig::Neoview32(8));
+
+  const FaultInjector faulted_a(plan);
+  const FaultInjector faulted_b(plan);   // same plan, fresh injector
+  const FaultInjector disabled({});      // enabled() == false
+
+  const auto queries = workload::GenerateWorkload(
+      workload::TpcdsTemplates(), opts.queries, opts.seed);
+  double clean_sum = 0.0, faulted_sum = 0.0;
+  linalg::Vector metric_sums(engine::QueryMetrics::kNumMetrics, 0.0);
+  size_t simulated = 0;
+  for (const auto& q : queries) {
+    const auto planned = opt.Plan(q.sql);
+    if (!planned.ok()) continue;  // template bugs are other tests' business
+    const optimizer::PhysicalPlan& p = planned.value();
+    ++simulated;
+
+    const engine::QueryMetrics clean = sim.Execute(p);
+    const engine::QueryMetrics off = sim.Execute(p, nullptr, &disabled);
+    const engine::QueryMetrics fa = sim.Execute(p, nullptr, &faulted_a);
+    const engine::QueryMetrics fb = sim.Execute(p, nullptr, &faulted_b);
+
+    v.Check(off.ToVector() == clean.ToVector() &&
+                off.cpu_seconds == clean.cpu_seconds,
+            "disabled injector is not bit-identical to a null injector: " +
+                q.template_name);
+    v.Check(fa.ToVector() == fb.ToVector() &&
+                fa.cpu_seconds == fb.cpu_seconds,
+            "same plan, two injectors, different metrics (determinism "
+            "broken): " +
+                q.template_name);
+    v.Check(fa.elapsed_seconds >= clean.elapsed_seconds - 1e-12,
+            StrFormat("fault made a query FASTER: %s clean %.17g faulted "
+                      "%.17g",
+                      q.template_name.c_str(), clean.elapsed_seconds,
+                      fa.elapsed_seconds));
+    clean_sum += clean.elapsed_seconds;
+    faulted_sum += fa.elapsed_seconds;
+    metric_sums = linalg::AddVec(metric_sums, fa.ToVector());
+  }
+  v.Check(simulated > 0, "no queries simulated");
+  v.Check(faulted_a.injected("node_failure") > 0,
+          "scenario injected zero node failures");
+  v.Check(faulted_sum > clean_sum,
+          "fault schedule had no aggregate elapsed-time effect");
+
+  result.report = FaultDigest(faulted_a);
+  result.report += StrFormat("queries simulated:  %llu\n",
+                             static_cast<unsigned long long>(simulated));
+  result.report +=
+      StrFormat("clean elapsed sum:   %.17g\n", clean_sum) +
+      StrFormat("faulted elapsed sum: %.17g\n", faulted_sum);
+  result.report += "faulted metric sums:\n";
+  const auto names = engine::QueryMetrics::MetricNames();
+  for (size_t m = 0; m < names.size(); ++m) {
+    result.report +=
+        StrFormat("  %-18s %.17g\n", names[m].c_str(), metric_sums[m]);
+  }
+  return result;
+}
+
+/// fallback-storm: worker stalls blow the queue deadline; late requests
+/// take the labeled deadline fallback, the breaker trips to circuit-open
+/// and recovers through half-open probes, and the drift monitor fires on
+/// the degradation the storm causes.
+ScenarioResult RunFallbackStorm(const FaultPlan& plan,
+                                const ChaosOptions& opts) {
+  ScenarioResult result;
+  result.name = "fallback-storm";
+  Violations v(&result);
+
+  obs::MetricsRegistry fault_registry;
+  FaultInjector injector(plan, &fault_registry);
+
+  serve::ModelRegistry registry;
+  registry.Publish(TrainModel(opts.seed ^ 0x5EEDull));
+
+  serve::ServiceConfig config;
+  config.num_workers = 1;          // sequential driving => batch size 1
+  config.cache_capacity = 0;       // every answer is model or fallback
+  config.queue_deadline_seconds = 5.0;  // >> real waits, << injected stall
+  config.breaker.enabled = true;
+  config.breaker.window = 16;
+  config.breaker.min_samples = 8;
+  config.breaker.trip_ratio = 0.5;
+  config.breaker.open_requests = 6;
+  config.faults = &injector;
+  serve::PredictionService service(&registry, config, ChaosCalibration());
+
+  obs::DriftMonitor drift({}, service.metrics());
+  uint64_t drift_signals = 0;
+
+  const auto probes = MakeProbes(opts.requests, opts.seed ^ 0xD81F7ull);
+  for (size_t i = 0; i < opts.requests; ++i) {
+    const serve::ServeResponse resp =
+        service.Submit({probes[i], 100.0}).get();
+    // Score the response against "observed" metrics 3x off — a stand-in
+    // actual that guarantees large relative error, so the monitor must
+    // notice once warm.
+    const engine::QueryMetrics actual =
+        ScaleMetrics(resp.prediction.metrics, 3.0);
+    const auto source = resp.degraded()
+                            ? obs::DriftMonitor::Source::kFallback
+                            : obs::DriftMonitor::Source::kModel;
+    if (drift.Observe(source, resp.prediction.metrics, actual)) {
+      ++drift_signals;
+    }
+    if (resp.degraded()) {
+      v.Check(!resp.degraded_reason.empty(),
+              "degraded response with empty reason");
+    }
+  }
+  service.Shutdown();
+
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  CheckAccounting(stats, &v);
+  v.Check(stats.requests == opts.requests,
+          "not every submitted request was answered");
+  v.Check(stats.fallback_deadline == injector.injected("worker_stall"),
+          StrFormat("deadline fallbacks %llu != injected stalls %llu (batch "
+                    "size 1 must map 1:1)",
+                    static_cast<unsigned long long>(stats.fallback_deadline),
+                    static_cast<unsigned long long>(
+                        injector.injected("worker_stall"))));
+  v.Check(stats.fallback_deadline > 0, "storm injected no deadline misses");
+  v.Check(service.breaker().trips() >= 1, "breaker never tripped");
+  v.Check(stats.fallback_circuit_open > 0,
+          "open circuit short-circuited no requests");
+  v.Check(stats.model_predictions > 0,
+          "no model answers at all — breaker never recovered");
+  v.Check(drift_signals >= 1, "drift monitor never fired under the storm");
+
+  result.report = FaultDigest(injector);
+  result.report += ServeCounters(stats);
+  result.report += StrFormat(
+      "breaker trips:      %llu\ndrift signals:      %llu\n",
+      static_cast<unsigned long long>(service.breaker().trips()),
+      static_cast<unsigned long long>(drift_signals));
+  return result;
+}
+
+/// hot-swap: the registry-swap fault fires right after a worker acquired
+/// its model snapshot. Every response must still bit-match the Predict of
+/// the generation it reports, and the generation-tagged cache must never
+/// serve a retired model's bits.
+ScenarioResult RunHotSwap(const FaultPlan& plan, const ChaosOptions& opts) {
+  ScenarioResult result;
+  result.name = "hot-swap";
+  Violations v(&result);
+
+  FaultInjector injector(plan);
+
+  const auto model_a = TrainModel(opts.seed ^ 0xA0Aull);
+  const auto model_b = TrainModel(opts.seed ^ 0xB0Bull);
+
+  serve::ModelRegistry registry;
+  // published[g - 1] is the model that generation g serves.
+  std::mutex published_mu;
+  std::vector<std::shared_ptr<const core::Predictor>> published;
+  {
+    std::lock_guard<std::mutex> lock(published_mu);
+    registry.Publish(model_a);
+    published.push_back(model_a);
+  }
+  injector.set_registry_swap_hook([&] {
+    // Fires on the worker thread, mid-batch, after the snapshot acquire.
+    std::lock_guard<std::mutex> lock(published_mu);
+    const auto& next = published.size() % 2 == 1 ? model_b : model_a;
+    registry.Publish(next);
+    published.push_back(next);
+  });
+
+  serve::ServiceConfig config;
+  config.num_workers = 1;
+  config.cache_capacity = 64;
+  config.faults = &injector;
+  serve::PredictionService service(&registry, config, ChaosCalibration());
+
+  const auto probes = MakeProbes(8, opts.seed ^ 0x7AB5ull);
+  size_t mismatches = 0;
+  for (size_t i = 0; i < opts.requests; ++i) {
+    // Consecutive pairs reuse a probe: the second of each pair is a cache
+    // hit unless a swap landed between them, so the cache-hit invariant
+    // below holds for any seed, not just swap-sparse ones.
+    const linalg::Vector& probe = probes[(i / 2) % probes.size()];
+    const serve::ServeResponse resp = service.Submit({probe, 100.0}).get();
+    if (resp.degraded()) {
+      // The anomaly policy is orthogonal to swaps; any other degradation
+      // here means the swap broke serving.
+      v.Check(resp.degraded_reason == "anomalous",
+              "hot-swap degraded a response: " + resp.degraded_reason);
+      continue;
+    }
+    std::shared_ptr<const core::Predictor> truth;
+    {
+      std::lock_guard<std::mutex> lock(published_mu);
+      if (resp.model_generation >= 1 &&
+          resp.model_generation <= published.size()) {
+        truth = published[resp.model_generation - 1];
+      }
+    }
+    if (truth == nullptr) {
+      v.Check(false,
+              StrFormat("response reports unpublished generation %llu",
+                        static_cast<unsigned long long>(
+                            resp.model_generation)));
+      continue;
+    }
+    if (!BitIdentical(resp.prediction, truth->Predict(probe))) ++mismatches;
+  }
+  service.Shutdown();
+
+  v.Check(mismatches == 0,
+          StrFormat("%llu responses did not bit-match their reported "
+                    "generation's Predict (stale cache or blended swap)",
+                    static_cast<unsigned long long>(mismatches)));
+  v.Check(injector.injected("registry_swap") > 0,
+          "scenario injected zero registry swaps");
+  v.Check(registry.generation() == 1 + injector.injected("registry_swap"),
+          "registry generation does not add up with the injected swaps");
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  CheckAccounting(stats, &v);
+  v.Check(stats.cache_hits > 0, "cache never hit despite repeated probes");
+
+  result.report = FaultDigest(injector);
+  result.report += ServeCounters(stats);
+  result.report += StrFormat(
+      "final generation:   %llu\n",
+      static_cast<unsigned long long>(registry.generation()));
+  return result;
+}
+
+/// backpressure: submit-reject storms against SubmitWithRetry. No broken
+/// futures, exhausted retries degrade to the labeled overload fallback,
+/// and the accounting identity holds exactly.
+ScenarioResult RunBackpressure(const FaultPlan& plan,
+                               const ChaosOptions& opts) {
+  ScenarioResult result;
+  result.name = "backpressure";
+  Violations v(&result);
+
+  FaultInjector injector(plan);
+
+  serve::ModelRegistry registry;
+  registry.Publish(TrainModel(opts.seed ^ 0xBACC5ull));
+
+  serve::ServiceConfig config;
+  config.num_workers = 1;
+  config.cache_capacity = 0;
+  config.faults = &injector;
+  serve::PredictionService service(&registry, config, ChaosCalibration());
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 0.0;  // retries are the point, not waits
+
+  const auto probes = MakeProbes(opts.requests, opts.seed ^ 0xF00Dull);
+  size_t overload = 0, answered = 0, broken = 0;
+  for (size_t i = 0; i < opts.requests; ++i) {
+    std::future<serve::ServeResponse> future =
+        service.SubmitWithRetry({probes[i], 100.0}, policy);
+    try {
+      const serve::ServeResponse resp = future.get();
+      ++answered;
+      if (resp.degraded()) {
+        v.Check(resp.degraded_reason == "overload" ||
+                    resp.degraded_reason == "anomalous",
+                "unexpected degradation reason under backpressure: " +
+                    resp.degraded_reason);
+        if (resp.degraded_reason == "overload") ++overload;
+      }
+    } catch (const std::future_error&) {
+      ++broken;
+    }
+  }
+  service.Shutdown();
+
+  v.Check(broken == 0, StrFormat("%llu broken futures",
+                                 static_cast<unsigned long long>(broken)));
+  v.Check(answered == opts.requests, "a request went unanswered");
+
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  CheckAccounting(stats, &v);
+  v.Check(stats.requests == opts.requests,
+          "responses delivered != requests driven");
+  v.Check(stats.rejected == injector.injected("submit_reject"),
+          "rejected counter != injected submit rejects (queue cannot really "
+          "fill under sequential driving)");
+  v.Check(stats.fallback_overload == overload,
+          "overload counter disagrees with client-observed overloads");
+  v.Check(overload > 0, "storm never exhausted a retry budget");
+  v.Check(stats.model_predictions > 0, "nothing got through the storm");
+
+  result.report = FaultDigest(injector);
+  result.report += ServeCounters(stats);
+  return result;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- public --
+
+const std::vector<std::string>& ChaosScenarioNames() {
+  static const std::vector<std::string> kNames = {
+      "node-death", "fallback-storm", "hot-swap", "backpressure"};
+  return kNames;
+}
+
+FaultPlan ChaosScenarioPlan(const std::string& name, uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (name == "node-death") {
+    plan.engine.node_failure_probability = 0.5;
+    plan.engine.max_failed_nodes = 3;
+    plan.engine.repartition_seconds = 0.5;
+    plan.engine.node_slowdown_probability = 0.3;
+    plan.engine.node_slowdown_multiplier = 2.5;
+    plan.engine.disk_stall_probability = 0.2;
+    plan.engine.disk_stall_multiplier = 4.0;
+  } else if (name == "fallback-storm") {
+    plan.serve.worker_stall_probability = 0.45;
+    plan.serve.worker_stall_seconds = 60.0;
+  } else if (name == "hot-swap") {
+    plan.serve.registry_swap_probability = 0.35;
+  } else if (name == "backpressure") {
+    plan.serve.submit_reject_probability = 0.4;
+  }
+  return plan;
+}
+
+FaultPlan RandomFaultPlan(uint64_t seed) {
+  Rng rng(SplitMix64(seed ^ 0xC4A05ull));
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.engine.disk_stall_probability = rng.Uniform(0.0, 0.3);
+  plan.engine.disk_stall_multiplier = rng.Uniform(2.0, 8.0);
+  plan.engine.message_loss_rate = rng.Uniform(0.0, 0.1);
+  plan.engine.node_slowdown_probability = rng.Uniform(0.0, 0.3);
+  plan.engine.node_slowdown_multiplier = rng.Uniform(1.5, 4.0);
+  plan.engine.node_failure_probability = rng.Uniform(0.0, 0.3);
+  plan.engine.max_failed_nodes = 2;
+  plan.engine.buffer_pressure_probability = rng.Uniform(0.0, 0.3);
+  plan.serve.submit_reject_probability = rng.Uniform(0.0, 0.3);
+  plan.serve.worker_stall_probability = rng.Uniform(0.0, 0.2);
+  plan.serve.worker_stall_seconds = 30.0;
+  plan.serve.registry_swap_probability = rng.Uniform(0.0, 0.2);
+  return plan;
+}
+
+ScenarioResult RunChaosScenario(const std::string& name,
+                                const ChaosOptions& options) {
+  const FaultPlan plan = options.has_plan_override
+                             ? options.plan_override
+                             : ChaosScenarioPlan(name, options.seed);
+  if (name == "node-death") return RunNodeDeath(plan, options);
+  if (name == "fallback-storm") return RunFallbackStorm(plan, options);
+  if (name == "hot-swap") return RunHotSwap(plan, options);
+  if (name == "backpressure") return RunBackpressure(plan, options);
+  ScenarioResult unknown;
+  unknown.name = name;
+  unknown.violations.push_back("unknown scenario: " + name);
+  return unknown;
+}
+
+ScenarioResult RunChaosSoak(const ChaosOptions& options) {
+  ScenarioResult result;
+  result.name = "soak";
+  Violations v(&result);
+
+  const FaultPlan plan = options.has_plan_override
+                             ? options.plan_override
+                             : RandomFaultPlan(options.seed);
+  FaultInjector injector(plan);
+
+  const auto model_a = TrainModel(options.seed ^ 0x50A0ull);
+  const auto model_b = TrainModel(options.seed ^ 0x50A1ull);
+  serve::ModelRegistry registry;
+  registry.Publish(model_a);
+  std::atomic<uint64_t> swaps{0};
+  injector.set_registry_swap_hook([&] {
+    registry.Publish(swaps.fetch_add(1) % 2 == 0 ? model_b : model_a);
+  });
+
+  serve::ServiceConfig config;
+  config.num_workers = 2;
+  config.max_batch = 16;
+  config.cache_capacity = 1024;
+  config.queue_deadline_seconds = 2.0;  // << injected 30s stalls
+  config.breaker.enabled = true;
+  config.faults = &injector;
+  serve::PredictionService service(&registry, config, ChaosCalibration());
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 1e-5;
+
+  const size_t kClients = 4;
+  const size_t per_client = options.requests / kClients;
+  const size_t total = per_client * kClients;
+  std::atomic<uint64_t> answered{0}, broken{0}, unlabeled{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const auto probes =
+          MakeProbes(64, options.seed ^ (0xC11E47ull + c));
+      for (size_t i = 0; i < per_client; ++i) {
+        std::future<serve::ServeResponse> future = service.SubmitWithRetry(
+            {probes[i % probes.size()], 100.0}, policy);
+        try {
+          const serve::ServeResponse resp = future.get();
+          answered.fetch_add(1);
+          if (resp.degraded() && resp.degraded_reason.empty()) {
+            unlabeled.fetch_add(1);
+          }
+        } catch (const std::future_error&) {
+          broken.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+
+  v.Check(broken.load() == 0,
+          StrFormat("%llu broken futures",
+                    static_cast<unsigned long long>(broken.load())));
+  v.Check(answered.load() == total, "a soak request went unanswered");
+  v.Check(unlabeled.load() == 0, "degraded responses without a reason");
+
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  CheckAccounting(stats, &v);
+  v.Check(stats.requests == total,
+          StrFormat("responses %llu != requests driven %llu",
+                    static_cast<unsigned long long>(stats.requests),
+                    static_cast<unsigned long long>(total)));
+  v.Check(stats.rejected >= injector.injected("submit_reject"),
+          "rejected counter below the injected reject count");
+
+  result.report = FaultDigest(injector);
+  result.report += ServeCounters(stats);
+  result.report += StrFormat(
+      "clients: %llu x %llu requests\n",
+      static_cast<unsigned long long>(kClients),
+      static_cast<unsigned long long>(per_client));
+  return result;
+}
+
+}  // namespace qpp::fault

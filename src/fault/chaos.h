@@ -1,0 +1,87 @@
+// The seeded chaos harness: named fault scenarios with asserted
+// invariants, runnable from tests (tests/chaos_test.cpp) and from the CLI
+// (`qpp_tool chaos`).
+//
+// Each scenario builds a real slice of the system — the execution
+// simulator over a generated workload, or a live PredictionService with a
+// trained model — attaches a FaultInjector with a scenario-specific
+// FaultPlan, drives traffic, and checks the resilience contracts:
+//
+//   node-death      engine: node failures + stragglers; metrics stay
+//                   deterministic per seed, faulted runs are never faster
+//                   than clean ones, a disabled injector is bit-identical
+//                   to no injector at all.
+//   fallback-storm  serve: worker stalls blow request deadlines; every
+//                   late request gets the labeled deadline fallback, the
+//                   circuit breaker trips and recovers via half-open
+//                   probes, and the drift monitor notices the degradation.
+//   hot-swap        serve: the registry is swapped right after workers
+//                   snapshot their model; every response still bit-matches
+//                   the generation it reports and the cache never serves a
+//                   retired generation.
+//   backpressure    serve: submit-reject storms; SubmitWithRetry never
+//                   yields a broken future and the stats accounting
+//                   identity (requests == cache + model + fallbacks)
+//                   holds exactly.
+//
+// Scenario traffic is driven sequentially (one request in flight), so the
+// injected fault schedule AND the resulting report are bit-replayable:
+// running the same scenario twice with the same options yields the same
+// report string. Reports therefore contain only deterministic data —
+// counters, fault digests, metric sums — never wall-clock latencies.
+//
+// RunChaosSoak is the exception: it drives concurrent clients under a
+// randomized FaultPlan for volume, so only the invariants (not the report
+// bytes) are stable. It is gated behind QPP_SOAK=1 in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace qpp::fault {
+
+struct ChaosOptions {
+  uint64_t seed = 42;
+  /// Requests driven through the service in serve scenarios (and the soak).
+  size_t requests = 400;
+  /// Queries simulated in engine scenarios.
+  size_t queries = 24;
+  /// When set, replaces the scenario's built-in FaultPlan (replay support:
+  /// `qpp_tool chaos --plan file`). The plan's own seed is used as-is.
+  bool has_plan_override = false;
+  FaultPlan plan_override;
+};
+
+struct ScenarioResult {
+  std::string name;
+  /// Deterministic multi-line report (counters, fault digest, metric sums).
+  std::string report;
+  /// Human-readable invariant violations; empty on success.
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// The four scenario names, in canonical order.
+const std::vector<std::string>& ChaosScenarioNames();
+
+/// The FaultPlan a scenario runs under (before any override); exposed so
+/// `qpp_tool chaos --save-plan` can ship a schedule for replay.
+FaultPlan ChaosScenarioPlan(const std::string& name, uint64_t seed);
+
+/// A moderate-everything randomized plan, derived from `seed` (soak mode).
+FaultPlan RandomFaultPlan(uint64_t seed);
+
+/// Runs one named scenario. Unknown names yield a result with a violation
+/// (never a crash), so the CLI can report them uniformly.
+ScenarioResult RunChaosScenario(const std::string& name,
+                                const ChaosOptions& options);
+
+/// High-volume concurrent soak under RandomFaultPlan(seed): checks the
+/// accounting identities and the no-broken-future contract, not report
+/// determinism.
+ScenarioResult RunChaosSoak(const ChaosOptions& options);
+
+}  // namespace qpp::fault

@@ -1,0 +1,179 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace qpp::fault {
+
+namespace {
+const char* kKindNames[] = {
+    "disk_stall",     "message_loss", "node_slowdown", "node_failure",
+    "buffer_pressure", "submit_reject", "worker_stall",  "registry_swap",
+};
+const char* kKindLayers[] = {
+    "engine", "engine", "engine", "engine",
+    "engine", "serve",  "serve",  "serve",
+};
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::MetricsRegistry* registry,
+                             obs::TraceRecorder* trace)
+    : plan_(std::move(plan)), trace_(trace) {
+  for (int k = 0; k < kNumKinds; ++k) {
+    kinds_[k].name = kKindNames[k];
+    if (registry != nullptr) {
+      kinds_[k].counter = registry->GetCounter(
+          "qpp_fault_injected_total",
+          {{"layer", kKindLayers[k]}, {"kind", kKindNames[k]}});
+    }
+  }
+}
+
+double FaultInjector::Draw(uint64_t tag, uint64_t index) const {
+  // One throwaway Rng per decision: decisions are keyed purely by
+  // (seed, tag, index), never by draw order, so replay is exact under any
+  // interleaving of callers.
+  Rng rng(SplitMix64(plan_.seed ^ tag ^ SplitMix64(index)));
+  return rng.NextDouble();
+}
+
+void FaultInjector::Record(KindIndex kind, const char* detail) const {
+  kinds_[kind].count.fetch_add(1, std::memory_order_relaxed);
+  if (kinds_[kind].counter != nullptr) kinds_[kind].counter->Inc();
+  if (trace_ != nullptr) {
+    obs::TraceEvent e;
+    e.phase = 'i';
+    e.name = kinds_[kind].name;
+    e.category = "fault";
+    e.pid = obs::TraceRecorder::kServicePid;
+    e.tid = trace_->CurrentThreadTid();
+    e.ts_us = trace_->NowMicros();
+    if (detail != nullptr) {
+      e.args.emplace_back("detail", std::string("\"") + detail + "\"");
+    }
+    trace_->Add(std::move(e));
+  }
+}
+
+FaultInjector::QueryFaults FaultInjector::SampleQuery(uint64_t query_hash,
+                                                      int nodes_used) const {
+  QueryFaults q;
+  q.op_seed = SplitMix64(plan_.seed ^ query_hash);
+  const EngineFaultSpec& spec = plan_.engine;
+  if (!spec.enabled()) return q;
+  if (spec.node_slowdown_probability > 0.0 &&
+      Draw(kTagSlowdown, query_hash) < spec.node_slowdown_probability) {
+    q.cpu_multiplier = std::max(1.0, spec.node_slowdown_multiplier);
+    Record(kNodeSlowdown);
+  }
+  if (spec.node_failure_probability > 0.0 &&
+      Draw(kTagNodeFail, query_hash) < spec.node_failure_probability) {
+    // Fail 1..max nodes but always leave a survivor.
+    const int cap = std::min(spec.max_failed_nodes, nodes_used - 1);
+    if (cap >= 1) {
+      const uint64_t extra =
+          static_cast<uint64_t>(Draw(kTagNodeFail, ~query_hash) * cap);
+      q.failed_nodes = 1 + static_cast<int>(std::min<uint64_t>(
+                               extra, static_cast<uint64_t>(cap - 1)));
+      q.repartition_seconds = std::max(0.0, spec.repartition_seconds);
+      Record(kNodeFailure);
+    }
+  }
+  if (spec.buffer_pressure_probability > 0.0 &&
+      Draw(kTagBufPressure, query_hash) < spec.buffer_pressure_probability) {
+    q.work_mem_multiplier =
+        std::clamp(spec.work_mem_multiplier, 1e-3, 1.0);
+    Record(kBufferPressure);
+  }
+  return q;
+}
+
+FaultInjector::OpFaults FaultInjector::SampleOp(const QueryFaults& q,
+                                                size_t op_index,
+                                                double net_messages) const {
+  OpFaults op;
+  const EngineFaultSpec& spec = plan_.engine;
+  if (!spec.enabled()) return op;
+  if (spec.disk_stall_probability > 0.0 &&
+      Draw(kTagDiskStall, q.op_seed ^ op_index) <
+          spec.disk_stall_probability) {
+    op.io_multiplier = std::max(1.0, spec.disk_stall_multiplier);
+    Record(kDiskStall);
+  }
+  if (spec.message_loss_rate > 0.0 && net_messages > 0.0) {
+    // Message loss is a rate, not a coin flip: every operator that moves
+    // messages loses the configured fraction and pays the retransmit cost.
+    op.message_loss = std::clamp(spec.message_loss_rate, 0.0, 1.0);
+    Record(kMsgLoss);
+  }
+  return op;
+}
+
+bool FaultInjector::NextSubmitReject() {
+  const ServeFaultSpec& spec = plan_.serve;
+  if (spec.submit_reject_probability <= 0.0) return false;
+  const uint64_t i = submit_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (Draw(kTagSubmit, i) < spec.submit_reject_probability) {
+    Record(kSubmitReject);
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::BatchFaults FaultInjector::NextBatchFaults() {
+  BatchFaults out;
+  const ServeFaultSpec& spec = plan_.serve;
+  if (!spec.enabled()) return out;
+  const uint64_t i = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (spec.worker_stall_probability > 0.0 &&
+      Draw(kTagStall, i) < spec.worker_stall_probability) {
+    out.stall_seconds = std::max(0.0, spec.worker_stall_seconds);
+    Record(kWorkerStall);
+  }
+  if (spec.registry_swap_probability > 0.0 &&
+      Draw(kTagSwap, i) < spec.registry_swap_probability) {
+    out.swap_registry = true;
+    // Recorded in FireRegistrySwap, when the swap actually happens.
+  }
+  return out;
+}
+
+void FaultInjector::FireRegistrySwap() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = swap_hook_;
+  }
+  if (hook) {
+    Record(kRegistrySwap);
+    hook();
+  }
+}
+
+void FaultInjector::set_registry_swap_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  swap_hook_ = std::move(hook);
+}
+
+uint64_t FaultInjector::injected(const char* kind) const {
+  for (int k = 0; k < kNumKinds; ++k) {
+    if (std::string(kinds_[k].name) == kind) {
+      return kinds_[k].count.load(std::memory_order_relaxed);
+    }
+  }
+  QPP_CHECK_MSG(false, "unknown fault kind: " << kind);
+  return 0;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (int k = 0; k < kNumKinds; ++k) {
+    total += kinds_[k].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace qpp::fault

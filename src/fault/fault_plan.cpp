@@ -1,0 +1,115 @@
+#include "fault/fault_plan.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace qpp::fault {
+
+namespace {
+constexpr uint32_t kMagic = 0x51505046;  // "QPPF" little-endian
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void FaultPlan::Write(BinaryWriter* w) const {
+  QPP_CHECK(w != nullptr);
+  w->WriteU32(kMagic);
+  w->WriteU32(kVersion);
+  w->WriteU64(seed);
+  w->WriteDouble(engine.disk_stall_probability);
+  w->WriteDouble(engine.disk_stall_multiplier);
+  w->WriteDouble(engine.message_loss_rate);
+  w->WriteDouble(engine.retransmit_cost_factor);
+  w->WriteDouble(engine.node_slowdown_probability);
+  w->WriteDouble(engine.node_slowdown_multiplier);
+  w->WriteDouble(engine.node_failure_probability);
+  w->WriteI64(engine.max_failed_nodes);
+  w->WriteDouble(engine.repartition_seconds);
+  w->WriteDouble(engine.buffer_pressure_probability);
+  w->WriteDouble(engine.work_mem_multiplier);
+  w->WriteDouble(serve.submit_reject_probability);
+  w->WriteDouble(serve.worker_stall_probability);
+  w->WriteDouble(serve.worker_stall_seconds);
+  w->WriteDouble(serve.registry_swap_probability);
+}
+
+FaultPlan FaultPlan::Read(BinaryReader* r) {
+  QPP_CHECK(r != nullptr);
+  QPP_CHECK_MSG(r->ReadU32() == kMagic, "not a fault plan file");
+  const uint32_t version = r->ReadU32();
+  QPP_CHECK_MSG(version == kVersion, "unsupported fault plan version");
+  FaultPlan p;
+  p.seed = r->ReadU64();
+  p.engine.disk_stall_probability = r->ReadDouble();
+  p.engine.disk_stall_multiplier = r->ReadDouble();
+  p.engine.message_loss_rate = r->ReadDouble();
+  p.engine.retransmit_cost_factor = r->ReadDouble();
+  p.engine.node_slowdown_probability = r->ReadDouble();
+  p.engine.node_slowdown_multiplier = r->ReadDouble();
+  p.engine.node_failure_probability = r->ReadDouble();
+  p.engine.max_failed_nodes = static_cast<int>(r->ReadI64());
+  p.engine.repartition_seconds = r->ReadDouble();
+  p.engine.buffer_pressure_probability = r->ReadDouble();
+  p.engine.work_mem_multiplier = r->ReadDouble();
+  p.serve.submit_reject_probability = r->ReadDouble();
+  p.serve.worker_stall_probability = r->ReadDouble();
+  p.serve.worker_stall_seconds = r->ReadDouble();
+  p.serve.registry_swap_probability = r->ReadDouble();
+  return p;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << StrFormat("fault plan (seed %llu)%s\n",
+                  static_cast<unsigned long long>(seed),
+                  enabled() ? "" : " — all faults disabled");
+  if (engine.enabled()) {
+    os << StrFormat(
+        "  engine: disk_stall p=%.2f x%.1f | msg_loss %.2f x%.1f | "
+        "slowdown p=%.2f x%.1f | node_fail p=%.2f (<=%d, +%.2fs) | "
+        "buf_pressure p=%.2f mem x%.2f\n",
+        engine.disk_stall_probability, engine.disk_stall_multiplier,
+        engine.message_loss_rate, engine.retransmit_cost_factor,
+        engine.node_slowdown_probability, engine.node_slowdown_multiplier,
+        engine.node_failure_probability, engine.max_failed_nodes,
+        engine.repartition_seconds, engine.buffer_pressure_probability,
+        engine.work_mem_multiplier);
+  }
+  if (serve.enabled()) {
+    os << StrFormat(
+        "  serve: submit_reject p=%.2f | worker_stall p=%.2f %.1fs | "
+        "registry_swap p=%.2f\n",
+        serve.submit_reject_probability, serve.worker_stall_probability,
+        serve.worker_stall_seconds, serve.registry_swap_probability);
+  }
+  return os.str();
+}
+
+Status SaveFaultPlanFile(const FaultPlan& plan, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) return Status::Error("cannot open for write: " + path);
+  try {
+    BinaryWriter w(os);
+    plan.Write(&w);
+  } catch (const CheckFailure& e) {
+    return Status::Error(std::string("fault plan write failed: ") + e.what());
+  }
+  os.flush();
+  if (!os.good()) return Status::Error("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<FaultPlan> LoadFaultPlanFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return Status::Error("cannot open for read: " + path);
+  try {
+    BinaryReader r(is);
+    return FaultPlan::Read(&r);
+  } catch (const CheckFailure& e) {
+    return Status::Error(std::string("fault plan read failed: ") + e.what());
+  }
+}
+
+}  // namespace qpp::fault

@@ -1,0 +1,114 @@
+// Deterministic fault injection: the FaultPlan.
+//
+// The paper's use cases (admission control, scheduling, user feedback) only
+// pay off if predictions stay trustworthy when the system misbehaves — and
+// learned predictors degrade exactly when the serving environment drifts
+// from training conditions (see PAPERS.md, the LinkedIn evaluation). A
+// FaultPlan is a compact, serializable description of *how* the system
+// misbehaves: fault kinds, probabilities, and magnitudes for both layers
+// that matter —
+//
+//  * the execution simulator (src/engine/): disk stalls, message loss with
+//    retransmit cost, straggler/failed nodes with work re-partitioning,
+//    buffer-pool pressure shrinking operator working memory;
+//  * the prediction service (src/serve/): submit-reject storms (simulated
+//    queue saturation), worker stalls that age queued requests past their
+//    deadline, and registry hot-swaps injected mid-batch.
+//
+// Every stochastic decision a plan implies is sampled from seeded RNG
+// streams keyed by (plan.seed, decision point) — see fault_injector.h — so
+// a fault schedule is exactly replayable: same plan, same workload, same
+// faults, bit-for-bit. Plans serialize via common/serde (versioned binary,
+// byte-stable round trips) so a chaos run can be shipped and replayed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace qpp::fault {
+
+/// Engine-layer faults, applied per query / per operator inside
+/// engine::ExecutionSimulator::Execute. Multipliers are >= 1 in any sane
+/// plan (faults make things slower, never faster); probabilities in [0, 1].
+struct EngineFaultSpec {
+  /// Per-operator probability that this operator's disk I/O stalls.
+  double disk_stall_probability = 0.0;
+  /// I/O time multiplier applied to a stalled operator.
+  double disk_stall_multiplier = 4.0;
+  /// Fraction of each operator's messages lost and retransmitted.
+  double message_loss_rate = 0.0;
+  /// Cost of one lost message, in sent-message equivalents (send + ack
+  /// timeout + resend is > 1 message of work).
+  double retransmit_cost_factor = 2.0;
+  /// Per-query probability that one node is a straggler; the barrier at
+  /// every operator then waits on it.
+  double node_slowdown_probability = 0.0;
+  double node_slowdown_multiplier = 2.0;  ///< straggler CPU multiplier
+  /// Per-query probability that nodes fail before execution; their work is
+  /// re-partitioned over the survivors.
+  double node_failure_probability = 0.0;
+  int max_failed_nodes = 1;  ///< failures sampled in [1, max]; < nodes_used
+  /// One-time cost of re-partitioning work after node failure.
+  double repartition_seconds = 0.5;
+  /// Per-query probability of buffer-pool pressure (a co-resident workload
+  /// stealing memory): operator working memory shrinks, forcing spills.
+  double buffer_pressure_probability = 0.0;
+  /// Effective working-memory multiplier under pressure, in (0, 1].
+  double work_mem_multiplier = 0.25;
+
+  bool enabled() const {
+    return disk_stall_probability > 0.0 || message_loss_rate > 0.0 ||
+           node_slowdown_probability > 0.0 ||
+           node_failure_probability > 0.0 ||
+           buffer_pressure_probability > 0.0;
+  }
+};
+
+/// Serve-layer faults, applied by serve::PredictionService at deterministic
+/// decision points: one decision per submit attempt (indexed by a global
+/// attempt counter) and one per micro-batch (indexed by a batch counter).
+struct ServeFaultSpec {
+  /// Probability that a TrySubmit attempt is refused as if the queue were
+  /// full (a saturation storm without needing real queue pressure).
+  double submit_reject_probability = 0.0;
+  /// Per-batch probability that the picking worker stalls.
+  double worker_stall_probability = 0.0;
+  /// Stall length, added to every batched request's *virtual* queue age so
+  /// deadline policy triggers deterministically (the worker also really
+  /// sleeps, capped at 1ms, so stalls are visible in wall-time traces).
+  double worker_stall_seconds = 0.0;
+  /// Per-batch probability of firing the registry-swap hook right after
+  /// the worker acquired its model snapshot — the hardest hot-swap timing.
+  double registry_swap_probability = 0.0;
+
+  bool enabled() const {
+    return submit_reject_probability > 0.0 ||
+           worker_stall_probability > 0.0 ||
+           registry_swap_probability > 0.0;
+  }
+};
+
+/// A complete, replayable fault schedule: seed + per-layer specs.
+struct FaultPlan {
+  uint64_t seed = 0;
+  EngineFaultSpec engine;
+  ServeFaultSpec serve;
+
+  bool enabled() const { return engine.enabled() || serve.enabled(); }
+
+  /// Versioned binary serialization (magic "QPPF"). Write/Read round trips
+  /// are byte-identical — tests/property_test.cpp holds this invariant.
+  void Write(BinaryWriter* w) const;
+  static FaultPlan Read(BinaryReader* r);
+
+  /// Multi-line human-readable description (chaos harness banner).
+  std::string ToString() const;
+};
+
+Status SaveFaultPlanFile(const FaultPlan& plan, const std::string& path);
+Result<FaultPlan> LoadFaultPlanFile(const std::string& path);
+
+}  // namespace qpp::fault

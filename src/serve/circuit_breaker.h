@@ -1,0 +1,151 @@
+// Count-based circuit breaker guarding the predictor path.
+//
+// The optimizer-cost fallback is a weak crutch (Kleerekoper et al., see
+// PAPERS.md) — but when the predictor path itself is failing requests
+// (queue deadlines blown under worker stalls or overload), answering every
+// request late-then-degraded is strictly worse than tripping to the
+// fallback immediately and probing for recovery. Classic three-state
+// breaker, deliberately counted in *requests* rather than wall time so
+// that state transitions are deterministic under the seeded chaos harness:
+//
+//   closed ──(failure ratio over window ≥ trip_ratio)──▶ open
+//   open   ──(open_requests short-circuited)───────────▶ half-open
+//   half-open: one probe rides the model path;
+//              success ▶ closed (window reset), failure ▶ open again
+//
+// "Failure" means the predictor path failed the request — today that is a
+// blown queue deadline. Data-dependent fallbacks (anomalous query) and
+// environmental ones (no model published) say nothing about path health
+// and are not recorded.
+//
+// Thread safety: all methods take one mutex; the breaker is consulted once
+// per request, far off the per-instruction hot path. Disabled breakers
+// (config.enabled == false) are never consulted at all — the service
+// checks the flag first, so the throughput gate pays one branch.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qpp::serve {
+
+struct CircuitBreakerConfig {
+  bool enabled = false;
+  /// Sliding window of recorded outcomes the trip decision looks at.
+  size_t window = 64;
+  /// Outcomes required in the window before the breaker may trip.
+  size_t min_samples = 16;
+  /// Failure fraction over the window that opens the circuit.
+  double trip_ratio = 0.5;
+  /// Requests short-circuited while open before a half-open probe is let
+  /// through (request-counted, not timed: deterministic under replay).
+  size_t open_requests = 32;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config), outcomes_(config.window > 0 ? config.window : 1) {
+    QPP_CHECK(config_.min_samples >= 1 && config_.window >= 1);
+    QPP_CHECK(config_.trip_ratio > 0.0 && config_.trip_ratio <= 1.0);
+  }
+
+  /// True when the request may take the model path. While open, counts the
+  /// short-circuit and, after open_requests of them, admits one half-open
+  /// probe (further requests keep short-circuiting until the probe's
+  /// outcome is recorded).
+  bool AllowRequest() {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (++short_circuits_ > config_.open_requests) {
+          state_ = State::kHalfOpen;
+          probe_in_flight_ = true;
+          return true;
+        }
+        return false;
+      case State::kHalfOpen:
+        if (!probe_in_flight_) {
+          probe_in_flight_ = true;
+          return true;
+        }
+        return false;
+    }
+    return true;
+  }
+
+  /// Records a predictor-path success (model or cache answer delivered).
+  void RecordSuccess() { RecordOutcome(false); }
+
+  /// Records a predictor-path failure (deadline blown).
+  void RecordFailure() { RecordOutcome(true); }
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+  /// Closed-to-open transitions so far.
+  uint64_t trips() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trips_;
+  }
+
+ private:
+  void RecordOutcome(bool failure) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kHalfOpen) {
+      // The probe's verdict decides the whole circuit.
+      probe_in_flight_ = false;
+      if (failure) {
+        state_ = State::kOpen;
+        short_circuits_ = 0;
+      } else {
+        state_ = State::kClosed;
+        ResetWindowLocked();
+      }
+      return;
+    }
+    if (state_ == State::kOpen) return;  // straggler outcome; ignore
+    if (filled_ == outcomes_.size()) {
+      failures_ -= outcomes_[next_] ? 1u : 0u;
+    } else {
+      ++filled_;
+    }
+    outcomes_[next_] = failure;
+    failures_ += failure ? 1u : 0u;
+    next_ = (next_ + 1) % outcomes_.size();
+    if (filled_ >= config_.min_samples &&
+        static_cast<double>(failures_) >=
+            config_.trip_ratio * static_cast<double>(filled_)) {
+      state_ = State::kOpen;
+      short_circuits_ = 0;
+      ++trips_;
+    }
+  }
+
+  void ResetWindowLocked() {
+    failures_ = 0;
+    filled_ = 0;
+    next_ = 0;
+  }
+
+  const CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::vector<bool> outcomes_;  // ring buffer: true = failure
+  size_t next_ = 0;
+  size_t filled_ = 0;
+  size_t failures_ = 0;
+  size_t short_circuits_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t trips_ = 0;
+};
+
+}  // namespace qpp::serve

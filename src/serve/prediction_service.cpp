@@ -1,5 +1,6 @@
 #include "serve/prediction_service.h"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -45,6 +46,7 @@ PredictionService::PredictionService(ModelRegistry* registry,
       config_(config),
       calibration_(calibration),
       queue_(config.queue_capacity),
+      breaker_(config.breaker),
       cache_(config.cache_capacity) {
   QPP_CHECK(registry_ != nullptr);
   QPP_CHECK(config_.num_workers >= 1 && config_.max_batch >= 1);
@@ -63,7 +65,7 @@ std::future<ServeResponse> PredictionService::Submit(ServeRequest request) {
   std::future<ServeResponse> future = pending.promise.get_future();
   if (!queue_.Push(std::move(pending))) {
     // Lost the race with Shutdown(): answer directly instead of dropping.
-    stats_.RecordFallbackNoModel();
+    stats_.RecordFallbackShutdown();
     Respond(&pending,
             FallbackPrediction(calibration_, pending.request.optimizer_cost,
                                /*anomalous=*/false),
@@ -76,6 +78,12 @@ std::future<ServeResponse> PredictionService::Submit(ServeRequest request) {
 bool PredictionService::TrySubmit(ServeRequest request,
                                   std::future<ServeResponse>* out) {
   QPP_CHECK(out != nullptr);
+  if (config_.faults != nullptr && config_.faults->serve_enabled() &&
+      config_.faults->NextSubmitReject()) {
+    // Injected queue-full storm: indistinguishable from the real thing.
+    stats_.RecordRejected();
+    return false;
+  }
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued_at = std::chrono::steady_clock::now();
@@ -86,6 +94,34 @@ bool PredictionService::TrySubmit(ServeRequest request,
   }
   *out = std::move(future);
   return true;
+}
+
+std::future<ServeResponse> PredictionService::SubmitWithRetry(
+    ServeRequest request, RetryPolicy policy) {
+  QPP_CHECK(policy.max_attempts >= 1);
+  double backoff = std::max(0.0, policy.initial_backoff_seconds);
+  for (int attempt = 0;; ++attempt) {
+    std::future<ServeResponse> future;
+    if (TrySubmit(request, &future)) return future;
+    if (attempt + 1 >= policy.max_attempts) break;
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    backoff = std::min(backoff * policy.backoff_multiplier,
+                       policy.max_backoff_seconds);
+  }
+  // Every attempt refused: degrade inline instead of handing back an error.
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  std::future<ServeResponse> future = pending.promise.get_future();
+  stats_.RecordFallbackOverload();
+  Respond(&pending,
+          FallbackPrediction(calibration_, pending.request.optimizer_cost,
+                             /*anomalous=*/false),
+          ResponseSource::kOptimizerFallback, "overload",
+          /*generation=*/0);
+  return future;
 }
 
 void PredictionService::Shutdown() {
@@ -112,6 +148,26 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
   batch_span.AddArg("size", static_cast<uint64_t>(batch->size()));
 
   const ModelRegistry::Snapshot snap = registry_->Acquire();
+
+  // Batch-level fault hooks. The registry swap fires AFTER the snapshot
+  // was acquired — the hardest timing for the hot-swap contract, since the
+  // whole batch must still answer (and cache) under the generation it
+  // grabbed, never a blend. The worker stall is applied as *virtual* queue
+  // age so deadline behavior is deterministic under replay; a token real
+  // sleep (capped at 1ms) keeps the stall visible in wall-clock traces
+  // without making the test suite slow.
+  double virtual_age = 0.0;
+  if (config_.faults != nullptr && config_.faults->serve_enabled()) {
+    const fault::FaultInjector::BatchFaults bf =
+        config_.faults->NextBatchFaults();
+    if (bf.swap_registry) config_.faults->FireRegistrySwap();
+    if (bf.stall_seconds > 0.0) {
+      virtual_age = bf.stall_seconds;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(bf.stall_seconds, 0.001)));
+    }
+  }
+
   const auto picked_up_at = std::chrono::steady_clock::now();
 
   if (trace != nullptr) {
@@ -149,10 +205,15 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
   obs::Span cache_span(trace, "cache_lookup");
   for (size_t i = 0; i < batch->size(); ++i) {
     Pending& p = (*batch)[i];
-    if (config_.queue_deadline_seconds > 0.0 &&
-        SecondsSince(p.enqueued_at, picked_up_at) >
-            config_.queue_deadline_seconds) {
+    const double deadline = p.request.deadline_seconds > 0.0
+                                ? p.request.deadline_seconds
+                                : config_.queue_deadline_seconds;
+    if (deadline > 0.0 &&
+        SecondsSince(p.enqueued_at, picked_up_at) + virtual_age > deadline) {
       stats_.RecordFallbackDeadline();
+      // A blown deadline is the predictor path failing its budget — this
+      // is what the breaker watches.
+      if (config_.breaker.enabled) breaker_.RecordFailure();
       Respond(&p,
               FallbackPrediction(calibration_, p.request.optimizer_cost,
                                  /*anomalous=*/false),
@@ -169,6 +230,15 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
               /*generation=*/0);
       continue;
     }
+    if (config_.breaker.enabled && !breaker_.AllowRequest()) {
+      stats_.RecordFallbackCircuitOpen();
+      Respond(&p,
+              FallbackPrediction(calibration_, p.request.optimizer_cost,
+                                 /*anomalous=*/false),
+              ResponseSource::kOptimizerFallback, "circuit-open",
+              snap.generation);
+      continue;
+    }
     if (config_.cache_capacity > 0) {
       CachedPrediction cached;
       bool hit;
@@ -180,6 +250,7 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
       // overwritten below, so a hot-swap can never serve stale results.
       if (hit && cached.generation == snap.generation) {
         stats_.RecordCacheHit();
+        if (config_.breaker.enabled) breaker_.RecordSuccess();
         Respond(&p, std::move(cached.prediction), ResponseSource::kCache,
                 "", snap.generation);
         continue;
@@ -224,6 +295,7 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
       cache_.Put(p.request.features, {snap.generation, prediction});
     }
     stats_.RecordModelPrediction();
+    if (config_.breaker.enabled) breaker_.RecordSuccess();
     Respond(&p, prediction, ResponseSource::kModel, "", snap.generation);
   }
 }

@@ -23,7 +23,13 @@
 //  * No accepted request is dropped: Shutdown() drains the queue before
 //    the workers exit, and destruction shuts down cleanly.
 //  * Backpressure — Submit blocks when the queue is full; TrySubmit
-//    refuses instead (and the refusal is counted).
+//    refuses instead (and the refusal is counted); SubmitWithRetry retries
+//    with exponential backoff and degrades to the labeled "overload"
+//    fallback rather than failing.
+//  * Resilience — an optional circuit breaker trips the model path to the
+//    fallback when the request deadline budget is being exhausted, and a
+//    fault::FaultInjector can be attached to rehearse all of this
+//    deterministically (see docs/FAULTS.md).
 #pragma once
 
 #include <chrono>
@@ -36,8 +42,10 @@
 #include <vector>
 
 #include "core/workload_manager.h"
+#include "fault/fault_injector.h"
 #include "obs/trace.h"
 #include "serve/bounded_queue.h"
+#include "serve/circuit_breaker.h"
 #include "serve/cost_fallback.h"
 #include "serve/lru_cache.h"
 #include "serve/model_registry.h"
@@ -58,13 +66,18 @@ struct ServeRequest {
   /// The plan's optimizer cost, carried along as the degradation baseline;
   /// negative = unavailable (fallback then predicts zero metrics).
   double optimizer_cost = -1.0;
+  /// Per-request queue deadline override: > 0 replaces the config-wide
+  /// queue_deadline_seconds for this request; 0 (the default) inherits it.
+  double deadline_seconds = 0.0;
 };
 
 struct ServeResponse {
   core::Prediction prediction;
   ResponseSource source = ResponseSource::kModel;
   /// Non-empty iff source == kOptimizerFallback: "no-model", "anomalous",
-  /// "deadline", or "shutdown" (Submit lost the race with Shutdown()).
+  /// "deadline", "shutdown" (Submit lost the race with Shutdown()),
+  /// "overload" (SubmitWithRetry exhausted its attempts), or
+  /// "circuit-open" (the breaker short-circuited the model path).
   std::string degraded_reason;
   /// Registry generation that answered (0 for no-model fallback).
   uint64_t model_generation = 0;
@@ -98,6 +111,22 @@ struct ServiceConfig {
   /// serve throughput gate runs in this mode and must not move. The
   /// recorder must outlive the service.
   obs::TraceRecorder* trace = nullptr;
+  /// Circuit breaker guarding the model path (see circuit_breaker.h);
+  /// disabled by default — the hot path then pays one bool test.
+  CircuitBreakerConfig breaker;
+  /// Fault injection session (chaos testing); null (the default) compiles
+  /// the fault points down to one pointer test each. The injector must
+  /// outlive the service.
+  fault::FaultInjector* faults = nullptr;
+};
+
+/// Backoff schedule for SubmitWithRetry: attempt i sleeps
+/// min(initial * multiplier^i, max) before retrying a refused submit.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double initial_backoff_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.05;
 };
 
 class PredictionService {
@@ -116,8 +145,16 @@ class PredictionService {
   std::future<ServeResponse> Submit(ServeRequest request);
 
   /// Non-blocking submit: false (and a counted rejection) when the queue
-  /// is full or the service is shutting down.
+  /// is full or the service is shutting down. Fault injection may refuse
+  /// an attempt here as if the queue were saturated (counted the same).
   bool TrySubmit(ServeRequest request, std::future<ServeResponse>* out);
+
+  /// TrySubmit with exponential backoff. Never returns a broken future:
+  /// when every attempt is refused the request is answered inline with the
+  /// labeled "overload" fallback, so callers under a rejection storm still
+  /// get the degradation contract instead of an error path to handle.
+  std::future<ServeResponse> SubmitWithRetry(ServeRequest request,
+                                             RetryPolicy policy = {});
 
   /// Stops accepting requests, drains everything already queued, joins the
   /// workers. Idempotent.
@@ -129,6 +166,7 @@ class PredictionService {
   obs::MetricsRegistry* metrics() { return stats_.registry(); }
   const obs::MetricsRegistry& metrics() const { return stats_.registry(); }
   const ServiceConfig& config() const { return config_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
 
  private:
   struct Pending {
@@ -162,6 +200,7 @@ class PredictionService {
   const CostCalibration calibration_;
   BoundedQueue<Pending> queue_;
   ServiceStats stats_;
+  CircuitBreaker breaker_;
   std::mutex cache_mu_;
   LruCache<linalg::Vector, CachedPrediction, FeatureHash> cache_;
   std::vector<std::thread> workers_;

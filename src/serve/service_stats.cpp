@@ -15,6 +15,12 @@ ServiceStats::ServiceStats()
           "qpp_serve_fallbacks_total", {{"reason", "anomalous"}})),
       fallback_deadline_(registry_.GetCounter(
           "qpp_serve_fallbacks_total", {{"reason", "deadline"}})),
+      fallback_shutdown_(registry_.GetCounter(
+          "qpp_serve_fallbacks_total", {{"reason", "shutdown"}})),
+      fallback_overload_(registry_.GetCounter(
+          "qpp_serve_fallbacks_total", {{"reason", "overload"}})),
+      fallback_circuit_open_(registry_.GetCounter(
+          "qpp_serve_fallbacks_total", {{"reason", "circuit-open"}})),
       rejected_(registry_.GetCounter("qpp_serve_rejected_total")),
       batches_(registry_.GetCounter("qpp_serve_batches_total")),
       batched_requests_(
@@ -29,6 +35,9 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   s.fallback_no_model = fallback_no_model_->value();
   s.fallback_anomalous = fallback_anomalous_->value();
   s.fallback_deadline = fallback_deadline_->value();
+  s.fallback_shutdown = fallback_shutdown_->value();
+  s.fallback_overload = fallback_overload_->value();
+  s.fallback_circuit_open = fallback_circuit_open_->value();
   s.rejected = rejected_->value();
   s.batches = batches_->value();
   s.batched_requests = batched_requests_->value();
@@ -58,14 +67,14 @@ std::string FormatLatency(double seconds) {
 }  // namespace
 
 std::string ServiceStatsSnapshot::ToString() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "requests:          %llu (rejected: %llu)\n"
       "cache hits:        %llu (%.1f%%)\n"
       "model predictions: %llu\n"
       "fallbacks:         %llu (no-model %llu, anomalous %llu, deadline "
-      "%llu)\n"
+      "%llu, shutdown %llu, overload %llu, circuit-open %llu)\n"
       "batches:           %llu (mean size %.2f)\n"
       "latency:           p50 %s, p95 %s, p99 %s\n"
       "latency range:     min %s, max %s\n",
@@ -77,6 +86,9 @@ std::string ServiceStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(fallback_no_model),
       static_cast<unsigned long long>(fallback_anomalous),
       static_cast<unsigned long long>(fallback_deadline),
+      static_cast<unsigned long long>(fallback_shutdown),
+      static_cast<unsigned long long>(fallback_overload),
+      static_cast<unsigned long long>(fallback_circuit_open),
       static_cast<unsigned long long>(batches), mean_batch_size(),
       FormatLatency(p50_seconds).c_str(), FormatLatency(p95_seconds).c_str(),
       FormatLatency(p99_seconds).c_str(),

@@ -32,6 +32,9 @@ struct ServiceStatsSnapshot {
   uint64_t fallback_no_model = 0;
   uint64_t fallback_anomalous = 0;
   uint64_t fallback_deadline = 0;
+  uint64_t fallback_shutdown = 0;      ///< Submit lost the race with Shutdown
+  uint64_t fallback_overload = 0;      ///< SubmitWithRetry exhausted attempts
+  uint64_t fallback_circuit_open = 0;  ///< breaker short-circuited the model
   uint64_t rejected = 0;           ///< TrySubmit refused (queue full)
   uint64_t batches = 0;
   uint64_t batched_requests = 0;   ///< sum of batch sizes
@@ -48,7 +51,8 @@ struct ServiceStatsSnapshot {
   uint64_t latency_overflow = 0;
 
   uint64_t fallbacks() const {
-    return fallback_no_model + fallback_anomalous + fallback_deadline;
+    return fallback_no_model + fallback_anomalous + fallback_deadline +
+           fallback_shutdown + fallback_overload + fallback_circuit_open;
   }
   double cache_hit_rate() const {
     return requests > 0 ? static_cast<double>(cache_hits) /
@@ -78,6 +82,9 @@ class ServiceStats {
   void RecordFallbackNoModel() { fallback_no_model_->Inc(); }
   void RecordFallbackAnomalous() { fallback_anomalous_->Inc(); }
   void RecordFallbackDeadline() { fallback_deadline_->Inc(); }
+  void RecordFallbackShutdown() { fallback_shutdown_->Inc(); }
+  void RecordFallbackOverload() { fallback_overload_->Inc(); }
+  void RecordFallbackCircuitOpen() { fallback_circuit_open_->Inc(); }
   void RecordRejected() { rejected_->Inc(); }
   void RecordBatch(size_t batch_size) {
     batches_->Inc();
@@ -100,6 +107,9 @@ class ServiceStats {
   obs::Counter* fallback_no_model_;
   obs::Counter* fallback_anomalous_;
   obs::Counter* fallback_deadline_;
+  obs::Counter* fallback_shutdown_;
+  obs::Counter* fallback_overload_;
+  obs::Counter* fallback_circuit_open_;
   obs::Counter* rejected_;
   obs::Counter* batches_;
   obs::Counter* batched_requests_;

@@ -1,0 +1,202 @@
+// The chaos harness under test: every named scenario passes its invariants
+// AND produces a byte-identical report when replayed with the same seed;
+// the fault injector's decisions are independent of call interleaving; a
+// disabled injector is indistinguishable from none; monotone fault kinds
+// never make any metric smaller; FaultPlans survive file round trips. The
+// long-mode soak (10k concurrent requests under a randomized plan) runs
+// only when QPP_SOAK=1 — ctest wires it up under the `soak` label.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "catalog/tpcds.h"
+#include "engine/simulator.h"
+#include "fault/chaos.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "optimizer/optimizer.h"
+#include "workload/generator.h"
+#include "workload/tpcds_templates.h"
+
+namespace qpp::fault {
+namespace {
+
+// ------------------------------------------------- scenario determinism --
+
+class ChaosScenarioTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ChaosScenarioTest, PassesAndReplaysByteIdentically) {
+  ChaosOptions opts;
+  opts.seed = 42;
+  opts.requests = 200;
+  opts.queries = 12;
+  const ScenarioResult first = RunChaosScenario(GetParam(), opts);
+  for (const std::string& v : first.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(first.ok());
+  EXPECT_FALSE(first.report.empty());
+
+  // Same seed, fresh everything: the report must not move by a byte.
+  const ScenarioResult second = RunChaosScenario(GetParam(), opts);
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(first.report, second.report);
+
+  // A different seed is a different schedule (same invariants though).
+  ChaosOptions other = opts;
+  other.seed = 1234;
+  const ScenarioResult shifted = RunChaosScenario(GetParam(), other);
+  for (const std::string& v : shifted.violations) ADD_FAILURE() << v;
+  EXPECT_NE(first.report, shifted.report);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ChaosScenarioTest,
+                         ::testing::ValuesIn(ChaosScenarioNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ChaosScenarioTest, UnknownScenarioIsAViolationNotACrash) {
+  const ScenarioResult r = RunChaosScenario("no-such-scenario", {});
+  EXPECT_FALSE(r.ok());
+}
+
+// ------------------------------------------------- injector determinism --
+
+TEST(FaultInjectorTest, DecisionsAreKeyedNotOrdered) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.engine.disk_stall_probability = 0.3;
+  plan.engine.node_failure_probability = 0.4;
+  plan.engine.max_failed_nodes = 2;
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+
+  // b samples the same queries in reverse order and with extra queries
+  // interleaved; per-query results must match a's exactly.
+  std::vector<FaultInjector::QueryFaults> forward;
+  for (uint64_t q = 0; q < 32; ++q) {
+    forward.push_back(a.SampleQuery(q * 0x9E37ull, 8));
+  }
+  for (uint64_t q = 32; q-- > 0;) {
+    b.SampleQuery(0xDEADull + q, 8);  // unrelated interleaved traffic
+    const FaultInjector::QueryFaults qf = b.SampleQuery(q * 0x9E37ull, 8);
+    EXPECT_EQ(qf.cpu_multiplier, forward[q].cpu_multiplier);
+    EXPECT_EQ(qf.failed_nodes, forward[q].failed_nodes);
+    EXPECT_EQ(qf.work_mem_multiplier, forward[q].work_mem_multiplier);
+    EXPECT_EQ(qf.op_seed, forward[q].op_seed);
+  }
+}
+
+TEST(FaultInjectorTest, FailureAlwaysLeavesASurvivor) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.engine.node_failure_probability = 1.0;
+  plan.engine.max_failed_nodes = 64;  // more than the cluster has
+  const FaultInjector inj(plan);
+  for (uint64_t q = 0; q < 64; ++q) {
+    const auto qf = inj.SampleQuery(q, 4);
+    EXPECT_GE(qf.failed_nodes, 1);
+    EXPECT_LE(qf.failed_nodes, 3);  // 4 nodes: at most 3 may die
+  }
+  // A single-node "cluster" cannot lose its only node.
+  EXPECT_EQ(inj.SampleQuery(99, 1).failed_nodes, 0);
+}
+
+// -------------------------------------------------- engine monotonicity --
+
+TEST(EngineFaultTest, MonotoneFaultKindsNeverShrinkAnyMetric) {
+  // Disk stalls, message loss, stragglers, and buffer pressure leave the
+  // node count alone, so EVERY metric must be >= its clean value,
+  // elementwise. (Node failure legitimately shrinks message totals — fewer
+  // survivors exchange less — which is why it is excluded here and covered
+  // by the node-death scenario's elapsed-only bound.)
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.engine.disk_stall_probability = 0.4;
+  plan.engine.disk_stall_multiplier = 5.0;
+  plan.engine.message_loss_rate = 0.1;
+  plan.engine.node_slowdown_probability = 0.4;
+  plan.engine.buffer_pressure_probability = 0.4;
+  plan.engine.work_mem_multiplier = 0.2;
+  const FaultInjector inj(plan);
+  const FaultInjector disabled{FaultPlan{}};
+
+  const catalog::Catalog catalog = catalog::MakeTpcdsCatalog(1.0);
+  const optimizer::Optimizer opt(&catalog, {});
+  const engine::ExecutionSimulator sim(&catalog,
+                                       engine::SystemConfig::Neoview4());
+  size_t checked = 0;
+  for (const auto& q : workload::GenerateWorkload(
+           workload::TpcdsTemplates(), 12, 3)) {
+    const auto planned = opt.Plan(q.sql);
+    ASSERT_TRUE(planned.ok()) << q.sql;
+    const engine::QueryMetrics clean = sim.Execute(planned.value());
+    const engine::QueryMetrics off =
+        sim.Execute(planned.value(), nullptr, &disabled);
+    const engine::QueryMetrics faulted =
+        sim.Execute(planned.value(), nullptr, &inj);
+    EXPECT_EQ(off.ToVector(), clean.ToVector());
+    EXPECT_EQ(off.cpu_seconds, clean.cpu_seconds);
+    const auto cv = clean.ToVector();
+    const auto fv = faulted.ToVector();
+    for (size_t m = 0; m < cv.size(); ++m) {
+      EXPECT_GE(fv[m], cv[m]) << q.template_name << " metric " << m;
+    }
+    EXPECT_GE(faulted.cpu_seconds, clean.cpu_seconds);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_GT(inj.total_injected(), 0u);
+}
+
+// ----------------------------------------------------- plan round trips --
+
+TEST(FaultPlanTest, FileRoundTripPreservesEveryField) {
+  const FaultPlan plan = RandomFaultPlan(0xC0FFEEull);
+  const std::string path = ::testing::TempDir() + "/chaos_plan.bin";
+  ASSERT_TRUE(SaveFaultPlanFile(plan, path).ok());
+  const auto loaded = LoadFaultPlanFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  // Byte-identical re-serialization is the strongest equality available.
+  std::ostringstream a, b;
+  BinaryWriter wa(a), wb(b);
+  plan.Write(&wa);
+  loaded.value().Write(&wb);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(loaded.value().seed, plan.seed);
+  EXPECT_EQ(loaded.value().ToString(), plan.ToString());
+}
+
+TEST(FaultPlanTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/chaos_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a fault plan";
+  }
+  EXPECT_FALSE(LoadFaultPlanFile(path).ok());
+  EXPECT_FALSE(LoadFaultPlanFile(path + ".does-not-exist").ok());
+}
+
+// ------------------------------------------------------------- the soak --
+
+TEST(ChaosSoakTest, TenThousandRequestsUnderRandomizedFaults) {
+  const char* gate = std::getenv("QPP_SOAK");
+  if (gate == nullptr || std::string(gate) != "1") {
+    GTEST_SKIP() << "soak mode is opt-in: set QPP_SOAK=1 (ctest -L soak)";
+  }
+  ChaosOptions opts;
+  opts.seed = 20260806;
+  opts.requests = 10000;
+  const ScenarioResult r = RunChaosSoak(opts);
+  for (const std::string& v : r.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace qpp::fault

@@ -2,7 +2,11 @@
 // crash or hang — only parse successfully or return an error Status.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/str_util.h"
 #include "sql/parser.h"
 #include "workload/tpcds_templates.h"
 
@@ -76,6 +80,85 @@ TEST(ParserFuzzTest, MutatedValidQueriesNeverCrash) {
     (result.ok() ? parsed_ok : rejected) += 1;
   }
   // Both outcomes must occur: mutations that stay valid and ones that don't.
+  EXPECT_GT(parsed_ok, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+// Seeded mutation corpus: byte flips and token splices over every shipped
+// workload template. Two contracts beyond "never crash": every parse error
+// carries a byte position ("at offset N"), and that position lies inside
+// the input (an error pointing past the text is as useless as none).
+size_t ExtractOffset(const std::string& message) {
+  const size_t at = message.find("offset ");
+  EXPECT_NE(at, std::string::npos) << "error without a position: " << message;
+  if (at == std::string::npos) return 0;
+  return static_cast<size_t>(
+      std::strtoull(message.c_str() + at + 7, nullptr, 10));
+}
+
+TEST(ParserFuzzTest, ByteFlipCorpusErrorsCarryInBoundsPositions) {
+  const auto templates = workload::TpcdsTemplates();
+  Rng rng(0xB17F11Bull);
+  size_t rejected = 0;
+  for (int iter = 0; iter < 1200; ++iter) {
+    const auto& tmpl = templates[iter % templates.size()];
+    Rng inst(rng.NextU64());
+    std::string sql = tmpl.instantiate(inst);
+    // Flip 1..4 bytes to arbitrary values (not just printable ones).
+    const int flips = static_cast<int>(rng.UniformInt(1, 4));
+    for (int f = 0; f < flips && !sql.empty(); ++f) {
+      sql[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(sql.size()) - 1))] =
+          static_cast<char>(rng.UniformInt(1, 255));
+    }
+    const auto result = Parse(sql);
+    if (result.ok()) continue;
+    ++rejected;
+    const std::string& message = result.status().message();
+    EXPECT_LE(ExtractOffset(message), sql.size()) << message << "\n" << sql;
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ParserFuzzTest, TokenSpliceCorpusErrorsCarryInBoundsPositions) {
+  const auto templates = workload::TpcdsTemplates();
+  Rng rng(0x5B11CEull);
+  size_t parsed_ok = 0, rejected = 0;
+  for (int iter = 0; iter < 1200; ++iter) {
+    Rng inst(rng.NextU64());
+    const std::string a =
+        templates[iter % templates.size()].instantiate(inst);
+    const std::string b =
+        templates[(iter + 3) % templates.size()].instantiate(inst);
+    // Splice at whitespace boundaries so the corpus stays token-shaped —
+    // this reaches deeper parser states than byte soup, which mostly dies
+    // in the lexer.
+    const auto ta = Split(a, ' ');
+    const auto tb = Split(b, ' ');
+    std::vector<std::string> spliced;
+    const size_t cut_a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(ta.size())));
+    const size_t cut_b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(tb.size())));
+    spliced.insert(spliced.end(), ta.begin(), ta.begin() + cut_a);
+    spliced.insert(spliced.end(), tb.begin() + cut_b, tb.end());
+    if (rng.NextDouble() < 0.3 && !ta.empty()) {  // duplicate a token run
+      const size_t dup = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(ta.size()) - 1));
+      spliced.insert(spliced.end(), ta.begin() + dup, ta.end());
+    }
+    const std::string sql = Join(spliced, " ");
+    const auto result = Parse(sql);
+    if (result.ok()) {
+      ++parsed_ok;
+      continue;
+    }
+    ++rejected;
+    const std::string& message = result.status().message();
+    EXPECT_LE(ExtractOffset(message), sql.size()) << message << "\n" << sql;
+  }
+  // The splice point must produce both survivors and rejects, or the
+  // corpus is not exploring the grammar.
   EXPECT_GT(parsed_ok, 0u);
   EXPECT_GT(rejected, 0u);
 }

@@ -6,8 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "catalog/retailbank.h"
+#include "common/serde.h"
+#include "core/predictor.h"
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
+#include "optimizer/plan_serde.h"
 #include "catalog/tpcds.h"
 #include "engine/simulator.h"
 #include "ml/feature_vector.h"
@@ -198,6 +204,95 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<TemplateCase>& info) {
       return info.param.tmpl.name;
     });
+
+// ------------------------------------------------------------------------
+// Serialization round trips. The property asserted everywhere is the
+// strongest one available without field-by-field equality operators:
+// serialize → parse → serialize must reproduce the FIRST byte stream
+// exactly. That catches lossy fields, reordered writes, and "parses but
+// re-encodes differently" drift in one assertion.
+
+TEST(RoundTripPropertyTest, FaultPlanStreamRoundTripIsByteIdentical) {
+  for (uint64_t seed : {1ull, 42ull, 0xFEEDull, 0xDEADBEEFull}) {
+    const fault::FaultPlan plan = fault::RandomFaultPlan(seed);
+    std::ostringstream first;
+    BinaryWriter w1(first);
+    plan.Write(&w1);
+
+    std::istringstream in(first.str());
+    BinaryReader r(in);
+    const fault::FaultPlan back = fault::FaultPlan::Read(&r);
+
+    std::ostringstream second;
+    BinaryWriter w2(second);
+    back.Write(&w2);
+    EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
+    EXPECT_EQ(back.ToString(), plan.ToString()) << "seed " << seed;
+  }
+}
+
+TEST(RoundTripPropertyTest, PhysicalPlanSerdeRoundTripIsByteIdentical) {
+  const catalog::Catalog catalog = catalog::MakeTpcdsCatalog(1.0);
+  const optimizer::Optimizer opt(&catalog, {});
+  Rng rng(0x9E37ull);
+  size_t checked = 0;
+  for (const auto& tmpl : workload::TpcdsTemplates()) {
+    const std::string sql = tmpl.instantiate(rng);
+    const auto plan = opt.Plan(sql);
+    ASSERT_TRUE(plan.ok()) << sql;
+    std::ostringstream first;
+    optimizer::WritePlan(plan.value(), &first);
+
+    std::istringstream in(first.str());
+    const auto back = optimizer::ReadPlan(&in);
+    ASSERT_TRUE(back.ok()) << tmpl.name << ": " << back.status().message();
+
+    std::ostringstream second;
+    optimizer::WritePlan(back.value(), &second);
+    EXPECT_EQ(first.str(), second.str()) << tmpl.name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(RoundTripPropertyTest, PredictorSaveLoadRoundTripIsByteIdentical) {
+  Rng rng(0xAB1Eull);
+  std::vector<ml::TrainingExample> examples;
+  for (size_t i = 0; i < 80; ++i) {
+    const double a = rng.Uniform(1.0, 10.0);
+    const double b = rng.Uniform(1.0, 10.0);
+    ml::TrainingExample ex;
+    ex.query_features = {a, b, a * b, rng.Uniform(0.0, 1.0)};
+    ex.metrics.elapsed_seconds = 2.0 * a + b;
+    ex.metrics.records_accessed = 1000.0 * a;
+    ex.metrics.records_used = 100.0 * a;
+    ex.metrics.disk_ios = 10.0 * b;
+    ex.metrics.message_count = 5.0 * a * b;
+    ex.metrics.message_bytes = 4000.0 * a * b;
+    examples.push_back(std::move(ex));
+  }
+  core::Predictor pred;
+  pred.Train(examples);
+
+  std::ostringstream first;
+  pred.Save(&first);
+  std::istringstream in(first.str());
+  const core::Predictor back = core::Predictor::Load(&in);
+
+  std::ostringstream second;
+  back.Save(&second);
+  EXPECT_EQ(first.str(), second.str());
+
+  // And the reloaded model answers identically, bit for bit.
+  Rng probe_rng(0x1234ull);
+  for (int i = 0; i < 10; ++i) {
+    const double a = probe_rng.Uniform(1.0, 10.0);
+    const double b = probe_rng.Uniform(1.0, 10.0);
+    const linalg::Vector f = {a, b, a * b, probe_rng.Uniform(0.0, 1.0)};
+    EXPECT_EQ(pred.Predict(f).metrics.ToVector(),
+              back.Predict(f).metrics.ToVector());
+  }
+}
 
 }  // namespace
 }  // namespace qpp

@@ -265,9 +265,70 @@ TEST(PredictionServiceTest, SubmitAfterShutdownAnswersLabeledFallback) {
   EXPECT_TRUE(resp.degraded());
   EXPECT_EQ(resp.degraded_reason, "shutdown");
 
+  // Regression: the shutdown fallback must be counted as SHUTDOWN, not
+  // smuggled into the no-model counter — otherwise the accounting identity
+  // (requests == cache + model + per-reason fallbacks) cannot be audited.
+  const ServiceStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.fallback_shutdown, 1u);
+  EXPECT_EQ(stats.fallback_no_model, 0u);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.fallbacks(), 1u);
+
   std::future<ServeResponse> rejected;
   EXPECT_FALSE(service.TrySubmit({{1.0, 2.0}, 50.0}, &rejected));
   EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(PredictionServiceTest, SubmitWithRetryDegradesToOverloadWhenExhausted) {
+  ModelRegistry registry;
+  const CostCalibration cal = TestCalibration();
+  PredictionService service(&registry, {}, cal);
+  service.Shutdown();  // every TrySubmit now refuses
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 1e-6;
+  const ServeResponse resp =
+      service.SubmitWithRetry({{1.0, 2.0}, 300.0}, policy).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "overload");
+  EXPECT_EQ(resp.prediction.metrics.elapsed_seconds, cal.EstimateSeconds(300.0));
+  const ServiceStatsSnapshot stats = service.stats();
+  EXPECT_EQ(stats.fallback_overload, 1u);
+  EXPECT_EQ(stats.rejected, 3u);  // one per refused attempt
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+TEST(PredictionServiceTest, SubmitWithRetrySucceedsWithoutFaults) {
+  const core::Predictor pred = TrainPredictor(48, 5, ml::KccaSolver::kExact);
+  ModelRegistry registry;
+  registry.Publish(pred);
+  PredictionService service(&registry, {}, TestCalibration());
+  const linalg::Vector probe = MakeExamples(1, 9)[0].query_features;
+  const ServeResponse resp = service.SubmitWithRetry({probe, 100.0}).get();
+  EXPECT_FALSE(resp.degraded());
+  ExpectBitIdentical(resp.prediction, pred.Predict(probe));
+  EXPECT_EQ(service.stats().rejected, 0u);
+}
+
+TEST(PredictionServiceTest, PerRequestDeadlineOverridesConfigDefault) {
+  const core::Predictor pred = TrainPredictor(48, 5, ml::KccaSolver::kExact);
+  ModelRegistry registry;
+  registry.Publish(pred);
+  ServiceConfig config;
+  config.queue_deadline_seconds = 3600.0;  // config-wide: effectively never
+  const CostCalibration cal = TestCalibration();
+  PredictionService service(&registry, config, cal);
+  const linalg::Vector probe = MakeExamples(1, 8)[0].query_features;
+  ServeRequest strict;
+  strict.features = probe;
+  strict.optimizer_cost = 200.0;
+  strict.deadline_seconds = 1e-12;  // any queue wait exceeds this
+  const ServeResponse resp = service.Submit(std::move(strict)).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "deadline");
+  // Requests without an override still ride the (infinite) config default.
+  const ServeResponse lax = service.Submit({probe, 200.0}).get();
+  EXPECT_FALSE(lax.degraded());
 }
 
 TEST(PredictionServiceTest, HotSwapServesTheNewGenerationNotStaleCache) {

@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "serve/bounded_queue.h"
+#include "serve/circuit_breaker.h"
 #include "serve/cost_fallback.h"
 #include "serve/lru_cache.h"
 #include "serve/model_registry.h"
@@ -365,6 +366,120 @@ TEST(ServiceStatsTest, SnapshotReflectsRecordedEvents) {
   const std::string report = snap.ToString();
   EXPECT_NE(report.find("cache hits"), std::string::npos);
   EXPECT_NE(report.find("fallbacks"), std::string::npos);
+}
+
+TEST(ServiceStatsTest, EveryFallbackReasonHasItsOwnCounter) {
+  ServiceStats stats;
+  stats.RecordFallbackNoModel();
+  stats.RecordFallbackAnomalous();
+  stats.RecordFallbackDeadline();
+  stats.RecordFallbackShutdown();
+  stats.RecordFallbackOverload();
+  stats.RecordFallbackCircuitOpen();
+  const ServiceStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.fallback_no_model, 1u);
+  EXPECT_EQ(snap.fallback_anomalous, 1u);
+  EXPECT_EQ(snap.fallback_deadline, 1u);
+  EXPECT_EQ(snap.fallback_shutdown, 1u);
+  EXPECT_EQ(snap.fallback_overload, 1u);
+  EXPECT_EQ(snap.fallback_circuit_open, 1u);
+  EXPECT_EQ(snap.fallbacks(), 6u);
+  const std::string report = snap.ToString();
+  EXPECT_NE(report.find("shutdown"), std::string::npos);
+  EXPECT_NE(report.find("overload"), std::string::npos);
+  EXPECT_NE(report.find("circuit-open"), std::string::npos);
+}
+
+// -------------------------------------------------------------- breaker --
+
+CircuitBreakerConfig SmallBreaker() {
+  CircuitBreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.window = 8;
+  cfg.min_samples = 4;
+  cfg.trip_ratio = 0.5;
+  cfg.open_requests = 2;
+  return cfg;
+}
+
+TEST(CircuitBreakerTest, StaysClosedUnderSuccesses) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(breaker.AllowRequest());
+    breaker.RecordSuccess();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAtTheRatioNotBefore) {
+  CircuitBreaker breaker(SmallBreaker());
+  // Below min_samples nothing can trip, even at 100% failures.
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();  // 4th sample reaches min_samples at ratio 1.0
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, OpenShortCircuitsThenAdmitsOneProbe) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // open_requests = 2 short-circuits, then exactly one probe gets through;
+  // everyone else keeps getting refused until the probe's verdict lands.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesAndResetsTheWindow) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  for (int i = 0; i < 2; ++i) EXPECT_FALSE(breaker.AllowRequest());
+  ASSERT_TRUE(breaker.AllowRequest());  // the probe
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // Window was reset: three fresh failures are below min_samples again.
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopens) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  for (int i = 0; i < 2; ++i) EXPECT_FALSE(breaker.AllowRequest());
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // And the open -> half-open cycle starts over.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, SlidingWindowForgetsOldFailures) {
+  CircuitBreakerConfig cfg = SmallBreaker();
+  cfg.window = 4;
+  cfg.min_samples = 4;
+  CircuitBreaker breaker(cfg);
+  // One failure per four outcomes: five failures in total, but never two
+  // inside the sliding window, so the 0.5 ratio is never reached. A
+  // breaker that accumulated failures forever would have tripped.
+  for (int round = 0; round < 5; ++round) {
+    breaker.RecordFailure();
+    for (int i = 0; i < 3; ++i) breaker.RecordSuccess();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  }
+  // Two consecutive fresh failures put 2 in the 4-window: trips — and only
+  // on the second one.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
 }
 
 }  // namespace

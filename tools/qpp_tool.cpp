@@ -21,6 +21,12 @@
 //   qpp_tool obs     --sql SQL [--model MODEL] --trace-out FILE
 //       trace one query end to end: traced prediction stages + the
 //       simulator's per-operator critical path, in one loadable file.
+//   qpp_tool chaos   [--scenario NAME|all] [--seed S] [--requests R]
+//       run the seeded fault-injection scenarios (docs/FAULTS.md) and
+//       print their deterministic reports; exit 1 on any violated
+//       invariant. --save-plan FILE ships a scenario's FaultPlan for
+//       replay; --plan FILE replays a saved plan; --soak runs the
+//       high-volume concurrent soak instead of the named scenarios.
 //
 // All commands run against the TPC-DS SF-1 catalog on the Neoview-4
 // configuration; this is a demonstration surface, not a kitchen sink.
@@ -39,6 +45,8 @@
 
 #include "catalog/tpcds.h"
 #include "common/rng.h"
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
 #include "common/str_util.h"
 #include "core/experiment.h"
 #include "core/model_io.h"
@@ -98,7 +106,10 @@ int Usage() {
                "                   [--trace-out FILE] [--statsz FILE]\n"
                "  qpp_tool obs     --sql SQL --trace-out FILE [--model "
                "MODEL]\n"
-               "                   [--candidates N] [--seed S]\n");
+               "                   [--candidates N] [--seed S]\n"
+               "  qpp_tool chaos   [--scenario NAME|all] [--seed S]\n"
+               "                   [--requests R] [--queries Q] [--soak]\n"
+               "                   [--plan FILE] [--save-plan FILE]\n");
   return 2;
 }
 
@@ -470,6 +481,66 @@ int CmdObs(const Args& args) {
   return 0;
 }
 
+int CmdChaos(const Args& args) {
+  fault::ChaosOptions opts;
+  opts.seed = std::stoull(args.get("seed", "42"));
+  opts.requests =
+      static_cast<size_t>(std::stoul(args.get("requests", "400")));
+  opts.queries = static_cast<size_t>(std::stoul(args.get("queries", "24")));
+
+  const std::string plan_path = args.get("plan");
+  if (!plan_path.empty()) {
+    const auto loaded = fault::LoadFaultPlanFile(plan_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    opts.has_plan_override = true;
+    opts.plan_override = loaded.value();
+  }
+
+  const std::string scenario = args.get("scenario", "all");
+  const std::string save_path = args.get("save-plan");
+  if (!save_path.empty()) {
+    const fault::FaultPlan to_save =
+        opts.has_plan_override ? opts.plan_override
+        : args.flag("soak")    ? fault::RandomFaultPlan(opts.seed)
+        : scenario != "all" ? fault::ChaosScenarioPlan(scenario, opts.seed)
+                            : fault::RandomFaultPlan(opts.seed);
+    const Status st = fault::SaveFaultPlanFile(to_save, save_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.message().c_str());
+      return 1;
+    }
+    std::printf("fault plan saved to %s\n%s", save_path.c_str(),
+                to_save.ToString().c_str());
+  }
+
+  std::vector<fault::ScenarioResult> results;
+  if (args.flag("soak")) {
+    results.push_back(fault::RunChaosSoak(opts));
+  } else if (scenario == "all") {
+    for (const std::string& name : fault::ChaosScenarioNames()) {
+      results.push_back(fault::RunChaosScenario(name, opts));
+    }
+  } else {
+    results.push_back(fault::RunChaosScenario(scenario, opts));
+  }
+
+  bool ok = true;
+  for (const fault::ScenarioResult& r : results) {
+    std::printf("=== %s (seed %llu): %s ===\n%s", r.name.c_str(),
+                static_cast<unsigned long long>(opts.seed),
+                r.ok() ? "PASS" : "FAIL", r.report.c_str());
+    for (const std::string& violation : r.violations) {
+      std::printf("  VIOLATION: %s\n", violation.c_str());
+      ok = false;
+    }
+    std::printf("\n");
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -482,6 +553,7 @@ int main(int argc, char** argv) {
     if (args.command == "explain") return CmdExplain(args);
     if (args.command == "serve") return CmdServe(args);
     if (args.command == "obs") return CmdObs(args);
+    if (args.command == "chaos") return CmdChaos(args);
   } catch (const CheckFailure& e) {
     std::fprintf(stderr, "internal error: %s\n", e.what());
     return 1;
