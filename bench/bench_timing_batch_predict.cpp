@@ -4,13 +4,19 @@
 // win comes from amortizing per-query scratch allocations and hoisting
 // query-independent work (training-point norms, projection buffers)
 // across the batch.
+// The custom main also reports qpp::par thread scaling of the batch path:
+// PredictBatch(256) at QPP_THREADS = 1 vs 8, with a bit-identity check.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "core/predictor.h"
+#include "par/thread_pool.h"
 
 using namespace qpp;
 
@@ -85,6 +91,57 @@ void BM_PredictBatch(benchmark::State& state) {
 BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
 
+void ReportBatchThreadScaling() {
+  const core::Predictor& pred = TrainedPredictor(kTrainN);
+  const auto probes = ProbeBatch(256, kTrainN);
+  const size_t counts[2] = {1, 8};
+  double ms[2] = {0.0, 0.0};
+  std::vector<core::Prediction> results[2];
+  for (size_t t = 0; t < 2; ++t) {
+    par::SetGlobalThreads(counts[t]);
+    pred.PredictBatch(probes);  // warm the caches once
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < 8; ++rep) results[t] = pred.PredictBatch(probes);
+    ms[t] = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count() /
+            8.0;
+  }
+  par::SetGlobalThreads(par::DefaultThreads());
+  bool identical = results[0].size() == results[1].size();
+  for (size_t i = 0; identical && i < results[0].size(); ++i) {
+    identical = results[0][i].metrics.ToVector() ==
+                    results[1][i].metrics.ToVector() &&
+                results[0][i].confidence == results[1][i].confidence;
+  }
+  std::printf("PredictBatch(256) on N=%zu model: %.2f ms @1T, %.2f ms @8T  "
+              "speedup=%.2fx  bit_identical=%s\n",
+              kTrainN, ms[0], ms[1], ms[1] > 0.0 ? ms[0] / ms[1] : 0.0,
+              identical ? "yes" : "NO");
+  std::printf("BENCH bench_timing_batch_predict threads=1,8 batch=256 "
+              "speedup_8v1=%.2f byte_identical=%d\n",
+              ms[1] > 0.0 ? ms[0] / ms[1] : 0.0, identical ? 1 : 0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  ReportBatchThreadScaling();
+  if (quick) return 0;
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

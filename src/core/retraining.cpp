@@ -1,6 +1,8 @@
 #include "core/retraining.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
+#include "par/thread_pool.h"
 
 namespace qpp::core {
 
@@ -57,8 +59,18 @@ bool SlidingWindowPredictor::Retrain() {
   }
   if (sample.size() < min_needed) return false;
 
+  // The heavy phases inside Train (kernel matrices, Gram products,
+  // triangular solves) all route through the qpp::par pool, so a retrain
+  // spreads across compute threads instead of monopolizing the observing
+  // thread; the umbrella span puts the whole retrain on the "par" trace
+  // timeline next to the individual region spans.
   Predictor fresh(config_.predictor);
-  fresh.Train(sample);
+  {
+    obs::Span span(par::ObservedTrace(), "retrain", "par");
+    span.AddArg("window", static_cast<uint64_t>(n));
+    span.AddArg("sample", static_cast<uint64_t>(sample.size()));
+    fresh.Train(sample);
+  }
   predictor_ = std::move(fresh);
   since_retrain_ = 0;
   ++generation_;

@@ -3,8 +3,16 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "par/parallel_for.h"
 
 namespace qpp::linalg {
+
+namespace {
+/// Right-hand-side columns per parallel chunk, and the solve work (n^2 per
+/// column x columns) below which the column loop runs inline.
+constexpr size_t kColGrain = 8;
+constexpr size_t kParMinWork = size_t{1} << 15;
+}  // namespace
 
 Cholesky::Cholesky(const Matrix& a, double max_jitter) {
   QPP_CHECK_MSG(a.rows() == a.cols(), "Cholesky requires a square matrix");
@@ -75,12 +83,23 @@ Vector Cholesky::Solve(const Vector& b) const {
   return SolveLowerTranspose(SolveLower(b));
 }
 
+// Each right-hand-side column solves independently with the same per-column
+// arithmetic as before, so parallelizing the column loop is bit-identical
+// at every thread count. These are the N^3/2-flop triangular solves of the
+// exact KCCA solver (Lx^{-1} C with N columns).
 Matrix Cholesky::Solve(const Matrix& b) const {
   QPP_CHECK(ok_ && b.rows() == l_.rows());
   Matrix x(b.rows(), b.cols());
-  for (size_t c = 0; c < b.cols(); ++c) {
-    const Vector col = Solve(b.Col(c));
-    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  auto solve_cols = [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      const Vector col = Solve(b.Col(c));
+      for (size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+    }
+  };
+  if (b.rows() * b.rows() * b.cols() < kParMinWork) {
+    solve_cols(0, b.cols());
+  } else {
+    par::ParallelFor(0, b.cols(), kColGrain, solve_cols, "chol_solve");
   }
   return x;
 }
@@ -88,9 +107,16 @@ Matrix Cholesky::Solve(const Matrix& b) const {
 Matrix Cholesky::SolveLowerMatrix(const Matrix& b) const {
   QPP_CHECK(ok_ && b.rows() == l_.rows());
   Matrix y(b.rows(), b.cols());
-  for (size_t c = 0; c < b.cols(); ++c) {
-    const Vector col = SolveLower(b.Col(c));
-    for (size_t r = 0; r < b.rows(); ++r) y(r, c) = col[r];
+  auto solve_cols = [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      const Vector col = SolveLower(b.Col(c));
+      for (size_t r = 0; r < b.rows(); ++r) y(r, c) = col[r];
+    }
+  };
+  if (b.rows() * b.rows() * b.cols() < kParMinWork) {
+    solve_cols(0, b.cols());
+  } else {
+    par::ParallelFor(0, b.cols(), kColGrain, solve_cols, "chol_solve_lower");
   }
   return y;
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "par/parallel_for.h"
 
 namespace qpp::linalg {
 
@@ -145,9 +146,19 @@ SymmetricEigen EigenSymmetric(const Matrix& a) {
     return out;
   }
   // Symmetrize to absorb round-off asymmetry from upstream products.
+  // Elementwise, so the row-parallel form is bit-identical to the serial
+  // loop. The Householder/QL iterations themselves stay sequential (each
+  // rotation feeds the next); the O(n^2) pre/post passes are what
+  // parallelize safely here — the O(n^3) products that *build* the input
+  // matrix are parallel in Matrix::Multiply and Cholesky::SolveLowerMatrix.
   Matrix s(n, n);
-  for (size_t i = 0; i < n; ++i)
-    for (size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+  par::ParallelFor(
+      0, n, 32,
+      [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i)
+          for (size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+      },
+      "eigen_symmetrize");
 
   Vector d, e;
   Tred2(s, d, e);
@@ -160,10 +171,14 @@ SymmetricEigen EigenSymmetric(const Matrix& a) {
             [&](size_t x, size_t y) { return d[x] < d[y]; });
   out.values.resize(n);
   out.vectors = Matrix(n, n);
-  for (size_t c = 0; c < n; ++c) {
-    out.values[c] = d[idx[c]];
-    for (size_t r = 0; r < n; ++r) out.vectors(r, c) = s(r, idx[c]);
-  }
+  for (size_t c = 0; c < n; ++c) out.values[c] = d[idx[c]];
+  par::ParallelFor(
+      0, n, 32,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r)
+          for (size_t c = 0; c < n; ++c) out.vectors(r, c) = s(r, idx[c]);
+      },
+      "eigen_permute");
   out.converged = ok;
   return out;
 }

@@ -1,11 +1,85 @@
 #include "linalg/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "common/check.h"
+#include "par/parallel_for.h"
 
 namespace qpp::linalg {
+
+namespace {
+
+// Blocking / dispatch parameters for the product kernels. All are
+// compile-time constants: chunk boundaries must not depend on the thread
+// count (see par/thread_pool.h), and the k-tile size is part of the loop
+// order that the bit-identity guarantee is stated over.
+constexpr size_t kRowGrain = 16;  ///< rows per parallel chunk
+constexpr size_t kKTile = 64;     ///< inner-dimension tile (L1-resident rows)
+/// Multiply-add count below which dispatching to the pool costs more than
+/// the loop; small products run the same kernel inline.
+constexpr size_t kParMinWork = size_t{1} << 15;
+
+// out rows [r0, r1) of A * B. k-tiled i-k-j: per output element the
+// accumulation order over k is ascending (tiles ascending, k within a tile
+// ascending), exactly matching reference::Multiply, and the aik == 0 skip
+// is preserved — so the result is bit-identical to the reference kernel.
+// The tiling keeps a kKTile-row band of B hot across all rows of the block.
+void MultiplyRowRange(const double* a, const double* b, double* out,
+                      size_t acols, size_t bcols, size_t r0, size_t r1) {
+  for (size_t k0 = 0; k0 < acols; k0 += kKTile) {
+    const size_t k1 = std::min(acols, k0 + kKTile);
+    for (size_t i = r0; i < r1; ++i) {
+      const double* arow = a + i * acols;
+      double* orow = out + i * bcols;
+      for (size_t k = k0; k < k1; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const double* brow = b + k * bcols;
+        for (size_t j = 0; j < bcols; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+// out rows [i0, i1) of A^T * B (out is acols x bcols). k stays the outer
+// loop exactly as in reference::TransposeMultiply, restricted to the
+// columns of A that map to this output-row block; per element the k order
+// and the zero skip match the reference bit for bit.
+void TransposeMultiplyRowRange(const double* a, const double* b, double* out,
+                               size_t arows, size_t acols, size_t bcols,
+                               size_t i0, size_t i1) {
+  for (size_t k = 0; k < arows; ++k) {
+    const double* arow = a + k * acols;
+    const double* brow = b + k * bcols;
+    for (size_t i = i0; i < i1; ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* orow = out + i * bcols;
+      for (size_t j = 0; j < bcols; ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+// out rows [r0, r1) of A * B^T: independent dot products, inner loop
+// identical to reference::MultiplyTranspose.
+void MultiplyTransposeRowRange(const double* a, const double* b, double* out,
+                               size_t acols, size_t brows, size_t r0,
+                               size_t r1) {
+  for (size_t i = r0; i < r1; ++i) {
+    const double* arow = a + i * acols;
+    double* orow = out + i * brows;
+    for (size_t j = 0; j < brows; ++j) {
+      const double* brow = b + j * acols;
+      double s = 0.0;
+      for (size_t k = 0; k < acols; ++k) s += arow[k] * brow[k];
+      orow[j] = s;
+    }
+  }
+}
+
+}  // namespace
 
 Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
   if (rows.empty()) return Matrix();
@@ -51,16 +125,19 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::Multiply(const Matrix& other) const {
   QPP_CHECK_MSG(cols_ == other.rows_, "dimension mismatch in Multiply");
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order for row-major cache friendliness.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = &data_[i * cols_];
-    double* o = &out.data_[i * other.cols_];
-    for (size_t k = 0; k < cols_; ++k) {
-      const double aik = a[k];
-      if (aik == 0.0) continue;
-      const double* b = &other.data_[k * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
-    }
+  const double* a = data_.data();
+  const double* b = other.data_.data();
+  double* o = out.data_.data();
+  const size_t work = rows_ * cols_ * other.cols_;
+  if (work < kParMinWork) {
+    MultiplyRowRange(a, b, o, cols_, other.cols_, 0, rows_);
+  } else {
+    par::ParallelFor(
+        0, rows_, kRowGrain,
+        [&](size_t r0, size_t r1) {
+          MultiplyRowRange(a, b, o, cols_, other.cols_, r0, r1);
+        },
+        "matmul");
   }
   return out;
 }
@@ -68,15 +145,20 @@ Matrix Matrix::Multiply(const Matrix& other) const {
 Matrix Matrix::TransposeMultiply(const Matrix& other) const {
   QPP_CHECK_MSG(rows_ == other.rows_, "dimension mismatch in TransposeMultiply");
   Matrix out(cols_, other.cols_);
-  for (size_t k = 0; k < rows_; ++k) {
-    const double* a = &data_[k * cols_];
-    const double* b = &other.data_[k * other.cols_];
-    for (size_t i = 0; i < cols_; ++i) {
-      const double aki = a[i];
-      if (aki == 0.0) continue;
-      double* o = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += aki * b[j];
-    }
+  const double* a = data_.data();
+  const double* b = other.data_.data();
+  double* o = out.data_.data();
+  const size_t work = rows_ * cols_ * other.cols_;
+  if (work < kParMinWork) {
+    TransposeMultiplyRowRange(a, b, o, rows_, cols_, other.cols_, 0, cols_);
+  } else {
+    par::ParallelFor(
+        0, cols_, kRowGrain,
+        [&](size_t i0, size_t i1) {
+          TransposeMultiplyRowRange(a, b, o, rows_, cols_, other.cols_, i0,
+                                    i1);
+        },
+        "matmul_tn");
   }
   return out;
 }
@@ -84,14 +166,19 @@ Matrix Matrix::TransposeMultiply(const Matrix& other) const {
 Matrix Matrix::MultiplyTranspose(const Matrix& other) const {
   QPP_CHECK_MSG(cols_ == other.cols_, "dimension mismatch in MultiplyTranspose");
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = &data_[i * cols_];
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b = &other.data_[j * other.cols_];
-      double s = 0.0;
-      for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
-      out(i, j) = s;
-    }
+  const double* a = data_.data();
+  const double* b = other.data_.data();
+  double* o = out.data_.data();
+  const size_t work = rows_ * cols_ * other.rows_;
+  if (work < kParMinWork) {
+    MultiplyTransposeRowRange(a, b, o, cols_, other.rows_, 0, rows_);
+  } else {
+    par::ParallelFor(
+        0, rows_, kRowGrain,
+        [&](size_t r0, size_t r1) {
+          MultiplyTransposeRowRange(a, b, o, cols_, other.rows_, r0, r1);
+        },
+        "matmul_nt");
   }
   return out;
 }
@@ -158,6 +245,60 @@ std::string Matrix::ToString(int precision) const {
   }
   return os.str();
 }
+
+namespace reference {
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  QPP_CHECK_MSG(a.cols() == b.rows(), "dimension mismatch in Multiply");
+  Matrix out(a.rows(), b.cols());
+  // The original single-threaded i-k-j kernel, unchanged.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data().data() + i * a.cols();
+    double* orow = out.data().data() + i * b.cols();
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.data().data() + k * b.cols();
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix TransposeMultiply(const Matrix& a, const Matrix& b) {
+  QPP_CHECK_MSG(a.rows() == b.rows(),
+                "dimension mismatch in TransposeMultiply");
+  Matrix out(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.data().data() + k * a.cols();
+    const double* brow = b.data().data() + k * b.cols();
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* orow = out.data().data() + i * b.cols();
+      for (size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MultiplyTranspose(const Matrix& a, const Matrix& b) {
+  QPP_CHECK_MSG(a.cols() == b.cols(),
+                "dimension mismatch in MultiplyTranspose");
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data().data() + i * a.cols();
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.data().data() + j * b.cols();
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace reference
 
 double Dot(const Vector& a, const Vector& b) {
   QPP_CHECK(a.size() == b.size());

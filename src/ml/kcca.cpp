@@ -8,10 +8,15 @@
 #include "linalg/eigen_sym.h"
 #include "linalg/incomplete_cholesky.h"
 #include "linalg/serde.h"
+#include "par/parallel_for.h"
 
 namespace qpp::ml {
 
 namespace {
+
+/// Batch-projection rows per parallel chunk (fixed: the chunking must not
+/// depend on the thread count; see par/thread_pool.h).
+constexpr size_t kProjectGrain = 8;
 
 linalg::Vector RowMeans(const linalg::Matrix& k, double* grand) {
   const size_t n = k.rows();
@@ -205,39 +210,49 @@ linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
     const double* tbase = train_x_.data().data();
     const double* abase = a_.data().data();
     linalg::Matrix out(b, d);
-    linalg::Vector centered(n);
-    for (size_t r = 0; r < b; ++r) {
-      const double* xq = xbase + r * dims;
-      // Kernel vector + centering, fused. Same per-element arithmetic as
-      // KernelVector + CenterKernelVector, minus the two allocations.
-      double mean_star = 0.0;
-      for (size_t i = 0; i < n; ++i) {
-        const double* ti = tbase + i * dims;
-        double sq = 0.0;
-        for (size_t j = 0; j < dims; ++j) {
-          const double diff = ti[j] - xq[j];
-          sq += diff * diff;
-        }
-        centered[i] = std::exp(-sq / tau_x_);
-        mean_star += centered[i];
-      }
-      mean_star /= static_cast<double>(n);
-      for (size_t i = 0; i < n; ++i) {
-        // Same association as CenterKernelVector:
-        // k*[i] - row_mean[i] - mean* + grand_mean, left to right.
-        double v = centered[i] - kx_row_means_[i];
-        v = v - mean_star;
-        centered[i] = v + kx_grand_mean_;
-      }
-      // projection = centered^T A, accumulated row-major over A (each
-      // output column still sums in ascending i, as ProjectX does).
-      double* orow = &out.data()[r * d];
-      for (size_t i = 0; i < n; ++i) {
-        const double ci = centered[i];
-        const double* arow = abase + i * d;
-        for (size_t c = 0; c < d; ++c) orow[c] += ci * arow[c];
-      }
-    }
+    // Rows are independent (disjoint output rows, read-only model state):
+    // chunks of the batch run in parallel, each with its own kernel-vector
+    // scratch. The per-row arithmetic below is exactly the single-row
+    // ProjectX sequence, so batch row i stays bit-identical to
+    // ProjectX(xs.Row(i)) at every thread count.
+    par::ParallelFor(
+        0, b, kProjectGrain,
+        [&](size_t r0, size_t r1) {
+          linalg::Vector centered(n);
+          for (size_t r = r0; r < r1; ++r) {
+            const double* xq = xbase + r * dims;
+            // Kernel vector + centering, fused. Same per-element arithmetic
+            // as KernelVector + CenterKernelVector, minus the allocations.
+            double mean_star = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+              const double* ti = tbase + i * dims;
+              double sq = 0.0;
+              for (size_t j = 0; j < dims; ++j) {
+                const double diff = ti[j] - xq[j];
+                sq += diff * diff;
+              }
+              centered[i] = std::exp(-sq / tau_x_);
+              mean_star += centered[i];
+            }
+            mean_star /= static_cast<double>(n);
+            for (size_t i = 0; i < n; ++i) {
+              // Same association as CenterKernelVector:
+              // k*[i] - row_mean[i] - mean* + grand_mean, left to right.
+              double v = centered[i] - kx_row_means_[i];
+              v = v - mean_star;
+              centered[i] = v + kx_grand_mean_;
+            }
+            // projection = centered^T A, accumulated row-major over A (each
+            // output column still sums in ascending i, as ProjectX does).
+            double* orow = &out.data()[r * d];
+            for (size_t i = 0; i < n; ++i) {
+              const double ci = centered[i];
+              const double* arow = abase + i * d;
+              for (size_t c = 0; c < d; ++c) orow[c] += ci * arow[c];
+            }
+          }
+        },
+        "kcca_project_batch");
     return out;
   }
 
@@ -249,27 +264,34 @@ linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
   const double* pbase = pivot_x_.data().data();
   const double* wbase = wx_.data().data();
   linalg::Matrix out(b, d);
-  linalg::Vector gvec(m);
-  for (size_t r = 0; r < b; ++r) {
-    const double* xq = xbase + r * dims;
-    for (size_t i = 0; i < m; ++i) {
-      const double* pi = pbase + i * dims;
-      double sq = 0.0;
-      for (size_t j = 0; j < dims; ++j) {
-        const double diff = pi[j] - xq[j];
-        sq += diff * diff;
-      }
-      double s = std::exp(-sq / tau_x_);
-      for (size_t j = 0; j < i; ++j) s -= lpp_(i, j) * gvec[j];
-      gvec[i] = s / lpp_(i, i);
-    }
-    double* orow = &out.data()[r * d];
-    for (size_t j = 0; j < m; ++j) {
-      const double gj = gvec[j] - gx_means_[j];
-      const double* wrow = wbase + j * d;
-      for (size_t c = 0; c < d; ++c) orow[c] += gj * wrow[c];
-    }
-  }
+  // Same chunk-parallel shape as the exact path: per-chunk forward-
+  // substitution scratch, per-row arithmetic identical to ProjectX.
+  par::ParallelFor(
+      0, b, kProjectGrain,
+      [&](size_t r0, size_t r1) {
+        linalg::Vector gvec(m);
+        for (size_t r = r0; r < r1; ++r) {
+          const double* xq = xbase + r * dims;
+          for (size_t i = 0; i < m; ++i) {
+            const double* pi = pbase + i * dims;
+            double sq = 0.0;
+            for (size_t j = 0; j < dims; ++j) {
+              const double diff = pi[j] - xq[j];
+              sq += diff * diff;
+            }
+            double s = std::exp(-sq / tau_x_);
+            for (size_t j = 0; j < i; ++j) s -= lpp_(i, j) * gvec[j];
+            gvec[i] = s / lpp_(i, i);
+          }
+          double* orow = &out.data()[r * d];
+          for (size_t j = 0; j < m; ++j) {
+            const double gj = gvec[j] - gx_means_[j];
+            const double* wrow = wbase + j * d;
+            for (size_t c = 0; c < d; ++c) orow[c] += gj * wrow[c];
+          }
+        }
+      },
+      "kcca_project_batch");
   return out;
 }
 

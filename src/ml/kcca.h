@@ -70,10 +70,12 @@ class KccaModel {
 
   /// Batch projection: row i of the result is bit-identical to
   /// ProjectX(xs.Row(i)). One call projects the whole micro-batch, reusing
-  /// the kernel-vector scratch across rows and walking the dual
-  /// coefficients row-major instead of column-striding — the projection is
-  /// the serving hot path and the per-row vector allocations dominate it
-  /// (see bench_timing_batch_predict).
+  /// the kernel-vector scratch across each chunk's rows and walking the
+  /// dual coefficients row-major instead of column-striding — the
+  /// projection is the serving hot path and the per-row vector allocations
+  /// dominate it (see bench_timing_batch_predict). Chunks of rows run in
+  /// parallel on the qpp::par pool; results are identical at every thread
+  /// count (tests/par_test.cpp asserts byte equality).
   linalg::Matrix ProjectXBatch(const linalg::Matrix& xs) const;
 
   void Save(BinaryWriter* w) const;

@@ -3,8 +3,17 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "par/parallel_for.h"
 
 namespace qpp::ml {
+
+namespace {
+/// Rows per parallel chunk. Fixed constants: the chunking is part of the
+/// deterministic-reduce contract (par/parallel_for.h), so results are
+/// bit-identical across thread counts.
+constexpr size_t kNormGrain = 256;
+constexpr size_t kKernelRowGrain = 8;
+}  // namespace
 
 double GaussianKernel::operator()(const linalg::Vector& a,
                                   const linalg::Vector& b) const {
@@ -15,15 +24,35 @@ double GaussianKernel::operator()(const linalg::Vector& a,
 double GaussianScaleFromNorms(const linalg::Matrix& x, double factor) {
   QPP_CHECK(x.rows() > 0 && factor > 0.0);
   const size_t n = x.rows();
-  double sum = 0.0;
-  double sumsq = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double norm = linalg::Norm(x.Row(i));
-    sum += norm;
-    sumsq += norm * norm;
-  }
+  // Two-pass variance: the one-pass E[X^2] - E[X]^2 form cancels
+  // catastrophically when the norms are large and nearly constant (both
+  // terms ~norm^2, their difference ~variance), silently collapsing tau to
+  // 0 — or below — and kicking in the pairwise-distance fallback for data
+  // that has a perfectly good norm variance. Mean first, then centered
+  // squares. Both passes reduce over fixed row chunks in ascending chunk
+  // order, so the value is bit-identical at every thread count.
+  const auto combine = [](double a, double b) { return a + b; };
+  const double sum = par::DeterministicReduce<double>(
+      0, n, kNormGrain, 0.0,
+      [&](size_t r0, size_t r1) {
+        double s = 0.0;
+        for (size_t i = r0; i < r1; ++i) s += linalg::Norm(x.Row(i));
+        return s;
+      },
+      combine, "norm_sum");
   const double mean = sum / static_cast<double>(n);
-  const double var = sumsq / static_cast<double>(n) - mean * mean;
+  const double sq_sum = par::DeterministicReduce<double>(
+      0, n, kNormGrain, 0.0,
+      [&](size_t r0, size_t r1) {
+        double s = 0.0;
+        for (size_t i = r0; i < r1; ++i) {
+          const double d = linalg::Norm(x.Row(i)) - mean;
+          s += d * d;
+        }
+        return s;
+      },
+      combine, "norm_var");
+  const double var = sq_sum / static_cast<double>(n);
   double tau = factor * var;
   if (!(tau > 1e-12)) {
     tau = factor * MeanSquaredPairwiseDistance(x);
@@ -55,15 +84,26 @@ linalg::Matrix KernelMatrix(const linalg::Matrix& x,
                             const GaussianKernel& kernel) {
   const size_t n = x.rows();
   linalg::Matrix k(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    k(i, i) = 1.0;
-    const linalg::Vector ri = x.Row(i);
-    for (size_t j = i + 1; j < n; ++j) {
-      const double v = kernel(ri, x.Row(j));
-      k(i, j) = v;
-      k(j, i) = v;
-    }
-  }
+  // Upper-triangle row strips with symmetric fill. Strips write disjoint
+  // cells — strip rows i write (i, j>i) and mirror (j>i, i), and two
+  // distinct strips can never produce the same (row, col) pair — so the
+  // row-parallel form computes exactly the entries the serial loop did.
+  // Small grain: row i carries n-i-1 kernel evaluations, so fine-grained
+  // round-robin chunks balance the triangle across threads.
+  par::ParallelFor(
+      0, n, kKernelRowGrain,
+      [&](size_t r0, size_t r1) {
+        for (size_t i = r0; i < r1; ++i) {
+          k(i, i) = 1.0;
+          const linalg::Vector ri = x.Row(i);
+          for (size_t j = i + 1; j < n; ++j) {
+            const double v = kernel(ri, x.Row(j));
+            k(i, j) = v;
+            k(j, i) = v;
+          }
+        }
+      },
+      "kernel_matrix");
   return k;
 }
 

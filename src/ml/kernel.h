@@ -20,7 +20,10 @@ struct GaussianKernel {
 };
 
 /// Paper heuristic: tau = factor * Var(||x_i||), with a mean-pairwise-
-/// squared-distance fallback when the variance is degenerate.
+/// squared-distance fallback when the variance is degenerate. The variance
+/// uses the numerically stable two-pass (centered) formula, so
+/// near-constant large norms yield their true small variance instead of a
+/// catastrophically cancelled zero. Deterministic across thread counts.
 double GaussianScaleFromNorms(const linalg::Matrix& x, double factor);
 
 /// Mean squared pairwise distance over (a sample of) the rows of x.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "par/parallel_for.h"
 
 namespace qpp::ml {
 
@@ -44,9 +45,21 @@ double DotRaw(const double* a, const double* b, size_t dims) {
   return s;
 }
 
+// Training rows per parallel chunk, and the row x dims element count below
+// which a single query's distance pass stays inline (per-query dispatch is
+// not worth it for typical N ~ 1000 training sets; the serving batch path
+// parallelizes over queries instead).
+constexpr size_t kPointGrain = 512;
+constexpr size_t kParMinDistanceWork = size_t{1} << 17;
+// Queries per parallel chunk in the batch path.
+constexpr size_t kQueryGrain = 4;
+
 // Distances from one query row to every point row, without materializing
 // row copies. `point_norms` (cosine only) carries the query-independent
-// Norm(points.Row(i)) values so a batch computes them once.
+// Norm(points.Row(i)) values so a batch computes them once. Each slot of
+// `all` is written independently, so for very large training sets the row
+// loop runs row-parallel with identical per-row arithmetic (inline when
+// already inside a batch-parallel region — see par::ThreadPool nesting).
 void DistancesToAll(const linalg::Matrix& points, const double* query,
                     double query_norm, DistanceKind metric,
                     const linalg::Vector& point_norms,
@@ -54,30 +67,48 @@ void DistancesToAll(const linalg::Matrix& points, const double* query,
   const size_t n = points.rows();
   const size_t dims = points.cols();
   const double* base = points.data().data();
-  for (size_t i = 0; i < n; ++i) {
-    const double* row = base + i * dims;
-    (*all)[i].index = i;
-    if (metric == DistanceKind::kEuclidean) {
-      (*all)[i].distance = std::sqrt(SquaredDistanceRaw(row, query, dims));
-    } else {
-      // Mirrors linalg::CosineDistance(row, query) exactly, with both norms
-      // hoisted out of the pairwise loop.
-      const double na = point_norms[i];
-      (*all)[i].distance = na == 0.0 || query_norm == 0.0
-                               ? 1.0
-                               : 1.0 - DotRaw(row, query, dims) /
-                                           (na * query_norm);
+  auto fill_rows = [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const double* row = base + i * dims;
+      (*all)[i].index = i;
+      if (metric == DistanceKind::kEuclidean) {
+        (*all)[i].distance = std::sqrt(SquaredDistanceRaw(row, query, dims));
+      } else {
+        // Mirrors linalg::CosineDistance(row, query) exactly, with both
+        // norms hoisted out of the pairwise loop.
+        const double na = point_norms[i];
+        (*all)[i].distance = na == 0.0 || query_norm == 0.0
+                                 ? 1.0
+                                 : 1.0 - DotRaw(row, query, dims) /
+                                             (na * query_norm);
+      }
     }
+  };
+  if (n * dims < kParMinDistanceWork) {
+    fill_rows(0, n);
+  } else {
+    par::ParallelFor(0, n, kPointGrain, fill_rows, "knn_distances");
   }
 }
 
+// Keeps the k nearest candidates in ascending (distance, index) order.
+// nth_element partitions in O(n), then only the k survivors are sorted —
+// O(n + k log k) instead of the O(n log k) heap-based partial_sort over
+// the full candidate set. The comparator is a strict total order (indices
+// are unique), so the surviving set and its order are identical to a full
+// sort's first k entries, ties broken by index.
 void KeepNearestK(std::vector<Neighbor>* all, size_t k) {
   const size_t kk = std::min(k, all->size());
-  std::partial_sort(all->begin(), all->begin() + static_cast<ptrdiff_t>(kk),
-                    all->end(), [](const Neighbor& a, const Neighbor& b) {
-                      return a.distance < b.distance ||
-                             (a.distance == b.distance && a.index < b.index);
-                    });
+  const auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.index < b.index);
+  };
+  if (kk > 0 && kk < all->size()) {
+    std::nth_element(all->begin(),
+                     all->begin() + static_cast<ptrdiff_t>(kk - 1),
+                     all->end(), cmp);
+  }
+  std::sort(all->begin(), all->begin() + static_cast<ptrdiff_t>(kk), cmp);
   all->resize(kk);
 }
 
@@ -118,19 +149,29 @@ std::vector<std::vector<Neighbor>> FindNearestBatch(
   QPP_CHECK(points.cols() == queries.cols());
   const linalg::Vector point_norms = PointNorms(points, metric);
   std::vector<std::vector<Neighbor>> out(queries.rows());
-  std::vector<Neighbor> all(points.rows());
   const size_t dims = queries.cols();
   const double* qbase = queries.data().data();
-  for (size_t r = 0; r < queries.rows(); ++r) {
-    const double* query = qbase + r * dims;
-    const double query_norm = metric == DistanceKind::kCosine
-                                  ? std::sqrt(DotRaw(query, query, dims))
-                                  : 0.0;
-    all.resize(points.rows());
-    DistancesToAll(points, query, query_norm, metric, point_norms, &all);
-    KeepNearestK(&all, k);
-    out[r] = all;
-  }
+  // Queries are independent (disjoint out slots, read-only shared state),
+  // so the serving batch path fans out over query chunks; each chunk keeps
+  // its own candidate buffer, reused across its queries exactly as the
+  // serial loop reused one. Per-query arithmetic is unchanged, preserving
+  // the bit-identity with FindNearest at any thread count.
+  par::ParallelFor(
+      0, queries.rows(), kQueryGrain,
+      [&](size_t r0, size_t r1) {
+        std::vector<Neighbor> all(points.rows());
+        for (size_t r = r0; r < r1; ++r) {
+          const double* query = qbase + r * dims;
+          const double query_norm = metric == DistanceKind::kCosine
+                                        ? std::sqrt(DotRaw(query, query, dims))
+                                        : 0.0;
+          all.resize(points.rows());
+          DistancesToAll(points, query, query_norm, metric, point_norms, &all);
+          KeepNearestK(&all, k);
+          out[r] = all;
+        }
+      },
+      "knn_batch");
   return out;
 }
 

@@ -34,9 +34,11 @@ std::vector<Neighbor> FindNearest(const linalg::Matrix& points,
 /// Result i is bit-identical to FindNearest(points, queries.Row(i), ...) —
 /// the batch path runs the same per-element arithmetic in the same order,
 /// it only amortizes the per-row vector allocations, reuses one candidate
-/// buffer across queries, and hoists the query-independent point norms out
-/// of the loop (cosine). Used by the serving micro-batcher
-/// (serve::PredictionService) via core::Predictor::PredictBatch.
+/// buffer per chunk of queries, and hoists the query-independent point
+/// norms out of the loop (cosine). Query chunks run in parallel on the
+/// qpp::par pool (deterministic: identical results at every thread
+/// count). Used by the serving micro-batcher (serve::PredictionService)
+/// via core::Predictor::PredictBatch.
 std::vector<std::vector<Neighbor>> FindNearestBatch(
     const linalg::Matrix& points, const linalg::Matrix& queries, size_t k,
     DistanceKind metric);

@@ -1,0 +1,31 @@
+#include "par/parallel_for.h"
+
+#include "obs/trace.h"
+
+namespace qpp::par {
+
+void ParallelForChunks(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& body,
+    const char* label) {
+  obs::TraceRecorder* trace = ObservedTrace();
+  if (trace == nullptr) {
+    GlobalPool().Execute(begin, end, grain, body);
+    return;
+  }
+  obs::Span span(trace, label, "par");
+  span.AddArg("range", static_cast<uint64_t>(end > begin ? end - begin : 0));
+  span.AddArg("grain", static_cast<uint64_t>(grain));
+  span.AddArg("threads", static_cast<uint64_t>(EffectiveThreads()));
+  GlobalPool().Execute(begin, end, grain, body);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 const char* label) {
+  ParallelForChunks(
+      begin, end, grain,
+      [&body](size_t b, size_t e, size_t /*chunk*/) { body(b, e); }, label);
+}
+
+}  // namespace qpp::par

@@ -1,0 +1,68 @@
+// ParallelFor / DeterministicReduce — the two primitives call sites use.
+//
+// ParallelFor(begin, end, grain, body) runs body(chunk_begin, chunk_end)
+// over the fixed grain-sized chunks of [begin, end) on the global pool
+// (see thread_pool.h for the determinism contract). Use it for elementwise
+// work whose outputs are disjoint per index: matrix row blocks, kernel row
+// strips, per-query batch slots.
+//
+// DeterministicReduce additionally combines per-chunk partial results in
+// ascending chunk order, so a floating-point reduction gives bit-identical
+// results at every thread count — including 1, because the chunking (and
+// therefore the association of the partial sums) never depends on the pool
+// size. Note the *grain* is part of the result's identity: the same range
+// reduced with a different grain may differ in the last ulps, so pick a
+// grain per call site and keep it.
+//
+// When a trace recorder is wired via par::SetObservability, every region
+// appears as a span in category "par" named by `label` — training's matmul
+// and kernel phases render in the Chrome trace next to the serve pipeline.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.h"
+
+namespace qpp::par {
+
+/// Runs body(chunk_begin, chunk_end) over every grain-sized chunk of
+/// [begin, end), in parallel on the global pool. Blocks until done.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 const char* label = "parallel_for");
+
+/// Like ParallelFor but the body also receives the chunk index — the
+/// building block for chunk-indexed partial results.
+void ParallelForChunks(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& body,
+                       const char* label = "parallel_for");
+
+/// Parallel map over fixed chunks + sequential combine in ascending chunk
+/// order:
+///
+///   acc = init
+///   for chunk c = 0, 1, ...: acc = combine(acc, map(chunk_begin, chunk_end))
+///
+/// map runs in parallel (one call per chunk, any thread); combine runs on
+/// the calling thread in fixed order. Bit-identical across thread counts.
+template <typename T, typename MapFn, typename CombineFn>
+T DeterministicReduce(size_t begin, size_t end, size_t grain, T init,
+                      const MapFn& map, const CombineFn& combine,
+                      const char* label = "reduce") {
+  const size_t chunks = ThreadPool::NumChunks(begin, end, grain);
+  if (chunks == 0) return init;
+  std::vector<T> partials(chunks);
+  ParallelForChunks(
+      begin, end, grain,
+      [&](size_t b, size_t e, size_t c) { partials[c] = map(b, e); }, label);
+  T acc = std::move(init);
+  for (size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace qpp::par

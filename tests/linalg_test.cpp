@@ -266,5 +266,93 @@ TEST(MatrixSerdeTest, RoundTrip) {
   EXPECT_LT(back.Subtract(m).MaxAbs(), 0.0 + 1e-15);
 }
 
+// --- Multiply family: shape edge cases and blocked-vs-reference pinning ---
+
+TEST(MatrixMultiplyTest, EmptyOperands) {
+  const Matrix a(0, 5);
+  const Matrix b(5, 3);
+  const Matrix ab = a.Multiply(b);
+  EXPECT_EQ(ab.rows(), 0u);
+  EXPECT_EQ(ab.cols(), 3u);
+
+  const Matrix c(4, 0);
+  const Matrix d(0, 6);
+  const Matrix cd = c.Multiply(d);  // inner dimension 0: all zeros
+  EXPECT_EQ(cd.rows(), 4u);
+  EXPECT_EQ(cd.cols(), 6u);
+  for (const double v : cd.data()) EXPECT_EQ(v, 0.0);
+
+  const Matrix e(3, 4);
+  const Matrix f(4, 0);
+  const Matrix ef = e.Multiply(f);
+  EXPECT_EQ(ef.rows(), 3u);
+  EXPECT_EQ(ef.cols(), 0u);
+
+  EXPECT_EQ(a.TransposeMultiply(Matrix(0, 2)).rows(), 5u);
+  EXPECT_EQ(c.MultiplyTranspose(Matrix(7, 0)).cols(), 7u);
+}
+
+TEST(MatrixMultiplyTest, OneByOne) {
+  Matrix a(1, 1);
+  Matrix b(1, 1);
+  a(0, 0) = 3.5;
+  b(0, 0) = -2.0;
+  EXPECT_EQ(a.Multiply(b)(0, 0), -7.0);
+  EXPECT_EQ(a.TransposeMultiply(b)(0, 0), -7.0);
+  EXPECT_EQ(a.MultiplyTranspose(b)(0, 0), -7.0);
+}
+
+TEST(MatrixMultiplyTest, NonSquareChainHasExpectedShapeAndValues) {
+  // (2x3)(3x4)(4x1): associativity of shapes, values checked by hand on a
+  // small deterministic fill.
+  Matrix a(2, 3), b(3, 4), c(4, 1);
+  for (size_t i = 0; i < a.data().size(); ++i) a.data()[i] = double(i + 1);
+  for (size_t i = 0; i < b.data().size(); ++i) b.data()[i] = double(i % 3);
+  for (size_t i = 0; i < c.data().size(); ++i) c.data()[i] = 1.0;
+  const Matrix abc = a.Multiply(b).Multiply(c);
+  EXPECT_EQ(abc.rows(), 2u);
+  EXPECT_EQ(abc.cols(), 1u);
+  // Each row of b sums each row's columns times c=1: row sums of b are
+  // 0+1+2+0=3, 1+2+0+1=4, 2+0+1+2=5, so abc = a * (3,4,5)^T.
+  EXPECT_EQ(abc(0, 0), 1 * 3 + 2 * 4 + 3 * 5);
+  EXPECT_EQ(abc(1, 0), 4 * 3 + 5 * 4 + 6 * 5);
+}
+
+TEST(MatrixMultiplyTest, BlockedMatchesReferenceBitwise) {
+  // Sizes straddle the parallel/tiling thresholds: some dispatch inline,
+  // some through the pool; all must be bit-identical to the plain
+  // single-threaded reference kernels.
+  const size_t shapes[][3] = {
+      {1, 1, 1}, {2, 3, 2}, {17, 9, 23}, {70, 50, 60}, {130, 64, 33}};
+  for (const auto& s : shapes) {
+    const Matrix a = RandomMatrix(s[0], s[1], 1000 + s[0]);
+    const Matrix b = RandomMatrix(s[1], s[2], 2000 + s[2]);
+    EXPECT_EQ(a.Multiply(b).data(), reference::Multiply(a, b).data())
+        << s[0] << "x" << s[1] << "x" << s[2];
+
+    const Matrix at = RandomMatrix(s[1], s[0], 3000 + s[1]);
+    EXPECT_EQ(at.TransposeMultiply(b).data(),
+              reference::TransposeMultiply(at, b).data())
+        << s[0] << "x" << s[1] << "x" << s[2];
+
+    const Matrix bt = RandomMatrix(s[2], s[1], 4000 + s[1]);
+    EXPECT_EQ(a.MultiplyTranspose(bt).data(),
+              reference::MultiplyTranspose(a, bt).data())
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(MatrixMultiplyTest, SparseZeroSkipMatchesReference) {
+  // The kernels skip exact-zero multiplicands; a mostly-zero operand must
+  // still match the reference bit for bit.
+  Matrix a = RandomMatrix(64, 48, 99);
+  Rng rng(100);
+  for (double& v : a.data()) {
+    if (rng.Bernoulli(0.85)) v = 0.0;
+  }
+  const Matrix b = RandomMatrix(48, 40, 101);
+  EXPECT_EQ(a.Multiply(b).data(), reference::Multiply(a, b).data());
+}
+
 }  // namespace
 }  // namespace qpp::linalg

@@ -2,6 +2,7 @@
 // lasso, k-means, PCA, kNN, and the predictive-risk metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "catalog/tpcds.h"
@@ -207,6 +208,34 @@ TEST(KernelTest, ScaleFallsBackWhenNormsDegenerate) {
   EXPECT_GT(tau, 0.0);
 }
 
+TEST(KernelTest, ScaleStableWithNearConstantLargeNorms) {
+  // Norms around 1e8 with ~1e-3 jitter. The one-pass E[X^2] - E[X]^2
+  // variance cancels to zero here (both terms ~1e16, the true variance
+  // ~1e-6 is below double precision at that magnitude), which would
+  // silently punt to the pairwise fallback. The stable two-pass form must
+  // recover the true norm variance.
+  const size_t n = 32;
+  linalg::Matrix x(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1e8 + 1e-3 * static_cast<double>(i);
+  }
+  const double factor = 0.5;
+  const double tau = GaussianScaleFromNorms(x, factor);
+
+  // Same two-pass over the same norms in the same order.
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += linalg::Norm(x.Row(i));
+  const double mean = sum / static_cast<double>(n);
+  double sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = linalg::Norm(x.Row(i)) - mean;
+    sq += d * d;
+  }
+  const double expected = factor * (sq / static_cast<double>(n));
+  EXPECT_GT(expected, 1e-9);  // the jitter variance is genuinely there
+  EXPECT_DOUBLE_EQ(tau, expected);
+}
+
 TEST(RegressionTest, RecoversPlantedLinearModel) {
   Rng rng(3);
   const size_t n = 300, p = 4;
@@ -410,6 +439,80 @@ TEST(KnnTest, WeightedAverageEqualIsPlainMean) {
   std::vector<Neighbor> nbrs = {{0, 0.1}, {1, 0.2}, {2, 0.3}};
   const auto avg = WeightedAverage(nbrs, values, NeighborWeighting::kEqual);
   EXPECT_NEAR(avg[0], 3.0, 1e-12);
+}
+
+TEST(KnnTest, TiesBrokenByIndexAscending) {
+  // Four points at distance 1, two at distance 2: the selection (now
+  // nth_element + partial sort rather than a full sort) must keep the
+  // documented (distance, index) order, so equal distances come back in
+  // index order.
+  linalg::Matrix points(7, 1);
+  const double coords[7] = {1.0, -1.0, 2.0, -2.0, 1.0, -1.0, 3.0};
+  for (size_t i = 0; i < 7; ++i) points(i, 0) = coords[i];
+  const auto nbrs =
+      FindNearest(points, {0.0}, 5, DistanceKind::kEuclidean);
+  ASSERT_EQ(nbrs.size(), 5u);
+  const size_t expected[5] = {0, 1, 4, 5, 2};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(nbrs[i].index, expected[i]) << "position " << i;
+  }
+}
+
+TEST(KnnTest, TopKOrderMatchesFullSortReference) {
+  // Regression pin for the nth_element-based selection: on random data
+  // with deliberate duplicates, every k must reproduce exactly the prefix
+  // of a full stable (distance, index) sort.
+  Rng rng(21);
+  const size_t n = 200;
+  linalg::Matrix points(n, 3);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      // Coarse grid so exact-distance ties actually occur.
+      points(i, j) = std::round(rng.Gaussian() * 2.0) / 2.0;
+    }
+  }
+  const linalg::Vector query = {0.25, -0.5, 1.0};
+
+  std::vector<Neighbor> ref(n);
+  for (size_t i = 0; i < n; ++i) {
+    ref[i].index = i;
+    ref[i].distance =
+        std::sqrt(linalg::SquaredDistance(points.Row(i), query));
+  }
+  std::sort(ref.begin(), ref.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance != b.distance ? a.distance < b.distance
+                                    : a.index < b.index;
+  });
+
+  for (const size_t k : {size_t{1}, size_t{3}, size_t{7}, size_t{50}, n}) {
+    const auto got = FindNearest(points, query, k, DistanceKind::kEuclidean);
+    ASSERT_EQ(got.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(got[i].index, ref[i].index) << "k=" << k << " pos=" << i;
+      EXPECT_EQ(got[i].distance, ref[i].distance);
+    }
+  }
+}
+
+TEST(KnnTest, BatchMatchesSingleQueryBitwise) {
+  Rng rng(22);
+  linalg::Matrix points(120, 4);
+  for (double& v : points.data()) v = rng.Gaussian();
+  linalg::Matrix queries(9, 4);
+  for (double& v : queries.data()) v = rng.Gaussian();
+
+  for (const auto metric : {DistanceKind::kEuclidean, DistanceKind::kCosine}) {
+    const auto batch = FindNearestBatch(points, queries, 5, metric);
+    ASSERT_EQ(batch.size(), queries.rows());
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      const auto single = FindNearest(points, queries.Row(q), 5, metric);
+      ASSERT_EQ(batch[q].size(), single.size());
+      for (size_t i = 0; i < single.size(); ++i) {
+        EXPECT_EQ(batch[q][i].index, single[i].index);
+        EXPECT_EQ(batch[q][i].distance, single[i].distance);
+      }
+    }
+  }
 }
 
 TEST(RiskTest, PerfectAndMeanBaselines) {

@@ -57,6 +57,7 @@
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_serde.h"
+#include "par/thread_pool.h"
 #include "serve/prediction_service.h"
 
 using namespace qpp;
@@ -321,6 +322,10 @@ int CmdServe(const Args& args) {
   }
 
   serve::PredictionService service(&registry, service_config, calibration);
+  // Compute-pool metrics (qpp_par_*) land in the service registry and
+  // parallel regions show up under trace category "par", next to the
+  // serve-pipeline spans. Detached before the registry/trace die.
+  par::SetObservability(service.metrics(), trace.get());
   const core::WorkloadManager manager{core::WorkloadManagerConfig{}};
 
   // The distinct request pool every client draws from, plus each entry's
@@ -400,6 +405,7 @@ int CmdServe(const Args& args) {
   }
   std::printf("\nservice stats:\n%s", service.stats().ToString().c_str());
   std::printf("\n%s", drift.ToString().c_str());
+  par::SetObservability(nullptr, nullptr);
 
   if (trace != nullptr) {
     // Append the simulated critical path of a few distinct queries to the
