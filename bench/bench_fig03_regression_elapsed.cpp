@@ -5,48 +5,33 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/predictor.h"
+#include "golden_metrics.h"
 #include "ml/risk.h"
 
 using namespace qpp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Fig. 3 — regression-predicted vs actual elapsed time (1027 train)",
       "many predictions orders of magnitude off; 76 of 1027 points "
       "predicted NEGATIVE elapsed times (e.g. -82 seconds)");
 
   const bench::PaperExperiment exp = bench::BuildPaperExperiment();
-  core::PredictorConfig cfg;
-  cfg.model = core::ModelKind::kRegression;
-  core::Predictor reg(cfg);
-  reg.Train(exp.train);
+  const bench::Fig03Golden fig = bench::ComputeFig03(exp);
 
-  // The paper's Fig. 3 plots the TRAINING queries.
-  linalg::Vector predicted, actual;
-  for (const auto& ex : exp.train) {
-    predicted.push_back(reg.Predict(ex.query_features).metrics.elapsed_seconds);
-    actual.push_back(ex.metrics.elapsed_seconds);
-  }
-
-  const size_t negatives = ml::CountNegative(predicted);
-  size_t order_off = 0;
-  for (size_t i = 0; i < predicted.size(); ++i) {
-    const double ratio = predicted[i] / std::max(actual[i], 1e-6);
-    if (ratio > 10.0 || (predicted[i] > 0 && ratio < 0.1)) ++order_off;
-  }
-  std::printf("training queries:                 %zu\n", predicted.size());
-  std::printf("negative predicted elapsed times: %zu\n", negatives);
-  std::printf(">=10x away from actual:           %zu\n", order_off);
+  std::printf("training queries:                 %zu\n", fig.predicted.size());
+  std::printf("negative predicted elapsed times: %zu\n", fig.negatives);
+  std::printf(">=10x away from actual:           %zu\n", fig.order_off);
   std::printf("within 20%% of actual:             %.0f%%\n",
-              100.0 * ml::FractionWithinRelative(predicted, actual, 0.20));
+              100.0 * fig.within20);
   std::printf("predictive risk (train):          %s\n\n",
-              ml::FormatRisk(ml::PredictiveRisk(predicted, actual)).c_str());
+              ml::FormatRisk(fig.risk).c_str());
 
   std::printf("scatter sample (first 25 points, seconds):\n");
   std::printf("%12s %12s\n", "predicted", "actual");
-  for (size_t i = 0; i < 25 && i < predicted.size(); ++i) {
-    std::printf("%12.2f %12.2f\n", predicted[i], actual[i]);
+  for (size_t i = 0; i < 25 && i < fig.predicted.size(); ++i) {
+    std::printf("%12.2f %12.2f\n", fig.predicted[i], fig.actual[i]);
   }
+  bench::MaybeWriteGolden(argc, argv, fig.values);
   return 0;
 }

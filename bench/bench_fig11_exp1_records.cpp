@@ -3,24 +3,20 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/predictor.h"
+#include "golden_metrics.h"
 #include "ml/risk.h"
 
 using namespace qpp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Fig. 11 — Experiment 1: KCCA records used",
       "predictive risk 0.98 (near-perfect prediction)");
 
   const bench::PaperExperiment exp = bench::BuildPaperExperiment();
-  core::Predictor pred;
-  pred.Train(exp.train);
-  const auto evals = core::EvaluatePredictions(
-      [&](const linalg::Vector& f) { return pred.Predict(f).metrics; },
-      exp.test);
-  const auto& used = evals[2];
-  const auto& accessed = evals[1];
+  const bench::Exp1Golden exp1 = bench::ComputeExp1(exp);
+  const auto& used = exp1.evals[2];
+  const auto& accessed = exp1.evals[1];
   std::printf("records used:     risk %s (w/o worst outlier %s), within20 %.0f%%\n",
               ml::FormatRisk(used.risk).c_str(),
               ml::FormatRisk(used.risk_drop1).c_str(),
@@ -34,5 +30,6 @@ int main() {
   for (size_t i = 0; i < used.predicted.size(); ++i) {
     std::printf("%14.0f %14.0f\n", used.predicted[i], used.actual[i]);
   }
+  bench::MaybeWriteGolden(argc, argv, exp1.values);
   return 0;
 }

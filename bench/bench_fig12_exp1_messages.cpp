@@ -6,22 +6,19 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/predictor.h"
+#include "golden_metrics.h"
 #include "ml/risk.h"
 
 using namespace qpp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Fig. 12 — Experiment 1: KCCA message count",
       "predictive risk 0.35 due to visible outliers");
 
   const bench::PaperExperiment exp = bench::BuildPaperExperiment();
-  core::Predictor pred;
-  pred.Train(exp.train);
-  const auto evals = core::EvaluatePredictions(
-      [&](const linalg::Vector& f) { return pred.Predict(f).metrics; },
-      exp.test);
+  const bench::Exp1Golden exp1 = bench::ComputeExp1(exp);
+  const auto& evals = exp1.evals;
   const auto& msg = evals[4];
   std::printf("message count: risk %s (w/o worst outlier %s), within20 %.0f%%\n",
               ml::FormatRisk(msg.risk).c_str(),
@@ -53,5 +50,6 @@ int main() {
   for (size_t i = 0; i < msg.predicted.size(); ++i) {
     std::printf("%14.0f %14.0f\n", msg.predicted[i], msg.actual[i]);
   }
+  bench::MaybeWriteGolden(argc, argv, exp1.values);
   return 0;
 }

@@ -5,47 +5,29 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/predictor.h"
+#include "golden_metrics.h"
 #include "ml/risk.h"
 
 using namespace qpp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Fig. 13 — Experiment 2: balanced training with 30 of each type",
       "less accurate than Experiment 1's 1027-query training set");
 
   const bench::PaperExperiment exp = bench::BuildPaperExperiment();
-
-  // Re-sample 30/30/30 for training while keeping the SAME 61 test
-  // queries as Experiment 1 (the paper does exactly this).
-  const workload::TrainTestSplit balanced = workload::SampleSplit(
-      exp.data.pools, 30, 30, 30, bench::kTestFeathers, bench::kTestGolf,
-      bench::kTestBowling, /*seed=*/42 ^ 0x5713A7ull);
-  const auto train90 = core::MakeExamples(exp.data.pools, balanced.train);
-
-  core::PredictorConfig cfg;
-  // 90 points: the exact dense solver is the natural choice.
-  cfg.kcca.solver = ml::KccaSolver::kExact;
-  core::Predictor small(cfg);
-  small.Train(train90);
-  const auto evals90 = core::EvaluatePredictions(
-      [&](const linalg::Vector& f) { return small.Predict(f).metrics; },
-      exp.test);
-
-  core::Predictor full;
-  full.Train(exp.train);
-  const auto evals1027 = core::EvaluatePredictions(
-      [&](const linalg::Vector& f) { return full.Predict(f).metrics; },
-      exp.test);
+  const bench::Exp1Golden exp1 = bench::ComputeExp1(exp);
+  const bench::Fig13Golden fig = bench::ComputeFig13(exp, exp1.evals);
 
   std::printf("%-18s %14s %14s\n", "metric", "train=90", "train=1027");
-  for (size_t m = 0; m < evals90.size(); ++m) {
-    std::printf("%-18s %14s %14s\n", evals90[m].metric.c_str(),
-                ml::FormatRisk(evals90[m].risk).c_str(),
-                ml::FormatRisk(evals1027[m].risk).c_str());
+  for (size_t m = 0; m < fig.evals90.size(); ++m) {
+    std::printf("%-18s %14s %14s\n", fig.evals90[m].metric.c_str(),
+                ml::FormatRisk(fig.evals90[m].risk).c_str(),
+                ml::FormatRisk(fig.evals1027[m].risk).c_str());
   }
   std::printf("\nelapsed within 20%%: train=90 -> %.0f%%, train=1027 -> %.0f%%\n",
-              100.0 * evals90[0].within20, 100.0 * evals1027[0].within20);
+              100.0 * fig.evals90[0].within20,
+              100.0 * fig.evals1027[0].within20);
+  bench::MaybeWriteGolden(argc, argv, fig.values);
   return 0;
 }

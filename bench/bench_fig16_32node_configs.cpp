@@ -10,85 +10,39 @@
 #include <cstdio>
 
 #include "bench_util.h"
-
-#include "catalog/tpcds.h"
-#include "core/predictor.h"
+#include "golden_metrics.h"
 #include "ml/risk.h"
-#include "workload/generator.h"
-#include "workload/tpcds_templates.h"
 
 using namespace qpp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Fig. 16 — predictive risk on 4/8/16/32-node configurations",
       "effective prediction regardless of configuration; disk I/O Null on "
       "8/16/32 nodes (zero I/Os), non-null on the memory-starved 4-node "
       "configuration");
 
-  const auto catalog = std::make_shared<catalog::Catalog>(
-      catalog::MakeTpcdsCatalog(1.0));
-  // The paper re-ran TPC-DS queries (no problem templates) on the
-  // production system: 197 train + 83 test = 280 queries.
-  const auto queries = workload::GenerateWorkload(
-      workload::TpcdsTemplates(), 280, /*seed=*/7);
+  const bench::Fig16Golden fig = bench::ComputeFig16();
 
-  std::vector<std::vector<core::MetricEvaluation>> per_config;
-  std::vector<std::string> config_names;
-  std::vector<std::string> plan_signatures;
-
-  for (int nodes : {4, 8, 16, 32}) {
-    const engine::SystemConfig config = engine::SystemConfig::Neoview32(nodes);
-    optimizer::OptimizerOptions opts;
-    opts.nodes_used = nodes;
-    const optimizer::Optimizer opt(catalog.get(), opts);
-    const engine::ExecutionSimulator sim(catalog.get(), config);
-    size_t failed = 0;
-    const workload::QueryPools pools =
-        workload::BuildPools(queries, opt, sim, &failed);
-    if (failed != 0) {
-      std::printf("unexpected plan failures: %zu\n", failed);
-      return 1;
-    }
-    plan_signatures.push_back(pools.queries[5].plan.ToString());
-
-    const auto all = core::MakeAllExamples(pools);
-    const std::vector<ml::TrainingExample> train(all.begin(),
-                                                 all.begin() + 197);
-    const std::vector<ml::TrainingExample> test(all.begin() + 197,
-                                                all.end());
-    core::Predictor pred;
-    pred.Train(train);
-    per_config.push_back(core::EvaluatePredictions(
-        [&](const linalg::Vector& f) { return pred.Predict(f).metrics; },
-        test));
-    config_names.push_back(config.name);
-
+  for (const bench::Fig16Config& c : fig.configs) {
     // The paper notes the re-run queries were all short on this system.
-    const auto summaries = pools.Summaries();
     std::printf("%-12s pool: %zu feathers, max elapsed %.1f s, "
                 "queries with disk I/O: %zu\n",
-                config.name.c_str(), summaries[0].count,
-                summaries[0].max_elapsed, [&] {
-                  size_t n = 0;
-                  for (const auto& q : pools.queries) {
-                    n += q.metrics.disk_ios > 0;
-                  }
-                  return n;
-                }());
+                c.name.c_str(), c.feathers, c.max_elapsed, c.io_queries);
   }
 
   std::printf("\n%-18s %10s %10s %10s %10s\n", "metric", "4 nodes",
               "8 nodes", "16 nodes", "32 nodes");
-  for (size_t m = 0; m < per_config[0].size(); ++m) {
-    std::printf("%-18s", per_config[0][m].metric.c_str());
-    for (size_t c = 0; c < per_config.size(); ++c) {
-      std::printf(" %10s", ml::FormatRisk(per_config[c][m].risk).c_str());
+  for (size_t m = 0; m < fig.configs[0].evals.size(); ++m) {
+    std::printf("%-18s", fig.configs[0].evals[m].metric.c_str());
+    for (const bench::Fig16Config& c : fig.configs) {
+      std::printf(" %10s", ml::FormatRisk(c.evals[m].risk).c_str());
     }
     std::printf("\n");
   }
 
   std::printf("\nplans for the same query differ across configurations: %s\n",
-              plan_signatures[0] != plan_signatures[3] ? "yes" : "no");
+              fig.plans_differ ? "yes" : "no");
+  bench::MaybeWriteGolden(argc, argv, fig.values);
   return 0;
 }

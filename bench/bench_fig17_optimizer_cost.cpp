@@ -2,17 +2,15 @@
 // elapsed time for the 61 Experiment-1 test queries. Cost units are not
 // time units, so the paper fits a line in log-log space and counts how many
 // queries sit 10x-100x away from it — many do, especially past one minute.
-#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "common/str_util.h"
-#include "core/predictor.h"
-#include "ml/risk.h"
+#include "golden_metrics.h"
 
 using namespace qpp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Fig. 17 — optimizer cost estimate vs actual elapsed time",
       "cost estimates do not correspond to actual resource usage for many "
@@ -20,66 +18,20 @@ int main() {
       "from the best-fit line, while the KCCA model (Fig. 14) is accurate");
 
   const bench::PaperExperiment exp = bench::BuildPaperExperiment();
+  const bench::Exp1Golden exp1 = bench::ComputeExp1(exp);
+  const bench::Fig17Golden fig = bench::ComputeFig17(exp, exp1.evals);
 
-  // Collect (optimizer cost, actual elapsed) for the test queries.
-  std::vector<double> log_cost, log_time;
-  for (size_t idx : exp.split.test) {
-    const auto& q = exp.data.pools.queries[idx];
-    log_cost.push_back(std::log10(std::max(q.plan.optimizer_cost, 1e-9)));
-    log_time.push_back(
-        std::log10(std::max(q.metrics.elapsed_seconds, 1e-6)));
-  }
-  const size_t n = log_cost.size();
-
-  // Log-log least-squares best fit (the paper's "line of best fit").
-  double sx = 0, sy = 0, sxx = 0, sxy = 0;
-  for (size_t i = 0; i < n; ++i) {
-    sx += log_cost[i];
-    sy += log_time[i];
-    sxx += log_cost[i] * log_cost[i];
-    sxy += log_cost[i] * log_time[i];
-  }
-  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
-  const double intercept = (sy - slope * sx) / n;
-
-  size_t off10 = 0, off100 = 0, off10_over_minute = 0, over_minute = 0;
-  double ss_res = 0, ss_tot = 0;
-  const double mean_y = sy / n;
-  for (size_t i = 0; i < n; ++i) {
-    const double fit = slope * log_cost[i] + intercept;
-    const double resid = std::abs(log_time[i] - fit);
-    if (resid >= 1.0) ++off10;    // 10x from the fit
-    if (resid >= 2.0) ++off100;   // 100x from the fit
-    if (log_time[i] > std::log10(60.0)) {
-      ++over_minute;
-      if (resid >= 1.0) ++off10_over_minute;
-    }
-    ss_res += (log_time[i] - fit) * (log_time[i] - fit);
-    ss_tot += (log_time[i] - mean_y) * (log_time[i] - mean_y);
-  }
-  std::printf("test queries:                        %zu\n", n);
+  std::printf("test queries:                        %zu\n",
+              fig.log_cost.size());
   std::printf("log-log best fit:                    log10(t) = %.2f * "
-              "log10(cost) + %.2f\n", slope, intercept);
-  std::printf("log-log R^2 around the fit:          %.2f\n",
-              1.0 - ss_res / ss_tot);
-  std::printf(">=10x away from the best fit:        %zu\n", off10);
-  std::printf(">=100x away from the best fit:       %zu\n", off100);
+              "log10(cost) + %.2f\n", fig.slope, fig.intercept);
+  std::printf("log-log R^2 around the fit:          %.2f\n", fig.r2);
+  std::printf(">=10x away from the best fit:        %zu\n", fig.off10);
+  std::printf(">=100x away from the best fit:       %zu\n", fig.off100);
   std::printf("queries over a minute:               %zu (of which %zu are "
-              ">=10x off)\n", over_minute, off10_over_minute);
-
-  // Contrast: the learned model's elapsed predictions on the same queries.
-  core::Predictor pred;
-  pred.Train(exp.train);
-  const auto evals = core::EvaluatePredictions(
-      [&](const linalg::Vector& f) { return pred.Predict(f).metrics; },
-      exp.test);
-  size_t kcca_off10 = 0;
-  for (size_t i = 0; i < evals[0].predicted.size(); ++i) {
-    const double r =
-        evals[0].predicted[i] / std::max(evals[0].actual[i], 1e-9);
-    if (r >= 10.0 || r <= 0.1) ++kcca_off10;
-  }
-  std::printf("KCCA predictions >=10x off (contrast): %zu\n\n", kcca_off10);
+              ">=10x off)\n", fig.over_minute, fig.off10_over_minute);
+  std::printf("KCCA predictions >=10x off (contrast): %zu\n\n",
+              fig.kcca_off10);
 
   std::printf("scatter (optimizer cost units vs actual):\n%14s %14s\n",
               "cost", "elapsed");
@@ -88,5 +40,6 @@ int main() {
     std::printf("%14.1f %14s\n", q.plan.optimizer_cost,
                 FormatDuration(q.metrics.elapsed_seconds).c_str());
   }
+  bench::MaybeWriteGolden(argc, argv, fig.values);
   return 0;
 }

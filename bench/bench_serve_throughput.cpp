@@ -8,14 +8,19 @@
 // isolates what micro-batching alone buys. Every service response is
 // checked bit-identical against the sequential predictor before any
 // throughput is reported.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/two_step.h"
+#include "golden_metrics.h"
 #include "ml/feature_vector.h"
 #include "serve/prediction_service.h"
+#include "shard/shard_router.h"
 
 using namespace qpp;
 
@@ -62,9 +67,81 @@ double RunService(const Workload& wl, serve::ModelRegistry* registry,
   return static_cast<double>(per_client * clients) / wall;
 }
 
+double PercentileMs(std::vector<double>& latencies_seconds, double p) {
+  if (latencies_seconds.empty()) return 0.0;
+  const size_t idx = std::min(
+      latencies_seconds.size() - 1,
+      static_cast<size_t>(p * double(latencies_seconds.size() - 1) + 0.5));
+  std::nth_element(latencies_seconds.begin(), latencies_seconds.begin() + idx,
+                   latencies_seconds.end());
+  return latencies_seconds[idx] * 1000.0;
+}
+
+struct TimedRun {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t mismatches = 0;  ///< responses not bit-identical to `expected`
+};
+
+/// Drives the workload through `submit` with `clients` threads, checking
+/// every response bit-for-bit against the precomputed per-distinct-plan
+/// expectation (a map lookup, cheap enough to not distort the timing).
+/// One untimed warmup pass over the distinct plans fills route caches and
+/// spins the workers up first.
+template <typename SubmitFn>
+TimedRun RunTimed(const Workload& wl, size_t clients,
+                  const std::vector<core::Prediction>& expected,
+                  SubmitFn&& submit) {
+  for (const auto& req : wl.distinct) submit(req).get();  // warmup
+
+  const size_t per_client = wl.total_requests / clients;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::vector<double>> latencies(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::future<serve::ServeResponse>> futures;
+      futures.reserve(per_client);
+      for (size_t r = 0; r < per_client; ++r) {
+        futures.push_back(submit(wl.At(c * per_client + r)));
+      }
+      latencies[c].reserve(per_client);
+      for (size_t r = 0; r < per_client; ++r) {
+        const serve::ServeResponse resp = futures[r].get();
+        latencies[c].push_back(resp.latency_seconds);
+        const core::Prediction& want =
+            expected[(c * per_client + r) % wl.distinct.size()];
+        if (resp.degraded() ||
+            resp.prediction.metrics.ToVector() != want.metrics.ToVector() ||
+            resp.prediction.neighbor_indices != want.neighbor_indices ||
+            resp.prediction.confidence != want.confidence) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  TimedRun run;
+  run.qps = static_cast<double>(per_client * clients) / wall;
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  run.p50_ms = PercentileMs(all, 0.50);
+  run.p95_ms = PercentileMs(all, 0.95);
+  run.p99_ms = PercentileMs(all, 0.99);
+  run.mismatches = mismatches.load();
+  return run;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "ext — serving throughput (micro-batching + result cache + worker "
       "pool)",
@@ -169,5 +246,90 @@ int main() {
   std::printf("\n8 clients, batch<=16, steady-state mix: %.2fx vs 1-thread "
               "unbatched baseline (target >=3x: %s)\n",
               speedup_8_16, speedup_8_16 >= 3.0 ? "PASS" : "FAIL");
-  return speedup_8_16 >= 3.0 ? 0 : 1;
+
+  // --- sharded mode: per-pool expert routing vs the monolithic service.
+  // Both sides run cache-disabled (model-bound) with the same worker and
+  // batch settings per service; the sharded side's win comes from five
+  // services predicting in parallel against smaller per-pool models. Every
+  // response is checked bit-identical against the offline TwoStepPredictor
+  // (sharded) / its base model (monolithic) at every thread count.
+  std::printf("\nsharded mode: per-pool experts (shard::ShardRouter) vs "
+              "monolithic one-model service\n");
+  core::TwoStepPredictor two_step;
+  two_step.Train(exp.train);
+
+  std::vector<core::Prediction> expected_sharded, expected_mono;
+  for (const auto& req : wl.distinct) {
+    expected_sharded.push_back(two_step.Predict(req.features));
+    expected_mono.push_back(two_step.base().Predict(req.features));
+  }
+
+  serve::ServiceConfig service_config;
+  service_config.max_batch = 16;
+  service_config.cache_capacity = 0;
+  service_config.fallback_on_anomalous = false;
+  // The clients submit the whole run before draining any future; a full
+  // expert queue is an escalation for the router (not backpressure as in
+  // the monolithic service), so size the queues for the burst.
+  service_config.queue_capacity = wl.total_requests + wl.distinct.size();
+
+  serve::ModelRegistry mono_registry;
+  mono_registry.Publish(two_step.base());
+
+  shard::ShardRouterConfig router_config =
+      shard::MakePerPoolConfig(service_config);
+  shard::ShardRouter router(std::move(router_config), calibration);
+  shard::PublishTwoStep(two_step, &router);
+
+  std::printf("%12s %8s %14s %9s %9s %9s  %s\n", "mode", "clients",
+              "queries/sec", "p50 ms", "p95 ms", "p99 ms", "bit-identical");
+  TimedRun mono_8, sharded_8;
+  size_t total_mismatches = 0;
+  for (const size_t clients : {1, 8}) {
+    serve::PredictionService mono(&mono_registry, service_config,
+                                  calibration);
+    const TimedRun mono_run =
+        RunTimed(wl, clients, expected_mono,
+                 [&](const serve::ServeRequest& r) { return mono.Submit(r); });
+    const TimedRun sharded_run = RunTimed(
+        wl, clients, expected_sharded,
+        [&](const serve::ServeRequest& r) { return router.Submit(r); });
+    for (const auto& [label, run] :
+         {std::pair{"monolithic", &mono_run}, {"sharded", &sharded_run}}) {
+      std::printf("%12s %8zu %14.0f %9.2f %9.2f %9.2f  %s\n", label, clients,
+                  run->qps, run->p50_ms, run->p95_ms, run->p99_ms,
+                  run->mismatches == 0 ? "OK" : "MISMATCH");
+    }
+    total_mismatches += mono_run.mismatches + sharded_run.mismatches;
+    if (clients == 8) {
+      mono_8 = mono_run;
+      sharded_8 = sharded_run;
+    }
+  }
+  router.Shutdown();
+
+  const double routed_ratio = sharded_8.qps / mono_8.qps;
+  std::printf("\nsharded/monolithic throughput at 8 clients: %.2fx "
+              "(target >=1x: %s); bit-identity mismatches: %zu\n",
+              routed_ratio, routed_ratio >= 1.0 ? "PASS" : "FAIL",
+              total_mismatches);
+
+  // CI artifact (NOT a golden file: throughput and latency are machine-
+  // dependent; only the mismatch counters are deterministic).
+  bench::MaybeWriteGolden(
+      argc, argv,
+      {{"serve_baseline_qps", base_qps},
+       {"serve_speedup_8clients_batch16", speedup_8_16},
+       {"serve_monolithic_qps_8clients", mono_8.qps},
+       {"serve_monolithic_p99_ms_8clients", mono_8.p99_ms},
+       {"serve_sharded_qps_8clients", sharded_8.qps},
+       {"serve_sharded_p50_ms_8clients", sharded_8.p50_ms},
+       {"serve_sharded_p95_ms_8clients", sharded_8.p95_ms},
+       {"serve_sharded_p99_ms_8clients", sharded_8.p99_ms},
+       {"serve_sharded_over_monolithic", routed_ratio},
+       {"serve_bit_identity_mismatches", double(total_mismatches)}});
+
+  const bool pass =
+      speedup_8_16 >= 3.0 && routed_ratio >= 1.0 && total_mismatches == 0;
+  return pass ? 0 : 1;
 }

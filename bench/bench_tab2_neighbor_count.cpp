@@ -4,47 +4,33 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/predictor.h"
+#include "golden_metrics.h"
 #include "ml/risk.h"
 
 using namespace qpp;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Table II — varying the neighbor count k in {3..7}",
       "negligible differences across k; k=3 chosen");
 
   const bench::PaperExperiment exp = bench::BuildPaperExperiment();
-
-  const std::vector<size_t> ks = {3, 4, 5, 6, 7};
-  std::vector<std::vector<core::MetricEvaluation>> results;
-  for (size_t k : ks) {
-    core::PredictorConfig cfg;
-    cfg.k_neighbors = k;
-    core::Predictor pred(cfg);
-    pred.Train(exp.train);
-    results.push_back(core::EvaluatePredictions(
-        [&](const linalg::Vector& f) { return pred.Predict(f).metrics; },
-        exp.test));
-  }
+  const bench::Tab2Golden tab = bench::ComputeTab2(exp);
 
   std::printf("%-18s", "metric");
-  for (size_t k : ks) std::printf("      %zuNN", k);
+  for (size_t k : tab.ks) std::printf("      %zuNN", k);
   std::printf("\n");
-  for (size_t m = 0; m < results[0].size(); ++m) {
-    std::printf("%-18s", results[0][m].metric.c_str());
-    for (size_t i = 0; i < ks.size(); ++i) {
-      std::printf(" %8s", ml::FormatRisk(results[i][m].risk).c_str());
+  for (size_t m = 0; m < tab.per_k[0].size(); ++m) {
+    std::printf("%-18s", tab.per_k[0][m].metric.c_str());
+    for (size_t i = 0; i < tab.ks.size(); ++i) {
+      std::printf(" %8s", ml::FormatRisk(tab.per_k[i][m].risk).c_str());
     }
     std::printf("\n");
   }
 
   // Spread of elapsed-time risk across k: the paper calls it negligible.
-  double lo = 2.0, hi = -2.0;
-  for (size_t i = 0; i < ks.size(); ++i) {
-    lo = std::min(lo, results[i][0].risk);
-    hi = std::max(hi, results[i][0].risk);
-  }
-  std::printf("\nelapsed-time risk spread across k: %.3f\n", hi - lo);
+  std::printf("\nelapsed-time risk spread across k: %.3f\n",
+              tab.elapsed_spread);
+  bench::MaybeWriteGolden(argc, argv, tab.values);
   return 0;
 }

@@ -50,4 +50,10 @@ bool TwoStepPredictor::HasCategoryModel(workload::QueryType type) const {
   return per_type_.count(type) > 0;
 }
 
+const Predictor* TwoStepPredictor::CategoryModel(
+    workload::QueryType type) const {
+  const auto it = per_type_.find(type);
+  return it != per_type_.end() ? it->second.get() : nullptr;
+}
+
 }  // namespace qpp::core

@@ -30,6 +30,10 @@ class TwoStepPredictor {
   const Predictor& base() const { return base_; }
   /// True if a dedicated second-step model exists for the category.
   bool HasCategoryModel(workload::QueryType type) const;
+  /// The dedicated second-step model for `type`, or null when that
+  /// category fell back to the base model (too few training members).
+  /// Lets a sharded deployment publish each expert into its own registry.
+  const Predictor* CategoryModel(workload::QueryType type) const;
 
  private:
   PredictorConfig config_;

@@ -23,6 +23,10 @@
 //                   yields a broken future and the stats accounting
 //                   identity (requests == cache + model + fallbacks)
 //                   holds exactly.
+//   shard-isolation shard: the feather expert is stalled and then killed
+//                   mid-run under a ShardRouter; golf/bowling answers stay
+//                   bit-identical to their experts, feather traffic is
+//                   absorbed by the one-model shard, zero requests lost.
 //
 // Scenario traffic is driven sequentially (one request in flight), so the
 // injected fault schedule AND the resulting report are bit-replayable:
@@ -64,7 +68,7 @@ struct ScenarioResult {
   bool ok() const { return violations.empty(); }
 };
 
-/// The four scenario names, in canonical order.
+/// The scenario names, in canonical order.
 const std::vector<std::string>& ChaosScenarioNames();
 
 /// The FaultPlan a scenario runs under (before any override); exposed so

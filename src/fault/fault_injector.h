@@ -99,6 +99,26 @@ class FaultInjector {
   void FireRegistrySwap();
   void set_registry_swap_hook(std::function<void()> hook);
 
+  // -------------------------------------------------------------- shard --
+
+  /// One decision per request routed to `shard` by a ShardRouter: true
+  /// exactly once, when the plan's target shard has seen its configured
+  /// Nth routed request (a counted decision — deterministic under
+  /// sequential driving, and independent of the seed). Calls for
+  /// non-target shards return false without consuming the counter.
+  bool NextShardKill(const std::string& shard);
+
+  /// Called by the router when NextShardKill said kill; invokes the hook
+  /// (typically ShardRouter's default hook, which unpublishes the target
+  /// shard's registry) and records the injection.
+  void FireShardKill();
+  void set_shard_kill_hook(std::function<void()> hook);
+
+  /// One decision per micro-batch picked up by a worker of `shard`; only
+  /// the plan's target shard ever stalls (stall_seconds; swap_registry is
+  /// never set here). Consumes the target shard's batch index.
+  BatchFaults NextShardBatchFaults(const std::string& shard);
+
   // ------------------------------------------------------ introspection --
 
   /// Total injected faults by kind, independent of any registry (the chaos
@@ -118,6 +138,7 @@ class FaultInjector {
     kTagSubmit = 0xC2B2AE3D27D4EB4Full,
     kTagStall = 0x165667B19E3779F9ull,
     kTagSwap = 0x27D4EB2F165667C5ull,
+    kTagShardStall = 0x2545F4914F6CDD1Dull,
   };
 
   struct Kind {
@@ -134,6 +155,8 @@ class FaultInjector {
     kSubmitReject,
     kWorkerStall,
     kRegistrySwap,
+    kShardKill,
+    kShardStall,
     kNumKinds,
   };
 
@@ -146,8 +169,13 @@ class FaultInjector {
   mutable Kind kinds_[kNumKinds];
   std::atomic<uint64_t> submit_seq_{0};
   std::atomic<uint64_t> batch_seq_{0};
+  // Shard-targeted streams: only calls naming the plan's target shard
+  // consume these, so one shard's schedule is unaffected by its peers.
+  std::atomic<uint64_t> shard_route_seq_{0};
+  std::atomic<uint64_t> shard_batch_seq_{0};
   std::mutex hook_mu_;
   std::function<void()> swap_hook_;
+  std::function<void()> shard_kill_hook_;
 };
 
 }  // namespace qpp::fault

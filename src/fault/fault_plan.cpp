@@ -10,7 +10,9 @@ namespace qpp::fault {
 
 namespace {
 constexpr uint32_t kMagic = 0x51505046;  // "QPPF" little-endian
-constexpr uint32_t kVersion = 1;
+// v1: engine + serve probabilities. v2 appends the shard-targeted serve
+// fields; v1 files still load (shard faults default to disabled).
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
 void FaultPlan::Write(BinaryWriter* w) const {
@@ -33,13 +35,18 @@ void FaultPlan::Write(BinaryWriter* w) const {
   w->WriteDouble(serve.worker_stall_probability);
   w->WriteDouble(serve.worker_stall_seconds);
   w->WriteDouble(serve.registry_swap_probability);
+  w->WriteString(serve.target_shard);
+  w->WriteU64(serve.shard_kill_after_requests);
+  w->WriteDouble(serve.shard_stall_probability);
+  w->WriteDouble(serve.shard_stall_seconds);
 }
 
 FaultPlan FaultPlan::Read(BinaryReader* r) {
   QPP_CHECK(r != nullptr);
   QPP_CHECK_MSG(r->ReadU32() == kMagic, "not a fault plan file");
   const uint32_t version = r->ReadU32();
-  QPP_CHECK_MSG(version == kVersion, "unsupported fault plan version");
+  QPP_CHECK_MSG(version >= 1 && version <= kVersion,
+                "unsupported fault plan version");
   FaultPlan p;
   p.seed = r->ReadU64();
   p.engine.disk_stall_probability = r->ReadDouble();
@@ -57,6 +64,12 @@ FaultPlan FaultPlan::Read(BinaryReader* r) {
   p.serve.worker_stall_probability = r->ReadDouble();
   p.serve.worker_stall_seconds = r->ReadDouble();
   p.serve.registry_swap_probability = r->ReadDouble();
+  if (version >= 2) {
+    p.serve.target_shard = r->ReadString();
+    p.serve.shard_kill_after_requests = r->ReadU64();
+    p.serve.shard_stall_probability = r->ReadDouble();
+    p.serve.shard_stall_seconds = r->ReadDouble();
+  }
   return p;
 }
 
@@ -83,6 +96,13 @@ std::string FaultPlan::ToString() const {
         "registry_swap p=%.2f\n",
         serve.submit_reject_probability, serve.worker_stall_probability,
         serve.worker_stall_seconds, serve.registry_swap_probability);
+    if (serve.shard_targeted()) {
+      os << StrFormat(
+          "  shard \"%s\": kill after %llu routed | stall p=%.2f %.1fs\n",
+          serve.target_shard.c_str(),
+          static_cast<unsigned long long>(serve.shard_kill_after_requests),
+          serve.shard_stall_probability, serve.shard_stall_seconds);
+    }
   }
   return os.str();
 }

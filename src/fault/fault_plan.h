@@ -84,10 +84,29 @@ struct ServeFaultSpec {
   /// the worker acquired its model snapshot — the hardest hot-swap timing.
   double registry_swap_probability = 0.0;
 
+  // Shard-targeted faults (sharded serving, see shard/shard_router.h).
+  // `target_shard` names the shard they apply to; empty disables them.
+
+  /// Shard whose registry/workers the faults below aim at.
+  std::string target_shard;
+  /// Kill the target shard's registry (fire the shard-kill hook) when the
+  /// Nth request is routed to it — a counted, not sampled, decision, so
+  /// the kill lands on the same request under any seed. 0 disables.
+  uint64_t shard_kill_after_requests = 0;
+  /// Per-batch probability that a target-shard worker stalls; same virtual
+  /// -age semantics as worker_stall_* but scoped to one shard.
+  double shard_stall_probability = 0.0;
+  double shard_stall_seconds = 0.0;
+
+  bool shard_targeted() const {
+    return !target_shard.empty() && (shard_kill_after_requests > 0 ||
+                                     shard_stall_probability > 0.0);
+  }
+
   bool enabled() const {
     return submit_reject_probability > 0.0 ||
            worker_stall_probability > 0.0 ||
-           registry_swap_probability > 0.0;
+           registry_swap_probability > 0.0 || shard_targeted();
   }
 };
 

@@ -1,6 +1,8 @@
 // Tiny JSON emission helpers shared by the metrics registry and the trace
-// exporter. Emission only — qpp never parses JSON; the exported files are
-// consumed by chrome://tracing, Perfetto, and external dashboards.
+// exporter. Emission only — the exported files are consumed by
+// chrome://tracing, Perfetto, and external dashboards. (The one place qpp
+// reads JSON back is the golden-results suite's flat {"key": number}
+// files, which carry their own minimal parser in bench/golden_metrics.)
 #pragma once
 
 #include <cstdint>

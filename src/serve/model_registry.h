@@ -54,14 +54,34 @@ class ModelRegistry {
     return Publish(std::make_shared<const core::Predictor>(model));
   }
 
+  /// Removes the published model (shard kill / decommission): Acquire()
+  /// then returns an invalid snapshot and the service degrades to its
+  /// labeled no-model fallback. The generation counter is retained so a
+  /// later Publish keeps advancing it and generation-tagged caches never
+  /// confuse a revived registry with the model it served before the kill.
+  void Unpublish() {
+    std::shared_ptr<const Entry> prev = entry_.load();
+    std::shared_ptr<const Entry> cleared;
+    do {
+      if (!prev || prev->model == nullptr) return;  // already empty
+      auto entry = std::make_shared<Entry>();
+      entry->generation = prev->generation;  // model stays null
+      cleared = std::move(entry);
+    } while (!entry_.compare_exchange_weak(prev, cleared));
+  }
+
   /// Current model + generation; {nullptr, 0} before the first publish.
+  /// After Unpublish() the snapshot is invalid but keeps the generation.
   Snapshot Acquire() const {
     const std::shared_ptr<const Entry> entry = entry_.load();
     if (!entry) return {};
     return {entry->model, entry->generation};
   }
 
-  bool has_model() const { return entry_.load() != nullptr; }
+  bool has_model() const {
+    const std::shared_ptr<const Entry> entry = entry_.load();
+    return entry != nullptr && entry->model != nullptr;
+  }
   uint64_t generation() const {
     const std::shared_ptr<const Entry> entry = entry_.load();
     return entry ? entry->generation : 0;

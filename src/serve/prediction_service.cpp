@@ -166,6 +166,17 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
       std::this_thread::sleep_for(std::chrono::duration<double>(
           std::min(bf.stall_seconds, 0.001)));
     }
+    if (!config_.shard_label.empty()) {
+      // Shard-targeted stall: only fires on the service whose label the
+      // plan names, so chaos can slow one expert while its peers run clean.
+      const fault::FaultInjector::BatchFaults sf =
+          config_.faults->NextShardBatchFaults(config_.shard_label);
+      if (sf.stall_seconds > 0.0) {
+        virtual_age += sf.stall_seconds;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(sf.stall_seconds, 0.001)));
+      }
+    }
   }
 
   const auto picked_up_at = std::chrono::steady_clock::now();
@@ -310,6 +321,7 @@ void PredictionService::Respond(Pending* pending,
   response.source = source;
   response.degraded_reason = std::move(degraded_reason);
   response.model_generation = generation;
+  response.shard = config_.shard_label;
   response.latency_seconds =
       SecondsSince(pending->enqueued_at, std::chrono::steady_clock::now());
   stats_.RecordResponse(response.latency_seconds);

@@ -83,6 +83,9 @@ struct ServeResponse {
   uint64_t model_generation = 0;
   /// Submit-to-response wall time.
   double latency_seconds = 0.0;
+  /// ServiceConfig::shard_label of the answering service; empty outside a
+  /// ShardRouter deployment (see shard/shard_router.h).
+  std::string shard;
 
   bool degraded() const { return source == ResponseSource::kOptimizerFallback; }
 };
@@ -118,6 +121,11 @@ struct ServiceConfig {
   /// the fault points down to one pointer test each. The injector must
   /// outlive the service.
   fault::FaultInjector* faults = nullptr;
+  /// Name of the shard this service instance backs. Stamped onto every
+  /// response (`ServeResponse::shard`) and matched against the fault
+  /// plan's `target_shard` for shard-targeted worker stalls; empty (the
+  /// default) for a monolithic deployment.
+  std::string shard_label;
 };
 
 /// Backoff schedule for SubmitWithRetry: attempt i sleeps
@@ -160,6 +168,13 @@ class PredictionService {
   /// workers. Idempotent.
   void Shutdown();
 
+  // Hash/equality for exact feature-vector cache keys: doubles hashed by
+  // bit pattern, so a hit implies bit-identical input. Public because the
+  // ShardRouter keys its routing cache the same way.
+  struct FeatureHash {
+    size_t operator()(const linalg::Vector& v) const;
+  };
+
   ServiceStatsSnapshot stats() const { return stats_.Snapshot(); }
   /// The service's metrics registry (statsz/JSON export surface; see
   /// docs/OBSERVABILITY.md for the metric names).
@@ -180,12 +195,6 @@ class PredictionService {
   void Respond(Pending* pending, core::Prediction prediction,
                ResponseSource source, std::string degraded_reason,
                uint64_t generation);
-
-  // Hash/equality for exact feature-vector cache keys: doubles hashed by
-  // bit pattern, so a hit implies bit-identical input.
-  struct FeatureHash {
-    size_t operator()(const linalg::Vector& v) const;
-  };
 
   // Cached entries are tagged with the model generation that produced
   // them; a hot-swap makes older entries miss (and get overwritten) rather

@@ -1,0 +1,220 @@
+// Sharded per-pool expert serving: the paper's two-step design (classify a
+// query as feather / golf ball / bowling ball, then predict with a
+// pool-specific expert model — Experiment 3, Fig. 14) lifted from the
+// offline core::TwoStepPredictor into the serving layer, in the shape of a
+// mixture-of-experts / model-selection router (Jacobs et al.; Crankshaw et
+// al., NSDI'17).
+//
+//   client ──Submit()──▶ route (step-1 classify, cached) ──▶ expert shard
+//                                                              │ dead/open/
+//                                                              │ overloaded?
+//                                                              ▼
+//                                                     one-model shard
+//                                                              │ refused?
+//                                                              ▼
+//                                                optimizer-cost fallback
+//
+// Each shard is a full serve::PredictionService with its own ModelRegistry
+// generation, bounded queue, micro-batcher, circuit breaker, and labeled
+// stats; shards hot-swap independently (publish to registry("feather")
+// and only feather traffic moves to the new generation). Every escalation
+// down the ladder is counted (qpp_shard_escalations_total{shard,reason})
+// and traced (category "shard").
+//
+// Determinism contract: for a fixed set of published models, every routed
+// response's prediction is bit-identical to the equivalent offline
+// TwoStepPredictor::Predict — regardless of shard count, worker threads,
+// client threads, batching, or the routing cache. Routing is a pure
+// function of (request, published models): the step-1 classifier is the
+// catch-all shard's model, the cache only memoizes its verdicts (keyed by
+// exact feature bits + classifier generation), and replica selection under
+// hash routing depends only on the feature bits. The only deliberate
+// deviation is `Prediction::predicted_type`, which carries the answering
+// expert's own neighbor vote rather than the step-1 vote; the step-1 pool
+// is what `ServeResponse::shard` reports. See docs/SHARDING.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/two_step.h"
+#include "fault/fault_injector.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "serve/lru_cache.h"
+#include "serve/model_registry.h"
+#include "serve/prediction_service.h"
+#include "workload/pools.h"
+
+namespace qpp::shard {
+
+enum class RoutingPolicy {
+  /// Step-1 classify with the catch-all shard's model (neighbor vote on
+  /// elapsed time), route to that pool's expert. The default; the only
+  /// policy that reproduces TwoStepPredictor bit-for-bit.
+  kClassifier,
+  /// Classify the calibrated optimizer-cost estimate instead (no model
+  /// call on the routing path; the pre-paper baseline as a router).
+  kOptimizerCost,
+  /// Feature-hash across the expert shards, ignoring pools: for replicated
+  /// same-pool deployments where every expert serves the same model.
+  kHash,
+};
+
+const char* RoutingPolicyName(RoutingPolicy p);
+
+struct ShardSpec {
+  std::string name;
+  /// Pools this expert serves; empty marks the catch-all one-model shard
+  /// (exactly one per router).
+  std::vector<workload::QueryType> pools;
+  /// Per-shard queue/batch/cache/breaker settings. `trace`, `faults`, and
+  /// `shard_label` are stamped by the router; leave them unset.
+  serve::ServiceConfig service;
+};
+
+struct ShardRouterConfig {
+  /// Must contain exactly one catch-all spec (empty `pools`).
+  std::vector<ShardSpec> shards;
+  RoutingPolicy policy = RoutingPolicy::kClassifier;
+  /// Step-1 verdict memo (exact feature match, classifier-generation
+  /// tagged): the classifier runs once per distinct plan per generation,
+  /// not once per request. 0 disables.
+  size_t route_cache_capacity = 4096;
+  /// While an expert's breaker is open the router diverts its traffic, so
+  /// the breaker would never see the probes it needs to recover; every
+  /// Nth diverted request is sent through anyway as a recovery probe.
+  size_t open_probe_every = 32;
+  /// Optional sinks, shared by all shards; must outlive the router.
+  obs::TraceRecorder* trace = nullptr;
+  fault::FaultInjector* faults = nullptr;
+};
+
+/// The paper's pool layout: one expert per Fig. 2 category (named by
+/// workload::QueryTypeName) plus the "one-model" catch-all, all using
+/// `base` as their service config.
+ShardRouterConfig MakePerPoolConfig(serve::ServiceConfig base = {});
+
+struct ShardStatsSnapshot {
+  struct PerShard {
+    std::string name;
+    bool catch_all = false;
+    uint64_t routed = 0;    ///< requests dispatched here as first choice
+    uint64_t absorbed = 0;  ///< requests escalated into this shard
+    uint64_t generation = 0;
+    serve::ServiceStatsSnapshot service;
+  };
+  std::vector<PerShard> shards;
+  uint64_t classified = 0;        ///< step-1 classifier model calls
+  uint64_t route_cache_hits = 0;
+  uint64_t escalations_dead = 0;        ///< expert had no model published
+  uint64_t escalations_open = 0;        ///< expert breaker open
+  uint64_t escalations_overloaded = 0;  ///< expert queue refused
+  uint64_t fallback_exhausted = 0;  ///< catch-all refused too: inline cost
+
+  uint64_t escalations() const {
+    return escalations_dead + escalations_open + escalations_overloaded;
+  }
+  std::string ToString() const;
+};
+
+class ShardRouter {
+ public:
+  /// The calibration backs both the optimizer-cost routing policy and the
+  /// final fallback rung. If `config.faults` carries a shard-targeted
+  /// plan naming one of our shards, a default kill hook (unpublish that
+  /// shard's registry) is installed unless the harness set its own.
+  explicit ShardRouter(ShardRouterConfig config,
+                       serve::CostCalibration calibration = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes and enqueues one request; the future resolves when the
+  /// answering shard (or the inline fallback) responds. Never blocks on a
+  /// full expert queue — that is an escalation, not backpressure — and
+  /// never returns a broken future.
+  std::future<serve::ServeResponse> Submit(serve::ServeRequest request);
+
+  /// Stops every shard (each drains its queue first). Idempotent.
+  void Shutdown();
+
+  /// Per-shard hot-swap surface: publish/unpublish through this. Null for
+  /// unknown names.
+  serve::ModelRegistry* registry(const std::string& shard_name);
+  serve::PredictionService* service(const std::string& shard_name);
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Shard specs in configuration order (publishing helpers walk these to
+  /// find every shard serving a pool).
+  const ShardSpec& shard_spec(size_t index) const {
+    return shards_[index]->spec;
+  }
+  const std::string& catch_all_name() const;
+  ShardStatsSnapshot stats() const;
+  /// Router-level qpp_shard_* metrics (per-shard serve metrics live in
+  /// each shard's own service registry).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+ private:
+  struct Shard {
+    ShardSpec spec;
+    // Registry declared before the service: workers acquire snapshots
+    // until Shutdown, so destruction must tear the service down first.
+    std::unique_ptr<serve::ModelRegistry> registry;
+    std::unique_ptr<serve::PredictionService> service;
+    obs::Counter* routed = nullptr;
+    obs::Counter* absorbed = nullptr;
+    obs::Counter* escalated_dead = nullptr;
+    obs::Counter* escalated_open = nullptr;
+    obs::Counter* escalated_overloaded = nullptr;
+    std::atomic<uint64_t> open_diversions{0};
+  };
+
+  struct RouteVerdict {
+    workload::QueryType pool = workload::QueryType::kFeather;
+    uint64_t classifier_generation = 0;
+  };
+
+  Shard* Route(const serve::ServeRequest& request);
+  Shard* ExpertFor(workload::QueryType pool, const linalg::Vector& features);
+  void TraceEscalation(const Shard& from, const char* reason);
+  std::future<serve::ServeResponse> InlineFallback(
+      const serve::ServeRequest& request);
+
+  const RoutingPolicy policy_;
+  const size_t open_probe_every_;
+  const serve::CostCalibration calibration_;
+  obs::TraceRecorder* const trace_;
+  fault::FaultInjector* const faults_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Shard*> experts_;  ///< shards_ minus the catch-all
+  Shard* catch_all_ = nullptr;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* classified_ = nullptr;
+  obs::Counter* route_cache_hits_ = nullptr;
+  obs::Counter* fallback_exhausted_ = nullptr;
+  std::mutex route_cache_mu_;
+  serve::LruCache<linalg::Vector, RouteVerdict,
+                  serve::PredictionService::FeatureHash>
+      route_cache_;
+  std::once_flag shutdown_once_;
+};
+
+/// Publishes a trained TwoStepPredictor across the router's shards: the
+/// base model into the catch-all (where it doubles as the step-1
+/// classifier) and each per-category expert into every shard listing that
+/// pool. Pools whose category fell back to the base model publish nothing
+/// — their shards stay dead and the router escalates to the catch-all,
+/// which is exactly TwoStepPredictor's own fallback. Returns the number of
+/// publishes performed.
+size_t PublishTwoStep(const core::TwoStepPredictor& two_step,
+                      ShardRouter* router);
+
+}  // namespace qpp::shard

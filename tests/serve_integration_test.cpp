@@ -16,8 +16,11 @@
 #include "common/rng.h"
 #include "core/predictor.h"
 #include "core/retraining.h"
+#include "core/two_step.h"
 #include "core/workload_manager.h"
 #include "serve/prediction_service.h"
+#include "shard/shard_router.h"
+#include "workload/pools.h"
 
 namespace qpp::serve {
 namespace {
@@ -412,6 +415,96 @@ TEST(PredictionServiceTest, HotSwapUnderConcurrentTrafficStaysConsistent) {
   publisher.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(registry.generation(), 21u);
+}
+
+// ------------------------------------------- two-step through the wire --
+
+// The paper's classify-then-predict design served end to end: step 1 (the
+// base model's neighbor vote) picks the pool, step 2 answers from that
+// pool's expert, and every served answer is bit-identical to the offline
+// core::TwoStepPredictor. The interesting traffic sits on the 30-minute
+// Fig. 2 edge (golf ball | bowling ball): a just-over-30-minute query
+// whose features live in the golf cluster gets misclassified and answered
+// by the golf expert — same as offline — and when the voted pool has no
+// expert at all, the documented fallback to the one-model base answers.
+TEST(TwoStepServingTest, BoundaryQueriesRoundTripThroughShardedServing) {
+  // Feathers far away in feature space; golf (40 rows, elapsed just under
+  // the 1800 s edge) and bowling (8 rows, just over it) share one feature
+  // cluster, so the vote near the boundary is genuinely contested. Eight
+  // bowling rows is below min_category_size: no bowling expert trains —
+  // exactly the paper's sparse-pool situation.
+  Rng rng(61);
+  std::vector<ml::TrainingExample> examples;
+  const auto add_rows = [&](size_t n, double offset, double elapsed_base) {
+    for (size_t i = 0; i < n; ++i) {
+      ml::TrainingExample ex;
+      const double a = rng.Uniform(1.0, 10.0);
+      const double b = rng.Uniform(1.0, 10.0);
+      const double c = rng.Uniform(0.0, 5.0);
+      ex.query_features = {a + offset, b, c, a * b, rng.Uniform(0.0, 1.0)};
+      ex.metrics.elapsed_seconds = elapsed_base + 0.5 * a * b + c;
+      ex.metrics.records_accessed = 1000.0 * a + 50.0 * c;
+      ex.metrics.records_used = 100.0 * a;
+      ex.metrics.message_count = 10.0 * b;
+      ex.metrics.message_bytes = 1000.0 * b + 10.0 * a;
+      examples.push_back(std::move(ex));
+    }
+  };
+  add_rows(40, 0.0, 10.0);     // feathers: 10.5 .. 65 s
+  add_rows(40, 40.0, 1740.0);  // golf: 1740.5 .. 1795 s  (< 30 min)
+  add_rows(8, 40.0, 1805.0);   // bowling: 1805.5 .. 1860 s (> 30 min)
+
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::TwoStepPredictor ts(cfg);
+  ts.Train(examples);
+  ASSERT_TRUE(ts.HasCategoryModel(workload::QueryType::kGolfBall));
+  ASSERT_FALSE(ts.HasCategoryModel(workload::QueryType::kBowlingBall));
+
+  ServiceConfig plain;
+  plain.cache_capacity = 0;
+  plain.fallback_on_anomalous = false;
+  shard::ShardRouter router(shard::MakePerPoolConfig(plain),
+                            TestCalibration());
+  shard::PublishTwoStep(ts, &router);
+
+  // Every training row, round-tripped: the served answer must carry the
+  // voted pool in resp.shard and the offline TwoStep bits.
+  size_t misclassified_boundary = 0, base_fallbacks = 0;
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const linalg::Vector& probe = examples[i].query_features;
+    const workload::QueryType vote =
+        ts.base().Predict(probe).predicted_type;
+    const workload::QueryType truth =
+        workload::ClassifyElapsed(examples[i].metrics.elapsed_seconds);
+    const ServeResponse resp = router.Submit({probe, 100.0}).get();
+    ASSERT_FALSE(resp.degraded()) << resp.degraded_reason;
+    const core::Prediction offline = ts.Predict(probe);
+    EXPECT_EQ(resp.prediction.metrics.ToVector(), offline.metrics.ToVector());
+    EXPECT_EQ(resp.prediction.neighbor_indices, offline.neighbor_indices);
+    EXPECT_EQ(resp.prediction.confidence, offline.confidence);
+    if (vote == workload::QueryType::kBowlingBall) {
+      // Voted pool has no expert: the documented fallback — the one-model
+      // shard answers with the base model, which is exactly what the
+      // offline TwoStepPredictor does for an expert-less category.
+      EXPECT_EQ(resp.shard, "one-model");
+      ++base_fallbacks;
+    } else {
+      EXPECT_EQ(resp.shard, workload::QueryTypeName(vote));
+    }
+    if (truth == workload::QueryType::kBowlingBall &&
+        vote == workload::QueryType::kGolfBall) {
+      // A ~30-minute query on the wrong side of the vote: served by the
+      // golf expert, openly (shard says so), not silently dropped.
+      EXPECT_EQ(resp.shard, "golf ball");
+      ++misclassified_boundary;
+    }
+  }
+  // The boundary must actually have been contested: some just-over-30-min
+  // queries were voted golf (neighbors dominated by the golf cluster).
+  EXPECT_GT(misclassified_boundary, 0u);
+  EXPECT_GT(base_fallbacks, 0u);
+  EXPECT_EQ(router.stats().escalations_dead, base_fallbacks);
 }
 
 // ---------------------------------------------- retraining publish hook --

@@ -1,0 +1,575 @@
+// Tests for the sharded per-pool expert router (shard/shard_router.h):
+// classifier / optimizer-cost / hash routing, the determinism contract
+// (routed answers bit-identical to the offline TwoStepPredictor under any
+// worker/client mix), per-shard hot-swap isolation, the full escalation
+// ladder (dead -> circuit-open -> overloaded -> one-model -> inline cost
+// fallback), route-cache generation tagging, labeled stats, and tracing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/two_step.h"
+#include "obs/trace.h"
+#include "serve/prediction_service.h"
+#include "shard/shard_router.h"
+#include "workload/pools.h"
+
+namespace qpp::shard {
+namespace {
+
+using workload::QueryType;
+
+/// Three Fig. 2 pools with well-separated features and elapsed bands, so
+/// the step-1 neighbor vote is unambiguous (same shape the chaos
+/// shard-isolation scenario uses). Pool-major: feathers, golf, bowling.
+std::vector<ml::TrainingExample> MultiPoolExamples(size_t per_pool,
+                                                   uint64_t seed) {
+  static const double kElapsedBase[3] = {10.0, 400.0, 2500.0};
+  Rng rng(seed);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(3 * per_pool);
+  for (size_t pool = 0; pool < 3; ++pool) {
+    const double off = static_cast<double>(pool);
+    for (size_t i = 0; i < per_pool; ++i) {
+      ml::TrainingExample ex;
+      const double a = rng.Uniform(1.0, 10.0);
+      const double b = rng.Uniform(1.0, 10.0);
+      const double c = rng.Uniform(0.0, 5.0);
+      ex.query_features = {a + 40.0 * off, b + 10.0 * off, c,
+                           a * b + 25.0 * off, rng.Uniform(0.0, 1.0)};
+      ex.metrics.elapsed_seconds = kElapsedBase[pool] + 0.5 * a * b + c;
+      ex.metrics.records_accessed = 1000.0 * a + 50.0 * c + 10000.0 * off;
+      ex.metrics.records_used = 100.0 * a + 1000.0 * off;
+      ex.metrics.message_count = 10.0 * b + 100.0 * off;
+      ex.metrics.message_bytes = 1000.0 * b + 10.0 * a;
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+core::TwoStepPredictor TrainTwoStep(const std::vector<ml::TrainingExample>& ex,
+                                    size_t min_category_size = 12) {
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::TwoStepPredictor ts(cfg);
+  ts.Train(ex, min_category_size);
+  return ts;
+}
+
+void ExpectBitIdentical(const core::Prediction& a, const core::Prediction& b) {
+  EXPECT_EQ(a.metrics.ToVector(), b.metrics.ToVector());
+  EXPECT_EQ(a.mean_neighbor_distance, b.mean_neighbor_distance);
+  EXPECT_EQ(a.confidence, b.confidence);
+  EXPECT_EQ(a.anomalous, b.anomalous);
+  EXPECT_EQ(a.neighbor_indices, b.neighbor_indices);
+}
+
+serve::CostCalibration TestCalibration() {
+  // elapsed = cost / 100 in log-log space.
+  serve::CostCalibration cal;
+  cal.slope = 1.0;
+  cal.intercept = -2.0;
+  cal.fitted = true;
+  return cal;
+}
+
+/// Expert services that answer deterministically for bit-identity checks:
+/// single-sourced answers (no cache) and the model's own word on
+/// anomalies, exactly like the offline predictor.
+serve::ServiceConfig PlainConfig() {
+  serve::ServiceConfig config;
+  config.cache_capacity = 0;
+  config.fallback_on_anomalous = false;
+  return config;
+}
+
+ShardRouterConfig PerPoolConfig() { return MakePerPoolConfig(PlainConfig()); }
+
+// ---------------------------------------------------------------- shape --
+
+TEST(MakePerPoolConfigTest, OneExpertPerPoolPlusCatchAll) {
+  const ShardRouterConfig config = MakePerPoolConfig();
+  ASSERT_EQ(config.shards.size(), 5u);
+  EXPECT_EQ(config.shards[0].name, "feather");
+  EXPECT_EQ(config.shards[1].name, "golf ball");
+  EXPECT_EQ(config.shards[2].name, "bowling ball");
+  EXPECT_EQ(config.shards[3].name, "wrecking ball");
+  EXPECT_EQ(config.shards[4].name, "one-model");
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(config.shards[i].pools.size(), 1u);
+  }
+  EXPECT_TRUE(config.shards[4].pools.empty());
+
+  ShardRouter router(config, TestCalibration());
+  EXPECT_EQ(router.num_shards(), 5u);
+  EXPECT_EQ(router.catch_all_name(), "one-model");
+  EXPECT_NE(router.registry("feather"), nullptr);
+  EXPECT_EQ(router.registry("no-such-shard"), nullptr);
+  EXPECT_EQ(router.service("no-such-shard"), nullptr);
+}
+
+// --------------------------------------------------- classifier routing --
+
+TEST(ShardRouterTest, ClassifierRoutingMatchesTwoStepBitForBit) {
+  const auto examples = MultiPoolExamples(40, 11);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  ShardRouter router(PerPoolConfig(), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  // One probe per pool plus repeats: routing, per-shard dispatch, and the
+  // route cache all in one sweep.
+  const size_t kProbes = 9;
+  std::vector<linalg::Vector> probes;
+  std::vector<std::string> expected_shard;
+  for (size_t j = 0; j < kProbes; ++j) {
+    probes.push_back(examples[(j % 3) * 40 + j / 3].query_features);
+    expected_shard.push_back(workload::QueryTypeName(
+        ts.base().Predict(probes.back()).predicted_type));
+  }
+
+  const size_t kRequests = 90;
+  for (size_t i = 0; i < kRequests; ++i) {
+    const size_t j = i % kProbes;
+    const serve::ServeResponse resp =
+        router.Submit({probes[j], 100.0}).get();
+    ASSERT_FALSE(resp.degraded()) << resp.degraded_reason;
+    EXPECT_EQ(resp.shard, expected_shard[j]);
+    // The serving determinism contract: bit-identical to the offline
+    // two-step predictor (predicted_type deliberately excluded — it
+    // carries the expert's own vote; the pool is in resp.shard).
+    ExpectBitIdentical(resp.prediction, ts.Predict(probes[j]));
+  }
+
+  const ShardStatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.classified, kProbes);  // once per distinct probe
+  EXPECT_EQ(stats.route_cache_hits, kRequests - kProbes);
+  EXPECT_EQ(stats.escalations(), 0u);
+  EXPECT_EQ(stats.fallback_exhausted, 0u);
+  uint64_t served = 0, routed = 0;
+  for (const auto& s : stats.shards) {
+    served += s.service.requests;
+    routed += s.routed;
+    EXPECT_EQ(s.absorbed, 0u);
+    if (s.catch_all) {
+      EXPECT_EQ(s.routed, 0u);  // every pool had an expert
+    }
+  }
+  EXPECT_EQ(served, kRequests);
+  EXPECT_EQ(routed, kRequests);
+}
+
+TEST(ShardRouterTest, RouteCacheIsClassifierGenerationTagged) {
+  const auto examples = MultiPoolExamples(40, 13);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  ShardRouter router(PerPoolConfig(), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  const linalg::Vector probe = examples[0].query_features;
+  router.Submit({probe, 100.0}).get();
+  router.Submit({probe, 100.0}).get();
+  EXPECT_EQ(router.stats().classified, 1u);
+  EXPECT_EQ(router.stats().route_cache_hits, 1u);
+
+  // Swapping the catch-all (= classifier) model retires the cached
+  // verdicts: the next submit classifies again under the new generation.
+  router.registry(router.catch_all_name())->Publish(ts.base());
+  router.Submit({probe, 100.0}).get();
+  EXPECT_EQ(router.stats().classified, 2u);
+  EXPECT_EQ(router.stats().route_cache_hits, 1u);
+}
+
+TEST(ShardRouterTest, NoClassifierMeansCatchAllOwnsTheRequest) {
+  ShardRouter router(PerPoolConfig(), TestCalibration());
+  // Nothing published anywhere: the one-model shard owns the request and
+  // answers with its own labeled no-model fallback.
+  const serve::ServeResponse resp =
+      router.Submit({{1.0, 2.0, 3.0, 4.0, 5.0}, 200.0}).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "no-model");
+  EXPECT_EQ(resp.shard, "one-model");
+  EXPECT_EQ(router.stats().classified, 0u);
+}
+
+// --------------------------------------------------- escalation ladder --
+
+TEST(ShardRouterTest, DeadExpertEscalatesToCatchAllWithBaseAnswers) {
+  const auto examples = MultiPoolExamples(40, 17);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  ShardRouter router(PerPoolConfig(), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  const linalg::Vector feather = examples[0].query_features;
+  ASSERT_EQ(router.Submit({feather, 100.0}).get().shard, "feather");
+
+  router.registry("feather")->Unpublish();  // kill switch
+  EXPECT_FALSE(router.registry("feather")->has_model());
+  EXPECT_EQ(router.registry("feather")->generation(), 1u);  // retained
+
+  const serve::ServeResponse resp = router.Submit({feather, 100.0}).get();
+  EXPECT_FALSE(resp.degraded());
+  EXPECT_EQ(resp.shard, "one-model");
+  ExpectBitIdentical(resp.prediction, ts.base().Predict(feather));
+
+  const ShardStatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.escalations_dead, 1u);
+  for (const auto& s : stats.shards) {
+    if (s.catch_all) {
+      EXPECT_EQ(s.absorbed, 1u);
+    }
+  }
+
+  // Republish: the expert revives on the next generation and takes its
+  // pool back (per-shard hot-swap, no router restart).
+  router.registry("feather")->Publish(*ts.CategoryModel(QueryType::kFeather));
+  EXPECT_EQ(router.registry("feather")->generation(), 2u);
+  const serve::ServeResponse back = router.Submit({feather, 100.0}).get();
+  EXPECT_EQ(back.shard, "feather");
+  ExpectBitIdentical(back.prediction, ts.Predict(feather));
+}
+
+TEST(ShardRouterTest, MissingExpertPoolMatchesTwoStepFallbackExactly) {
+  // Starve the bowling category below min_category_size: TwoStep keeps no
+  // bowling expert and answers those queries with the base model. The
+  // router's "dead shard -> one-model" rung is the same fallback, so the
+  // bit-identity contract must hold on that path too.
+  auto examples = MultiPoolExamples(40, 19);
+  examples.erase(examples.begin() + 85, examples.end());  // 5 bowling rows
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  ASSERT_FALSE(ts.HasCategoryModel(QueryType::kBowlingBall));
+  ASSERT_EQ(ts.CategoryModel(QueryType::kBowlingBall), nullptr);
+
+  ShardRouter router(PerPoolConfig(), TestCalibration());
+  PublishTwoStep(ts, &router);
+  EXPECT_FALSE(router.registry("bowling ball")->has_model());
+
+  const linalg::Vector bowling = examples[82].query_features;
+  ASSERT_EQ(ts.base().Predict(bowling).predicted_type,
+            QueryType::kBowlingBall);
+  const serve::ServeResponse resp = router.Submit({bowling, 100.0}).get();
+  EXPECT_FALSE(resp.degraded());
+  EXPECT_EQ(resp.shard, "one-model");
+  ExpectBitIdentical(resp.prediction, ts.Predict(bowling));
+  EXPECT_EQ(router.stats().escalations_dead, 1u);
+}
+
+TEST(ShardRouterTest, RefusingExpertEscalatesOverloaded) {
+  const auto examples = MultiPoolExamples(40, 23);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  ShardRouter router(PerPoolConfig(), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  // A shut-down service refuses every TrySubmit — indistinguishable from a
+  // full queue, which is exactly the "overloaded" rung.
+  router.service("golf ball")->Shutdown();
+
+  const linalg::Vector golf = examples[45].query_features;
+  ASSERT_EQ(ts.base().Predict(golf).predicted_type, QueryType::kGolfBall);
+  const serve::ServeResponse resp = router.Submit({golf, 100.0}).get();
+  EXPECT_FALSE(resp.degraded());
+  EXPECT_EQ(resp.shard, "one-model");
+  ExpectBitIdentical(resp.prediction, ts.base().Predict(golf));
+  EXPECT_EQ(router.stats().escalations_overloaded, 1u);
+}
+
+TEST(ShardRouterTest, OpenBreakerDivertsButProbesForRecovery) {
+  const auto examples = MultiPoolExamples(40, 29);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+
+  ShardRouterConfig config = PerPoolConfig();
+  config.open_probe_every = 4;
+  for (ShardSpec& spec : config.shards) {
+    if (spec.name != "feather") continue;
+    // Every feather request blows its deadline, so the shard's breaker
+    // trips and stays open under continued failures.
+    spec.service.queue_deadline_seconds = 1e-12;
+    spec.service.breaker.enabled = true;
+    spec.service.breaker.window = 8;
+    spec.service.breaker.min_samples = 4;
+    spec.service.breaker.trip_ratio = 0.5;
+    spec.service.breaker.open_requests = 64;
+  }
+  ShardRouter router(std::move(config), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  const linalg::Vector feather = examples[0].query_features;
+  size_t absorbed_clean = 0, feather_answers = 0;
+  for (size_t i = 0; i < 60; ++i) {
+    const serve::ServeResponse resp = router.Submit({feather, 100.0}).get();
+    if (resp.shard == "one-model" && !resp.degraded()) ++absorbed_clean;
+    if (resp.shard == "feather") {
+      ++feather_answers;
+      // Anything the sick shard still answers is labeled, never silent.
+      EXPECT_TRUE(!resp.degraded() || resp.degraded_reason == "deadline" ||
+                  resp.degraded_reason == "circuit-open")
+          << resp.degraded_reason;
+    }
+  }
+  const ShardStatsSnapshot stats = router.stats();
+  EXPECT_GE(router.service("feather")->breaker().trips(), 1u);
+  EXPECT_GT(stats.escalations_open, 0u);
+  // Diverted traffic is served cleanly by the one-model shard...
+  EXPECT_GT(absorbed_clean, 0u);
+  // ...while every open_probe_every-th request still reaches the expert so
+  // its breaker can walk the half-open recovery path.
+  EXPECT_GT(feather_answers, 0u);
+  EXPECT_LT(feather_answers, 60u);
+}
+
+TEST(ShardRouterTest, ExhaustedLadderAnswersInlineCostFallback) {
+  const serve::CostCalibration cal = TestCalibration();
+  ShardRouter router(PerPoolConfig(), cal);
+  router.Shutdown();  // every shard now refuses TrySubmit
+
+  const serve::ServeResponse resp =
+      router.Submit({{1.0, 2.0, 3.0, 4.0, 5.0}, 400.0}).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "shards-exhausted");
+  EXPECT_EQ(resp.source, serve::ResponseSource::kOptimizerFallback);
+  EXPECT_EQ(resp.prediction.metrics.elapsed_seconds,
+            cal.EstimateSeconds(400.0));
+  EXPECT_EQ(router.stats().fallback_exhausted, 1u);
+}
+
+// --------------------------------------------------- alternate policies --
+
+TEST(ShardRouterTest, OptimizerCostPolicyRoutesByCalibratedEstimate) {
+  const auto examples = MultiPoolExamples(40, 31);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  ShardRouterConfig config = PerPoolConfig();
+  config.policy = RoutingPolicy::kOptimizerCost;
+  // elapsed = cost / 100 under TestCalibration.
+  ShardRouter router(std::move(config), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  const linalg::Vector probe = examples[0].query_features;
+  EXPECT_EQ(router.Submit({probe, 100.0}).get().shard, "feather");  // 1 s
+  EXPECT_EQ(router.Submit({probe, 30000.0}).get().shard,
+            "golf ball");  // 300 s
+  EXPECT_EQ(router.Submit({probe, 500000.0}).get().shard,
+            "bowling ball");  // 5000 s
+  // No cost available: the one-model shard owns it.
+  EXPECT_EQ(router.Submit({probe, -1.0}).get().shard, "one-model");
+  // No model call happens on this routing path.
+  EXPECT_EQ(router.stats().classified, 0u);
+}
+
+TEST(ShardRouterTest, HashRoutingSpreadsReplicasDeterministically) {
+  const auto examples = MultiPoolExamples(40, 37);
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::Predictor model(cfg);
+  model.Train(examples);
+
+  ShardRouterConfig config;
+  for (const char* name : {"replica-0", "replica-1"}) {
+    ShardSpec spec;
+    spec.name = name;
+    spec.pools = {QueryType::kFeather};
+    spec.service = PlainConfig();
+    config.shards.push_back(std::move(spec));
+  }
+  ShardSpec catch_all;
+  catch_all.name = "one-model";
+  catch_all.service = PlainConfig();
+  config.shards.push_back(std::move(catch_all));
+  config.policy = RoutingPolicy::kHash;
+  ShardRouter router(std::move(config), TestCalibration());
+  for (const char* name : {"replica-0", "replica-1", "one-model"}) {
+    router.registry(name)->Publish(model);
+  }
+
+  std::set<std::string> used;
+  for (size_t j = 0; j < 32; ++j) {
+    const linalg::Vector probe = examples[j].query_features;
+    const serve::ServeResponse first = router.Submit({probe, 100.0}).get();
+    const serve::ServeResponse again = router.Submit({probe, 100.0}).get();
+    // Replica choice is a pure function of the request: same probe, same
+    // shard, every time — and every replica serves the same bits.
+    EXPECT_EQ(first.shard, again.shard);
+    EXPECT_TRUE(first.shard == "replica-0" || first.shard == "replica-1");
+    used.insert(first.shard);
+    ExpectBitIdentical(first.prediction, model.Predict(probe));
+    ExpectBitIdentical(again.prediction, model.Predict(probe));
+  }
+  EXPECT_EQ(used.size(), 2u);  // 32 distinct probes reach both replicas
+  EXPECT_EQ(router.stats().classified, 0u);
+}
+
+TEST(ShardRouterTest, ClassifierPolicySplitsReplicatedPoolByFeatureBits) {
+  const auto examples = MultiPoolExamples(40, 41);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+
+  ShardRouterConfig config;
+  for (const char* name : {"feather-a", "feather-b"}) {
+    ShardSpec spec;
+    spec.name = name;
+    spec.pools = {QueryType::kFeather};
+    spec.service = PlainConfig();
+    config.shards.push_back(std::move(spec));
+  }
+  ShardSpec catch_all;
+  catch_all.name = "one-model";
+  catch_all.service = PlainConfig();
+  config.shards.push_back(std::move(catch_all));
+  ShardRouter router(std::move(config), TestCalibration());
+  // PublishTwoStep finds BOTH feather replicas via the pool specs.
+  PublishTwoStep(ts, &router);
+  EXPECT_TRUE(router.registry("feather-a")->has_model());
+  EXPECT_TRUE(router.registry("feather-b")->has_model());
+
+  std::set<std::string> used;
+  for (size_t j = 0; j < 16; ++j) {
+    const linalg::Vector probe = examples[j].query_features;  // feathers
+    const serve::ServeResponse first = router.Submit({probe, 100.0}).get();
+    const serve::ServeResponse again = router.Submit({probe, 100.0}).get();
+    EXPECT_EQ(first.shard, again.shard);
+    EXPECT_TRUE(first.shard == "feather-a" || first.shard == "feather-b")
+        << first.shard;
+    used.insert(first.shard);
+    ExpectBitIdentical(first.prediction, ts.Predict(probe));
+  }
+  EXPECT_EQ(used.size(), 2u);
+}
+
+// -------------------------------------------------- per-shard hot-swap --
+
+TEST(ShardRouterTest, HotSwapMovesOnlyTheSwappedPool) {
+  const auto examples = MultiPoolExamples(40, 43);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  ShardRouter router(PerPoolConfig(), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  const linalg::Vector feather = examples[0].query_features;
+  const linalg::Vector golf = examples[45].query_features;
+  ASSERT_EQ(router.Submit({feather, 100.0}).get().shard, "feather");
+  ASSERT_EQ(router.Submit({golf, 100.0}).get().shard, "golf ball");
+
+  // Retrain just the golf expert (fresh data) and publish it to its shard.
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::Predictor golf_v2(cfg);
+  auto fresh = MultiPoolExamples(40, 44);
+  golf_v2.Train({fresh.begin() + 40, fresh.begin() + 80});
+  router.registry("golf ball")->Publish(golf_v2);
+
+  EXPECT_EQ(router.registry("golf ball")->generation(), 2u);
+  EXPECT_EQ(router.registry("feather")->generation(), 1u);
+
+  const serve::ServeResponse g = router.Submit({golf, 100.0}).get();
+  EXPECT_EQ(g.shard, "golf ball");
+  EXPECT_EQ(g.model_generation, 2u);
+  ExpectBitIdentical(g.prediction, golf_v2.Predict(golf));
+  // Feather traffic is untouched by the golf swap.
+  const serve::ServeResponse f = router.Submit({feather, 100.0}).get();
+  EXPECT_EQ(f.model_generation, 1u);
+  ExpectBitIdentical(f.prediction, ts.Predict(feather));
+}
+
+// ----------------------------------------------------------- concurrency --
+
+TEST(ShardRouterTest, ConcurrentMixedTrafficStaysBitIdentical) {
+  const auto examples = MultiPoolExamples(40, 47);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+
+  serve::ServiceConfig service_config = PlainConfig();
+  service_config.num_workers = 2;
+  service_config.max_batch = 8;
+  service_config.cache_capacity = 64;  // exercise the result cache too
+  ShardRouter router(MakePerPoolConfig(service_config), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  const size_t kProbes = 12;
+  std::vector<linalg::Vector> probes;
+  std::vector<core::Prediction> expected;
+  for (size_t j = 0; j < kProbes; ++j) {
+    probes.push_back(examples[(j % 3) * 40 + j / 3].query_features);
+    expected.push_back(ts.Predict(probes.back()));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < 40; ++r) {
+        const size_t which = (static_cast<size_t>(c) * 7 + r) % kProbes;
+        const serve::ServeResponse resp =
+            router.Submit({probes[which], 100.0}).get();
+        if (resp.degraded() ||
+            resp.prediction.metrics.ToVector() !=
+                expected[which].metrics.ToVector() ||
+            resp.prediction.neighbor_indices !=
+                expected[which].neighbor_indices ||
+            resp.prediction.confidence != expected[which].confidence) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ShardStatsSnapshot stats = router.stats();
+  EXPECT_EQ(stats.escalations(), 0u);
+  uint64_t served = 0;
+  for (const auto& s : stats.shards) served += s.service.requests;
+  EXPECT_EQ(served, 160u);
+  EXPECT_EQ(stats.classified + stats.route_cache_hits, 160u);
+}
+
+// ------------------------------------------------------- observability --
+
+TEST(ShardRouterTest, EscalationsAndClassificationAreTraced) {
+  const auto examples = MultiPoolExamples(40, 53);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+
+  obs::TraceRecorder trace;
+  ShardRouterConfig config = PerPoolConfig();
+  config.trace = &trace;
+  ShardRouter router(std::move(config), TestCalibration());
+  PublishTwoStep(ts, &router);
+
+  const linalg::Vector feather = examples[0].query_features;
+  router.Submit({feather, 100.0}).get();
+  router.registry("feather")->Unpublish();
+  router.Submit({feather, 100.0}).get();
+  router.Shutdown();
+
+  bool saw_classify = false, saw_escalate = false;
+  for (const obs::TraceEvent& e : trace.Events()) {
+    if (e.category != "shard") continue;
+    if (e.name == "classify" && e.phase == 'X') saw_classify = true;
+    if (e.name == "escalate" && e.phase == 'i') {
+      saw_escalate = true;
+      bool has_reason = false;
+      for (const auto& [key, value] : e.args) {
+        if (key == "reason") {
+          has_reason = true;
+          EXPECT_EQ(value, "\"dead\"");
+        }
+      }
+      EXPECT_TRUE(has_reason);
+    }
+  }
+  EXPECT_TRUE(saw_classify);
+  EXPECT_TRUE(saw_escalate);
+}
+
+TEST(ShardRouterTest, StatsToStringMentionsEveryShard) {
+  ShardRouter router(PerPoolConfig(), TestCalibration());
+  const std::string rendered = router.stats().ToString();
+  for (const char* name :
+       {"feather", "golf ball", "bowling ball", "wrecking ball",
+        "one-model*"}) {
+    EXPECT_NE(rendered.find(name), std::string::npos) << rendered;
+  }
+}
+
+}  // namespace
+}  // namespace qpp::shard

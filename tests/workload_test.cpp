@@ -1,6 +1,7 @@
 // Tests for workload/: template instantiation, generation, pooling, splits.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "catalog/retailbank.h"
@@ -87,6 +88,46 @@ TEST(PoolsTest, ClassificationBoundaries) {
   EXPECT_EQ(ClassifyElapsed(1800.0), QueryType::kBowlingBall);
   EXPECT_EQ(ClassifyElapsed(7200.0), QueryType::kBowlingBall);
   EXPECT_EQ(ClassifyElapsed(7200.01), QueryType::kWreckingBall);
+}
+
+// The exact Fig. 2 edges, pinned value by value so any off-by-one in the
+// comparison operators is caught at the boundary itself, not somewhere in
+// a pool count three layers up. Half-open on the left edges (3 min and
+// 30 min belong to the NEXT pool), closed on the right bowling edge
+// (exactly 2 hours is still a bowling ball — "up to 2 hours"), per the
+// pools.h contract. The 00:02:59 / 30-minute / 2-hour rows come straight
+// from the paper's figure.
+TEST(PoolsTest, Fig2EdgeTable) {
+  const struct {
+    double seconds;
+    QueryType want;
+    const char* why;
+  } kEdges[] = {
+      {0.0, QueryType::kFeather, "zero elapsed"},
+      {-1.0, QueryType::kFeather, "negative clamps into the first pool"},
+      {179.0, QueryType::kFeather, "00:02:59, the figure's last feather"},
+      {std::nextafter(180.0, 0.0), QueryType::kFeather, "just under 3 min"},
+      {180.0, QueryType::kGolfBall, "exactly 3 min opens golf"},
+      {std::nextafter(180.0, 1e9), QueryType::kGolfBall, "just over 3 min"},
+      {std::nextafter(1800.0, 0.0), QueryType::kGolfBall,
+       "just under 30 min"},
+      {1800.0, QueryType::kBowlingBall, "exactly 30 min opens bowling"},
+      {std::nextafter(7200.0, 0.0), QueryType::kBowlingBall,
+       "just under 2 h"},
+      {7200.0, QueryType::kBowlingBall, "exactly 2 h is still bowling"},
+      {std::nextafter(7200.0, 1e9), QueryType::kWreckingBall,
+       "anything past 2 h wrecks"},
+      {86400.0, QueryType::kWreckingBall, "a day"},
+  };
+  for (const auto& edge : kEdges) {
+    EXPECT_EQ(ClassifyElapsed(edge.seconds), edge.want)
+        << edge.why << " (" << edge.seconds << " s)";
+  }
+  // The names the edges map to, since reports key on them.
+  EXPECT_STREQ(QueryTypeName(QueryType::kFeather), "feather");
+  EXPECT_STREQ(QueryTypeName(QueryType::kGolfBall), "golf ball");
+  EXPECT_STREQ(QueryTypeName(QueryType::kBowlingBall), "bowling ball");
+  EXPECT_STREQ(QueryTypeName(QueryType::kWreckingBall), "wrecking ball");
 }
 
 class PoolsFixture : public ::testing::Test {
