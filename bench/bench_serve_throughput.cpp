@@ -16,9 +16,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
 #include "core/two_step.h"
+#include "fabric/fabric.h"
 #include "golden_metrics.h"
 #include "ml/feature_vector.h"
+#include "obs/metrics.h"
 #include "serve/prediction_service.h"
 #include "shard/shard_router.h"
 
@@ -67,14 +70,13 @@ double RunService(const Workload& wl, serve::ModelRegistry* registry,
   return static_cast<double>(per_client * clients) / wall;
 }
 
-double PercentileMs(std::vector<double>& latencies_seconds, double p) {
-  if (latencies_seconds.empty()) return 0.0;
-  const size_t idx = std::min(
-      latencies_seconds.size() - 1,
-      static_cast<size_t>(p * double(latencies_seconds.size() - 1) + 0.5));
-  std::nth_element(latencies_seconds.begin(), latencies_seconds.begin() + idx,
-                   latencies_seconds.end());
-  return latencies_seconds[idx] * 1000.0;
+/// Latency quantiles come from the obs log-bucketed histogram — the same
+/// estimator the serving stack exports — instead of bench-local sorting.
+/// Record() is wait-free, so clients feed it directly from their drain
+/// loops; quantiles are bucket midpoints (see HistogramSnapshot::Quantile
+/// for the documented bracket semantics).
+double QuantileMs(const obs::Histogram& hist, double q) {
+  return hist.Quantile(q) * 1000.0;
 }
 
 struct TimedRun {
@@ -98,7 +100,7 @@ TimedRun RunTimed(const Workload& wl, size_t clients,
 
   const size_t per_client = wl.total_requests / clients;
   std::atomic<size_t> mismatches{0};
-  std::vector<std::vector<double>> latencies(clients);
+  obs::Histogram latency_hist;
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   for (size_t c = 0; c < clients; ++c) {
@@ -108,10 +110,9 @@ TimedRun RunTimed(const Workload& wl, size_t clients,
       for (size_t r = 0; r < per_client; ++r) {
         futures.push_back(submit(wl.At(c * per_client + r)));
       }
-      latencies[c].reserve(per_client);
       for (size_t r = 0; r < per_client; ++r) {
         const serve::ServeResponse resp = futures[r].get();
-        latencies[c].push_back(resp.latency_seconds);
+        latency_hist.Record(resp.latency_seconds);
         const core::Prediction& want =
             expected[(c * per_client + r) % wl.distinct.size()];
         if (resp.degraded() ||
@@ -130,13 +131,135 @@ TimedRun RunTimed(const Workload& wl, size_t clients,
 
   TimedRun run;
   run.qps = static_cast<double>(per_client * clients) / wall;
-  std::vector<double> all;
-  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
-  run.p50_ms = PercentileMs(all, 0.50);
-  run.p95_ms = PercentileMs(all, 0.95);
-  run.p99_ms = PercentileMs(all, 0.99);
+  run.p50_ms = QuantileMs(latency_hist, 0.50);
+  run.p95_ms = QuantileMs(latency_hist, 0.95);
+  run.p99_ms = QuantileMs(latency_hist, 0.99);
   run.mismatches = mismatches.load();
   return run;
+}
+
+// ----------------------------------------------------------- fabric mode --
+
+struct FabricRun {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t served = 0;          ///< responses answered by a model path
+  size_t shed = 0;            ///< labeled "admission-shed" responses
+  size_t slo_violations = 0;  ///< served responses over the latency SLO
+  size_t mismatches = 0;      ///< wrong bits, unlabeled sheds, lost requests
+};
+
+/// Drives the workload through a fabric. `closed_loop` keeps exactly one
+/// request in flight per client (the capacity-sweep regime); otherwise
+/// each client submits its whole share up front (the overload regime the
+/// admission comparison uses). Expert answers must bit-match the offline
+/// TwoStepPredictor; escalations must bit-match its base model; sheds
+/// must be labeled. Served responses over `slo_seconds` count as SLO
+/// violations; sheds never do (they are the controller's alternative to
+/// violating).
+FabricRun RunFabric(const Workload& wl, fabric::Fabric* fab, size_t clients,
+                    const std::vector<core::Prediction>& expect_expert,
+                    const std::vector<core::Prediction>& expected_mono,
+                    double slo_seconds, bool closed_loop) {
+  for (const auto& req : wl.distinct) fab->Submit(req).get();  // warmup
+
+  const size_t per_client = wl.total_requests / clients;
+  std::atomic<size_t> served{0}, shed{0}, violations{0}, mismatches{0};
+  obs::Histogram latency_hist;
+  const auto check = [&](size_t global_r,
+                         const serve::ServeResponse& resp) {
+    const size_t which = global_r % wl.distinct.size();
+    if (resp.degraded()) {
+      if (resp.degraded_reason == "admission-shed") {
+        shed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+    latency_hist.Record(resp.latency_seconds);
+    if (resp.latency_seconds > slo_seconds) {
+      violations.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto matches = [&](const core::Prediction& want) {
+      return resp.prediction.metrics.ToVector() == want.metrics.ToVector() &&
+             resp.prediction.neighbor_indices == want.neighbor_indices &&
+             resp.prediction.confidence == want.confidence;
+    };
+    if (!matches(expect_expert[which]) && !matches(expected_mono[which])) {
+      mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      if (closed_loop) {
+        for (size_t r = 0; r < per_client; ++r) {
+          const size_t global_r = c * per_client + r;
+          check(global_r, fab->Submit(wl.At(global_r)).get());
+        }
+        return;
+      }
+      std::vector<std::future<serve::ServeResponse>> futures;
+      futures.reserve(per_client);
+      for (size_t r = 0; r < per_client; ++r) {
+        futures.push_back(fab->Submit(wl.At(c * per_client + r)));
+      }
+      for (size_t r = 0; r < per_client; ++r) {
+        check(c * per_client + r, futures[r].get());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  FabricRun run;
+  run.qps = static_cast<double>(per_client * clients) / wall;
+  run.p50_ms = QuantileMs(latency_hist, 0.50);
+  run.p99_ms = QuantileMs(latency_hist, 0.99);
+  run.served = served.load();
+  run.shed = shed.load();
+  run.slo_violations = violations.load();
+  run.mismatches = mismatches.load();
+  if (run.served + run.shed != per_client * clients) ++run.mismatches;
+  return run;
+}
+
+/// Four-band synthetic training set spanning every Fig. 2 pool, same
+/// construction the chaos harness uses. The paper's own pools exclude
+/// wrecking balls from training by design, so its step-1 classifier can
+/// never emit a wrecking-ball verdict — the admission comparison needs a
+/// workload where shedding has something to shed.
+std::vector<ml::TrainingExample> FourPoolExamples(size_t per_pool,
+                                                  uint64_t seed) {
+  static const double kElapsedBase[4] = {10.0, 400.0, 2500.0, 9000.0};
+  Rng rng(seed);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(4 * per_pool);
+  for (size_t pool = 0; pool < 4; ++pool) {
+    const double off = static_cast<double>(pool);
+    for (size_t i = 0; i < per_pool; ++i) {
+      ml::TrainingExample ex;
+      const double a = rng.Uniform(1.0, 10.0);
+      const double b = rng.Uniform(1.0, 10.0);
+      const double c = rng.Uniform(0.0, 5.0);
+      ex.query_features = {a + 40.0 * off, b + 10.0 * off, c,
+                           a * b + 25.0 * off, rng.Uniform(0.0, 1.0)};
+      ex.metrics.elapsed_seconds = kElapsedBase[pool] + 0.5 * a * b + c;
+      ex.metrics.records_accessed = 1000.0 * a + 50.0 * c + 10000.0 * off;
+      ex.metrics.records_used = 100.0 * a + 1000.0 * off;
+      ex.metrics.message_count = 10.0 * b + 100.0 * off;
+      ex.metrics.message_bytes = 1000.0 * b + 10.0 * a;
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -314,8 +437,132 @@ int main(int argc, char** argv) {
               routed_ratio, routed_ratio >= 1.0 ? "PASS" : "FAIL",
               total_mismatches);
 
+  // --- fabric mode: replica groups + prediction-aware admission control.
+  // Two questions: (1) capacity — the highest sustained closed-loop
+  // queries/sec whose p99 stays inside a fixed latency SLO (the SLO is
+  // derived from this machine's 1-client p50, so the number is comparable
+  // in spirit, not in absolute value, across machines); (2) overload —
+  // with every client's share submitted up front, does admission control
+  // (shed wrecking balls while breached) cut SLO violations vs the same
+  // fabric with admission off? Sheds are labeled, never silent, and every
+  // model answer is bit-checked against the offline TwoStepPredictor.
+  std::printf("\nfabric mode: replica groups (fabric::Fabric, 2 replicas "
+              "per group) + admission control\n");
+
+  serve::ServiceConfig fabric_service;
+  fabric_service.num_workers = 1;  // 2 replicas/group: 10 workers total
+  fabric_service.max_batch = 16;
+  fabric_service.cache_capacity = 0;
+  fabric_service.fallback_on_anomalous = false;
+  fabric_service.queue_capacity = wl.total_requests + wl.distinct.size();
+
+  const auto make_fabric = [&](const core::TwoStepPredictor& ts,
+                               bool admission) {
+    fabric::FabricConfig config =
+        fabric::MakePerPoolFabricConfig(2, fabric_service);
+    if (admission) {
+      config.admission.enabled = true;
+      config.admission.max_queue_depth = 64;
+      config.admission.p99_slo_seconds = 1e9;  // depth-triggered only
+      config.admission.shed_wrecking = true;
+      // Deferral needs a steady trickle of admitted submits to piggyback
+      // on; the burst regime has none, so bowling balls stay admitted.
+      config.admission.defer_bowling = false;
+    }
+    auto fab = std::make_unique<fabric::Fabric>(std::move(config),
+                                                calibration);
+    fabric::PublishTwoStep(ts, fab.get());
+    return fab;
+  };
+
+  // Capacity sweep: one in-flight request per client; SLO = 5x the
+  // 1-client median so it tracks this machine's per-predict latency.
+  std::printf("\ncapacity sweep (closed loop, SLO = 5x 1-client p50):\n");
+  std::printf("%10s %14s %9s %9s %12s\n", "clients", "queries/sec", "p50 ms",
+              "p99 ms", "within SLO");
+  double slo_seconds = 0.0;
+  double capacity_qps = 0.0;
+  size_t fabric_mismatches = 0;
+  {
+    const auto fab = make_fabric(two_step, /*admission=*/false);
+    for (const size_t clients : {1, 2, 4, 8}) {
+      const FabricRun run =
+          RunFabric(wl, fab.get(), clients, expected_sharded, expected_mono,
+                    slo_seconds > 0.0 ? slo_seconds : 1e9,
+                    /*closed_loop=*/true);
+      if (slo_seconds == 0.0) slo_seconds = 5.0 * run.p50_ms / 1000.0;
+      const bool within = run.p99_ms / 1000.0 <= slo_seconds;
+      if (within) capacity_qps = std::max(capacity_qps, run.qps);
+      std::printf("%10zu %14.0f %9.2f %9.2f %12s\n", clients, run.qps,
+                  run.p50_ms, run.p99_ms, within ? "yes" : "no");
+      fabric_mismatches += run.mismatches;
+    }
+    fab->Shutdown();
+  }
+  std::printf("capacity: %.0f queries/sec at p99 <= %.2f ms\n", capacity_qps,
+              slo_seconds * 1000.0);
+
+  // Overload: the whole workload submitted up front, on a four-pool mix
+  // (the paper workload trains no wrecking-ball expert, so its classifier
+  // never predicts one — see FourPoolExamples). Admission-off serves
+  // everything late; admission-on sheds the wrecking balls it predicts
+  // (step-1) while the queues are deep, so fewer served responses breach
+  // the SLO.
+  core::PredictorConfig heavy_cfg;
+  heavy_cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::TwoStepPredictor heavy_ts(heavy_cfg);
+  const auto heavy_examples = FourPoolExamples(40, 0xFAB5E4BEull);
+  heavy_ts.Train(heavy_examples);
+
+  Workload heavy_wl;
+  heavy_wl.total_requests = wl.total_requests;
+  std::vector<core::Prediction> expect_heavy, expect_heavy_base;
+  for (const auto& ex : heavy_examples) {
+    heavy_wl.distinct.push_back(
+        {ex.query_features, ex.metrics.elapsed_seconds});
+    expect_heavy.push_back(heavy_ts.Predict(ex.query_features));
+    expect_heavy_base.push_back(heavy_ts.base().Predict(ex.query_features));
+  }
+
+  const auto off_fab = make_fabric(heavy_ts, /*admission=*/false);
+  const FabricRun off_run =
+      RunFabric(heavy_wl, off_fab.get(), 8, expect_heavy, expect_heavy_base,
+                slo_seconds, /*closed_loop=*/false);
+  off_fab->Shutdown();
+  const auto on_fab = make_fabric(heavy_ts, /*admission=*/true);
+  const FabricRun on_run =
+      RunFabric(heavy_wl, on_fab.get(), 8, expect_heavy, expect_heavy_base,
+                slo_seconds, /*closed_loop=*/false);
+  const fabric::FabricStatsSnapshot on_stats = on_fab->stats();
+  const uint64_t on_breaches = on_stats.slo_breaches;
+  on_fab->Shutdown();
+  fabric_mismatches += off_run.mismatches + on_run.mismatches;
+
+  std::printf("\noverload (8 clients, full burst, four-pool mix, "
+              "SLO %.2f ms):\n",
+              slo_seconds * 1000.0);
+  std::printf("%14s %10s %8s %14s\n", "admission", "served", "shed",
+              "SLO violations");
+  std::printf("%14s %10zu %8zu %14zu\n", "off", off_run.served, off_run.shed,
+              off_run.slo_violations);
+  std::printf("%14s %10zu %8zu %14zu  (breached decisions: %llu)\n", "on",
+              on_run.served, on_run.shed, on_run.slo_violations,
+              static_cast<unsigned long long>(on_breaches));
+  std::printf("pool mix (admission-on first-choice routing):");
+  for (const auto& group : on_stats.groups) {
+    std::printf(" %s=%llu", group.name.c_str(),
+                static_cast<unsigned long long>(group.routed));
+  }
+  std::printf("\n");
+  const bool admission_helps =
+      on_run.slo_violations <= off_run.slo_violations;
+  std::printf("admission-on violations <= admission-off: %s; fabric "
+              "bit-identity mismatches: %zu\n",
+              admission_helps ? "PASS" : "FAIL", fabric_mismatches);
+
   // CI artifact (NOT a golden file: throughput and latency are machine-
-  // dependent; only the mismatch counters are deterministic).
+  // dependent; only the mismatch counters are deterministic. The pinned
+  // fabric counters live in tests/golden/fabric.json via the soak).
   bench::MaybeWriteGolden(
       argc, argv,
       {{"serve_baseline_qps", base_qps},
@@ -327,9 +574,17 @@ int main(int argc, char** argv) {
        {"serve_sharded_p95_ms_8clients", sharded_8.p95_ms},
        {"serve_sharded_p99_ms_8clients", sharded_8.p99_ms},
        {"serve_sharded_over_monolithic", routed_ratio},
-       {"serve_bit_identity_mismatches", double(total_mismatches)}});
+       {"serve_bit_identity_mismatches", double(total_mismatches)},
+       {"fabric_capacity_qps", capacity_qps},
+       {"fabric_capacity_slo_ms", slo_seconds * 1000.0},
+       {"fabric_admission_off_slo_violations",
+        double(off_run.slo_violations)},
+       {"fabric_admission_on_slo_violations", double(on_run.slo_violations)},
+       {"fabric_admission_shed", double(on_run.shed)},
+       {"fabric_bit_identity_mismatches", double(fabric_mismatches)}});
 
-  const bool pass =
-      speedup_8_16 >= 3.0 && routed_ratio >= 1.0 && total_mismatches == 0;
+  const bool pass = speedup_8_16 >= 3.0 && routed_ratio >= 1.0 &&
+                    total_mismatches == 0 && admission_helps &&
+                    fabric_mismatches == 0 && capacity_qps > 0.0;
   return pass ? 0 : 1;
 }

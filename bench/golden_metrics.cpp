@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "core/predictor.h"
 #include "engine/simulator.h"
+#include "fault/chaos.h"
 #include "ml/risk.h"
 #include "optimizer/optimizer.h"
 #include "workload/generator.h"
@@ -241,6 +242,18 @@ Fig17Golden ComputeFig17(
   out.values["fig17_over_minute"] = double(out.over_minute);
   out.values["fig17_off10_over_minute"] = double(out.off10_over_minute);
   out.values["fig17_kcca_off10"] = double(out.kcca_off10);
+  return out;
+}
+
+FabricSoakGolden ComputeFabricSoak() {
+  fault::ChaosOptions opts;
+  opts.seed = 42;
+  opts.requests = 50000;
+  const fault::FabricSoakResult soak = fault::RunFabricSoak(opts);
+  FabricSoakGolden out;
+  out.report = soak.scenario.report;
+  out.ok = soak.scenario.ok();
+  for (const auto& [key, value] : soak.counters) out.values[key] = value;
   return out;
 }
 

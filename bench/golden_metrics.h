@@ -103,6 +103,21 @@ struct Fig17Golden {
 Fig17Golden ComputeFig17(const PaperExperiment& exp,
                          const std::vector<core::MetricEvaluation>& exp1_evals);
 
+/// Fabric capacity soak (docs/FABRIC.md): runs fault::RunFabricSoak at the
+/// pinned schedule — seed 42, 50k requests — and returns its deterministic
+/// counter set (admission sheds/defers, the counted replica kill, stall =
+/// deadline fallbacks, rolling drains). Every value is an exact counter,
+/// so the golden tolerances are zero; throughput/latency never appear
+/// here. Refresh with:
+///   build/tools/qpp_tool chaos --fabric-soak --seed 42 --requests 50000
+///       --json-out tests/golden/fabric.json   (one command line)
+struct FabricSoakGolden {
+  std::string report;       ///< byte-replayable human-readable summary
+  bool ok = false;          ///< no invariant violations
+  GoldenMap values;
+};
+FabricSoakGolden ComputeFabricSoak();
+
 // --- flat golden JSON --------------------------------------------------
 // The golden files are one-level JSON objects {"key": number, ...} with
 // keys sorted; simple enough that qpp carries its own ~40-line parser

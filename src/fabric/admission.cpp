@@ -1,0 +1,92 @@
+#include "fabric/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qpp::fabric {
+
+namespace {
+// Recompute the windowed p99 every this many records: the nth_element
+// pass over a few hundred doubles is cheap, but not once-per-response
+// cheap, and admission only needs a signal that tracks the window, not
+// one that is exact on every sample.
+constexpr size_t kRefreshEvery = 32;
+}  // namespace
+
+const char* AdmissionActionName(AdmissionAction a) {
+  switch (a) {
+    case AdmissionAction::kAdmit: return "admit";
+    case AdmissionAction::kShed: return "shed";
+    case AdmissionAction::kDefer: return "defer";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config), window_(std::max<size_t>(1, config.latency_window)) {
+  QPP_CHECK(config_.p99_slo_seconds > 0.0);
+}
+
+void AdmissionController::RecordLatency(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  window_[window_next_] = seconds;
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_filled_ = std::min(window_filled_ + 1, window_.size());
+  if (++records_since_refresh_ < kRefreshEvery &&
+      window_filled_ < window_.size()) {
+    return;  // refresh eagerly only while the window is still filling
+  }
+  records_since_refresh_ = 0;
+  std::vector<double> sorted(window_.begin(),
+                             window_.begin() +
+                                 static_cast<ptrdiff_t>(window_filled_));
+  // Nearest-rank p99 over the window, same semantics as
+  // obs::HistogramSnapshot::Quantile but over exact samples.
+  const size_t rank = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(0.99 * static_cast<double>(window_filled_))));
+  const size_t idx = std::min(rank, window_filled_) - 1;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(idx),
+                   sorted.end());
+  cached_p99_ = sorted[idx];
+}
+
+LoadSignal AdmissionController::Signal(size_t live_queue_depth) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (virtual_load_.has_value()) return *virtual_load_;
+  return {live_queue_depth, cached_p99_};
+}
+
+bool AdmissionController::Breached(const LoadSignal& s) const {
+  if (!config_.enabled) return false;
+  if (config_.max_queue_depth > 0 && s.queue_depth > config_.max_queue_depth) {
+    return true;
+  }
+  return s.windowed_p99_seconds > config_.p99_slo_seconds;
+}
+
+AdmissionAction AdmissionController::Decide(workload::QueryType pool,
+                                            const LoadSignal& s) const {
+  if (!Breached(s)) return AdmissionAction::kAdmit;
+  switch (pool) {
+    case workload::QueryType::kWreckingBall:
+      return config_.shed_wrecking ? AdmissionAction::kShed
+                                   : AdmissionAction::kAdmit;
+    case workload::QueryType::kBowlingBall:
+      return config_.defer_bowling ? AdmissionAction::kDefer
+                                   : AdmissionAction::kAdmit;
+    case workload::QueryType::kFeather:
+    case workload::QueryType::kGolfBall:
+      break;  // lights always flow — that is the point of shedding heavies
+  }
+  return AdmissionAction::kAdmit;
+}
+
+void AdmissionController::SetVirtualLoad(std::optional<LoadSignal> signal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  virtual_load_ = signal;
+}
+
+}  // namespace qpp::fabric

@@ -1,0 +1,116 @@
+// Prediction-aware admission control: the paper's "better decisions"
+// thesis applied to the serving fabric's own front door.
+//
+// The step-1 classifier already tells the router which pool a query
+// belongs to (feather / golf ball / bowling ball / wrecking ball — Fig. 2).
+// Under overload that verdict is exactly the information an admission
+// controller needs: a wrecking ball occupies a worker for orders of
+// magnitude longer than a feather, so shedding or deferring the few
+// heavies keeps the many lights inside the latency SLO. This mirrors the
+// production pattern in the LinkedIn QPP study (PAPERS.md): predictions
+// gate work *before* it consumes capacity, not after.
+//
+// The controller watches two load signals — total queued requests across
+// the fabric and a windowed p99 of recent response latencies — and, while
+// either breaches its configured SLO, applies per-pool policy:
+//
+//   feather / golf ball   always admitted (they keep flowing)
+//   bowling ball          deferred: parked at the front door, dispatched
+//                         when the breach clears (bounded buffer;
+//                         overflow degrades to shed)
+//   wrecking ball         shed: answered immediately with the calibrated
+//                         optimizer-cost baseline, labeled "admission-shed"
+//
+// Determinism: decisions are a pure function of (pool, LoadSignal). The
+// live signal is timing-dependent by nature (that is the point), so
+// deterministic harnesses — the fabric soak, the golden pins — inject a
+// virtual LoadSignal keyed by request index via SetVirtualLoad(); replay
+// is then bit-for-bit, counters included.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "workload/pools.h"
+
+namespace qpp::fabric {
+
+struct AdmissionConfig {
+  /// Master switch; disabled (the default) admits everything and costs
+  /// one bool test per request.
+  bool enabled = false;
+  /// Windowed-p99 SLO: a breach marks the fabric overloaded.
+  double p99_slo_seconds = 0.05;
+  /// Queued-request SLO across all replica queues; 0 disables the
+  /// depth trigger.
+  size_t max_queue_depth = 256;
+  /// Ring size for the windowed p99 (responses observed via the
+  /// services' on_response hook).
+  size_t latency_window = 512;
+  /// Per-pool overload policy (see file comment). Turning a flag off
+  /// admits that pool unconditionally.
+  bool shed_wrecking = true;
+  bool defer_bowling = true;
+  /// Bound on front-door-parked deferred requests; overflow sheds.
+  size_t max_deferred = 256;
+  /// Deferred requests dispatched per admitted request once the breach
+  /// clears (piggyback draining keeps the front door thread-free).
+  size_t defer_drain_per_submit = 4;
+};
+
+/// The load evidence one admission decision is based on.
+struct LoadSignal {
+  size_t queue_depth = 0;
+  double windowed_p99_seconds = 0.0;
+};
+
+enum class AdmissionAction { kAdmit, kShed, kDefer };
+const char* AdmissionActionName(AdmissionAction a);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Feeds the windowed-p99 signal; called from whichever worker thread
+  /// answers a request (the fabric wires this into every replica's
+  /// on_response hook). Thread-safe; the p99 is recomputed lazily every
+  /// few records, so the hot path is a ring-buffer store.
+  void RecordLatency(double seconds);
+
+  /// The signal the next decision will see: the virtual override when one
+  /// is set (deterministic harnesses), else `live_queue_depth` plus the
+  /// current windowed p99.
+  LoadSignal Signal(size_t live_queue_depth) const;
+
+  /// True when `s` breaches either configured SLO.
+  bool Breached(const LoadSignal& s) const;
+
+  /// Policy table: what to do with a `pool` query given signal `s`.
+  /// Pure — counting happens at the fabric, where the final outcome
+  /// (e.g. defer overflowing into shed) is known.
+  AdmissionAction Decide(workload::QueryType pool, const LoadSignal& s) const;
+
+  /// Deterministic-mode override: while set, Signal() returns exactly
+  /// this regardless of live load. nullopt restores live signals.
+  void SetVirtualLoad(std::optional<LoadSignal> signal);
+
+ private:
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::optional<LoadSignal> virtual_load_;
+  std::vector<double> window_;   // latency ring, size latency_window
+  size_t window_next_ = 0;
+  size_t window_filled_ = 0;
+  size_t records_since_refresh_ = 0;
+  double cached_p99_ = 0.0;
+};
+
+}  // namespace qpp::fabric

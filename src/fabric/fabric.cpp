@@ -1,0 +1,660 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "serve/cost_fallback.h"
+
+namespace qpp::fabric {
+
+namespace {
+
+obs::TraceEvent InstantEvent(obs::TraceRecorder* trace, const char* name) {
+  obs::TraceEvent e;
+  e.phase = 'i';
+  e.name = name;
+  e.category = "fabric";
+  e.pid = obs::TraceRecorder::kServicePid;
+  e.tid = trace->CurrentThreadTid();
+  e.ts_us = trace->NowMicros();
+  return e;
+}
+
+size_t PoolIndex(workload::QueryType pool) {
+  return static_cast<size_t>(pool);
+}
+
+}  // namespace
+
+const char* ReplicaHealthName(ReplicaHealth h) {
+  switch (h) {
+    case ReplicaHealth::kUp: return "up";
+    case ReplicaHealth::kDraining: return "draining";
+    case ReplicaHealth::kDead: return "dead";
+  }
+  return "?";
+}
+
+std::string ReplicaLabel(const std::string& group, size_t replica) {
+  return group + "#" + std::to_string(replica);
+}
+
+FabricConfig MakePerPoolFabricConfig(size_t replicas_per_group,
+                                     serve::ServiceConfig base) {
+  QPP_CHECK(replicas_per_group >= 1);
+  FabricConfig config;
+  for (const workload::QueryType type :
+       {workload::QueryType::kFeather, workload::QueryType::kGolfBall,
+        workload::QueryType::kBowlingBall,
+        workload::QueryType::kWreckingBall}) {
+    ReplicaGroupSpec spec;
+    spec.name = workload::QueryTypeName(type);
+    spec.pools = {type};
+    spec.replicas = replicas_per_group;
+    spec.service = base;
+    config.groups.push_back(std::move(spec));
+  }
+  ReplicaGroupSpec catch_all;
+  catch_all.name = "one-model";
+  catch_all.replicas = replicas_per_group;
+  catch_all.service = base;
+  config.groups.push_back(std::move(catch_all));
+  return config;
+}
+
+std::string FabricStatsSnapshot::ToString() const {
+  std::string out = StrFormat(
+      "fabric: classified %llu | route-cache hits %llu | admitted %llu "
+      "shed %llu deferred %llu (drained %llu overflow %llu) | breaches "
+      "%llu | drains %llu | escalations dead %llu open %llu overloaded "
+      "%llu | exhausted-fallbacks %llu\n",
+      static_cast<unsigned long long>(classified),
+      static_cast<unsigned long long>(route_cache_hits),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deferred),
+      static_cast<unsigned long long>(defer_drained),
+      static_cast<unsigned long long>(defer_overflow),
+      static_cast<unsigned long long>(slo_breaches),
+      static_cast<unsigned long long>(drains),
+      static_cast<unsigned long long>(escalations_dead),
+      static_cast<unsigned long long>(escalations_open),
+      static_cast<unsigned long long>(escalations_overloaded),
+      static_cast<unsigned long long>(fallback_exhausted));
+  for (const PerGroup& g : groups) {
+    out += StrFormat("  %-14s routed %llu  absorbed %llu\n",
+                     (g.name + (g.catch_all ? "*" : "")).c_str(),
+                     static_cast<unsigned long long>(g.routed),
+                     static_cast<unsigned long long>(g.absorbed));
+    for (const PerReplica& r : g.replicas) {
+      out += StrFormat(
+          "    %-14s %-8s gen %llu  picks %llu  cache %llu  model %llu  "
+          "fallbacks %llu\n",
+          r.label.c_str(), ReplicaHealthName(r.health),
+          static_cast<unsigned long long>(r.generation),
+          static_cast<unsigned long long>(r.picks),
+          static_cast<unsigned long long>(r.service.cache_hits),
+          static_cast<unsigned long long>(r.service.model_predictions),
+          static_cast<unsigned long long>(r.service.fallbacks()));
+    }
+  }
+  return out;
+}
+
+Fabric::Fabric(FabricConfig config, serve::CostCalibration calibration)
+    : admission_config_(config.admission),
+      open_probe_every_(std::max<size_t>(1, config.open_probe_every)),
+      p2c_seed_(config.p2c_seed),
+      p2c_ignore_depth_(config.p2c_ignore_depth),
+      calibration_(calibration),
+      trace_(config.trace),
+      faults_(config.faults),
+      admission_(config.admission),
+      route_cache_(config.route_cache_capacity) {
+  QPP_CHECK_MSG(!config.groups.empty(), "fabric needs at least one group");
+  classified_ = metrics_.GetCounter("qpp_fabric_classified_total");
+  route_cache_hits_ =
+      metrics_.GetCounter("qpp_fabric_route_cache_hits_total");
+  admitted_ = metrics_.GetCounter("qpp_fabric_admitted_total");
+  for (const workload::QueryType type :
+       {workload::QueryType::kFeather, workload::QueryType::kGolfBall,
+        workload::QueryType::kBowlingBall,
+        workload::QueryType::kWreckingBall}) {
+    shed_by_pool_[PoolIndex(type)] = metrics_.GetCounter(
+        "qpp_fabric_shed_total", {{"pool", workload::QueryTypeName(type)}});
+  }
+  deferred_ = metrics_.GetCounter("qpp_fabric_deferred_total");
+  defer_drained_ = metrics_.GetCounter("qpp_fabric_defer_drained_total");
+  defer_overflow_ = metrics_.GetCounter("qpp_fabric_defer_overflow_total");
+  slo_breaches_ = metrics_.GetCounter("qpp_fabric_slo_breach_total");
+  drains_ = metrics_.GetCounter("qpp_fabric_drains_total");
+  fallback_exhausted_ =
+      metrics_.GetCounter("qpp_fabric_fallback_exhausted_total");
+  deferred_pending_ = metrics_.GetGauge("qpp_fabric_deferred_pending");
+
+  for (ReplicaGroupSpec& spec : config.groups) {
+    QPP_CHECK_MSG(spec.replicas >= 1,
+                  "group " << spec.name << " needs at least one replica");
+    auto group = std::make_unique<Group>();
+    group->spec = std::move(spec);
+    for (const auto& other : groups_) {
+      QPP_CHECK_MSG(other->spec.name != group->spec.name,
+                    "duplicate group name: " << group->spec.name);
+    }
+    const obs::Labels group_labels = {{"group", group->spec.name}};
+    group->routed =
+        metrics_.GetCounter("qpp_fabric_requests_total", group_labels);
+    group->absorbed =
+        metrics_.GetCounter("qpp_fabric_absorbed_total", group_labels);
+    group->escalated_dead = metrics_.GetCounter(
+        "qpp_fabric_escalations_total",
+        {{"group", group->spec.name}, {"reason", "dead"}});
+    group->escalated_open = metrics_.GetCounter(
+        "qpp_fabric_escalations_total",
+        {{"group", group->spec.name}, {"reason", "circuit-open"}});
+    group->escalated_overloaded = metrics_.GetCounter(
+        "qpp_fabric_escalations_total",
+        {{"group", group->spec.name}, {"reason", "overloaded"}});
+    for (size_t i = 0; i < group->spec.replicas; ++i) {
+      auto replica = std::make_unique<Replica>();
+      replica->label = ReplicaLabel(group->spec.name, i);
+      replica->registry = std::make_unique<serve::ModelRegistry>();
+      serve::ServiceConfig service_config = group->spec.service;
+      service_config.shard_label = replica->label;
+      if (service_config.trace == nullptr) service_config.trace = trace_;
+      if (service_config.faults == nullptr) service_config.faults = faults_;
+      if (admission_config_.enabled && !service_config.on_response) {
+        // Every replica feeds the front door's windowed-p99 signal.
+        AdmissionController* admission = &admission_;
+        service_config.on_response =
+            [admission](const serve::ServeResponse& response) {
+              admission->RecordLatency(response.latency_seconds);
+            };
+      }
+      replica->service = std::make_unique<serve::PredictionService>(
+          replica->registry.get(), service_config, calibration_);
+      replica->picks = metrics_.GetCounter(
+          "qpp_fabric_replica_picks_total",
+          {{"group", group->spec.name}, {"replica", std::to_string(i)}});
+      group->replicas.push_back(std::move(replica));
+    }
+    if (group->spec.pools.empty()) {
+      QPP_CHECK_MSG(catch_all_ == nullptr,
+                    "more than one catch-all group configured");
+      catch_all_ = group.get();
+    } else {
+      experts_.push_back(group.get());
+    }
+    groups_.push_back(std::move(group));
+  }
+  QPP_CHECK_MSG(catch_all_ != nullptr,
+                "fabric needs a catch-all group (one spec with empty pools)");
+
+  if (faults_ != nullptr && faults_->plan().serve.replica_targeted()) {
+    // Default kill semantics: the targeted replica drops dead and loses
+    // its model — the rest of its group absorbs the traffic. The harness
+    // may overwrite this hook with its own.
+    const std::string& target = faults_->plan().serve.target_replica_label;
+    for (auto& group : groups_) {
+      for (size_t i = 0; i < group->replicas.size(); ++i) {
+        if (group->replicas[i]->label != target) continue;
+        Replica* replica = group->replicas[i].get();
+        faults_->set_replica_kill_hook([replica] {
+          replica->health.store(ReplicaHealth::kDead,
+                                std::memory_order_relaxed);
+          replica->registry->Unpublish();
+        });
+      }
+    }
+  }
+}
+
+Fabric::~Fabric() { Shutdown(); }
+
+void Fabric::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    // Deferred requests were accepted (their futures are out there):
+    // dispatch them now, before the replicas stop. Any the replicas
+    // refuse fall through to the inline fallback as usual.
+    std::vector<DeferredRequest> leftovers;
+    {
+      std::lock_guard<std::mutex> lock(deferred_mu_);
+      while (!deferred_queue_.empty()) {
+        leftovers.push_back(std::move(deferred_queue_.front()));
+        deferred_queue_.pop_front();
+      }
+      deferred_pending_->Set(0.0);
+    }
+    for (DeferredRequest& d : leftovers) {
+      defer_drained_->Inc();
+      const RouteVerdict verdict = Classify(d.request);
+      Dispatch(d.request, &d.promise, verdict.pool);
+    }
+    for (auto& group : groups_) {
+      for (auto& replica : group->replicas) replica->service->Shutdown();
+    }
+  });
+}
+
+serve::ModelRegistry* Fabric::registry(const std::string& group,
+                                       size_t replica) {
+  for (auto& g : groups_) {
+    if (g->spec.name != group) continue;
+    if (replica >= g->replicas.size()) return nullptr;
+    return g->replicas[replica]->registry.get();
+  }
+  return nullptr;
+}
+
+serve::PredictionService* Fabric::service(const std::string& group,
+                                          size_t replica) {
+  for (auto& g : groups_) {
+    if (g->spec.name != group) continue;
+    if (replica >= g->replicas.size()) return nullptr;
+    return g->replicas[replica]->service.get();
+  }
+  return nullptr;
+}
+
+ReplicaHealth Fabric::health(const std::string& group, size_t replica) const {
+  for (const auto& g : groups_) {
+    if (g->spec.name != group) continue;
+    QPP_CHECK(replica < g->replicas.size());
+    return g->replicas[replica]->health.load(std::memory_order_relaxed);
+  }
+  QPP_CHECK_MSG(false, "unknown group: " << group);
+  return ReplicaHealth::kDead;
+}
+
+void Fabric::SetReplicaHealth(const std::string& group, size_t replica,
+                              ReplicaHealth health) {
+  for (auto& g : groups_) {
+    if (g->spec.name != group) continue;
+    QPP_CHECK(replica < g->replicas.size());
+    g->replicas[replica]->health.store(health, std::memory_order_relaxed);
+    TraceInstant("health", "replica",
+                 g->replicas[replica]->label + "=" +
+                     ReplicaHealthName(health));
+    return;
+  }
+  QPP_CHECK_MSG(false, "unknown group: " << group);
+}
+
+bool Fabric::DrainSwapRevive(const std::string& group, size_t replica,
+                             std::shared_ptr<const core::Predictor> model) {
+  serve::PredictionService* svc = service(group, replica);
+  serve::ModelRegistry* reg = registry(group, replica);
+  if (svc == nullptr || reg == nullptr) return false;
+  SetReplicaHealth(group, replica, ReplicaHealth::kDraining);
+  // The replica takes no new picks now; wait (bounded) for what it
+  // already queued. Sequential harnesses see an empty queue immediately.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (svc->queue_depth() > 0) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  reg->Publish(std::move(model));
+  SetReplicaHealth(group, replica, ReplicaHealth::kUp);
+  drains_->Inc();
+  TraceInstant("drain-swap-revive", "replica", ReplicaLabel(group, replica));
+  return true;
+}
+
+size_t Fabric::replica_count(const std::string& group) const {
+  for (const auto& g : groups_) {
+    if (g->spec.name == group) return g->replicas.size();
+  }
+  return 0;
+}
+
+const std::string& Fabric::catch_all_name() const {
+  return catch_all_->spec.name;
+}
+
+size_t Fabric::TotalQueueDepth() const {
+  size_t depth = 0;
+  for (const auto& group : groups_) {
+    for (const auto& replica : group->replicas) {
+      depth += replica->service->queue_depth();
+    }
+  }
+  return depth;
+}
+
+Fabric::RouteVerdict Fabric::Classify(const serve::ServeRequest& request) {
+  RouteVerdict verdict;
+  // The classifier is the catch-all group's model; replicas serve the same
+  // bits, so any up replica with a model will do (falling back to any
+  // replica with one — a draining classifier still classifies).
+  serve::ModelRegistry::Snapshot snap;
+  for (const auto& replica : catch_all_->replicas) {
+    if (replica->health.load(std::memory_order_relaxed) ==
+        ReplicaHealth::kDead) {
+      continue;
+    }
+    snap = replica->registry->Acquire();
+    if (snap.valid()) break;
+  }
+  if (!snap.valid()) {
+    for (const auto& replica : catch_all_->replicas) {
+      snap = replica->registry->Acquire();
+      if (snap.valid()) break;
+    }
+  }
+  if (!snap.valid()) return verdict;  // no classifier anywhere: feather/0
+  bool cached = false;
+  if (route_cache_.capacity() > 0) {
+    std::lock_guard<std::mutex> lock(route_cache_mu_);
+    cached = route_cache_.Get(request.features, &verdict) &&
+             verdict.classifier_generation == snap.generation;
+  }
+  if (cached) {
+    route_cache_hits_->Inc();
+    return verdict;
+  }
+  {
+    obs::Span span(trace_, "classify", "fabric");
+    verdict.pool = snap.model->Predict(request.features).predicted_type;
+  }
+  verdict.classifier_generation = snap.generation;
+  classified_->Inc();
+  if (route_cache_.capacity() > 0) {
+    std::lock_guard<std::mutex> lock(route_cache_mu_);
+    route_cache_.Put(request.features, verdict);
+  }
+  return verdict;
+}
+
+Fabric::Group* Fabric::GroupFor(workload::QueryType pool) {
+  for (Group* expert : experts_) {
+    for (const workload::QueryType p : expert->spec.pools) {
+      if (p == pool) return expert;
+    }
+  }
+  return nullptr;
+}
+
+Fabric::Replica* Fabric::PickReplica(Group* group, bool require_model,
+                                     const char** reason) {
+  // Eligible = up, serving a model (experts only), breaker not open — but
+  // every open_probe_every-th pick of an open-breaker replica goes
+  // through anyway as a recovery probe, exactly like the shard router.
+  std::vector<Replica*> ups;
+  ups.reserve(group->replicas.size());
+  size_t open_excluded = 0;
+  for (auto& replica : group->replicas) {
+    if (replica->health.load(std::memory_order_relaxed) !=
+        ReplicaHealth::kUp) {
+      continue;
+    }
+    if (require_model && !replica->registry->has_model()) continue;
+    if (group->spec.service.breaker.enabled &&
+        replica->service->breaker().state() ==
+            serve::CircuitBreaker::State::kOpen &&
+        replica->open_diversions.fetch_add(1, std::memory_order_relaxed) %
+                open_probe_every_ !=
+            open_probe_every_ - 1) {
+      ++open_excluded;
+      continue;
+    }
+    ups.push_back(replica.get());
+  }
+  if (ups.empty()) {
+    *reason = open_excluded > 0 ? "circuit-open" : "dead";
+    return nullptr;
+  }
+  if (ups.size() == 1) return ups[0];
+  // Power of two choices with a keyed draw: candidates and the tie-break
+  // come from one SplitMix64 stream consumed per pick, so a sequentially
+  // driven fabric replays its pick sequence bit-for-bit.
+  const uint64_t seq = group->pick_seq.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t draw_a = SplitMix64(p2c_seed_ ^ SplitMix64(seq));
+  const uint64_t draw_b = SplitMix64(draw_a);
+  Replica* a = ups[draw_a % ups.size()];
+  Replica* b = ups[draw_b % ups.size()];
+  if (a == b) return a;
+  if (!p2c_ignore_depth_) {
+    const size_t depth_a = a->service->queue_depth();
+    const size_t depth_b = b->service->queue_depth();
+    if (depth_a != depth_b) return depth_a < depth_b ? a : b;
+  }
+  return (draw_b >> 63) != 0 ? b : a;
+}
+
+void Fabric::TraceInstant(const char* name, const std::string& detail_key,
+                          const std::string& detail) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent e = InstantEvent(trace_, name);
+  e.args.emplace_back(detail_key, std::string("\"") + detail + "\"");
+  trace_->Add(std::move(e));
+}
+
+void Fabric::RespondShed(const serve::ServeRequest& request,
+                         std::promise<serve::ServeResponse>* promise,
+                         workload::QueryType pool) {
+  shed_by_pool_[PoolIndex(pool)]->Inc();
+  TraceInstant("admission-shed", "pool", workload::QueryTypeName(pool));
+  serve::ServeResponse response;
+  response.prediction = serve::FallbackPrediction(
+      calibration_, request.optimizer_cost, /*anomalous=*/false);
+  response.source = serve::ResponseSource::kOptimizerFallback;
+  response.degraded_reason = "admission-shed";
+  promise->set_value(std::move(response));
+}
+
+void Fabric::RespondExhausted(const serve::ServeRequest& request,
+                              std::promise<serve::ServeResponse>* promise) {
+  fallback_exhausted_->Inc();
+  if (trace_ != nullptr) trace_->Add(InstantEvent(trace_, "exhausted"));
+  serve::ServeResponse response;
+  response.prediction = serve::FallbackPrediction(
+      calibration_, request.optimizer_cost, /*anomalous=*/false);
+  response.source = serve::ResponseSource::kOptimizerFallback;
+  response.degraded_reason = "fabric-exhausted";
+  promise->set_value(std::move(response));
+}
+
+void Fabric::Dispatch(const serve::ServeRequest& request,
+                      std::promise<serve::ServeResponse>* promise,
+                      workload::QueryType pool) {
+  Group* expert = GroupFor(pool);
+  if (expert != nullptr) {
+    const char* escalation = nullptr;
+    Replica* replica = PickReplica(expert, /*require_model=*/true,
+                                   &escalation);
+    if (replica != nullptr) {
+      replica->picks->Inc();
+      if (faults_ != nullptr && faults_->serve_enabled() &&
+          faults_->NextReplicaKill(replica->label)) {
+        // Fires before the dispatch below so the Nth pick is also the
+        // first one the dead replica forces to re-route.
+        faults_->FireReplicaKill();
+      }
+      if (replica->health.load(std::memory_order_relaxed) ==
+              ReplicaHealth::kUp &&
+          replica->registry->has_model() &&
+          replica->service->TrySubmitWithPromise(request, promise)) {
+        expert->routed->Inc();
+        return;
+      }
+      // The pick went stale under us (killed mid-flight) or its queue
+      // refused: either way the group could not take it.
+      escalation = replica->registry->has_model() ? "overloaded" : "dead";
+    }
+    if (escalation == nullptr) escalation = "dead";
+    if (std::string_view(escalation) == "dead") {
+      expert->escalated_dead->Inc();
+    } else if (std::string_view(escalation) == "circuit-open") {
+      expert->escalated_open->Inc();
+    } else {
+      expert->escalated_overloaded->Inc();
+    }
+    TraceInstant("escalate", "group",
+                 expert->spec.name + ":" + escalation);
+    catch_all_->absorbed->Inc();
+  } else {
+    catch_all_->routed->Inc();
+  }
+  const char* unused = nullptr;
+  Replica* replica = PickReplica(catch_all_, /*require_model=*/false,
+                                 &unused);
+  if (replica != nullptr) {
+    replica->picks->Inc();
+    if (faults_ != nullptr && faults_->serve_enabled() &&
+        faults_->NextReplicaKill(replica->label)) {
+      faults_->FireReplicaKill();
+    }
+    if (replica->health.load(std::memory_order_relaxed) !=
+            ReplicaHealth::kDead &&
+        replica->service->TrySubmitWithPromise(request, promise)) {
+      return;
+    }
+  }
+  // Bottom of the ladder: no catch-all replica could take it.
+  RespondExhausted(request, promise);
+}
+
+void Fabric::DrainDeferred() {
+  // Piggyback draining: dispatch a few parked requests whenever the
+  // signal is clear. Runs on the submitting client's thread.
+  const size_t budget = std::max<size_t>(
+      1, admission_config_.defer_drain_per_submit);
+  for (size_t i = 0; i < budget; ++i) {
+    DeferredRequest d;
+    {
+      std::lock_guard<std::mutex> lock(deferred_mu_);
+      if (deferred_queue_.empty()) return;
+      d = std::move(deferred_queue_.front());
+      deferred_queue_.pop_front();
+      deferred_pending_->Set(static_cast<double>(deferred_queue_.size()));
+    }
+    defer_drained_->Inc();
+    const RouteVerdict verdict = Classify(d.request);
+    Dispatch(d.request, &d.promise, verdict.pool);
+  }
+}
+
+std::future<serve::ServeResponse> Fabric::Submit(serve::ServeRequest request) {
+  std::promise<serve::ServeResponse> promise;
+  std::future<serve::ServeResponse> future = promise.get_future();
+  const RouteVerdict verdict = Classify(request);
+  if (admission_config_.enabled) {
+    const LoadSignal signal = admission_.Signal(TotalQueueDepth());
+    const bool breached = admission_.Breached(signal);
+    if (breached) slo_breaches_->Inc();
+    switch (admission_.Decide(verdict.pool, signal)) {
+      case AdmissionAction::kShed:
+        RespondShed(request, &promise, verdict.pool);
+        return future;
+      case AdmissionAction::kDefer: {
+        bool parked = false;
+        {
+          std::lock_guard<std::mutex> lock(deferred_mu_);
+          if (deferred_queue_.size() < admission_config_.max_deferred) {
+            DeferredRequest d;
+            d.request = std::move(request);
+            d.promise = std::move(promise);
+            deferred_queue_.push_back(std::move(d));
+            deferred_pending_->Set(
+                static_cast<double>(deferred_queue_.size()));
+            parked = true;
+          }
+        }
+        if (parked) {
+          deferred_->Inc();
+          TraceInstant("defer", "pool",
+                       workload::QueryTypeName(verdict.pool));
+          return future;
+        }
+        // Defer buffer full: degrade to a shed rather than block.
+        defer_overflow_->Inc();
+        RespondShed(request, &promise, verdict.pool);
+        return future;
+      }
+      case AdmissionAction::kAdmit:
+        break;
+    }
+    admitted_->Inc();
+    if (!breached) DrainDeferred();
+  } else {
+    admitted_->Inc();
+  }
+  Dispatch(request, &promise, verdict.pool);
+  return future;
+}
+
+FabricStatsSnapshot Fabric::stats() const {
+  FabricStatsSnapshot out;
+  out.classified = classified_->value();
+  out.route_cache_hits = route_cache_hits_->value();
+  out.admitted = admitted_->value();
+  for (const obs::Counter* c : shed_by_pool_) out.shed += c->value();
+  out.deferred = deferred_->value();
+  out.defer_drained = defer_drained_->value();
+  out.defer_overflow = defer_overflow_->value();
+  out.slo_breaches = slo_breaches_->value();
+  out.drains = drains_->value();
+  out.fallback_exhausted = fallback_exhausted_->value();
+  for (const auto& group : groups_) {
+    FabricStatsSnapshot::PerGroup g;
+    g.name = group->spec.name;
+    g.catch_all = group.get() == catch_all_;
+    g.routed = group->routed->value();
+    g.absorbed = group->absorbed->value();
+    for (const auto& replica : group->replicas) {
+      FabricStatsSnapshot::PerReplica r;
+      r.label = replica->label;
+      r.health = replica->health.load(std::memory_order_relaxed);
+      r.generation = replica->registry->generation();
+      r.picks = replica->picks->value();
+      r.service = replica->service->stats();
+      g.replicas.push_back(std::move(r));
+    }
+    out.groups.push_back(std::move(g));
+    out.escalations_dead += group->escalated_dead->value();
+    out.escalations_open += group->escalated_open->value();
+    out.escalations_overloaded += group->escalated_overloaded->value();
+  }
+  return out;
+}
+
+size_t PublishTwoStep(const core::TwoStepPredictor& two_step,
+                      Fabric* fabric) {
+  QPP_CHECK(fabric != nullptr && two_step.trained());
+  size_t published = 0;
+  const auto base = std::make_shared<const core::Predictor>(two_step.base());
+  const std::string catch_all = fabric->catch_all_name();
+  for (size_t i = 0; i < fabric->replica_count(catch_all); ++i) {
+    fabric->registry(catch_all, i)->Publish(base);
+    ++published;
+  }
+  for (const workload::QueryType type :
+       {workload::QueryType::kFeather, workload::QueryType::kGolfBall,
+        workload::QueryType::kBowlingBall,
+        workload::QueryType::kWreckingBall}) {
+    const core::Predictor* expert = two_step.CategoryModel(type);
+    if (expert == nullptr) continue;
+    const auto model = std::make_shared<const core::Predictor>(*expert);
+    for (size_t g = 0; g < fabric->num_groups(); ++g) {
+      const ReplicaGroupSpec& spec = fabric->group_spec(g);
+      if (std::find(spec.pools.begin(), spec.pools.end(), type) ==
+          spec.pools.end()) {
+        continue;
+      }
+      for (size_t i = 0; i < spec.replicas; ++i) {
+        fabric->registry(spec.name, i)->Publish(model);
+        ++published;
+      }
+    }
+  }
+  return published;
+}
+
+}  // namespace qpp::fabric

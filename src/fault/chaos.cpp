@@ -1,10 +1,13 @@
 #include "fault/chaos.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -15,8 +18,10 @@
 #include "common/str_util.h"
 #include "core/predictor.h"
 #include "engine/simulator.h"
+#include "fabric/fabric.h"
 #include "fault/fault_injector.h"
 #include "obs/drift_monitor.h"
+#include "obs/metrics.h"
 #include "obs/registry.h"
 #include "optimizer/optimizer.h"
 #include "core/two_step.h"
@@ -47,7 +52,7 @@ class Violations {
 const char* kAllKinds[] = {
     "disk_stall",      "message_loss",  "node_slowdown", "node_failure",
     "buffer_pressure", "submit_reject", "worker_stall",  "registry_swap",
-    "shard_kill",      "shard_stall",
+    "shard_kill",      "shard_stall",   "replica_kill",  "replica_stall",
 };
 
 std::string FaultDigest(const FaultInjector& injector) {
@@ -151,6 +156,37 @@ std::vector<ml::TrainingExample> MultiPoolExamples(size_t per_pool,
   std::vector<ml::TrainingExample> out;
   out.reserve(3 * per_pool);
   for (size_t pool = 0; pool < 3; ++pool) {
+    const double off = static_cast<double>(pool);
+    for (size_t i = 0; i < per_pool; ++i) {
+      ml::TrainingExample ex;
+      const double a = rng.Uniform(1.0, 10.0);
+      const double b = rng.Uniform(1.0, 10.0);
+      const double c = rng.Uniform(0.0, 5.0);
+      ex.query_features = {a + 40.0 * off, b + 10.0 * off, c,
+                           a * b + 25.0 * off, rng.Uniform(0.0, 1.0)};
+      // 0.5ab + c <= 55, so every example stays inside its pool's band.
+      ex.metrics.elapsed_seconds = kElapsedBase[pool] + 0.5 * a * b + c;
+      ex.metrics.records_accessed = 1000.0 * a + 50.0 * c + 10000.0 * off;
+      ex.metrics.records_used = 100.0 * a + 1000.0 * off;
+      ex.metrics.message_count = 10.0 * b + 100.0 * off;
+      ex.metrics.message_bytes = 1000.0 * b + 10.0 * a;
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+/// All four Fig. 2 pools, same construction as MultiPoolExamples with a
+/// wrecking-ball band on top. The fabric soak needs heavies of both kinds:
+/// admission defers bowling balls and sheds wrecking balls, so the probe
+/// mix must be classified into every pool.
+std::vector<ml::TrainingExample> FourPoolExamples(size_t per_pool,
+                                                  uint64_t seed) {
+  static const double kElapsedBase[4] = {10.0, 400.0, 2500.0, 9000.0};
+  Rng rng(seed);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(4 * per_pool);
+  for (size_t pool = 0; pool < 4; ++pool) {
     const double off = static_cast<double>(pool);
     for (size_t i = 0; i < per_pool; ++i) {
       ml::TrainingExample ex;
@@ -676,6 +712,193 @@ ScenarioResult RunShardIsolation(const FaultPlan& plan,
   return result;
 }
 
+/// rolling-drain: replica-level faults under a Fabric. One replica of the
+/// feather group ("feather#1") is stalled probabilistically and then killed
+/// on a counted pick; meanwhile the golf group is drain-swap-revived one
+/// replica at a time. The group must absorb both: exactly one request
+/// escalates to the catch-all (the killing pick itself — its group still
+/// has live peers, so nothing else leaves), stalls surface as labeled
+/// deadline fallbacks on the target replica only, every healthy answer is
+/// bit-identical to its expert, and no request is lost anywhere.
+ScenarioResult RunRollingDrain(const FaultPlan& plan,
+                               const ChaosOptions& opts) {
+  ScenarioResult result;
+  result.name = "rolling-drain";
+  Violations v(&result);
+
+  FaultInjector injector(plan);
+
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::TwoStepPredictor two_step(cfg);
+  const auto examples = MultiPoolExamples(40, opts.seed ^ 0x0D3A1ull);
+  two_step.Train(examples);
+  for (const workload::QueryType type :
+       {workload::QueryType::kFeather, workload::QueryType::kGolfBall,
+        workload::QueryType::kBowlingBall}) {
+    v.Check(two_step.HasCategoryModel(type),
+            std::string("no expert trained for pool ") +
+                workload::QueryTypeName(type));
+  }
+
+  serve::ServiceConfig service_config;
+  service_config.num_workers = 1;     // sequential driving => batch size 1
+  service_config.max_batch = 1;       // ... even if dispatches ever overlap
+  service_config.cache_capacity = 0;  // every answer is model or fallback
+  service_config.queue_deadline_seconds = 5.0;  // << injected replica stalls
+  service_config.fallback_on_anomalous = false;  // bit-compare healthy paths
+
+  fabric::FabricConfig config =
+      fabric::MakePerPoolFabricConfig(3, service_config);
+  config.faults = &injector;  // installs the default replica-kill hook
+  config.p2c_seed = SplitMix64(opts.seed ^ 0xFAB51Cull);
+  fabric::Fabric fab(std::move(config), ChaosCalibration());
+  fabric::PublishTwoStep(two_step, &fab);
+
+  const std::string golf_group =
+      workload::QueryTypeName(workload::QueryType::kGolfBall);
+  const auto golf_model = std::make_shared<const core::Predictor>(
+      *two_step.CategoryModel(workload::QueryType::kGolfBall));
+
+  const size_t kProbes = 9;
+  std::vector<linalg::Vector> probes;
+  std::vector<std::string> probe_group;
+  for (size_t j = 0; j < kProbes; ++j) {
+    const size_t pool = j % 3;
+    probes.push_back(examples[pool * 40 + j / 3].query_features);
+    probe_group.push_back(workload::QueryTypeName(
+        two_step.base().Predict(probes.back()).predicted_type));
+  }
+  // Precompute the oracles once; 1M-scale callers of the same loop below
+  // (the fabric soak) cannot afford a Predict per response.
+  std::vector<core::Prediction> expect_expert, expect_base;
+  for (size_t j = 0; j < kProbes; ++j) {
+    expect_expert.push_back(two_step.Predict(probes[j]));
+    expect_base.push_back(two_step.base().Predict(probes[j]));
+  }
+
+  const std::string& target = plan.serve.target_replica_label;  // feather#1
+  size_t mismatches = 0, misrouted = 0, unexpected = 0;
+  uint64_t absorbed = 0, deadline_seen = 0, drain_ops = 0;
+  for (size_t i = 0; i < opts.requests; ++i) {
+    // Roll the golf group: drain-swap-revive replica r at the r-th quarter.
+    if (i > 0 && opts.requests >= 8 && i % (opts.requests / 4) == 0) {
+      const size_t r = i / (opts.requests / 4) - 1;
+      if (r < 3) {
+        v.Check(fab.DrainSwapRevive(golf_group, r, golf_model),
+                StrFormat("drain-swap-revive of replica %llu failed",
+                          static_cast<unsigned long long>(r)));
+        ++drain_ops;
+      }
+    }
+    const size_t j = i % kProbes;
+    const serve::ServeResponse resp = fab.Submit({probes[j], 100.0}).get();
+    if (resp.shard.rfind(probe_group[j] + "#", 0) == 0) {
+      // Answered inside the classified pool's own replica group.
+      if (resp.degraded()) {
+        if (resp.degraded_reason == "deadline" && resp.shard == target) {
+          ++deadline_seen;  // the targeted stall, surfaced and labeled
+        } else {
+          ++unexpected;
+        }
+      } else if (!BitIdentical(resp.prediction, expect_expert[j])) {
+        ++mismatches;
+      }
+    } else if (resp.shard.rfind(fab.catch_all_name() + "#", 0) == 0) {
+      // Escalated: only the killing pick itself may land here.
+      ++absorbed;
+      if (resp.degraded()) {
+        ++unexpected;
+      } else if (!BitIdentical(resp.prediction, expect_base[j])) {
+        ++mismatches;
+      }
+    } else {
+      ++misrouted;
+    }
+  }
+  fab.Shutdown();
+
+  v.Check(misrouted == 0,
+          StrFormat("%llu responses from outside the classified group",
+                    static_cast<unsigned long long>(misrouted)));
+  v.Check(mismatches == 0,
+          StrFormat("%llu responses did not bit-match their expert",
+                    static_cast<unsigned long long>(mismatches)));
+  v.Check(unexpected == 0,
+          StrFormat("%llu degradations outside the injected faults",
+                    static_cast<unsigned long long>(unexpected)));
+  v.Check(injector.injected("replica_kill") == 1,
+          "the replica kill must fire exactly once");
+  v.Check(absorbed == 1,
+          StrFormat("catch-all absorbed %llu requests; only the killing "
+                    "pick may escalate (the group has live peers)",
+                    static_cast<unsigned long long>(absorbed)));
+  v.Check(injector.injected("replica_stall") == deadline_seen,
+          StrFormat("deadline fallbacks %llu != injected replica stalls "
+                    "%llu (batch size 1 must map 1:1)",
+                    static_cast<unsigned long long>(deadline_seen),
+                    static_cast<unsigned long long>(
+                        injector.injected("replica_stall"))));
+  v.Check(deadline_seen > 0, "target replica never stalled before the kill");
+  v.Check(fab.health("feather", 1) == fabric::ReplicaHealth::kDead,
+          "killed replica is not marked dead");
+  v.Check(!fab.registry("feather", 1)->has_model(),
+          "killed replica still has a model");
+  v.Check(fab.registry("feather", 1)->generation() == 1,
+          "kill must retain the generation counter, not reset it");
+  for (size_t r = 0; r < drain_ops; ++r) {
+    v.Check(fab.registry(golf_group, r)->generation() == 2,
+            "drained replica did not take the republished model");
+    v.Check(fab.health(golf_group, r) == fabric::ReplicaHealth::kUp,
+            "drained replica was not revived");
+  }
+
+  const fabric::FabricStatsSnapshot stats = fab.stats();
+  v.Check(stats.drains == drain_ops,
+          "drains counter != drain-swap-revive operations");
+  v.Check(stats.escalations_dead == absorbed,
+          "dead-escalation count != client-observed absorbed requests");
+  v.Check(stats.escalations_open == 0 && stats.escalations_overloaded == 0 &&
+              stats.fallback_exhausted == 0,
+          "ladder rungs below 'dead' fired under sequential driving");
+  v.Check(stats.shed == 0 && stats.deferred == 0,
+          "admission acted while disabled");
+  v.Check(stats.classified == kProbes,
+          "classifier calls != distinct probes (route cache broken)");
+  v.Check(stats.classified + stats.route_cache_hits == opts.requests,
+          "every request must be classified or route-cache answered");
+  uint64_t served = 0;
+  for (const auto& g : stats.groups) {
+    for (const auto& r : g.replicas) {
+      CheckAccounting(r.service, &v);
+      served += r.service.requests;
+      if (r.label == target) {
+        v.Check(r.service.fallback_deadline == deadline_seen,
+                "target deadline fallbacks != client-observed stalls");
+      } else {
+        v.Check(r.service.fallbacks() == 0,
+                "a non-target replica degraded (containment broken): " +
+                    r.label);
+      }
+    }
+    if (g.name == golf_group) {
+      for (const auto& r : g.replicas) {
+        v.Check(r.picks > 0, "a golf replica never took a pick: " + r.label);
+      }
+    }
+  }
+  v.Check(served == opts.requests, "a request was lost on the ladder");
+
+  result.report = FaultDigest(injector);
+  result.report += stats.ToString();
+  result.report += StrFormat(
+      "rolling drains:     %llu (stalled %llu, absorbed %llu)\n",
+      static_cast<unsigned long long>(drain_ops),
+      static_cast<unsigned long long>(deadline_seen),
+      static_cast<unsigned long long>(absorbed));
+  return result;
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- public --
@@ -683,7 +906,7 @@ ScenarioResult RunShardIsolation(const FaultPlan& plan,
 const std::vector<std::string>& ChaosScenarioNames() {
   static const std::vector<std::string> kNames = {
       "node-death", "fallback-storm", "hot-swap", "backpressure",
-      "shard-isolation"};
+      "shard-isolation", "rolling-drain"};
   return kNames;
 }
 
@@ -710,6 +933,14 @@ FaultPlan ChaosScenarioPlan(const std::string& name, uint64_t seed) {
     plan.serve.shard_kill_after_requests = 25;
     plan.serve.shard_stall_probability = 0.3;
     plan.serve.shard_stall_seconds = 60.0;
+  } else if (name == "rolling-drain") {
+    // The kill must land inside small harness runs too: at 200 requests
+    // (the unit-test scale) the target sees ~20 picks, so 15 is the
+    // latest counted pick that reliably exists.
+    plan.serve.target_replica_label = "feather#1";
+    plan.serve.replica_kill_after_picks = 15;
+    plan.serve.replica_stall_probability = 0.25;
+    plan.serve.replica_stall_seconds = 60.0;
   }
   return plan;
 }
@@ -730,6 +961,14 @@ FaultPlan RandomFaultPlan(uint64_t seed) {
   plan.serve.worker_stall_probability = rng.Uniform(0.0, 0.2);
   plan.serve.worker_stall_seconds = 30.0;
   plan.serve.registry_swap_probability = rng.Uniform(0.0, 0.2);
+  // Replica-targeted fields (plan v3) get nontrivial values too so serde
+  // round trips exercise them; they are label-gated to fabric replica
+  // labels and the soak's service carries no shard_label, so they stay
+  // inert in RunChaosSoak.
+  plan.serve.target_replica_label = "golf ball#1";
+  plan.serve.replica_kill_after_picks = 10 + seed % 90;
+  plan.serve.replica_stall_probability = rng.Uniform(0.05, 0.3);
+  plan.serve.replica_stall_seconds = rng.Uniform(10.0, 60.0);
   return plan;
 }
 
@@ -743,6 +982,7 @@ ScenarioResult RunChaosScenario(const std::string& name,
   if (name == "hot-swap") return RunHotSwap(plan, options);
   if (name == "backpressure") return RunBackpressure(plan, options);
   if (name == "shard-isolation") return RunShardIsolation(plan, options);
+  if (name == "rolling-drain") return RunRollingDrain(plan, options);
   ScenarioResult unknown;
   unknown.name = name;
   unknown.violations.push_back("unknown scenario: " + name);
@@ -830,6 +1070,341 @@ ScenarioResult RunChaosSoak(const ChaosOptions& options) {
       static_cast<unsigned long long>(kClients),
       static_cast<unsigned long long>(per_client));
   return result;
+}
+
+FabricSoakResult RunFabricSoak(const ChaosOptions& options) {
+  FabricSoakResult out;
+  ScenarioResult& result = out.scenario;
+  result.name = "fabric-soak";
+  Violations v(&result);
+
+  const size_t requests = options.requests;
+  // The fault schedule is sized relative to the run: the counted kill
+  // lands once the target replica has taken ~1/20th of the traffic in
+  // picks (its fair share is ~1/12th, so it always gets there), and the
+  // stall probability is low enough that the capped real sleeps stay
+  // negligible even at 1M requests.
+  v.Check(requests >= 10000,
+          "fabric soak needs >= 10k requests for its fault schedule");
+  FaultPlan plan;
+  if (options.has_plan_override) {
+    plan = options.plan_override;
+  } else {
+    plan.seed = options.seed;
+    plan.serve.target_replica_label = "feather#2";
+    plan.serve.replica_kill_after_picks =
+        std::max<uint64_t>(50, requests / 20);
+    plan.serve.replica_stall_probability = 0.01;
+    plan.serve.replica_stall_seconds = 60.0;
+  }
+  FaultInjector injector(plan);
+
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::TwoStepPredictor two_step(cfg);
+  const auto examples = FourPoolExamples(40, options.seed ^ 0xFAB50ull);
+  two_step.Train(examples);
+  for (const workload::QueryType type :
+       {workload::QueryType::kFeather, workload::QueryType::kGolfBall,
+        workload::QueryType::kBowlingBall,
+        workload::QueryType::kWreckingBall}) {
+    v.Check(two_step.HasCategoryModel(type),
+            std::string("no expert trained for pool ") +
+                workload::QueryTypeName(type));
+  }
+
+  serve::ServiceConfig service_config;
+  service_config.num_workers = 1;
+  // Batch size 1 pins batch formation: deferred dispatches briefly overlap
+  // the admitted request in flight, and merged batches would make the
+  // per-batch stall draws timing-dependent. One request per batch keeps
+  // the whole fault schedule — and so the report — byte-replayable.
+  service_config.max_batch = 1;
+  service_config.cache_capacity = 1024;
+  service_config.queue_deadline_seconds = 5.0;  // << injected replica stalls
+  service_config.fallback_on_anomalous = false;  // bit-compare healthy paths
+
+  fabric::FabricConfig config =
+      fabric::MakePerPoolFabricConfig(3, service_config);
+  config.faults = &injector;  // installs the default replica-kill hook
+  config.p2c_seed = SplitMix64(options.seed ^ 0xFAB51Cull);
+  // Deferred dispatches overlap in-flight traffic, so live queue depths
+  // are racy; pin the P2C to its keyed draws to keep pick counts (and so
+  // the whole report) byte-replayable.
+  config.p2c_ignore_depth = true;
+  config.admission.enabled = true;
+  config.admission.p99_slo_seconds = 0.25;
+  config.admission.max_queue_depth = 512;
+  config.admission.max_deferred = 256;
+  config.admission.defer_drain_per_submit = 4;
+  const fabric::AdmissionConfig admission_cfg = config.admission;
+  fabric::Fabric fab(std::move(config), ChaosCalibration());
+  fabric::PublishTwoStep(two_step, &fab);
+
+  const std::string golf_group =
+      workload::QueryTypeName(workload::QueryType::kGolfBall);
+  const auto golf_model = std::make_shared<const core::Predictor>(
+      *two_step.CategoryModel(workload::QueryType::kGolfBall));
+
+  // Four probes per pool; expectations use the classifier's own verdict so
+  // the invariants hold regardless of where a neighbor vote lands. The
+  // oracles are precomputed — at 1M requests a Predict per response would
+  // dominate the run.
+  const size_t kProbes = 16;
+  std::vector<linalg::Vector> probes;
+  std::vector<workload::QueryType> probe_pool;
+  std::vector<std::string> probe_prefix;
+  std::vector<core::Prediction> expect_expert, expect_base;
+  bool pool_covered[4] = {false, false, false, false};
+  for (size_t j = 0; j < kProbes; ++j) {
+    const size_t pool = j % 4;
+    probes.push_back(examples[pool * 40 + j / 4].query_features);
+    const workload::QueryType verdict =
+        two_step.base().Predict(probes.back()).predicted_type;
+    probe_pool.push_back(verdict);
+    probe_prefix.push_back(
+        std::string(workload::QueryTypeName(verdict)) + "#");
+    pool_covered[static_cast<size_t>(verdict)] = true;
+    expect_expert.push_back(two_step.Predict(probes.back()));
+    expect_base.push_back(two_step.base().Predict(probes.back()));
+  }
+  for (size_t p = 0; p < 4; ++p) {
+    v.Check(pool_covered[p],
+            std::string("probe mix never classifies into pool ") +
+                workload::QueryTypeName(
+                    static_cast<workload::QueryType>(p)));
+  }
+  const std::string catch_prefix = fab.catch_all_name() + "#";
+
+  // Load waves, keyed purely by request index: every fourth block of
+  // wave_len requests runs with a virtual overload signal, so the
+  // admission decisions (and every counter downstream of them) replay
+  // bit-for-bit. Rolling drains walk the golf group throughout.
+  const size_t wave_len = std::max<size_t>(1, requests / 16);
+  const auto in_overload = [wave_len](size_t i) {
+    return ((i / wave_len) % 4) == 3;
+  };
+  const fabric::LoadSignal kCalm{0, 0.0};
+  const fabric::LoadSignal kOverload{4096, 1.0};
+  const size_t drain_every = std::max<size_t>(1000, requests / 12);
+
+  obs::Histogram latency_hist;
+  struct Parked {
+    std::future<serve::ServeResponse> future;
+    size_t probe = 0;
+  };
+  std::deque<Parked> parked;  // mirrors the fabric's deferred queue, FIFO
+  uint64_t shed_direct = 0, shed_overflow = 0, parked_total = 0,
+           drained_mid = 0, deadline_seen = 0, absorbed = 0,
+           admitted_mirror = 0, breach_mirror = 0, drain_ops = 0,
+           bad_shed = 0;
+  uint64_t mismatches = 0, misrouted = 0, unexpected = 0;
+
+  const auto verify = [&](const serve::ServeResponse& resp, size_t j) {
+    latency_hist.Record(resp.latency_seconds);
+    if (resp.shard.rfind(probe_prefix[j], 0) == 0) {
+      if (resp.degraded()) {
+        if (resp.degraded_reason == "deadline" &&
+            resp.shard == plan.serve.target_replica_label) {
+          ++deadline_seen;  // the targeted stall, surfaced and labeled
+        } else {
+          ++unexpected;
+        }
+      } else if (!BitIdentical(resp.prediction, expect_expert[j])) {
+        ++mismatches;
+      }
+    } else if (resp.shard.rfind(catch_prefix, 0) == 0) {
+      // Escalated: only the killing pick itself may land here.
+      ++absorbed;
+      if (resp.degraded()) {
+        ++unexpected;
+      } else if (!BitIdentical(resp.prediction, expect_base[j])) {
+        ++mismatches;
+      }
+    } else {
+      ++misrouted;
+    }
+  };
+
+  std::optional<bool> over_prev;
+  for (size_t i = 0; i < requests; ++i) {
+    const bool over = in_overload(i);
+    if (!over_prev.has_value() || *over_prev != over) {
+      fab.admission()->SetVirtualLoad(over ? kOverload : kCalm);
+      over_prev = over;
+    }
+    if (i > 0 && i % drain_every == 0) {
+      const size_t r = (i / drain_every - 1) % 3;
+      v.Check(fab.DrainSwapRevive(golf_group, r, golf_model),
+              "drain-swap-revive failed mid-soak");
+      ++drain_ops;
+    }
+    const size_t j = i % kProbes;
+    const workload::QueryType pool = probe_pool[j];
+    if (over) ++breach_mirror;
+    std::future<serve::ServeResponse> future =
+        fab.Submit({probes[j], 100.0});
+    // The driver mirrors the admission policy (same pool verdict, same
+    // virtual signal) so it knows which futures resolved inline (sheds),
+    // which are parked at the front door, and which hit a replica queue.
+    if (over && pool == workload::QueryType::kWreckingBall) {
+      if (future.get().degraded_reason != "admission-shed") ++bad_shed;
+      ++shed_direct;
+      continue;
+    }
+    if (over && pool == workload::QueryType::kBowlingBall) {
+      if (parked.size() < admission_cfg.max_deferred) {
+        parked.push_back({std::move(future), j});
+        ++parked_total;
+        continue;
+      }
+      if (future.get().degraded_reason != "admission-shed") ++bad_shed;
+      ++shed_overflow;
+      continue;
+    }
+    ++admitted_mirror;
+    verify(future.get(), j);
+    if (!over) {
+      // The fabric piggyback-drained up to defer_drain_per_submit parked
+      // requests during this admit; collect them in the same FIFO order.
+      const size_t n =
+          std::min(admission_cfg.defer_drain_per_submit, parked.size());
+      for (size_t k = 0; k < n; ++k) {
+        Parked p = std::move(parked.front());
+        parked.pop_front();
+        verify(p.future.get(), p.probe);
+        ++drained_mid;
+      }
+    }
+  }
+  const uint64_t shutdown_drained = parked.size();
+  fab.Shutdown();  // dispatches the still-parked leftovers, then stops
+  while (!parked.empty()) {
+    Parked p = std::move(parked.front());
+    parked.pop_front();
+    verify(p.future.get(), p.probe);
+  }
+
+  v.Check(misrouted == 0,
+          StrFormat("%llu responses from outside the classified group",
+                    static_cast<unsigned long long>(misrouted)));
+  v.Check(mismatches == 0,
+          StrFormat("%llu responses did not bit-match their expert",
+                    static_cast<unsigned long long>(mismatches)));
+  v.Check(unexpected == 0,
+          StrFormat("%llu degradations outside the injected faults",
+                    static_cast<unsigned long long>(unexpected)));
+  v.Check(bad_shed == 0,
+          StrFormat("%llu shed responses were not labeled admission-shed",
+                    static_cast<unsigned long long>(bad_shed)));
+  v.Check(shed_direct > 0, "no wrecking ball was shed under overload");
+  v.Check(parked_total > 0, "no bowling ball was deferred under overload");
+  v.Check(drained_mid > 0, "no deferred request drained after its wave");
+  v.Check(injector.injected("replica_kill") == 1,
+          "the replica kill must fire exactly once");
+  v.Check(absorbed == 1,
+          StrFormat("catch-all absorbed %llu requests; only the killing "
+                    "pick may escalate (the group has live peers)",
+                    static_cast<unsigned long long>(absorbed)));
+  v.Check(injector.injected("replica_stall") == deadline_seen,
+          StrFormat("deadline fallbacks %llu != injected replica stalls "
+                    "%llu (batch size 1 must map 1:1)",
+                    static_cast<unsigned long long>(deadline_seen),
+                    static_cast<unsigned long long>(
+                        injector.injected("replica_stall"))));
+  v.Check(deadline_seen > 0, "target replica never stalled before the kill");
+  v.Check(fab.health("feather", 2) == fabric::ReplicaHealth::kDead,
+          "killed replica is not marked dead");
+  v.Check(!fab.registry("feather", 2)->has_model(),
+          "killed replica still has a model");
+
+  const fabric::FabricStatsSnapshot stats = fab.stats();
+  v.Check(stats.shed == shed_direct + shed_overflow,
+          "shed counter != client-observed sheds");
+  v.Check(stats.defer_overflow == shed_overflow,
+          "defer-overflow counter != client-observed overflow sheds");
+  v.Check(stats.deferred == parked_total,
+          "deferred counter != client-parked requests");
+  v.Check(stats.defer_drained == drained_mid + shutdown_drained,
+          "defer-drained counter != mid-run + shutdown drains");
+  v.Check(stats.admitted == admitted_mirror,
+          "admitted counter != client-mirrored admits");
+  v.Check(stats.slo_breaches == breach_mirror,
+          "slo-breach counter != requests decided under overload waves");
+  v.Check(stats.drains == drain_ops,
+          "drains counter != drain-swap-revive operations");
+  v.Check(stats.escalations_dead == absorbed,
+          "dead-escalation count != client-observed absorbed requests");
+  v.Check(stats.escalations_open == 0 && stats.escalations_overloaded == 0 &&
+              stats.fallback_exhausted == 0,
+          "ladder rungs below 'dead' fired under sequential driving");
+  v.Check(stats.classified == kProbes,
+          "classifier calls != distinct probes (route cache broken)");
+  v.Check(stats.classified + stats.route_cache_hits ==
+              requests + stats.defer_drained,
+          "every submit and every defer dispatch must classify exactly once");
+  uint64_t served = 0;
+  for (const auto& g : stats.groups) {
+    for (const auto& r : g.replicas) {
+      CheckAccounting(r.service, &v);
+      served += r.service.requests;
+      if (r.label == plan.serve.target_replica_label) {
+        v.Check(r.service.fallback_deadline == deadline_seen,
+                "target deadline fallbacks != client-observed stalls");
+      } else {
+        v.Check(r.service.fallbacks() == 0,
+                "a non-target replica degraded (containment broken): " +
+                    r.label);
+      }
+      if (!g.catch_all) {
+        v.Check(r.picks > 0, "a replica never took a pick: " + r.label);
+      }
+    }
+  }
+  v.Check(served + stats.shed == requests,
+          "a request was lost on the ladder");
+
+  // The p99-under-chaos SLO: an invariant, never part of the report (the
+  // report must stay byte-replayable and wall-clock never is).
+  const double p99 = latency_hist.Quantile(0.99);
+  v.Check(p99 <= 0.25,
+          StrFormat("p99 under chaos %.6fs breached the 0.25s soak SLO",
+                    p99));
+
+  result.report = StrFormat(
+      "fabric soak: %llu requests | wave %llu | probes %llu | replicas 3\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(wave_len),
+      static_cast<unsigned long long>(kProbes));
+  result.report += FaultDigest(injector);
+  result.report += stats.ToString();
+
+  const auto count = [](uint64_t value) {
+    return static_cast<double>(value);
+  };
+  // Keys carry the fabric_soak_ prefix because they land in the shared
+  // golden/tolerance namespace (tests/golden/fabric.json) next to the
+  // paper-figure headline keys.
+  out.counters = {
+      {"fabric_soak_requests", count(requests)},
+      {"fabric_soak_classified", count(stats.classified)},
+      {"fabric_soak_route_cache_hits", count(stats.route_cache_hits)},
+      {"fabric_soak_admitted", count(stats.admitted)},
+      {"fabric_soak_shed_wrecking", count(shed_direct)},
+      {"fabric_soak_shed_defer_overflow", count(shed_overflow)},
+      {"fabric_soak_deferred", count(stats.deferred)},
+      {"fabric_soak_defer_drained_midrun", count(drained_mid)},
+      {"fabric_soak_defer_drained_shutdown", count(shutdown_drained)},
+      {"fabric_soak_slo_breaches", count(stats.slo_breaches)},
+      {"fabric_soak_drains", count(stats.drains)},
+      {"fabric_soak_escalations_dead", count(stats.escalations_dead)},
+      {"fabric_soak_replica_kills", count(injector.injected("replica_kill"))},
+      {"fabric_soak_replica_stalls",
+       count(injector.injected("replica_stall"))},
+      {"fabric_soak_deadline_fallbacks", count(deadline_seen)},
+      {"fabric_soak_violations", count(result.violations.size())},
+  };
+  return out;
 }
 
 }  // namespace qpp::fault

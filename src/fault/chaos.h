@@ -27,6 +27,12 @@
 //                   mid-run under a ShardRouter; golf/bowling answers stay
 //                   bit-identical to their experts, feather traffic is
 //                   absorbed by the one-model shard, zero requests lost.
+//   rolling-drain   fabric: one replica of the feather group is stalled
+//                   and then killed while the golf group is drain-swapped
+//                   replica by replica; the surviving peers absorb the
+//                   load inside the group (exactly one request escalates —
+//                   the killing pick itself), every healthy answer stays
+//                   bit-identical to its expert, zero requests lost.
 //
 // Scenario traffic is driven sequentially (one request in flight), so the
 // injected fault schedule AND the resulting report are bit-replayable:
@@ -37,10 +43,21 @@
 // RunChaosSoak is the exception: it drives concurrent clients under a
 // randomized FaultPlan for volume, so only the invariants (not the report
 // bytes) are stable. It is gated behind QPP_SOAK=1 in the test suite.
+//
+// RunFabricSoak is the capacity-scale variant for qpp::fabric: a
+// sequentially driven, fully deterministic soak sized for >= 1M requests.
+// It combines admission-control load waves (virtual LoadSignal keyed by
+// request index), a counted replica kill, probabilistic replica stalls,
+// and rolling drain-swap-revive operations, and checks the whole fabric
+// contract — bit-identity, labeled degradations, counter accounting, and
+// a wall-clock p99 SLO under chaos. Its report and counters are
+// byte-replayable per seed (CI diffs two same-seed runs), while the p99
+// check is an invariant only and never enters the report.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/fault_plan.h"
@@ -87,5 +104,18 @@ ScenarioResult RunChaosScenario(const std::string& name,
 /// accounting identities and the no-broken-future contract, not report
 /// determinism.
 ScenarioResult RunChaosSoak(const ChaosOptions& options);
+
+/// The fabric soak's outcome: the usual deterministic scenario report plus
+/// the headline counters as a flat name -> value list, in a fixed order,
+/// so the CLI can emit a byte-replayable JSON artifact for CI.
+struct FabricSoakResult {
+  ScenarioResult scenario;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Deterministic capacity soak over qpp::fabric (see the file comment).
+/// Sized for options.requests >= 1M on manual CI dispatch; needs at least
+/// a few thousand requests for the counted replica kill to fire.
+FabricSoakResult RunFabricSoak(const ChaosOptions& options);
 
 }  // namespace qpp::fault

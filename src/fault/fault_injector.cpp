@@ -12,11 +12,11 @@ namespace {
 const char* kKindNames[] = {
     "disk_stall",     "message_loss", "node_slowdown", "node_failure",
     "buffer_pressure", "submit_reject", "worker_stall",  "registry_swap",
-    "shard_kill",     "shard_stall",
+    "shard_kill",     "shard_stall",  "replica_kill",  "replica_stall",
 };
 const char* kKindLayers[] = {
-    "engine", "engine", "engine", "engine", "engine",
-    "serve",  "serve",  "serve",  "shard",  "shard",
+    "engine", "engine", "engine", "engine",   "engine",  "serve",
+    "serve",  "serve",  "shard",  "shard",    "replica", "replica",
 };
 }  // namespace
 
@@ -198,6 +198,52 @@ FaultInjector::BatchFaults FaultInjector::NextShardBatchFaults(
   if (Draw(kTagShardStall, i) < spec.shard_stall_probability) {
     out.stall_seconds = std::max(0.0, spec.shard_stall_seconds);
     Record(kShardStall, spec.target_shard.c_str());
+  }
+  return out;
+}
+
+bool FaultInjector::NextReplicaKill(const std::string& label) {
+  const ServeFaultSpec& spec = plan_.serve;
+  if (spec.replica_kill_after_picks == 0 ||
+      label != spec.target_replica_label) {
+    return false;
+  }
+  // Counted, not sampled: the (spec.replica_kill_after_picks)-th pick of
+  // the target replica is the one that kills it.
+  return replica_pick_seq_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+         spec.replica_kill_after_picks;
+}
+
+void FaultInjector::FireReplicaKill() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = replica_kill_hook_;
+  }
+  if (hook) {
+    Record(kReplicaKill, plan_.serve.target_replica_label.c_str());
+    hook();
+  }
+}
+
+void FaultInjector::set_replica_kill_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  replica_kill_hook_ = std::move(hook);
+}
+
+FaultInjector::BatchFaults FaultInjector::NextReplicaBatchFaults(
+    const std::string& label) {
+  BatchFaults out;
+  const ServeFaultSpec& spec = plan_.serve;
+  if (spec.replica_stall_probability <= 0.0 ||
+      label != spec.target_replica_label) {
+    return out;
+  }
+  const uint64_t i =
+      replica_batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (Draw(kTagReplicaStall, i) < spec.replica_stall_probability) {
+    out.stall_seconds = std::max(0.0, spec.replica_stall_seconds);
+    Record(kReplicaStall, spec.target_replica_label.c_str());
   }
   return out;
 }

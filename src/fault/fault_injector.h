@@ -119,6 +119,26 @@ class FaultInjector {
   /// never set here). Consumes the target shard's batch index.
   BatchFaults NextShardBatchFaults(const std::string& shard);
 
+  // ------------------------------------------------------------- replica --
+
+  /// One decision per fabric pick of the replica labeled `label`
+  /// ("group#index"): true exactly once, when the plan's target replica
+  /// has been picked its configured Nth time (counted, like
+  /// NextShardKill). Calls for non-target replicas return false without
+  /// consuming the counter.
+  bool NextReplicaKill(const std::string& label);
+
+  /// Called by the fabric when NextReplicaKill said kill; invokes the hook
+  /// (typically Fabric's default hook: mark the replica dead and unpublish
+  /// its registry) and records the injection.
+  void FireReplicaKill();
+  void set_replica_kill_hook(std::function<void()> hook);
+
+  /// One decision per micro-batch picked up by the replica labeled
+  /// `label`; only the plan's target replica ever stalls. Consumes the
+  /// target replica's batch index.
+  BatchFaults NextReplicaBatchFaults(const std::string& label);
+
   // ------------------------------------------------------ introspection --
 
   /// Total injected faults by kind, independent of any registry (the chaos
@@ -139,6 +159,7 @@ class FaultInjector {
     kTagStall = 0x165667B19E3779F9ull,
     kTagSwap = 0x27D4EB2F165667C5ull,
     kTagShardStall = 0x2545F4914F6CDD1Dull,
+    kTagReplicaStall = 0x8EBC6AF09C88C6E3ull,
   };
 
   struct Kind {
@@ -157,6 +178,8 @@ class FaultInjector {
     kRegistrySwap,
     kShardKill,
     kShardStall,
+    kReplicaKill,
+    kReplicaStall,
     kNumKinds,
   };
 
@@ -173,9 +196,13 @@ class FaultInjector {
   // consume these, so one shard's schedule is unaffected by its peers.
   std::atomic<uint64_t> shard_route_seq_{0};
   std::atomic<uint64_t> shard_batch_seq_{0};
+  // Replica-targeted streams, keyed the same way one level down.
+  std::atomic<uint64_t> replica_pick_seq_{0};
+  std::atomic<uint64_t> replica_batch_seq_{0};
   std::mutex hook_mu_;
   std::function<void()> swap_hook_;
   std::function<void()> shard_kill_hook_;
+  std::function<void()> replica_kill_hook_;
 };
 
 }  // namespace qpp::fault

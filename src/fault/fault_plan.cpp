@@ -11,8 +11,9 @@ namespace qpp::fault {
 namespace {
 constexpr uint32_t kMagic = 0x51505046;  // "QPPF" little-endian
 // v1: engine + serve probabilities. v2 appends the shard-targeted serve
-// fields; v1 files still load (shard faults default to disabled).
-constexpr uint32_t kVersion = 2;
+// fields; v3 appends the replica-targeted serve fields. Older files still
+// load (the appended fault families default to disabled).
+constexpr uint32_t kVersion = 3;
 }  // namespace
 
 void FaultPlan::Write(BinaryWriter* w) const {
@@ -39,6 +40,10 @@ void FaultPlan::Write(BinaryWriter* w) const {
   w->WriteU64(serve.shard_kill_after_requests);
   w->WriteDouble(serve.shard_stall_probability);
   w->WriteDouble(serve.shard_stall_seconds);
+  w->WriteString(serve.target_replica_label);
+  w->WriteU64(serve.replica_kill_after_picks);
+  w->WriteDouble(serve.replica_stall_probability);
+  w->WriteDouble(serve.replica_stall_seconds);
 }
 
 FaultPlan FaultPlan::Read(BinaryReader* r) {
@@ -69,6 +74,12 @@ FaultPlan FaultPlan::Read(BinaryReader* r) {
     p.serve.shard_kill_after_requests = r->ReadU64();
     p.serve.shard_stall_probability = r->ReadDouble();
     p.serve.shard_stall_seconds = r->ReadDouble();
+  }
+  if (version >= 3) {
+    p.serve.target_replica_label = r->ReadString();
+    p.serve.replica_kill_after_picks = r->ReadU64();
+    p.serve.replica_stall_probability = r->ReadDouble();
+    p.serve.replica_stall_seconds = r->ReadDouble();
   }
   return p;
 }
@@ -102,6 +113,13 @@ std::string FaultPlan::ToString() const {
           serve.target_shard.c_str(),
           static_cast<unsigned long long>(serve.shard_kill_after_requests),
           serve.shard_stall_probability, serve.shard_stall_seconds);
+    }
+    if (serve.replica_targeted()) {
+      os << StrFormat(
+          "  replica \"%s\": kill after %llu picks | stall p=%.2f %.1fs\n",
+          serve.target_replica_label.c_str(),
+          static_cast<unsigned long long>(serve.replica_kill_after_picks),
+          serve.replica_stall_probability, serve.replica_stall_seconds);
     }
   }
   return os.str();

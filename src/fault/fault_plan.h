@@ -103,10 +103,32 @@ struct ServeFaultSpec {
                                      shard_stall_probability > 0.0);
   }
 
+  // Replica-targeted faults (replicated serving, see fabric/fabric.h).
+  // `target_replica_label` names one replica by its "group#index" label;
+  // empty disables them. Distinct from the shard fields above so a plan
+  // can aim at a whole shard and one replica of another group at once.
+
+  /// Replica whose registry/workers the faults below aim at.
+  std::string target_replica_label;
+  /// Kill the target replica (fire the replica-kill hook: health -> dead,
+  /// registry unpublished) when the fabric picks it for the Nth time — a
+  /// counted, not sampled, decision, like shard_kill. 0 disables.
+  uint64_t replica_kill_after_picks = 0;
+  /// Per-batch probability that a target-replica worker stalls; same
+  /// virtual-age semantics as worker_stall_* but scoped to one replica.
+  double replica_stall_probability = 0.0;
+  double replica_stall_seconds = 0.0;
+
+  bool replica_targeted() const {
+    return !target_replica_label.empty() &&
+           (replica_kill_after_picks > 0 || replica_stall_probability > 0.0);
+  }
+
   bool enabled() const {
     return submit_reject_probability > 0.0 ||
            worker_stall_probability > 0.0 ||
-           registry_swap_probability > 0.0 || shard_targeted();
+           registry_swap_probability > 0.0 || shard_targeted() ||
+           replica_targeted();
   }
 };
 

@@ -14,25 +14,58 @@ uint64_t HistogramSnapshot::count() const {
   return total;
 }
 
-double HistogramSnapshot::Quantile(double q) const {
+namespace {
+
+// Locates the bucket holding the nearest-rank sample for quantile q:
+// -1 = underflow, buckets.size() = overflow, otherwise the bucket index.
+// Returns false when the snapshot is empty.
+bool LocateQuantileBucket(const HistogramSnapshot& s, double q,
+                          ptrdiff_t* bucket) {
   q = std::clamp(q, 0.0, 1.0);
-  const uint64_t total = count();
-  if (total == 0) return 0.0;
+  const uint64_t total = s.count();
+  if (total == 0) return false;
   const uint64_t rank = std::max<uint64_t>(
       static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))), 1);
-  if (rank <= underflow) return min;
-  uint64_t seen = underflow;
-  for (size_t i = 0; i < buckets.size(); ++i) {
-    seen += buckets[i];
+  if (rank <= s.underflow) {
+    *bucket = -1;
+    return true;
+  }
+  uint64_t seen = s.underflow;
+  for (size_t i = 0; i < s.buckets.size(); ++i) {
+    seen += s.buckets[i];
     if (seen >= rank) {
-      const double exp =
-          options.min_exponent +
-          (static_cast<double>(i) + 0.5) /
-              static_cast<double>(options.buckets_per_decade);
-      return std::pow(10.0, exp);
+      *bucket = static_cast<ptrdiff_t>(i);
+      return true;
     }
   }
-  return max;  // rank lands in the overflow bucket
+  *bucket = static_cast<ptrdiff_t>(s.buckets.size());  // overflow
+  return true;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  ptrdiff_t bucket = 0;
+  if (!LocateQuantileBucket(*this, q, &bucket)) return 0.0;
+  if (bucket < 0) return min;
+  if (bucket >= static_cast<ptrdiff_t>(buckets.size())) return max;
+  const double exp = options.min_exponent +
+                     (static_cast<double>(bucket) + 0.5) /
+                         static_cast<double>(options.buckets_per_decade);
+  return std::pow(10.0, exp);
+}
+
+HistogramSnapshot::QuantileBracket HistogramSnapshot::QuantileBounds(
+    double q) const {
+  ptrdiff_t bucket = 0;
+  if (!LocateQuantileBucket(*this, q, &bucket)) return {};
+  if (bucket < 0) return {min, min};
+  if (bucket >= static_cast<ptrdiff_t>(buckets.size())) return {max, max};
+  const double denom = static_cast<double>(options.buckets_per_decade);
+  return {std::pow(10.0, options.min_exponent +
+                             static_cast<double>(bucket) / denom),
+          std::pow(10.0, options.min_exponent +
+                             (static_cast<double>(bucket) + 1.0) / denom)};
 }
 
 void HistogramSnapshot::Merge(const HistogramSnapshot& other) {

@@ -69,11 +69,33 @@ struct HistogramSnapshot {
 
   uint64_t count() const;
 
-  /// Value at quantile q in [0, 1]; 0 when empty. In-range ranks resolve
-  /// to the geometric midpoint of their bucket (<= ~15% relative error at
-  /// 8 buckets/decade); ranks landing in the underflow/overflow buckets
-  /// resolve to the exact observed min/max.
+  /// Value at quantile q in [0, 1]; 0 when empty.
+  ///
+  /// Bucket-boundary semantics (nearest-rank): the estimate targets the
+  /// rank-max(ceil(q * count), 1) sample in sorted order, i.e. the smallest
+  /// recorded value v such that at least that many samples are <= v. The
+  /// bucket containing that rank is found by a cumulative walk
+  /// (underflow, then buckets low to high, then overflow); in-range ranks
+  /// resolve to the geometric midpoint of their bucket (<= ~15% relative
+  /// error at 8 buckets/decade — see QuantileBounds for the exact
+  /// bracket), ranks landing in the underflow/overflow buckets resolve to
+  /// the exact observed min/max. A sample recorded exactly on a bucket
+  /// boundary 10^(min_exponent + i/buckets_per_decade) counts toward the
+  /// bucket ABOVE the boundary (Record truncates the log-index).
   double Quantile(double q) const;
+
+  /// Exact bracket for the nearest-rank sample Quantile(q) estimates: the
+  /// true sample value lies in [lower, upper]. For in-range ranks these
+  /// are the containing bucket's boundaries (upper exclusive in Record's
+  /// terms, but the true sample can equal `upper` only by landing in the
+  /// next bucket, so the closed interval is always safe); for ranks in
+  /// the underflow/overflow buckets both bounds collapse to the exact
+  /// observed min/max. Empty histogram => {0, 0}.
+  struct QuantileBracket {
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  QuantileBracket QuantileBounds(double q) const;
 
   /// Accumulates `other` into this snapshot. Layouts must match.
   void Merge(const HistogramSnapshot& other);

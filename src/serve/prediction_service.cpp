@@ -78,6 +78,16 @@ std::future<ServeResponse> PredictionService::Submit(ServeRequest request) {
 bool PredictionService::TrySubmit(ServeRequest request,
                                   std::future<ServeResponse>* out) {
   QPP_CHECK(out != nullptr);
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  if (!TrySubmitWithPromise(std::move(request), &promise)) return false;
+  *out = std::move(future);
+  return true;
+}
+
+bool PredictionService::TrySubmitWithPromise(
+    ServeRequest request, std::promise<ServeResponse>* promise) {
+  QPP_CHECK(promise != nullptr);
   if (config_.faults != nullptr && config_.faults->serve_enabled() &&
       config_.faults->NextSubmitReject()) {
     // Injected queue-full storm: indistinguishable from the real thing.
@@ -86,18 +96,24 @@ bool PredictionService::TrySubmit(ServeRequest request,
   }
   Pending pending;
   pending.request = std::move(request);
+  pending.promise = std::move(*promise);
   pending.enqueued_at = std::chrono::steady_clock::now();
-  std::future<ServeResponse> future = pending.promise.get_future();
   if (!queue_.TryPush(std::move(pending))) {
+    // TryPush refuses without consuming; hand the promise back intact.
+    *promise = std::move(pending.promise);
     stats_.RecordRejected();
     return false;
   }
-  *out = std::move(future);
   return true;
 }
 
 std::future<ServeResponse> PredictionService::SubmitWithRetry(
-    ServeRequest request, RetryPolicy policy) {
+    ServeRequest request) {
+  return SubmitWithRetry(std::move(request), config_.retry);
+}
+
+std::future<ServeResponse> PredictionService::SubmitWithRetry(
+    ServeRequest request, const RetryPolicy& policy) {
   QPP_CHECK(policy.max_attempts >= 1);
   double backoff = std::max(0.0, policy.initial_backoff_seconds);
   for (int attempt = 0;; ++attempt) {
@@ -175,6 +191,16 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
         virtual_age += sf.stall_seconds;
         std::this_thread::sleep_for(std::chrono::duration<double>(
             std::min(sf.stall_seconds, 0.001)));
+      }
+      // Replica-targeted stall: same mechanism one level down — the plan
+      // names a single "group#index" replica label, so chaos can slow one
+      // replica while its group peers absorb the traffic.
+      const fault::FaultInjector::BatchFaults rf =
+          config_.faults->NextReplicaBatchFaults(config_.shard_label);
+      if (rf.stall_seconds > 0.0) {
+        virtual_age += rf.stall_seconds;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(rf.stall_seconds, 0.001)));
       }
     }
   }
@@ -325,6 +351,7 @@ void PredictionService::Respond(Pending* pending,
   response.latency_seconds =
       SecondsSince(pending->enqueued_at, std::chrono::steady_clock::now());
   stats_.RecordResponse(response.latency_seconds);
+  if (config_.on_response) config_.on_response(response);
   pending->promise.set_value(std::move(response));
 }
 

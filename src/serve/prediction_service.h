@@ -34,6 +34,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,17 @@ struct ServeResponse {
   bool degraded() const { return source == ResponseSource::kOptimizerFallback; }
 };
 
+/// Backoff schedule for SubmitWithRetry: attempt i sleeps
+/// min(initial * multiplier^i, max) before retrying a refused submit.
+/// The deployment-wide default lives in ServiceConfig::retry; the explicit
+/// SubmitWithRetry(request, policy) overload overrides it per call.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double initial_backoff_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.05;
+};
+
 struct ServiceConfig {
   size_t num_workers = 2;
   /// Upper bound on one micro-batch; workers take whatever is queued up to
@@ -123,18 +135,21 @@ struct ServiceConfig {
   fault::FaultInjector* faults = nullptr;
   /// Name of the shard this service instance backs. Stamped onto every
   /// response (`ServeResponse::shard`) and matched against the fault
-  /// plan's `target_shard` for shard-targeted worker stalls; empty (the
-  /// default) for a monolithic deployment.
+  /// plan's `target_shard` / `target_replica_label` for targeted worker
+  /// stalls; empty (the default) for a monolithic deployment. Fabric
+  /// replicas use "group#index" labels (see fabric/fabric.h).
   std::string shard_label;
-};
-
-/// Backoff schedule for SubmitWithRetry: attempt i sleeps
-/// min(initial * multiplier^i, max) before retrying a refused submit.
-struct RetryPolicy {
-  int max_attempts = 3;
-  double initial_backoff_seconds = 0.0005;
-  double backoff_multiplier = 2.0;
-  double max_backoff_seconds = 0.05;
+  /// Default backoff schedule for SubmitWithRetry; per-call policies
+  /// override it. The defaults here ARE the historical compile-time
+  /// defaults, so existing deployments behave identically.
+  RetryPolicy retry;
+  /// Observer invoked on every response (including inline fallbacks) just
+  /// before the future resolves, from whichever thread answers. Used by
+  /// fabric::AdmissionController to feed its windowed-p99 load signal;
+  /// null (the default) costs one test per response. Must not Submit back
+  /// into the same service (the queue lock is not held, but worker threads
+  /// calling themselves recursively would deadlock Shutdown).
+  std::function<void(const ServeResponse&)> on_response;
 };
 
 class PredictionService {
@@ -157,12 +172,25 @@ class PredictionService {
   /// an attempt here as if the queue were saturated (counted the same).
   bool TrySubmit(ServeRequest request, std::future<ServeResponse>* out);
 
-  /// TrySubmit with exponential backoff. Never returns a broken future:
-  /// when every attempt is refused the request is answered inline with the
-  /// labeled "overload" fallback, so callers under a rejection storm still
-  /// get the degradation contract instead of an error path to handle.
+  /// TrySubmit that fulfills a caller-owned promise instead of minting a
+  /// new future: on success the promise is moved into the queue and will
+  /// resolve when a worker answers; on refusal (queue full, shutdown, or
+  /// injected rejection — counted like TrySubmit) the caller keeps the
+  /// promise. This is how the fabric bridges deferred-admission requests:
+  /// the front door hands out the future at defer time and the service
+  /// fulfills it when the request is finally dispatched.
+  bool TrySubmitWithPromise(ServeRequest request,
+                            std::promise<ServeResponse>* promise);
+
+  /// TrySubmit with exponential backoff under config().retry. Never
+  /// returns a broken future: when every attempt is refused the request is
+  /// answered inline with the labeled "overload" fallback, so callers
+  /// under a rejection storm still get the degradation contract instead of
+  /// an error path to handle.
+  std::future<ServeResponse> SubmitWithRetry(ServeRequest request);
+  /// Same, but with an explicit per-call backoff schedule.
   std::future<ServeResponse> SubmitWithRetry(ServeRequest request,
-                                             RetryPolicy policy = {});
+                                             const RetryPolicy& policy);
 
   /// Stops accepting requests, drains everything already queued, joins the
   /// workers. Idempotent.
@@ -174,6 +202,10 @@ class PredictionService {
   struct FeatureHash {
     size_t operator()(const linalg::Vector& v) const;
   };
+
+  /// Requests currently queued (a point-in-time load signal; the fabric's
+  /// power-of-two-choices spread compares replicas on this).
+  size_t queue_depth() const { return queue_.size(); }
 
   ServiceStatsSnapshot stats() const { return stats_.Snapshot(); }
   /// The service's metrics registry (statsz/JSON export surface; see

@@ -3,8 +3,10 @@
 // the fault injector's decisions are independent of call interleaving; a
 // disabled injector is indistinguishable from none; monotone fault kinds
 // never make any metric smaller; FaultPlans survive file round trips. The
-// long-mode soak (10k concurrent requests under a randomized plan) runs
-// only when QPP_SOAK=1 — ctest wires it up under the `soak` label.
+// long-mode soaks (10k concurrent requests under a randomized plan; the
+// fabric capacity soak at 1M requests) run only when QPP_SOAK=1 — ctest
+// wires them up under the `soak` label. A 10k fabric soak always runs so
+// plain ctest still covers the admission/replica/chaos stack end to end.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -196,6 +198,82 @@ TEST(ChaosSoakTest, TenThousandRequestsUnderRandomizedFaults) {
   const ScenarioResult r = RunChaosSoak(opts);
   for (const std::string& v : r.violations) ADD_FAILURE() << v;
   EXPECT_TRUE(r.ok());
+}
+
+// ------------------------------------------------------ the fabric soak --
+
+void ExpectFabricSoakCountersSane(const FabricSoakResult& r) {
+  uint64_t shed = 0, deferred = 0, drained = 0, kills = 0, stalls = 0,
+           deadlines = 0;
+  for (const auto& [key, value] : r.counters) {
+    const auto count = static_cast<uint64_t>(value);
+    if (key == "fabric_soak_shed_wrecking") shed = count;
+    if (key == "fabric_soak_deferred") deferred = count;
+    if (key == "fabric_soak_defer_drained_midrun" ||
+        key == "fabric_soak_defer_drained_shutdown") {
+      drained += count;
+    }
+    if (key == "fabric_soak_replica_kills") kills = count;
+    if (key == "fabric_soak_replica_stalls") stalls = count;
+    if (key == "fabric_soak_deadline_fallbacks") deadlines = count;
+  }
+  // The soak is only a soak if its machinery actually engaged: admission
+  // shed and deferred traffic, every parked request was eventually
+  // dispatched, the counted kill fired once, and every injected stall
+  // surfaced as exactly one labeled deadline fallback.
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(deferred, 0u);
+  EXPECT_EQ(drained, deferred);
+  EXPECT_EQ(kills, 1u);
+  EXPECT_GT(stalls, 0u);
+  EXPECT_EQ(stalls, deadlines);
+}
+
+TEST(FabricSoakSmokeTest, TenThousandRequestsReplayByteForByte) {
+  // Small enough for the default suite: the full admission + replica-kill
+  // + rolling-drain schedule at 10k requests, run twice.
+  ChaosOptions opts;
+  opts.seed = 20260808;
+  opts.requests = 10000;
+  const FabricSoakResult first = RunFabricSoak(opts);
+  for (const std::string& v : first.scenario.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(first.scenario.ok());
+  EXPECT_FALSE(first.scenario.report.empty());
+  ExpectFabricSoakCountersSane(first);
+
+  // Same seed, fresh fabric: report and counters must not move by a byte.
+  const FabricSoakResult replay = RunFabricSoak(opts);
+  EXPECT_EQ(first.scenario.report, replay.scenario.report);
+  EXPECT_EQ(first.counters, replay.counters);
+
+  // A different seed is a different schedule with the same invariants.
+  ChaosOptions other = opts;
+  other.seed = 7;
+  const FabricSoakResult shifted = RunFabricSoak(other);
+  for (const std::string& v : shifted.scenario.violations) ADD_FAILURE() << v;
+  EXPECT_NE(first.scenario.report, shifted.scenario.report);
+}
+
+TEST(FabricSoakSmokeTest, RunsBelowTenThousandAreRefused) {
+  // The fault schedule (counted kill, 1% stalls) needs room to land; a
+  // tiny run would pass vacuously, so it is a violation instead.
+  ChaosOptions opts;
+  opts.requests = 500;
+  EXPECT_FALSE(RunFabricSoak(opts).scenario.ok());
+}
+
+TEST(FabricSoakTest, OneMillionRequestsUnderChaosStayInsideTheSlo) {
+  const char* gate = std::getenv("QPP_SOAK");
+  if (gate == nullptr || std::string(gate) != "1") {
+    GTEST_SKIP() << "soak mode is opt-in: set QPP_SOAK=1 (ctest -L soak)";
+  }
+  ChaosOptions opts;
+  opts.seed = 20260808;
+  opts.requests = 1000000;
+  const FabricSoakResult r = RunFabricSoak(opts);
+  for (const std::string& v : r.scenario.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(r.scenario.ok());
+  ExpectFabricSoakCountersSane(r);
 }
 
 }  // namespace

@@ -1,0 +1,794 @@
+// Tests for the replicated serving fabric (fabric/fabric.h): replica-group
+// shape, the determinism contract (answers bit-identical to the offline
+// TwoStepPredictor no matter which replica serves), keyed power-of-two-
+// choices spreading, replica health (draining / dead) and the rolling
+// DrainSwapRevive hot-swap, prediction-aware admission control (shed /
+// defer / drain / overflow / shutdown-drain), replica-targeted fault
+// injection, qpp_fabric_* metrics, and "fabric"-category tracing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/two_step.h"
+#include "fabric/admission.h"
+#include "fabric/fabric.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "obs/trace.h"
+#include "serve/prediction_service.h"
+#include "workload/pools.h"
+
+namespace qpp::fabric {
+namespace {
+
+using workload::QueryType;
+
+/// Four Fig. 2 pools with well-separated features and elapsed bands, so
+/// the step-1 neighbor vote is unambiguous (same shape the fabric soak
+/// uses). Pool-major: feathers, golf, bowling, wrecking.
+std::vector<ml::TrainingExample> FourPoolExamples(size_t per_pool,
+                                                  uint64_t seed) {
+  static const double kElapsedBase[4] = {10.0, 400.0, 2500.0, 9000.0};
+  Rng rng(seed);
+  std::vector<ml::TrainingExample> out;
+  out.reserve(4 * per_pool);
+  for (size_t pool = 0; pool < 4; ++pool) {
+    const double off = static_cast<double>(pool);
+    for (size_t i = 0; i < per_pool; ++i) {
+      ml::TrainingExample ex;
+      const double a = rng.Uniform(1.0, 10.0);
+      const double b = rng.Uniform(1.0, 10.0);
+      const double c = rng.Uniform(0.0, 5.0);
+      ex.query_features = {a + 40.0 * off, b + 10.0 * off, c,
+                           a * b + 25.0 * off, rng.Uniform(0.0, 1.0)};
+      ex.metrics.elapsed_seconds = kElapsedBase[pool] + 0.5 * a * b + c;
+      ex.metrics.records_accessed = 1000.0 * a + 50.0 * c + 10000.0 * off;
+      ex.metrics.records_used = 100.0 * a + 1000.0 * off;
+      ex.metrics.message_count = 10.0 * b + 100.0 * off;
+      ex.metrics.message_bytes = 1000.0 * b + 10.0 * a;
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+core::TwoStepPredictor TrainTwoStep(
+    const std::vector<ml::TrainingExample>& ex) {
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::TwoStepPredictor ts(cfg);
+  ts.Train(ex, /*min_category_size=*/12);
+  return ts;
+}
+
+/// Training is the expensive part of every test; one shared model is
+/// enough because the fabric under test is always built fresh.
+struct TrainedFixture {
+  std::vector<ml::TrainingExample> examples = FourPoolExamples(40, 0xFAB7E5u);
+  core::TwoStepPredictor ts = TrainTwoStep(examples);
+
+  linalg::Vector probe(QueryType pool, size_t j) const {
+    return examples[static_cast<size_t>(pool) * 40 + j].query_features;
+  }
+};
+
+const TrainedFixture& F() {
+  static const TrainedFixture* fixture = new TrainedFixture();
+  return *fixture;
+}
+
+void ExpectBitIdentical(const core::Prediction& a, const core::Prediction& b) {
+  EXPECT_EQ(a.metrics.ToVector(), b.metrics.ToVector());
+  EXPECT_EQ(a.mean_neighbor_distance, b.mean_neighbor_distance);
+  EXPECT_EQ(a.confidence, b.confidence);
+  EXPECT_EQ(a.anomalous, b.anomalous);
+  EXPECT_EQ(a.neighbor_indices, b.neighbor_indices);
+}
+
+serve::CostCalibration TestCalibration() {
+  // elapsed = cost / 100 in log-log space.
+  serve::CostCalibration cal;
+  cal.slope = 1.0;
+  cal.intercept = -2.0;
+  cal.fitted = true;
+  return cal;
+}
+
+/// Replica services that answer deterministically for bit-identity
+/// checks: one worker, no batch merging, no result cache, and the model's
+/// own word on anomalies.
+serve::ServiceConfig PlainConfig() {
+  serve::ServiceConfig config;
+  config.num_workers = 1;
+  config.max_batch = 1;
+  config.cache_capacity = 0;
+  config.fallback_on_anomalous = false;
+  return config;
+}
+
+FabricConfig TestConfig(size_t replicas = 3) {
+  return MakePerPoolFabricConfig(replicas, PlainConfig());
+}
+
+const LoadSignal kCalm{0, 0.0};
+const LoadSignal kOverload{4096, 1.0};
+
+AdmissionConfig TestAdmission() {
+  AdmissionConfig adm;
+  adm.enabled = true;
+  adm.p99_slo_seconds = 0.25;
+  adm.max_queue_depth = 512;
+  return adm;
+}
+
+// ---------------------------------------------------------------- shape --
+
+TEST(MakePerPoolFabricConfigTest, OneGroupPerPoolPlusCatchAll) {
+  const FabricConfig config = MakePerPoolFabricConfig(3);
+  ASSERT_EQ(config.groups.size(), 5u);
+  EXPECT_EQ(config.groups[0].name, "feather");
+  EXPECT_EQ(config.groups[1].name, "golf ball");
+  EXPECT_EQ(config.groups[2].name, "bowling ball");
+  EXPECT_EQ(config.groups[3].name, "wrecking ball");
+  EXPECT_EQ(config.groups[4].name, "one-model");
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(config.groups[i].pools.size(), 1u);
+    EXPECT_EQ(config.groups[i].replicas, 3u);
+  }
+  EXPECT_TRUE(config.groups[4].pools.empty());
+
+  Fabric fabric(MakePerPoolFabricConfig(3), TestCalibration());
+  EXPECT_EQ(fabric.num_groups(), 5u);
+  EXPECT_EQ(fabric.catch_all_name(), "one-model");
+  EXPECT_EQ(fabric.replica_count("feather"), 3u);
+  EXPECT_EQ(fabric.replica_count("no-such-group"), 0u);
+  EXPECT_NE(fabric.registry("feather", 2), nullptr);
+  EXPECT_EQ(fabric.registry("feather", 3), nullptr);
+  EXPECT_EQ(fabric.registry("no-such-group", 0), nullptr);
+  EXPECT_EQ(fabric.service("no-such-group", 0), nullptr);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fabric.health("one-model", i), ReplicaHealth::kUp);
+  }
+}
+
+TEST(ReplicaLabelTest, GroupHashIndexAndHealthNames) {
+  EXPECT_EQ(ReplicaLabel("feather", 2), "feather#2");
+  EXPECT_STREQ(ReplicaHealthName(ReplicaHealth::kUp), "up");
+  EXPECT_STREQ(ReplicaHealthName(ReplicaHealth::kDraining), "draining");
+  EXPECT_STREQ(ReplicaHealthName(ReplicaHealth::kDead), "dead");
+}
+
+// ----------------------------------------------------------- bit identity --
+
+TEST(FabricTest, AnswersBitIdenticalToOfflineTwoStepOnEveryReplica) {
+  const TrainedFixture& f = F();
+  Fabric fabric(TestConfig(), TestCalibration());
+  // 3 replicas each for 4 experts + the catch-all.
+  EXPECT_EQ(PublishTwoStep(f.ts, &fabric), 15u);
+
+  const size_t kProbes = 16;
+  std::vector<linalg::Vector> probes;
+  std::vector<std::string> expected_group;
+  for (size_t j = 0; j < kProbes; ++j) {
+    probes.push_back(f.probe(static_cast<QueryType>(j % 4), j / 4));
+    expected_group.push_back(workload::QueryTypeName(
+        f.ts.base().Predict(probes.back()).predicted_type));
+  }
+
+  const size_t kRequests = 96;
+  std::set<std::string> replicas_seen;
+  for (size_t i = 0; i < kRequests; ++i) {
+    const size_t j = i % kProbes;
+    const serve::ServeResponse resp =
+        fabric.Submit({probes[j], 100.0}).get();
+    ASSERT_FALSE(resp.degraded()) << resp.degraded_reason;
+    // Responses are stamped with the replica label, "group#index".
+    EXPECT_EQ(resp.shard.rfind(expected_group[j] + "#", 0), 0u)
+        << resp.shard;
+    replicas_seen.insert(resp.shard);
+    // The contract: which replica answered never changes a bit.
+    ExpectBitIdentical(resp.prediction, f.ts.Predict(probes[j]));
+  }
+  // The P2C spread used more than one replica per group.
+  EXPECT_GT(replicas_seen.size(), 4u);
+
+  const FabricStatsSnapshot stats = fabric.stats();
+  EXPECT_EQ(stats.classified, kProbes);  // once per distinct probe
+  EXPECT_EQ(stats.route_cache_hits, kRequests - kProbes);
+  EXPECT_EQ(stats.admitted, kRequests);  // admission disabled: all admitted
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.escalations(), 0u);
+  EXPECT_EQ(stats.fallback_exhausted, 0u);
+  uint64_t served = 0, routed = 0, picks = 0;
+  for (const auto& g : stats.groups) {
+    routed += g.routed;
+    EXPECT_EQ(g.absorbed, 0u);
+    for (const auto& r : g.replicas) {
+      served += r.service.requests;
+      picks += r.picks;
+    }
+  }
+  EXPECT_EQ(served, kRequests);
+  EXPECT_EQ(routed, kRequests);
+  EXPECT_EQ(picks, kRequests);
+}
+
+// -------------------------------------------------- power of two choices --
+
+TEST(FabricTest, P2CPickSequenceReplaysBitForBitAndSpreadsLoad) {
+  const TrainedFixture& f = F();
+  const auto run = [&](uint64_t p2c_seed) {
+    FabricConfig config = TestConfig();
+    config.p2c_seed = p2c_seed;
+    // Deterministic-harness mode: resolve every two-candidate choice with
+    // the keyed coin so pick counts cannot depend on worker timing.
+    config.p2c_ignore_depth = true;
+    Fabric fabric(std::move(config), TestCalibration());
+    PublishTwoStep(f.ts, &fabric);
+    for (size_t i = 0; i < 120; ++i) {
+      fabric.Submit({f.probe(static_cast<QueryType>(i % 4), i % 40), 100.0})
+          .get();
+    }
+    std::vector<std::pair<std::string, uint64_t>> picks;
+    for (const auto& g : fabric.stats().groups) {
+      for (const auto& r : g.replicas) picks.emplace_back(r.label, r.picks);
+    }
+    return picks;
+  };
+
+  const auto first = run(0xFAB51Cull);
+  const auto replay = run(0xFAB51Cull);
+  EXPECT_EQ(first, replay);  // same seed: identical pick counts everywhere
+
+  // Every expert replica took some picks (the spread reaches the whole
+  // group), and a different seed is a different (valid) spread.
+  size_t expert_replicas_used = 0;
+  for (const auto& [label, picks] : first) {
+    if (label.rfind("one-model", 0) == 0) continue;
+    if (picks > 0) ++expert_replicas_used;
+  }
+  EXPECT_EQ(expert_replicas_used, 12u);
+  EXPECT_NE(run(0x5EED5ull), first);
+}
+
+// ------------------------------------------------------- replica health --
+
+TEST(FabricTest, DrainingReplicaTakesNoNewPicks) {
+  const TrainedFixture& f = F();
+  Fabric fabric(TestConfig(), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  fabric.SetReplicaHealth("feather", 0, ReplicaHealth::kDraining);
+  EXPECT_EQ(fabric.health("feather", 0), ReplicaHealth::kDraining);
+  for (size_t i = 0; i < 30; ++i) {
+    const serve::ServeResponse resp =
+        fabric.Submit({f.probe(QueryType::kFeather, i % 40), 100.0}).get();
+    ASSERT_FALSE(resp.degraded());
+    EXPECT_NE(resp.shard, "feather#0");
+  }
+  const FabricStatsSnapshot stats = fabric.stats();
+  EXPECT_EQ(stats.escalations(), 0u);  // the group kept serving
+  for (const auto& g : stats.groups) {
+    if (g.name != "feather") continue;
+    EXPECT_EQ(g.replicas[0].picks, 0u);
+    EXPECT_GT(g.replicas[1].picks + g.replicas[2].picks, 0u);
+  }
+}
+
+TEST(FabricTest, FullyDeadGroupEscalatesToCatchAllWithBaseAnswers) {
+  const TrainedFixture& f = F();
+  Fabric fabric(TestConfig(), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  const linalg::Vector feather = f.probe(QueryType::kFeather, 0);
+  ASSERT_EQ(fabric.Submit({feather, 100.0}).get().shard.rfind("feather#", 0),
+            0u);
+  for (size_t i = 0; i < 3; ++i) {
+    fabric.SetReplicaHealth("feather", i, ReplicaHealth::kDead);
+  }
+
+  const serve::ServeResponse resp = fabric.Submit({feather, 100.0}).get();
+  EXPECT_FALSE(resp.degraded());
+  EXPECT_EQ(resp.shard.rfind("one-model#", 0), 0u) << resp.shard;
+  ExpectBitIdentical(resp.prediction, f.ts.base().Predict(feather));
+
+  const FabricStatsSnapshot stats = fabric.stats();
+  EXPECT_EQ(stats.escalations_dead, 1u);
+  EXPECT_EQ(stats.escalations_open + stats.escalations_overloaded, 0u);
+  for (const auto& g : stats.groups) {
+    if (g.catch_all) {
+      EXPECT_EQ(g.absorbed, 1u);
+    }
+  }
+
+  // Revive one replica: the group takes its pool back, expert bits again.
+  fabric.SetReplicaHealth("feather", 1, ReplicaHealth::kUp);
+  const serve::ServeResponse back = fabric.Submit({feather, 100.0}).get();
+  EXPECT_EQ(back.shard, "feather#1");
+  ExpectBitIdentical(back.prediction, f.ts.Predict(feather));
+}
+
+TEST(FabricTest, MissingExpertPoolMatchesTwoStepFallbackExactly) {
+  // Starve the wrecking category below min_category_size: TwoStep keeps
+  // no wrecking expert, PublishTwoStep leaves that group dead, and the
+  // fabric's escalation answers with the base model — the exact same
+  // fallback the offline predictor takes.
+  auto examples = FourPoolExamples(40, 0xBEEFu);
+  examples.erase(examples.begin() + 125, examples.end());  // 5 wrecking rows
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  ASSERT_FALSE(ts.HasCategoryModel(QueryType::kWreckingBall));
+
+  Fabric fabric(TestConfig(), TestCalibration());
+  PublishTwoStep(ts, &fabric);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fabric.registry("wrecking ball", i)->has_model());
+  }
+
+  const linalg::Vector wrecking = examples[122].query_features;
+  ASSERT_EQ(ts.base().Predict(wrecking).predicted_type,
+            QueryType::kWreckingBall);
+  const serve::ServeResponse resp = fabric.Submit({wrecking, 100.0}).get();
+  EXPECT_FALSE(resp.degraded());
+  EXPECT_EQ(resp.shard.rfind("one-model#", 0), 0u);
+  ExpectBitIdentical(resp.prediction, ts.Predict(wrecking));
+  EXPECT_EQ(fabric.stats().escalations_dead, 1u);
+}
+
+// ------------------------------------------------- rolling drain & swap --
+
+TEST(FabricTest, DrainSwapReviveIsARollingPerReplicaHotSwap) {
+  const TrainedFixture& f = F();
+  Fabric fabric(TestConfig(), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+  EXPECT_EQ(fabric.registry("golf ball", 1)->generation(), 1u);
+
+  // Retrain just the golf expert on fresh data and roll it onto replica 1.
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  auto golf_v2 = std::make_shared<core::Predictor>(cfg);
+  const auto fresh = FourPoolExamples(40, 0xF00Du);
+  golf_v2->Train({fresh.begin() + 40, fresh.begin() + 80});
+  ASSERT_TRUE(fabric.DrainSwapRevive("golf ball", 1, golf_v2));
+
+  EXPECT_EQ(fabric.health("golf ball", 1), ReplicaHealth::kUp);
+  EXPECT_EQ(fabric.registry("golf ball", 1)->generation(), 2u);
+  EXPECT_EQ(fabric.registry("golf ball", 0)->generation(), 1u);  // untouched
+  EXPECT_EQ(fabric.stats().drains, 1u);
+
+  // Pin traffic to the swapped replica: it must serve the new bits under
+  // the new generation while its peers drain.
+  fabric.SetReplicaHealth("golf ball", 0, ReplicaHealth::kDraining);
+  fabric.SetReplicaHealth("golf ball", 2, ReplicaHealth::kDraining);
+  const linalg::Vector golf = f.probe(QueryType::kGolfBall, 3);
+  const serve::ServeResponse resp = fabric.Submit({golf, 100.0}).get();
+  EXPECT_EQ(resp.shard, "golf ball#1");
+  EXPECT_EQ(resp.model_generation, 2u);
+  ExpectBitIdentical(resp.prediction, golf_v2->Predict(golf));
+
+  // Unknown addresses are a clean refusal, not a crash.
+  EXPECT_FALSE(fabric.DrainSwapRevive("golf ball", 9, golf_v2));
+  EXPECT_FALSE(fabric.DrainSwapRevive("no-such-group", 0, golf_v2));
+}
+
+// ----------------------------------------------------------- admission --
+
+TEST(AdmissionControllerTest, PolicyTableIsPureAndPoolAware) {
+  AdmissionController adm(TestAdmission());
+  EXPECT_TRUE(adm.Breached(kOverload));
+  EXPECT_FALSE(adm.Breached(kCalm));
+  // Breach: heavies shed or defer, lights keep flowing.
+  EXPECT_EQ(adm.Decide(QueryType::kWreckingBall, kOverload),
+            AdmissionAction::kShed);
+  EXPECT_EQ(adm.Decide(QueryType::kBowlingBall, kOverload),
+            AdmissionAction::kDefer);
+  EXPECT_EQ(adm.Decide(QueryType::kFeather, kOverload),
+            AdmissionAction::kAdmit);
+  EXPECT_EQ(adm.Decide(QueryType::kGolfBall, kOverload),
+            AdmissionAction::kAdmit);
+  // Calm: everyone is admitted.
+  for (const QueryType pool :
+       {QueryType::kFeather, QueryType::kGolfBall, QueryType::kBowlingBall,
+        QueryType::kWreckingBall}) {
+    EXPECT_EQ(adm.Decide(pool, kCalm), AdmissionAction::kAdmit);
+  }
+  // The virtual override pins the signal regardless of live load.
+  adm.SetVirtualLoad(kOverload);
+  EXPECT_TRUE(adm.Breached(adm.Signal(/*live_queue_depth=*/0)));
+  adm.SetVirtualLoad(std::nullopt);
+  EXPECT_FALSE(adm.Breached(adm.Signal(0)));
+
+  AdmissionConfig disabled;
+  AdmissionController off(disabled);
+  EXPECT_FALSE(off.Breached(kOverload));
+  EXPECT_EQ(off.Decide(QueryType::kWreckingBall, kOverload),
+            AdmissionAction::kAdmit);
+}
+
+TEST(FabricTest, BreachShedsWreckingBallsWithLabeledCostAnswers) {
+  const TrainedFixture& f = F();
+  const serve::CostCalibration cal = TestCalibration();
+  FabricConfig config = TestConfig();
+  config.admission = TestAdmission();
+  Fabric fabric(std::move(config), cal);
+  PublishTwoStep(f.ts, &fabric);
+
+  fabric.admission()->SetVirtualLoad(kOverload);
+  const serve::ServeResponse shed =
+      fabric.Submit({f.probe(QueryType::kWreckingBall, 0), 400.0}).get();
+  EXPECT_TRUE(shed.degraded());
+  EXPECT_EQ(shed.degraded_reason, "admission-shed");
+  EXPECT_EQ(shed.source, serve::ResponseSource::kOptimizerFallback);
+  EXPECT_EQ(shed.prediction.metrics.elapsed_seconds,
+            cal.EstimateSeconds(400.0));
+
+  // Feathers keep flowing through the same breach, bits intact.
+  const linalg::Vector feather = f.probe(QueryType::kFeather, 0);
+  const serve::ServeResponse light = fabric.Submit({feather, 100.0}).get();
+  EXPECT_FALSE(light.degraded());
+  ExpectBitIdentical(light.prediction, f.ts.Predict(feather));
+
+  const FabricStatsSnapshot stats = fabric.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.deferred, 0u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.slo_breaches, 2u);  // both decisions ran under breach
+}
+
+TEST(FabricTest, DeferredBowlingBallsDrainOnceTheBreachClears) {
+  const TrainedFixture& f = F();
+  FabricConfig config = TestConfig();
+  config.admission = TestAdmission();
+  Fabric fabric(std::move(config), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  fabric.admission()->SetVirtualLoad(kOverload);
+  const linalg::Vector bowling = f.probe(QueryType::kBowlingBall, 0);
+  std::future<serve::ServeResponse> parked =
+      fabric.Submit({bowling, 100.0});
+  // Parked at the front door: the future is out but not ready.
+  EXPECT_EQ(parked.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+  EXPECT_EQ(fabric.stats().deferred, 1u);
+  EXPECT_EQ(fabric.stats().defer_drained, 0u);
+
+  // The breach clears; the next admitted request piggyback-drains the
+  // parked one, which is answered by the normal expert path.
+  fabric.admission()->SetVirtualLoad(kCalm);
+  fabric.Submit({f.probe(QueryType::kFeather, 1), 100.0}).get();
+  const serve::ServeResponse resp = parked.get();
+  EXPECT_FALSE(resp.degraded()) << resp.degraded_reason;
+  EXPECT_EQ(resp.shard.rfind("bowling ball#", 0), 0u) << resp.shard;
+  ExpectBitIdentical(resp.prediction, f.ts.Predict(bowling));
+  EXPECT_EQ(fabric.stats().defer_drained, 1u);
+  EXPECT_EQ(fabric.stats().defer_overflow, 0u);
+}
+
+TEST(FabricTest, DeferOverflowDegradesToShedInsteadOfBlocking) {
+  const TrainedFixture& f = F();
+  FabricConfig config = TestConfig();
+  config.admission = TestAdmission();
+  config.admission.max_deferred = 2;
+  Fabric fabric(std::move(config), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  fabric.admission()->SetVirtualLoad(kOverload);
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (size_t i = 0; i < 3; ++i) {
+    futures.push_back(
+        fabric.Submit({f.probe(QueryType::kBowlingBall, i), 100.0}));
+  }
+  // Two park; the third finds the buffer full and degrades to a shed.
+  const serve::ServeResponse overflowed = futures[2].get();
+  EXPECT_TRUE(overflowed.degraded());
+  EXPECT_EQ(overflowed.degraded_reason, "admission-shed");
+  const FabricStatsSnapshot stats = fabric.stats();
+  EXPECT_EQ(stats.deferred, 2u);
+  EXPECT_EQ(stats.defer_overflow, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+}
+
+TEST(FabricTest, ShutdownDispatchesDeferredRequestsBeforeStopping) {
+  const TrainedFixture& f = F();
+  FabricConfig config = TestConfig();
+  config.admission = TestAdmission();
+  Fabric fabric(std::move(config), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  fabric.admission()->SetVirtualLoad(kOverload);
+  const linalg::Vector bowling = f.probe(QueryType::kBowlingBall, 2);
+  std::future<serve::ServeResponse> parked =
+      fabric.Submit({bowling, 100.0});
+  fabric.Shutdown();
+
+  // The deferred request was dispatched ahead of the replica stop, so it
+  // got a normal model answer — never a broken promise.
+  const serve::ServeResponse resp = parked.get();
+  EXPECT_FALSE(resp.degraded()) << resp.degraded_reason;
+  ExpectBitIdentical(resp.prediction, f.ts.Predict(bowling));
+  EXPECT_EQ(fabric.stats().defer_drained, 1u);
+}
+
+TEST(FabricTest, DisabledAdmissionAdmitsEverythingUnconditionally) {
+  const TrainedFixture& f = F();
+  Fabric fabric(TestConfig(), TestCalibration());  // admission disabled
+  PublishTwoStep(f.ts, &fabric);
+
+  // Even a wrecking ball under a (virtually) breached signal is admitted:
+  // the policy is never consulted when the master switch is off.
+  fabric.admission()->SetVirtualLoad(kOverload);
+  const linalg::Vector wrecking = f.probe(QueryType::kWreckingBall, 0);
+  const serve::ServeResponse resp = fabric.Submit({wrecking, 100.0}).get();
+  EXPECT_FALSE(resp.degraded());
+  ExpectBitIdentical(resp.prediction, f.ts.Predict(wrecking));
+  const FabricStatsSnapshot stats = fabric.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.shed + stats.deferred + stats.slo_breaches, 0u);
+}
+
+// ------------------------------------------------------ fault injection --
+
+TEST(FabricTest, CountedReplicaKillFiresOnTheNthPickAndPeersAbsorb) {
+  const TrainedFixture& f = F();
+  fault::FaultPlan plan;
+  plan.serve.target_replica_label = "feather#1";
+  plan.serve.replica_kill_after_picks = 3;
+  fault::FaultInjector injector(plan);
+
+  FabricConfig config = TestConfig();
+  config.faults = &injector;
+  Fabric fabric(std::move(config), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  const linalg::Vector feather = f.probe(QueryType::kFeather, 0);
+  size_t in_group = 0, absorbed = 0;
+  for (size_t i = 0; i < 60; ++i) {
+    const bool killed = injector.injected("replica_kill") > 0;
+    const serve::ServeResponse resp = fabric.Submit({feather, 100.0}).get();
+    ASSERT_FALSE(resp.degraded()) << resp.degraded_reason;
+    if (resp.shard.rfind("feather#", 0) == 0) {
+      ++in_group;
+      // The target serves its first picks normally; once the counted kill
+      // has fired it must never answer again.
+      if (killed) {
+        EXPECT_NE(resp.shard, "feather#1")
+            << "a dead replica answered request " << i;
+      }
+      ExpectBitIdentical(resp.prediction, f.ts.Predict(feather));
+    } else {
+      // Only the killing pick itself re-routes: the group has live peers.
+      ++absorbed;
+      EXPECT_EQ(resp.shard.rfind("one-model#", 0), 0u);
+      ExpectBitIdentical(resp.prediction, f.ts.base().Predict(feather));
+    }
+  }
+  // The default kill hook marked the target dead and took its model.
+  EXPECT_EQ(injector.injected("replica_kill"), 1u);
+  EXPECT_EQ(fabric.health("feather", 1), ReplicaHealth::kDead);
+  EXPECT_FALSE(fabric.registry("feather", 1)->has_model());
+  EXPECT_EQ(absorbed, 1u);
+  EXPECT_EQ(in_group, 59u);
+  EXPECT_EQ(fabric.stats().escalations_dead, 1u);
+}
+
+TEST(FabricTest, ReplicaStallsDegradeOnlyTheTargetWithLabeledDeadlines) {
+  const TrainedFixture& f = F();
+  fault::FaultPlan plan;
+  plan.serve.target_replica_label = "golf ball#0";
+  plan.serve.replica_stall_probability = 1.0;  // every batch it picks up
+  plan.serve.replica_stall_seconds = 60.0;
+  fault::FaultInjector injector(plan);
+
+  serve::ServiceConfig service = PlainConfig();
+  service.queue_deadline_seconds = 5.0;  // virtual stall blows this
+  FabricConfig config = MakePerPoolFabricConfig(3, service);
+  config.faults = &injector;
+  Fabric fabric(std::move(config), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  const linalg::Vector golf = f.probe(QueryType::kGolfBall, 0);
+  size_t deadline_seen = 0, clean = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    const serve::ServeResponse resp = fabric.Submit({golf, 100.0}).get();
+    if (resp.degraded()) {
+      // Every degradation is the target replica's labeled deadline miss.
+      EXPECT_EQ(resp.degraded_reason, "deadline");
+      EXPECT_EQ(resp.shard, "golf ball#0");
+      ++deadline_seen;
+    } else {
+      EXPECT_NE(resp.shard, "golf ball#0");
+      ExpectBitIdentical(resp.prediction, f.ts.Predict(golf));
+      ++clean;
+    }
+  }
+  EXPECT_GT(deadline_seen, 0u);
+  EXPECT_GT(clean, 0u);
+  // max_batch=1 makes stalls and deadline fallbacks exactly 1:1.
+  EXPECT_EQ(injector.injected("replica_stall"), deadline_seen);
+}
+
+// --------------------------------------------------------- escalation --
+
+TEST(FabricTest, ExhaustedLadderAnswersInlineCostFallback) {
+  const serve::CostCalibration cal = TestCalibration();
+  Fabric fabric(TestConfig(), cal);
+  // Nothing published and every catch-all replica dead: the bottom rung.
+  for (size_t i = 0; i < 3; ++i) {
+    fabric.SetReplicaHealth("one-model", i, ReplicaHealth::kDead);
+  }
+  const serve::ServeResponse resp =
+      fabric.Submit({{1.0, 2.0, 3.0, 4.0, 5.0}, 400.0}).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "fabric-exhausted");
+  EXPECT_EQ(resp.source, serve::ResponseSource::kOptimizerFallback);
+  EXPECT_EQ(resp.prediction.metrics.elapsed_seconds,
+            cal.EstimateSeconds(400.0));
+  EXPECT_EQ(fabric.stats().fallback_exhausted, 1u);
+}
+
+// ----------------------------------------------------------- concurrency --
+
+TEST(FabricTest, ConcurrentMixedTrafficStaysBitIdentical) {
+  const TrainedFixture& f = F();
+  serve::ServiceConfig service;
+  service.num_workers = 2;
+  service.max_batch = 8;
+  service.cache_capacity = 64;  // exercise the result cache too
+  service.fallback_on_anomalous = false;
+  Fabric fabric(MakePerPoolFabricConfig(2, service), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  const size_t kProbes = 12;
+  std::vector<linalg::Vector> probes;
+  std::vector<core::Prediction> expected;
+  for (size_t j = 0; j < kProbes; ++j) {
+    probes.push_back(f.probe(static_cast<QueryType>(j % 4), j / 4));
+    expected.push_back(f.ts.Predict(probes.back()));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < 40; ++r) {
+        const size_t which = (static_cast<size_t>(c) * 7 + r) % kProbes;
+        const serve::ServeResponse resp =
+            fabric.Submit({probes[which], 100.0}).get();
+        if (resp.degraded() ||
+            resp.prediction.metrics.ToVector() !=
+                expected[which].metrics.ToVector() ||
+            resp.prediction.neighbor_indices !=
+                expected[which].neighbor_indices ||
+            resp.prediction.confidence != expected[which].confidence) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const FabricStatsSnapshot stats = fabric.stats();
+  EXPECT_EQ(stats.escalations(), 0u);
+  uint64_t served = 0;
+  for (const auto& g : stats.groups) {
+    for (const auto& r : g.replicas) served += r.service.requests;
+  }
+  EXPECT_EQ(served, 160u);
+  EXPECT_EQ(stats.classified + stats.route_cache_hits, 160u);
+}
+
+// ------------------------------------------------------- observability --
+
+TEST(FabricTest, QppFabricMetricsMirrorTheStatsSnapshot) {
+  const TrainedFixture& f = F();
+  FabricConfig config = TestConfig();
+  config.admission = TestAdmission();
+  Fabric fabric(std::move(config), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  fabric.admission()->SetVirtualLoad(kOverload);
+  fabric.Submit({f.probe(QueryType::kWreckingBall, 0), 400.0}).get();  // shed
+  fabric.admission()->SetVirtualLoad(kCalm);
+  fabric.Submit({f.probe(QueryType::kFeather, 0), 100.0}).get();
+  fabric.Submit({f.probe(QueryType::kFeather, 0), 100.0}).get();  // cache hit
+
+  obs::MetricsRegistry* m = fabric.metrics();
+  const FabricStatsSnapshot stats = fabric.stats();
+  EXPECT_EQ(m->GetCounter("qpp_fabric_classified_total")->value(),
+            stats.classified);
+  EXPECT_EQ(m->GetCounter("qpp_fabric_route_cache_hits_total")->value(),
+            stats.route_cache_hits);
+  EXPECT_EQ(m->GetCounter("qpp_fabric_admitted_total")->value(),
+            stats.admitted);
+  EXPECT_EQ(m->GetCounter("qpp_fabric_slo_breach_total")->value(),
+            stats.slo_breaches);
+  // Shed counters carry the pool label; only the wrecking one moved.
+  EXPECT_EQ(m->GetCounter("qpp_fabric_shed_total",
+                          {{"pool", "wrecking ball"}})
+                ->value(),
+            1u);
+  EXPECT_EQ(m->GetCounter("qpp_fabric_shed_total", {{"pool", "feather"}})
+                ->value(),
+            0u);
+  // Group-routed and per-replica picks add up across labeled series.
+  uint64_t picks = 0;
+  for (const auto& g : fabric.stats().groups) {
+    for (size_t i = 0; i < g.replicas.size(); ++i) {
+      picks += m->GetCounter("qpp_fabric_replica_picks_total",
+                             {{"group", g.name},
+                              {"replica", std::to_string(i)}})
+                   ->value();
+    }
+  }
+  EXPECT_EQ(picks, stats.admitted);
+  EXPECT_EQ(m->GetCounter("qpp_fabric_requests_total",
+                          {{"group", "feather"}})
+                ->value(),
+            2u);
+}
+
+TEST(FabricTest, LifecycleEventsAreTracedUnderTheFabricCategory) {
+  const TrainedFixture& f = F();
+  obs::TraceRecorder trace;
+  FabricConfig config = TestConfig();
+  config.admission = TestAdmission();
+  config.trace = &trace;
+  Fabric fabric(std::move(config), TestCalibration());
+  PublishTwoStep(f.ts, &fabric);
+
+  fabric.Submit({f.probe(QueryType::kFeather, 0), 100.0}).get();
+  fabric.admission()->SetVirtualLoad(kOverload);
+  fabric.Submit({f.probe(QueryType::kWreckingBall, 0), 400.0}).get();
+  fabric.Submit({f.probe(QueryType::kBowlingBall, 0), 100.0});  // defer
+  fabric.admission()->SetVirtualLoad(kCalm);
+  for (size_t i = 0; i < 3; ++i) {
+    fabric.SetReplicaHealth("feather", i, ReplicaHealth::kDead);
+  }
+  fabric.Submit({f.probe(QueryType::kFeather, 0), 100.0}).get();  // escalate
+  fabric.Shutdown();
+
+  bool saw_classify = false, saw_shed = false, saw_defer = false;
+  bool saw_health = false, saw_escalate = false;
+  for (const obs::TraceEvent& e : trace.Events()) {
+    if (e.category != "fabric") continue;
+    if (e.name == "classify" && e.phase == 'X') saw_classify = true;
+    if (e.name == "admission-shed") saw_shed = true;
+    if (e.name == "defer") saw_defer = true;
+    if (e.name == "health") saw_health = true;
+    if (e.name == "escalate") {
+      saw_escalate = true;
+      for (const auto& [key, value] : e.args) {
+        if (key == "group") {
+          EXPECT_EQ(value, "\"feather:dead\"");
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_classify);
+  EXPECT_TRUE(saw_shed);
+  EXPECT_TRUE(saw_defer);
+  EXPECT_TRUE(saw_health);
+  EXPECT_TRUE(saw_escalate);
+}
+
+TEST(FabricTest, StatsToStringMentionsEveryGroupAndReplica) {
+  Fabric fabric(TestConfig(2), TestCalibration());
+  const std::string rendered = fabric.stats().ToString();
+  for (const char* needle :
+       {"feather", "golf ball#1", "bowling ball#0", "wrecking ball",
+        "one-model*", "one-model#1"}) {
+    EXPECT_NE(rendered.find(needle), std::string::npos) << rendered;
+  }
+}
+
+}  // namespace
+}  // namespace qpp::fabric

@@ -12,6 +12,8 @@
 //   build/bench/bench_fig13_exp2_balanced30   --json-out tests/golden/fig13.json
 //   build/bench/bench_fig16_32node_configs    --json-out tests/golden/fig16.json
 //   build/bench/bench_fig17_optimizer_cost    --json-out tests/golden/fig17.json
+//   build/tools/qpp_tool chaos --fabric-soak --seed 42 --requests 50000
+//       --json-out tests/golden/fabric.json   (one command line)
 // then update the affected EXPERIMENTS.md lines in the same commit.
 #include <gtest/gtest.h>
 
@@ -89,13 +91,23 @@ TEST(GoldenResultsTest, Fig17OptimizerCostFit) {
   CompareToGolden(ComputeFig17(Exp(), Exp1().evals).values, "fig17.json");
 }
 
+TEST(GoldenResultsTest, FabricSoakCounters) {
+  // The fabric capacity soak's deterministic counter set (tolerance 0 on
+  // every key): admission decisions, the counted replica kill, stall =
+  // deadline fallback accounting, and rolling drains at the pinned seed.
+  const FabricSoakGolden soak = ComputeFabricSoak();
+  EXPECT_TRUE(soak.ok) << soak.report;
+  CompareToGolden(soak.values, "fabric.json");
+}
+
 // The ISSUE's floor: the suite must pin at least 10 headline values. It
 // pins far more, but keep the floor explicit so pruning can't hollow the
 // suite out unnoticed.
 TEST(GoldenResultsTest, PinsAtLeastTenHeadlineValues) {
   size_t total = 0;
   for (const char* file : {"fig03.json", "exp1.json", "tab2.json",
-                           "fig13.json", "fig16.json", "fig17.json"}) {
+                           "fig13.json", "fig16.json", "fig17.json",
+                           "fabric.json"}) {
     total += ReadGoldenJson(GoldenPath(file)).size();
   }
   EXPECT_GE(total, 10u);

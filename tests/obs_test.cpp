@@ -202,6 +202,44 @@ TEST(HistogramTest, InRangeQuantileIsWithinBucketError) {
   EXPECT_NEAR(h.Quantile(0.5), 0.010, 0.010 * 0.2);
 }
 
+TEST(HistogramTest, QuantilesBracketTheBruteForceSortedOracle) {
+  // Oracle check for the documented nearest-rank semantics: for each q,
+  // sort the raw samples, take rank max(ceil(q * n), 1), and require that
+  // exact sample to fall inside the closed [lower, upper] bracket the
+  // snapshot reports — and the midpoint estimate to sit inside the same
+  // bracket. A heavy-tailed deterministic mix (microseconds to tens of
+  // seconds, plus duplicates on a bucket boundary) exercises in-range,
+  // repeated-value, and cross-decade ranks.
+  Histogram h;
+  std::vector<double> samples;
+  Rng rng(0x0b5e55ed);
+  for (int i = 0; i < 2000; ++i) {
+    // log-uniform across [1e-5, 10): decade = U[-5, 1)
+    samples.push_back(std::pow(10.0, rng.Uniform(-5.0, 1.0)));
+  }
+  for (int i = 0; i < 200; ++i) samples.push_back(1e-3);  // boundary pileup
+  for (int i = 0; i < 20; ++i) samples.push_back(30.0 + i);  // slow tail
+  for (double v : samples) h.Record(v);
+  std::sort(samples.begin(), samples.end());
+
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count(), samples.size());
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const size_t rank = std::max<size_t>(
+        size_t(std::ceil(q * double(samples.size()))), 1);
+    const double oracle = samples[rank - 1];
+    const auto bracket = snap.QuantileBounds(q);
+    EXPECT_LE(bracket.lower, oracle) << "q=" << q;
+    EXPECT_GE(bracket.upper, oracle) << "q=" << q;
+    const double estimate = snap.Quantile(q);
+    EXPECT_LE(bracket.lower, estimate) << "q=" << q;
+    EXPECT_GE(bracket.upper, estimate) << "q=" << q;
+    // 8 buckets/decade: bucket width 10^(1/8), so the geometric-midpoint
+    // estimate is within ~16% of the true nearest-rank sample.
+    EXPECT_NEAR(estimate, oracle, oracle * 0.16) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, SnapshotMergeAccumulates) {
   Histogram a, b;
   a.Record(1e-3);

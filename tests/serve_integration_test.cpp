@@ -301,6 +301,42 @@ TEST(PredictionServiceTest, SubmitWithRetryDegradesToOverloadWhenExhausted) {
   EXPECT_EQ(stats.requests, 1u);
 }
 
+TEST(PredictionServiceTest, RetryAndBreakerDefaultsMatchHistoricalValues) {
+  // The retry schedule and breaker thresholds used to be compile-time
+  // constants; they are ServiceConfig knobs now (docs/SERVING.md documents
+  // the table). A default-constructed config must reproduce the historical
+  // behavior exactly — pin the values so a drive-by retune of a default
+  // shows up as a deliberate test change, not a silent fleet-wide one.
+  const ServiceConfig config;
+  EXPECT_EQ(config.retry.max_attempts, 3);
+  EXPECT_DOUBLE_EQ(config.retry.initial_backoff_seconds, 0.0005);
+  EXPECT_DOUBLE_EQ(config.retry.backoff_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(config.retry.max_backoff_seconds, 0.05);
+  EXPECT_FALSE(config.breaker.enabled);
+  EXPECT_EQ(config.breaker.window, 64u);
+  EXPECT_EQ(config.breaker.min_samples, 16u);
+  EXPECT_DOUBLE_EQ(config.breaker.trip_ratio, 0.5);
+  EXPECT_EQ(config.breaker.open_requests, 32u);
+}
+
+TEST(PredictionServiceTest, NoArgSubmitWithRetryFollowsConfigRetry) {
+  // The no-policy overload must run config.retry, not a hardcoded
+  // schedule: with max_attempts = 2 against a shut-down service, exactly
+  // two refusals are recorded (the historical hardcoded schedule made 3).
+  ModelRegistry registry;
+  ServiceConfig config;
+  config.retry.max_attempts = 2;
+  config.retry.initial_backoff_seconds = 1e-6;
+  const CostCalibration cal = TestCalibration();
+  PredictionService service(&registry, config, cal);
+  service.Shutdown();  // every TrySubmit now refuses
+  const ServeResponse resp =
+      service.SubmitWithRetry({{1.0, 2.0}, 300.0}).get();
+  EXPECT_TRUE(resp.degraded());
+  EXPECT_EQ(resp.degraded_reason, "overload");
+  EXPECT_EQ(service.stats().rejected, 2u);
+}
+
 TEST(PredictionServiceTest, SubmitWithRetrySucceedsWithoutFaults) {
   const core::Predictor pred = TrainPredictor(48, 5, ml::KccaSolver::kExact);
   ModelRegistry registry;

@@ -337,6 +337,111 @@ TEST(ShardRouterTest, ExhaustedLadderAnswersInlineCostFallback) {
   EXPECT_EQ(router.stats().fallback_exhausted, 1u);
 }
 
+// ------------------------------------------------- ladder metric table --
+
+// Every escalation rung must move exactly its own qpp_shard_* counters in
+// the router's metrics registry — the stats snapshot reads the same
+// counters, but the registered names + labels are the monitoring
+// contract, so assert them by name. One table row per rung: dead ->
+// circuit-open (including the every-Nth recovery-probe path) ->
+// overloaded -> catch-all absorption -> inline fallback.
+TEST(ShardRouterTest, EveryEscalationRungMovesItsLabeledCounters) {
+  const auto examples = MultiPoolExamples(40, 31);
+  const core::TwoStepPredictor ts = TrainTwoStep(examples);
+  const linalg::Vector feather = examples[0].query_features;
+
+  struct RungCase {
+    const char* rung;   // which rung the row forces for feather traffic
+    size_t submits;     // identical feather requests driven through
+    bool breaker;       // arm the feather breaker behind a 1e-12 deadline
+    void (*induce)(ShardRouter&);  // put the router in the rung's state
+    uint64_t dead, overloaded, exhausted;  // exact counter expectations
+    bool open_positive;  // expect escalations{circuit-open} > 0 instead
+  };
+  const RungCase kCases[] = {
+      {"dead", 1, false,
+       [](ShardRouter& r) { r.registry("feather")->Unpublish(); },
+       /*dead=*/1, /*overloaded=*/0, /*exhausted=*/0, false},
+      {"circuit-open", 60, true, [](ShardRouter&) {},
+       /*dead=*/0, /*overloaded=*/0, /*exhausted=*/0, true},
+      {"overloaded", 1, false,
+       [](ShardRouter& r) { r.service("feather")->Shutdown(); },
+       /*dead=*/0, /*overloaded=*/1, /*exhausted=*/0, false},
+      // Bottom of the ladder: feather refuses (overloaded rung), the
+      // catch-all refuses too, and the router answers inline.
+      {"shards-exhausted", 1, false, [](ShardRouter& r) { r.Shutdown(); },
+       /*dead=*/0, /*overloaded=*/1, /*exhausted=*/1, false},
+  };
+
+  for (const RungCase& c : kCases) {
+    SCOPED_TRACE(c.rung);
+    ShardRouterConfig config = PerPoolConfig();
+    if (c.breaker) {
+      config.open_probe_every = 4;
+      for (ShardSpec& spec : config.shards) {
+        if (spec.name != "feather") continue;
+        spec.service.queue_deadline_seconds = 1e-12;
+        spec.service.breaker.enabled = true;
+        spec.service.breaker.window = 8;
+        spec.service.breaker.min_samples = 4;
+        spec.service.breaker.trip_ratio = 0.5;
+        spec.service.breaker.open_requests = 64;
+      }
+    }
+    ShardRouter router(std::move(config), TestCalibration());
+    PublishTwoStep(ts, &router);
+    c.induce(router);
+    for (size_t i = 0; i < c.submits; ++i) {
+      router.Submit({feather, 100.0}).get();
+    }
+
+    obs::MetricsRegistry* m = router.metrics();
+    const auto counter = [m](const std::string& name,
+                             obs::Labels labels = {}) {
+      return m->GetCounter(name, std::move(labels))->value();
+    };
+    const obs::Labels kFeather = {{"shard", "feather"}};
+    const obs::Labels kCatchAll = {{"shard", "one-model"}};
+
+    // Step-1 accounting: one real classification, every identical repeat
+    // a route-cache hit.
+    EXPECT_EQ(counter("qpp_shard_classified_total"), 1u);
+    EXPECT_EQ(counter("qpp_shard_route_cache_hits_total"), c.submits - 1);
+
+    const uint64_t open = counter(
+        "qpp_shard_escalations_total",
+        {{"shard", "feather"}, {"reason", "circuit-open"}});
+    EXPECT_EQ(counter("qpp_shard_escalations_total",
+                      {{"shard", "feather"}, {"reason", "dead"}}),
+              c.dead);
+    EXPECT_EQ(counter("qpp_shard_escalations_total",
+                      {{"shard", "feather"}, {"reason", "overloaded"}}),
+              c.overloaded);
+    EXPECT_EQ(counter("qpp_shard_fallback_exhausted_total"), c.exhausted);
+
+    const uint64_t escalations = c.dead + c.overloaded + open;
+    const uint64_t feather_routed =
+        counter("qpp_shard_requests_total", kFeather);
+    if (c.open_positive) {
+      // The breaker trips after its min_samples deadline blowups, then
+      // diverts — but every open_probe_every-th request still probes the
+      // expert, so routed traffic lands strictly between 0 and all.
+      EXPECT_GT(open, 0u);
+      EXPECT_GT(feather_routed, 0u);
+      EXPECT_LT(feather_routed, c.submits);
+      EXPECT_EQ(feather_routed + open, c.submits);
+    } else {
+      EXPECT_EQ(open, 0u);
+      EXPECT_EQ(feather_routed, 0u);
+    }
+    // Escalated requests are absorbed by the catch-all (even at the
+    // exhausted rung, where absorption is counted before its refusal),
+    // and absorption is never first-choice routing.
+    EXPECT_EQ(counter("qpp_shard_absorbed_total", kCatchAll), escalations);
+    EXPECT_EQ(counter("qpp_shard_requests_total", kCatchAll), 0u);
+  }
+}
+
 // --------------------------------------------------- alternate policies --
 
 TEST(ShardRouterTest, OptimizerCostPolicyRoutesByCalibratedEstimate) {

@@ -26,7 +26,10 @@
 //       print their deterministic reports; exit 1 on any violated
 //       invariant. --save-plan FILE ships a scenario's FaultPlan for
 //       replay; --plan FILE replays a saved plan; --soak runs the
-//       high-volume concurrent soak instead of the named scenarios.
+//       high-volume concurrent soak instead of the named scenarios;
+//       --fabric-soak runs the deterministic replicated-serving capacity
+//       soak (docs/FABRIC.md), with --json-out FILE writing its
+//       byte-replayable counters for the CI artifact/diff.
 //
 // All commands run against the TPC-DS SF-1 catalog on the Neoview-4
 // configuration; this is a demonstration surface, not a kitchen sink.
@@ -110,6 +113,7 @@ int Usage() {
                "                   [--candidates N] [--seed S]\n"
                "  qpp_tool chaos   [--scenario NAME|all] [--seed S]\n"
                "                   [--requests R] [--queries Q] [--soak]\n"
+               "                   [--fabric-soak] [--json-out FILE]\n"
                "                   [--plan FILE] [--save-plan FILE]\n");
   return 2;
 }
@@ -523,7 +527,30 @@ int CmdChaos(const Args& args) {
   }
 
   std::vector<fault::ScenarioResult> results;
-  if (args.flag("soak")) {
+  if (args.flag("fabric-soak")) {
+    fault::FabricSoakResult soak = fault::RunFabricSoak(opts);
+    const std::string json_path = args.get("json-out");
+    if (!json_path.empty()) {
+      // Flat {"name": value} JSON in the fixed counter order: two runs
+      // with the same seed and request count must produce identical bytes
+      // (CI diffs them), so nothing wall-clock-derived belongs here.
+      std::string json = "{\n";
+      for (size_t i = 0; i < soak.counters.size(); ++i) {
+        json += StrFormat("  \"%s\": %.17g%s\n",
+                          soak.counters[i].first.c_str(),
+                          soak.counters[i].second,
+                          i + 1 < soak.counters.size() ? "," : "");
+      }
+      json += "}\n";
+      if (!WriteTextFile(json_path, json)) return 1;
+      // stderr, not stdout: the stdout report must stay byte-identical
+      // across same-seed runs even when the --json-out paths differ
+      // (CI diffs two runs' reports).
+      std::fprintf(stderr, "fabric soak counters written to %s\n",
+                   json_path.c_str());
+    }
+    results.push_back(std::move(soak.scenario));
+  } else if (args.flag("soak")) {
     results.push_back(fault::RunChaosSoak(opts));
   } else if (scenario == "all") {
     for (const std::string& name : fault::ChaosScenarioNames()) {
