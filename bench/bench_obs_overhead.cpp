@@ -1,22 +1,60 @@
-// Microbenchmark — observability hot-path overhead (informational, no
-// gate): counter increments, histogram recording, and RAII spans with
-// tracing disabled (null recorder, the production serve configuration)
-// vs enabled. The disabled-span number is the one that matters: it is the
-// cost the serve pipeline pays per stage when no --trace-out is given, and
-// it should be a couple of branches, not a clock read.
+// Microbenchmark — observability hot-path overhead: counter increments,
+// histogram recording (with and without exemplars), RAII spans with
+// tracing disabled (null recorder, the production serve configuration) vs
+// enabled, request-context scope installation, flight-recorder events, and
+// amortized SLO-engine ticks.
+//
+// Two numbers are gated (everything else is informational):
+//   * flight-recorder Record() — the "always on" promise is only honest if
+//     one event costs nanoseconds, so the gate fails when it exceeds
+//     QPP_FLIGHT_GATE_NS per event;
+//   * SloEngine::Tick() amortized over a 256-tick window — the admission
+//     controller now ticks this per response, so the window machinery must
+//     stay cheap enough to sit on the serve hot path
+//     (QPP_SLO_GATE_NS per tick).
+//
+// `--json-out FILE` writes the measured per-event costs and gate verdicts
+// as a flat JSON artifact for CI trend lines; the gate itself sets the
+// exit code. The thresholds are deliberately loose (they catch order-of-
+// magnitude regressions — an accidental mutex or allocation on the record
+// path — not scheduler noise).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "obs/request_context.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace {
 
 using qpp::obs::Counter;
+using qpp::obs::FlightEventKind;
+using qpp::obs::FlightRecorder;
 using qpp::obs::Histogram;
+using qpp::obs::HistogramOptions;
 using qpp::obs::MetricsRegistry;
+using qpp::obs::RequestContext;
+using qpp::obs::ScopedRequestContext;
+using qpp::obs::SloEngine;
+using qpp::obs::SloEngineOptions;
+using qpp::obs::SloRule;
 using qpp::obs::Span;
 using qpp::obs::TraceRecorder;
+
+// Order-of-magnitude ceilings, not SLOs: a clean build measures ~tens of
+// nanoseconds for both. Failing either means something heavyweight (lock,
+// allocation, syscall) landed on a per-event path.
+constexpr double kFlightGateNs = 2000.0;
+constexpr double kSloTickGateNs = 5000.0;
 
 void BM_CounterInc(benchmark::State& state) {
   Counter c;
@@ -37,6 +75,20 @@ void BM_HistogramRecord(benchmark::State& state) {
   benchmark::DoNotOptimize(h.count());
 }
 BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramRecordWithExemplar(benchmark::State& state) {
+  HistogramOptions options;
+  options.exemplars = true;
+  Histogram h(options);
+  double v = 1e-4;
+  uint64_t id = 1;
+  for (auto _ : state) {
+    h.Record(v, id++);
+    v = v < 1.0 ? v * 1.0000001 : 1e-4;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecordWithExemplar);
 
 void BM_RegistryLookup(benchmark::State& state) {
   // The anti-pattern cost (resolving by name per record) vs the cached
@@ -80,6 +132,201 @@ void BM_SpanEnabledWithArgs(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanEnabledWithArgs);
 
+void BM_ScopedRequestContext(benchmark::State& state) {
+  // The per-request cost the fabric pays at Submit: install + restore.
+  for (auto _ : state) {
+    ScopedRequestContext scope(RequestContext{0xBE7C});
+    benchmark::DoNotOptimize(&scope);
+  }
+}
+BENCHMARK(BM_ScopedRequestContext);
+
+void BM_FlightRecord(benchmark::State& state) {
+  FlightRecorder flight;
+  int32_t code = 0;
+  for (auto _ : state) {
+    flight.Record(FlightEventKind::kPick, 0x5EED, code++, 1.5);
+  }
+  benchmark::DoNotOptimize(flight.total_recorded());
+}
+BENCHMARK(BM_FlightRecord);
+
+void BM_FlightRecordWithDetail(benchmark::State& state) {
+  FlightRecorder flight;
+  for (auto _ : state) {
+    flight.Record(FlightEventKind::kEscalation, 0x5EED, 0, 0.0,
+                  "bowling ball#1/dead");
+  }
+  benchmark::DoNotOptimize(flight.total_recorded());
+}
+BENCHMARK(BM_FlightRecordWithDetail);
+
+void BM_FlightDumpJson(benchmark::State& state) {
+  // The cold path (dump on failure), for scale: a full 4096-slot ring.
+  FlightRecorder flight;
+  for (int i = 0; i < 4096; ++i) {
+    flight.Record(FlightEventKind::kPick, i, i, 0.5, "feather#0");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flight.DumpJson("bench"));
+  }
+}
+BENCHMARK(BM_FlightDumpJson);
+
+// One histogram rule over a 256-tick tumbling window — the admission
+// controller's exact configuration. The per-tick cost amortizes the
+// window-close evaluation (snapshot + quantile walk) across the window.
+void BM_SloTickAmortized(benchmark::State& state) {
+  Histogram latency;
+  SloEngineOptions options;
+  options.window_ticks = 256;
+  SloEngine engine(options);
+  SloRule rule;
+  rule.name = "p99";
+  rule.threshold = 0.25;
+  rule.histogram = &latency;
+  engine.AddRule(std::move(rule));
+  double v = 1e-3;
+  for (auto _ : state) {
+    latency.Record(v);
+    benchmark::DoNotOptimize(engine.Tick());
+    v = v < 0.1 ? v * 1.000001 : 1e-3;
+  }
+}
+BENCHMARK(BM_SloTickAmortized);
+
+void BM_SloTickThreeRules(benchmark::State& state) {
+  // The flight demo's rule set: quantile + ratio + gauge.
+  MetricsRegistry registry;
+  Histogram latency;
+  Counter* num = registry.GetCounter("qpp_bench_fallbacks_total");
+  Counter* den = registry.GetCounter("qpp_bench_responses_total");
+  qpp::obs::Gauge* gauge = registry.GetGauge("qpp_bench_pending");
+  SloEngineOptions options;
+  options.window_ticks = 256;
+  options.registry = &registry;
+  SloEngine engine(options);
+  SloRule p99;
+  p99.name = "p99";
+  p99.threshold = 0.25;
+  p99.histogram = &latency;
+  engine.AddRule(std::move(p99));
+  SloRule share;
+  share.name = "share";
+  share.kind = SloRule::Kind::kCounterRatio;
+  share.threshold = 0.5;
+  share.numerator = num;
+  share.denominator = den;
+  engine.AddRule(std::move(share));
+  SloRule pending;
+  pending.name = "pending";
+  pending.kind = SloRule::Kind::kGaugeThreshold;
+  pending.threshold = 1.0;
+  pending.gauge = gauge;
+  engine.AddRule(std::move(pending));
+  double v = 1e-3;
+  for (auto _ : state) {
+    latency.Record(v);
+    den->Inc();
+    benchmark::DoNotOptimize(engine.Tick());
+    v = v < 0.1 ? v * 1.000001 : 1e-3;
+  }
+}
+BENCHMARK(BM_SloTickThreeRules);
+
+// ----------------------------------------------------------------- gate --
+
+double MeasureFlightRecordNs() {
+  FlightRecorder flight;
+  constexpr int kEvents = 2'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    flight.Record(FlightEventKind::kPick, 0x5EED, i, 1.5);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(flight.total_recorded());
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         kEvents;
+}
+
+double MeasureSloTickNs() {
+  Histogram latency;
+  SloEngineOptions options;
+  options.window_ticks = 256;
+  SloEngine engine(options);
+  SloRule rule;
+  rule.name = "p99";
+  rule.threshold = 0.25;
+  rule.histogram = &latency;
+  engine.AddRule(std::move(rule));
+  constexpr int kTicks = 1'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTicks; ++i) {
+    latency.Record(1e-3);
+    benchmark::DoNotOptimize(engine.Tick());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         kTicks;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull our own flag out before google-benchmark sees (and rejects) it.
+  std::string json_out;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = arg.substr(std::string("--json-out=").size());
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // The gate runs after the informational benchmarks, self-timed so it
+  // works identically with or without benchmark filters.
+  const double flight_ns = MeasureFlightRecordNs();
+  const double slo_ns = MeasureSloTickNs();
+  const bool flight_ok = flight_ns <= kFlightGateNs;
+  const bool slo_ok = slo_ns <= kSloTickGateNs;
+  std::printf("\nper-event overhead gate:\n"
+              "  flight_record  %8.1f ns/event (gate %.0f) %s\n"
+              "  slo_tick       %8.1f ns/tick  (gate %.0f) %s\n",
+              flight_ns, kFlightGateNs, flight_ok ? "OK" : "FAIL",
+              slo_ns, kSloTickGateNs, slo_ok ? "OK" : "FAIL");
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   json_out.c_str());
+      return 1;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"flight_record_ns_per_event\": %.3f,\n"
+                  "  \"flight_gate_ns\": %.1f,\n"
+                  "  \"slo_tick_ns_per_tick\": %.3f,\n"
+                  "  \"slo_tick_gate_ns\": %.1f,\n"
+                  "  \"gate_pass\": %s\n"
+                  "}\n",
+                  flight_ns, kFlightGateNs, slo_ns, kSloTickGateNs,
+                  (flight_ok && slo_ok) ? "true" : "false");
+    out << buf;
+  }
+  return (flight_ok && slo_ok) ? 0 : 1;
+}

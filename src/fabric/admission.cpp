@@ -1,18 +1,37 @@
 #include "fabric/admission.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/check.h"
+#include "obs/request_context.h"
 
 namespace qpp::fabric {
 
 namespace {
-// Recompute the windowed p99 every this many records: the nth_element
-// pass over a few hundred doubles is cheap, but not once-per-response
-// cheap, and admission only needs a signal that tracks the window, not
-// one that is exact on every sample.
-constexpr size_t kRefreshEvery = 32;
+// The engine's eager-refresh cadence while a window is still open: the
+// quantile pass over the bucket array is cheap, but not once-per-response
+// cheap, and admission only needs a signal that tracks the window, not one
+// that is exact on every sample. Same constant the retired hand-rolled
+// ring used between nth_element refreshes.
+constexpr uint64_t kEagerRefreshEvery = 32;
+
+const std::string& P99RuleName() {
+  static const std::string kName = "admission_p99";
+  return kName;
+}
+
+obs::SloEngineOptions EngineOptions(const AdmissionConfig& config,
+                                    obs::MetricsRegistry* registry,
+                                    obs::FlightRecorder* flight,
+                                    obs::TraceRecorder* trace) {
+  obs::SloEngineOptions options;
+  options.window_ticks = std::max<size_t>(1, config.latency_window);
+  options.eager_refresh_every = kEagerRefreshEvery;
+  options.registry = registry;
+  options.flight = flight;
+  options.trace = trace;
+  return options;
+}
 }  // namespace
 
 const char* AdmissionActionName(AdmissionAction a) {
@@ -24,39 +43,46 @@ const char* AdmissionActionName(AdmissionAction a) {
   return "?";
 }
 
-AdmissionController::AdmissionController(AdmissionConfig config)
-    : config_(config), window_(std::max<size_t>(1, config.latency_window)) {
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         obs::MetricsRegistry* registry,
+                                         obs::FlightRecorder* flight,
+                                         obs::TraceRecorder* trace)
+    : config_(config),
+      latency_([] {
+        obs::HistogramOptions o;
+        o.exemplars = true;  // a breaching window names the trace that did it
+        return o;
+      }()),
+      slo_(EngineOptions(config, registry, flight, trace)) {
   QPP_CHECK(config_.p99_slo_seconds > 0.0);
+  obs::SloRule rule;
+  rule.name = P99RuleName();
+  rule.kind = obs::SloRule::Kind::kHistogramQuantile;
+  rule.threshold = config_.p99_slo_seconds;
+  rule.histogram = &latency_;
+  rule.quantile = 0.99;
+  slo_.AddRule(std::move(rule));
 }
 
 void AdmissionController::RecordLatency(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  window_[window_next_] = seconds;
-  window_next_ = (window_next_ + 1) % window_.size();
-  window_filled_ = std::min(window_filled_ + 1, window_.size());
-  if (++records_since_refresh_ < kRefreshEvery &&
-      window_filled_ < window_.size()) {
-    return;  // refresh eagerly only while the window is still filling
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (virtual_load_.has_value()) {
+      // Deterministic harness owns the signal: freeze the live pipeline so
+      // replays stay bit-identical, alert counters and flight dump included.
+      return;
+    }
   }
-  records_since_refresh_ = 0;
-  std::vector<double> sorted(window_.begin(),
-                             window_.begin() +
-                                 static_cast<ptrdiff_t>(window_filled_));
-  // Nearest-rank p99 over the window, same semantics as
-  // obs::HistogramSnapshot::Quantile but over exact samples.
-  const size_t rank = std::max<size_t>(
-      1, static_cast<size_t>(
-             std::ceil(0.99 * static_cast<double>(window_filled_))));
-  const size_t idx = std::min(rank, window_filled_) - 1;
-  std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(idx),
-                   sorted.end());
-  cached_p99_ = sorted[idx];
+  latency_.Record(seconds, obs::CurrentRequestContext().trace_id);
+  slo_.Tick();
 }
 
 LoadSignal AdmissionController::Signal(size_t live_queue_depth) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (virtual_load_.has_value()) return *virtual_load_;
-  return {live_queue_depth, cached_p99_};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (virtual_load_.has_value()) return *virtual_load_;
+  }
+  return {live_queue_depth, slo_.RuleValue(P99RuleName())};
 }
 
 bool AdmissionController::Breached(const LoadSignal& s) const {

@@ -21,11 +21,20 @@
 //   wrecking ball         shed: answered immediately with the calibrated
 //                         optimizer-cost baseline, labeled "admission-shed"
 //
+// The windowed-p99 signal is not computed here: the controller owns a
+// latency histogram and an obs::SloEngine with one histogram-quantile rule
+// ("admission_p99", threshold = p99_slo_seconds), tick-advanced once per
+// observed response. Signal() reads the engine's latest rule value, so the
+// same number steers admission, fires qpp_slo_alerts_total, lands in the
+// flight recorder, and shows up in the trace — one SLO truth, several
+// consumers (see obs/slo.h).
+//
 // Determinism: decisions are a pure function of (pool, LoadSignal). The
 // live signal is timing-dependent by nature (that is the point), so
 // deterministic harnesses — the fabric soak, the golden pins — inject a
-// virtual LoadSignal keyed by request index via SetVirtualLoad(); replay
-// is then bit-for-bit, counters included.
+// virtual LoadSignal keyed by request index via SetVirtualLoad(); while
+// the override is set, RecordLatency is a no-op (the live pipeline stays
+// frozen), so replay is bit-for-bit, counters and flight dump included.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +43,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/slo.h"
 #include "workload/pools.h"
 
 namespace qpp::fabric {
@@ -72,7 +83,12 @@ const char* AdmissionActionName(AdmissionAction a);
 
 class AdmissionController {
  public:
-  explicit AdmissionController(AdmissionConfig config);
+  /// All sinks optional (must outlive the controller): `registry` receives
+  /// the engine's qpp_slo_* self-metrics, `flight`/`trace` its alerts.
+  explicit AdmissionController(AdmissionConfig config,
+                               obs::MetricsRegistry* registry = nullptr,
+                               obs::FlightRecorder* flight = nullptr,
+                               obs::TraceRecorder* trace = nullptr);
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
@@ -81,8 +97,10 @@ class AdmissionController {
 
   /// Feeds the windowed-p99 signal; called from whichever worker thread
   /// answers a request (the fabric wires this into every replica's
-  /// on_response hook). Thread-safe; the p99 is recomputed lazily every
-  /// few records, so the hot path is a ring-buffer store.
+  /// on_response hook). Records into the latency histogram and advances
+  /// the SLO engine by one tick. No-op while a virtual load is set — the
+  /// deterministic harnesses own the signal then. Thread-safe; the hot
+  /// path is a histogram store plus a tick counter.
   void RecordLatency(double seconds);
 
   /// The signal the next decision will see: the virtual override when one
@@ -99,18 +117,25 @@ class AdmissionController {
   AdmissionAction Decide(workload::QueryType pool, const LoadSignal& s) const;
 
   /// Deterministic-mode override: while set, Signal() returns exactly
-  /// this regardless of live load. nullopt restores live signals.
+  /// this regardless of live load (and RecordLatency is a no-op).
+  /// nullopt restores live signals.
   void SetVirtualLoad(std::optional<LoadSignal> signal);
+
+  /// The SLO engine behind the p99 signal (alert counts, rule values);
+  /// read-only — the controller owns the ticking.
+  const obs::SloEngine& slo() const { return slo_; }
 
  private:
   const AdmissionConfig config_;
   mutable std::mutex mu_;
   std::optional<LoadSignal> virtual_load_;
-  std::vector<double> window_;   // latency ring, size latency_window
-  size_t window_next_ = 0;
-  size_t window_filled_ = 0;
-  size_t records_since_refresh_ = 0;
-  double cached_p99_ = 0.0;
+  // The latency evidence and its judge. The histogram is private (the
+  // fabric's registry still sees the signal via qpp_slo_rule_value); the
+  // engine tumbles a window every latency_window responses and eagerly
+  // refreshes every 32 while a window is open, preserving the cadence of
+  // the retired hand-rolled ring buffer.
+  obs::Histogram latency_;
+  obs::SloEngine slo_;
 };
 
 }  // namespace qpp::fabric

@@ -115,7 +115,9 @@ Fabric::Fabric(FabricConfig config, serve::CostCalibration calibration)
       calibration_(calibration),
       trace_(config.trace),
       faults_(config.faults),
-      admission_(config.admission),
+      flight_(obs::FlightRecorderOptions{config.flight_capacity}),
+      trace_ids_(config.trace_seed),
+      admission_(config.admission, &metrics_, &flight_, config.trace),
       route_cache_(config.route_cache_capacity) {
   QPP_CHECK_MSG(!config.groups.empty(), "fabric needs at least one group");
   classified_ = metrics_.GetCounter("qpp_fabric_classified_total");
@@ -179,6 +181,18 @@ Fabric::Fabric(FabricConfig config, serve::CostCalibration calibration)
       }
       replica->service = std::make_unique<serve::PredictionService>(
           replica->registry.get(), service_config, calibration_);
+      if (service_config.breaker.enabled) {
+        // Every breaker flip of every replica lands in the black box.
+        obs::FlightRecorder* flight = &flight_;
+        const std::string label = replica->label;
+        replica->service->mutable_breaker()->set_transition_hook(
+            [flight, label](serve::CircuitBreaker::State from,
+                            serve::CircuitBreaker::State to) {
+              flight->Record(obs::FlightEventKind::kBreakerTransition,
+                             /*trace_id=*/0, static_cast<int32_t>(to),
+                             static_cast<double>(from), label);
+            });
+      }
       replica->picks = metrics_.GetCounter(
           "qpp_fabric_replica_picks_total",
           {{"group", group->spec.name}, {"replica", std::to_string(i)}});
@@ -196,6 +210,11 @@ Fabric::Fabric(FabricConfig config, serve::CostCalibration calibration)
   QPP_CHECK_MSG(catch_all_ != nullptr,
                 "fabric needs a catch-all group (one spec with empty pools)");
 
+  if (faults_ != nullptr) {
+    // Injected faults go into our black box too; detached in ~Fabric —
+    // the injector outlives the fabric per the config contract.
+    faults_->set_flight_recorder(&flight_);
+  }
   if (faults_ != nullptr && faults_->plan().serve.replica_targeted()) {
     // Default kill semantics: the targeted replica drops dead and loses
     // its model — the rest of its group absorbs the traffic. The harness
@@ -215,7 +234,10 @@ Fabric::Fabric(FabricConfig config, serve::CostCalibration calibration)
   }
 }
 
-Fabric::~Fabric() { Shutdown(); }
+Fabric::~Fabric() {
+  Shutdown();
+  if (faults_ != nullptr) faults_->set_flight_recorder(nullptr);
+}
 
 void Fabric::Shutdown() {
   std::call_once(shutdown_once_, [this] {
@@ -233,6 +255,9 @@ void Fabric::Shutdown() {
     }
     for (DeferredRequest& d : leftovers) {
       defer_drained_->Inc();
+      obs::ScopedRequestContext scope(d.request.ctx);
+      flight_.Record(obs::FlightEventKind::kDeferDrained,
+                     d.request.ctx.trace_id);
       const RouteVerdict verdict = Classify(d.request);
       Dispatch(d.request, &d.promise, verdict.pool);
     }
@@ -278,6 +303,9 @@ void Fabric::SetReplicaHealth(const std::string& group, size_t replica,
     if (g->spec.name != group) continue;
     QPP_CHECK(replica < g->replicas.size());
     g->replicas[replica]->health.store(health, std::memory_order_relaxed);
+    flight_.Record(obs::FlightEventKind::kHealthChange, /*trace_id=*/0,
+                   static_cast<int32_t>(health), 0.0,
+                   g->replicas[replica]->label);
     TraceInstant("health", "replica",
                  g->replicas[replica]->label + "=" +
                      ReplicaHealthName(health));
@@ -303,6 +331,8 @@ bool Fabric::DrainSwapRevive(const std::string& group, size_t replica,
   reg->Publish(std::move(model));
   SetReplicaHealth(group, replica, ReplicaHealth::kUp);
   drains_->Inc();
+  flight_.Record(obs::FlightEventKind::kSwap, /*trace_id=*/0, /*code=*/0,
+                 0.0, ReplicaLabel(group, replica));
   TraceInstant("drain-swap-revive", "replica", ReplicaLabel(group, replica));
   return true;
 }
@@ -433,6 +463,11 @@ void Fabric::TraceInstant(const char* name, const std::string& detail_key,
   if (trace_ == nullptr) return;
   obs::TraceEvent e = InstantEvent(trace_, name);
   e.args.emplace_back(detail_key, std::string("\"") + detail + "\"");
+  const obs::RequestContext& ctx = obs::CurrentRequestContext();
+  if (ctx.valid()) {
+    e.args.emplace_back("trace_id",
+                        "\"" + obs::TraceIdHex(ctx.trace_id) + "\"");
+  }
   trace_->Add(std::move(e));
 }
 
@@ -441,29 +476,45 @@ void Fabric::RespondShed(const serve::ServeRequest& request,
                          workload::QueryType pool) {
   shed_by_pool_[PoolIndex(pool)]->Inc();
   TraceInstant("admission-shed", "pool", workload::QueryTypeName(pool));
+  flight_.Record(obs::FlightEventKind::kFallback, request.ctx.trace_id,
+                 static_cast<int32_t>(pool), 0.0, "admission-shed");
   serve::ServeResponse response;
   response.prediction = serve::FallbackPrediction(
       calibration_, request.optimizer_cost, /*anomalous=*/false);
   response.source = serve::ResponseSource::kOptimizerFallback;
   response.degraded_reason = "admission-shed";
+  response.trace_id = request.ctx.trace_id;
   promise->set_value(std::move(response));
 }
 
 void Fabric::RespondExhausted(const serve::ServeRequest& request,
                               std::promise<serve::ServeResponse>* promise) {
   fallback_exhausted_->Inc();
-  if (trace_ != nullptr) trace_->Add(InstantEvent(trace_, "exhausted"));
+  if (trace_ != nullptr) {
+    obs::TraceEvent e = InstantEvent(trace_, "exhausted");
+    if (request.ctx.valid()) {
+      e.args.emplace_back(
+          "trace_id", "\"" + obs::TraceIdHex(request.ctx.trace_id) + "\"");
+    }
+    trace_->Add(std::move(e));
+  }
+  flight_.Record(obs::FlightEventKind::kFallback, request.ctx.trace_id,
+                 /*code=*/0, 0.0, "fabric-exhausted");
   serve::ServeResponse response;
   response.prediction = serve::FallbackPrediction(
       calibration_, request.optimizer_cost, /*anomalous=*/false);
   response.source = serve::ResponseSource::kOptimizerFallback;
   response.degraded_reason = "fabric-exhausted";
+  response.trace_id = request.ctx.trace_id;
   promise->set_value(std::move(response));
 }
 
 void Fabric::Dispatch(const serve::ServeRequest& request,
                       std::promise<serve::ServeResponse>* promise,
                       workload::QueryType pool) {
+  // Deferred-drain and shutdown dispatches arrive outside Submit's scope;
+  // reinstall the request's identity for picks, escalations, and faults.
+  obs::ScopedRequestContext scope(request.ctx);
   Group* expert = GroupFor(pool);
   if (expert != nullptr) {
     const char* escalation = nullptr;
@@ -471,6 +522,8 @@ void Fabric::Dispatch(const serve::ServeRequest& request,
                                    &escalation);
     if (replica != nullptr) {
       replica->picks->Inc();
+      flight_.Record(obs::FlightEventKind::kPick, request.ctx.trace_id,
+                     /*code=*/0, 0.0, replica->label);
       if (faults_ != nullptr && faults_->serve_enabled() &&
           faults_->NextReplicaKill(replica->label)) {
         // Fires before the dispatch below so the Nth pick is also the
@@ -498,6 +551,8 @@ void Fabric::Dispatch(const serve::ServeRequest& request,
     }
     TraceInstant("escalate", "group",
                  expert->spec.name + ":" + escalation);
+    flight_.Record(obs::FlightEventKind::kEscalation, request.ctx.trace_id,
+                   /*code=*/0, 0.0, expert->spec.name + "/" + escalation);
     catch_all_->absorbed->Inc();
   } else {
     catch_all_->routed->Inc();
@@ -507,6 +562,8 @@ void Fabric::Dispatch(const serve::ServeRequest& request,
                                  &unused);
   if (replica != nullptr) {
     replica->picks->Inc();
+    flight_.Record(obs::FlightEventKind::kPick, request.ctx.trace_id,
+                   /*code=*/0, 0.0, replica->label);
     if (faults_ != nullptr && faults_->serve_enabled() &&
         faults_->NextReplicaKill(replica->label)) {
       faults_->FireReplicaKill();
@@ -536,21 +593,38 @@ void Fabric::DrainDeferred() {
       deferred_pending_->Set(static_cast<double>(deferred_queue_.size()));
     }
     defer_drained_->Inc();
+    obs::ScopedRequestContext scope(d.request.ctx);
+    flight_.Record(obs::FlightEventKind::kDeferDrained,
+                   d.request.ctx.trace_id);
     const RouteVerdict verdict = Classify(d.request);
     Dispatch(d.request, &d.promise, verdict.pool);
   }
 }
 
 std::future<serve::ServeResponse> Fabric::Submit(serve::ServeRequest request) {
+  // The front door stamps the correlation id (unless the caller already
+  // did) and installs it for everything this thread does on the request's
+  // behalf: classification, the admission verdict, dispatch, fault draws.
+  if (!request.ctx.valid()) request.ctx = trace_ids_.Next();
+  obs::ScopedRequestContext scope(request.ctx);
   std::promise<serve::ServeResponse> promise;
   std::future<serve::ServeResponse> future = promise.get_future();
   const RouteVerdict verdict = Classify(request);
   if (admission_config_.enabled) {
     const LoadSignal signal = admission_.Signal(TotalQueueDepth());
     const bool breached = admission_.Breached(signal);
-    if (breached) slo_breaches_->Inc();
+    if (breached) {
+      slo_breaches_->Inc();
+      flight_.Record(obs::FlightEventKind::kSloBreach, request.ctx.trace_id,
+                     static_cast<int32_t>(verdict.pool),
+                     signal.windowed_p99_seconds);
+    }
     switch (admission_.Decide(verdict.pool, signal)) {
       case AdmissionAction::kShed:
+        flight_.Record(obs::FlightEventKind::kAdmissionShed,
+                       request.ctx.trace_id,
+                       static_cast<int32_t>(verdict.pool),
+                       static_cast<double>(signal.queue_depth));
         RespondShed(request, &promise, verdict.pool);
         return future;
       case AdmissionAction::kDefer: {
@@ -569,12 +643,20 @@ std::future<serve::ServeResponse> Fabric::Submit(serve::ServeRequest request) {
         }
         if (parked) {
           deferred_->Inc();
+          flight_.Record(obs::FlightEventKind::kAdmissionDefer,
+                         obs::CurrentRequestContext().trace_id,
+                         static_cast<int32_t>(verdict.pool),
+                         static_cast<double>(signal.queue_depth));
           TraceInstant("defer", "pool",
                        workload::QueryTypeName(verdict.pool));
           return future;
         }
         // Defer buffer full: degrade to a shed rather than block.
         defer_overflow_->Inc();
+        flight_.Record(obs::FlightEventKind::kDeferOverflow,
+                       request.ctx.trace_id,
+                       static_cast<int32_t>(verdict.pool),
+                       static_cast<double>(signal.queue_depth));
         RespondShed(request, &promise, verdict.pool);
         return future;
       }
@@ -582,6 +664,9 @@ std::future<serve::ServeResponse> Fabric::Submit(serve::ServeRequest request) {
         break;
     }
     admitted_->Inc();
+    flight_.Record(obs::FlightEventKind::kAdmissionAdmit,
+                   request.ctx.trace_id,
+                   static_cast<int32_t>(verdict.pool));
     if (!breached) DrainDeferred();
   } else {
     admitted_->Inc();

@@ -56,7 +56,9 @@
 #include "core/two_step.h"
 #include "fabric/admission.h"
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "serve/lru_cache.h"
 #include "serve/model_registry.h"
@@ -110,6 +112,14 @@ struct FabricConfig {
   /// in-flight traffic; live serving leaves it off and gets real
   /// shallower-queue-wins spreading.
   bool p2c_ignore_depth = false;
+  /// Key for the deterministic trace-id stream: request n of a fabric's
+  /// life gets DeriveTraceId(trace_seed, n) stamped at Submit (unless the
+  /// caller stamped its own). Same seed + same request sequence = same ids.
+  uint64_t trace_seed = 0xFAB0B5ull;
+  /// Ring capacity of the built-in flight recorder (see
+  /// obs/flight_recorder.h); always on — the per-event cost is a few
+  /// relaxed atomic stores.
+  size_t flight_capacity = 4096;
   /// Optional sinks, shared by all replicas; must outlive the fabric.
   obs::TraceRecorder* trace = nullptr;
   fault::FaultInjector* faults = nullptr;
@@ -209,6 +219,14 @@ class Fabric {
   /// Fabric-level qpp_fabric_* metrics (per-replica serve metrics live in
   /// each replica's own service registry).
   obs::MetricsRegistry* metrics() { return &metrics_; }
+  /// The always-on black box: every admission verdict, pick, escalation,
+  /// swap, health change, breaker flip, SLO alert, and injected fault of
+  /// this fabric's life, newest few thousand retained. Dump it on failure.
+  obs::FlightRecorder* flight() { return &flight_; }
+  const obs::FlightRecorder& flight() const { return flight_; }
+  /// Trace ids stamped so far (the next request gets sequence number
+  /// issued(); tests replay ids with DeriveTraceId(trace_seed, n)).
+  uint64_t trace_ids_issued() const { return trace_ids_.issued(); }
 
  private:
   struct Replica {
@@ -273,11 +291,15 @@ class Fabric {
   const serve::CostCalibration calibration_;
   obs::TraceRecorder* const trace_;
   fault::FaultInjector* const faults_;
+  // Declared before admission_: the controller's SLO engine publishes into
+  // the fabric registry and flight recorder, so both must outlive it.
+  obs::MetricsRegistry metrics_;
+  obs::FlightRecorder flight_;
+  obs::TraceIdGenerator trace_ids_;
   std::vector<std::unique_ptr<Group>> groups_;
   std::vector<Group*> experts_;  ///< groups_ minus the catch-all
   Group* catch_all_ = nullptr;
   AdmissionController admission_;
-  obs::MetricsRegistry metrics_;
   obs::Counter* classified_ = nullptr;
   obs::Counter* route_cache_hits_ = nullptr;
   obs::Counter* admitted_ = nullptr;

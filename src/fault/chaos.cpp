@@ -21,8 +21,12 @@
 #include "fabric/fabric.h"
 #include "fault/fault_injector.h"
 #include "obs/drift_monitor.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "obs/request_context.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "core/two_step.h"
 #include "serve/prediction_service.h"
@@ -1404,6 +1408,237 @@ FabricSoakResult RunFabricSoak(const ChaosOptions& options) {
       {"fabric_soak_deadline_fallbacks", count(deadline_seen)},
       {"fabric_soak_violations", count(result.violations.size())},
   };
+  return out;
+}
+
+namespace {
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+}  // namespace
+
+ObsFlightDemoResult RunObsFlightDemo(const ChaosOptions& options) {
+  ObsFlightDemoResult out;
+  ScenarioResult& result = out.scenario;
+  result.name = "obs-flight-demo";
+  Violations v(&result);
+
+  const size_t requests = options.requests;
+  v.Check(requests >= 512,
+          "obs flight demo needs >= 512 requests (one breaching window)");
+  if (requests < 512) return out;
+
+  obs::TraceRecorder trace;
+
+  core::PredictorConfig cfg;
+  cfg.kcca.solver = ml::KccaSolver::kExact;
+  core::TwoStepPredictor two_step(cfg);
+  const auto examples = FourPoolExamples(40, options.seed ^ 0x0B5D3340ull);
+  two_step.Train(examples);
+
+  serve::ServiceConfig service_config;
+  service_config.num_workers = 1;
+  service_config.max_batch = 1;  // byte-replayable, as in the fabric soak
+  service_config.cache_capacity = 1024;
+  service_config.fallback_on_anomalous = false;
+
+  fabric::FabricConfig config =
+      fabric::MakePerPoolFabricConfig(2, service_config);
+  config.trace = &trace;
+  config.trace_seed = SplitMix64(options.seed ^ 0x0B5F11D0ull);
+  config.p2c_seed = SplitMix64(options.seed ^ 0xFAB51Cull);
+  config.p2c_ignore_depth = true;
+  config.admission.enabled = true;
+  config.admission.p99_slo_seconds = 0.25;
+  config.admission.max_queue_depth = 512;
+  // Shed-only policy: every future resolves inline or through a replica,
+  // so the sequential driver never blocks on a parked request and the
+  // whole flight history replays byte-for-byte.
+  config.admission.defer_bowling = false;
+  fabric::Fabric fab(std::move(config), ChaosCalibration());
+  fabric::PublishTwoStep(two_step, &fab);
+  fab.flight()->Record(obs::FlightEventKind::kNote, /*trace_id=*/0,
+                       /*code=*/0, 0.0, "obs-demo-start");
+
+  // Two probes per pool, classified by the step-1 model itself so the
+  // shed/admit mirror below matches the fabric's verdicts exactly.
+  const size_t kProbes = 8;
+  std::vector<linalg::Vector> probes;
+  std::vector<workload::QueryType> probe_pool;
+  for (size_t j = 0; j < kProbes; ++j) {
+    probes.push_back(examples[(j % 4) * 40 + j / 4].query_features);
+    probe_pool.push_back(
+        two_step.base().Predict(probes.back()).predicted_type);
+  }
+
+  // The SLO engine under test: synthetic seed-derived latencies (never the
+  // wall clock) make every window's verdict a pure function of the seed.
+  // The p99 rule trips during overload waves; the fallback-share rule
+  // trips with it (sheds are degraded responses); the deferred-pending
+  // gauge rule never trips — the dump shows healthy rules next to
+  // breaching ones.
+  obs::Histogram* demo_latency = fab.metrics()->GetHistogram(
+      "qpp_demo_latency_seconds", {}, [] {
+        obs::HistogramOptions o;
+        o.exemplars = true;
+        return o;
+      }());
+  fab.metrics()->SetHelp("qpp_demo_latency_seconds",
+                         "seed-derived synthetic latency of demo requests");
+  obs::Counter* responses_total =
+      fab.metrics()->GetCounter("qpp_demo_responses_total");
+  obs::Counter* degraded_total =
+      fab.metrics()->GetCounter("qpp_demo_degraded_total");
+  obs::SloEngineOptions engine_options;
+  engine_options.window_ticks = 64;
+  engine_options.eager_refresh_every = 0;  // pure tumbling windows
+  engine_options.registry = fab.metrics();
+  engine_options.flight = fab.flight();
+  engine_options.trace = &trace;
+  obs::SloEngine slo(engine_options);
+  {
+    obs::SloRule p99;
+    p99.name = "demo_p99";
+    p99.kind = obs::SloRule::Kind::kHistogramQuantile;
+    p99.threshold = 0.25;
+    p99.min_samples = 16;
+    p99.histogram = demo_latency;
+    p99.quantile = 0.99;
+    slo.AddRule(std::move(p99));
+    obs::SloRule share;
+    share.name = "demo_fallback_share";
+    share.kind = obs::SloRule::Kind::kCounterRatio;
+    share.threshold = 0.10;
+    share.min_samples = 16;
+    share.numerator = degraded_total;
+    share.denominator = responses_total;
+    slo.AddRule(std::move(share));
+    obs::SloRule deferred;
+    deferred.name = "demo_deferred_pending";
+    deferred.kind = obs::SloRule::Kind::kGaugeThreshold;
+    deferred.threshold = 1.0;
+    deferred.gauge = fab.metrics()->GetGauge("qpp_fabric_deferred_pending");
+    slo.AddRule(std::move(deferred));
+  }
+
+  // Overload waves keyed purely by request index, as in the fabric soak:
+  // every fourth block runs under a virtual breach signal.
+  const size_t wave_len = std::max<size_t>(64, requests / 16);
+  const auto in_overload = [wave_len](size_t i) {
+    return ((i / wave_len) % 4) == 3;
+  };
+  const fabric::LoadSignal kCalm{0, 0.0};
+  const fabric::LoadSignal kOverload{4096, 1.0};
+
+  uint64_t shed_mirror = 0, admitted_mirror = 0, degraded_seen = 0;
+  std::string first_breach_rule;
+  std::optional<bool> over_prev;
+  for (size_t i = 0; i < requests; ++i) {
+    const bool over = in_overload(i);
+    if (!over_prev.has_value() || *over_prev != over) {
+      fab.admission()->SetVirtualLoad(over ? kOverload : kCalm);
+      over_prev = over;
+    }
+    const size_t j = i % kProbes;
+    const serve::ServeResponse resp = fab.Submit({probes[j], 100.0}).get();
+    if (over && probe_pool[j] == workload::QueryType::kWreckingBall) {
+      ++shed_mirror;
+      v.Check(resp.degraded_reason == "admission-shed",
+              "wrecking ball under overload was not labeled admission-shed");
+    } else {
+      ++admitted_mirror;
+    }
+    v.Check(resp.trace_id != 0, "a response came back without a trace id");
+    if (resp.degraded()) ++degraded_seen;
+
+    // Synthetic latency: uniform noise off the seed, an order of magnitude
+    // over the SLO during waves. The response's own identity scopes the
+    // tick, so the alert that closes a breaching window is tagged with the
+    // request that tipped it.
+    Rng lat_rng(SplitMix64(options.seed ^ 0x0B5DA7ull ^ i));
+    const double synthetic = over ? 0.5 + 0.5 * lat_rng.NextDouble()
+                                  : 0.001 + 0.004 * lat_rng.NextDouble();
+    obs::ScopedRequestContext tick_scope(
+        obs::RequestContext{resp.trace_id});
+    responses_total->Inc();
+    if (resp.degraded()) degraded_total->Inc();
+    demo_latency->Record(synthetic, resp.trace_id);
+    const std::optional<obs::SloEvaluation> eval = slo.Tick();
+    if (eval.has_value() && !eval->eager && eval->any_breached() &&
+        out.flight_dump.empty()) {
+      // The black box, captured the moment the breach is known.
+      out.breach_trace_id = resp.trace_id;
+      for (const obs::SloRuleOutcome& r : eval->rules) {
+        if (r.breached) { first_breach_rule = r.rule; break; }
+      }
+      out.flight_dump =
+          fab.flight()->DumpJson("slo-breach:" + first_breach_rule);
+    }
+  }
+  fab.Shutdown();
+  out.trace_json = trace.ToJson();
+  out.prometheus_text = fab.metrics()->PrometheusText();
+
+  const std::string breach_hex = obs::TraceIdHex(out.breach_trace_id);
+  v.Check(!out.flight_dump.empty(), "no SLO window ever closed breaching");
+  v.Check(out.breach_trace_id != 0, "breaching window has no trace id");
+  v.Check(slo.alerts_total() > 0, "the SLO engine never fired an alert");
+  v.Check(slo.windows_closed() >= requests / 64 / 2,
+          "the SLO engine closed too few windows");
+  v.Check(out.flight_dump.find("\"slo_alert\"") != std::string::npos,
+          "flight dump carries no slo_alert event");
+  v.Check(out.flight_dump.find("\"slo_breach\"") != std::string::npos,
+          "flight dump carries no admission slo_breach event");
+  v.Check(out.flight_dump.find("\"admission_shed\"") != std::string::npos,
+          "flight dump carries no admission_shed event");
+  v.Check(out.flight_dump.find("\"pick\"") != std::string::npos,
+          "flight dump carries no replica pick event");
+  v.Check(out.flight_dump.find(breach_hex) != std::string::npos,
+          "flight dump does not mention the breaching trace id");
+  const size_t chain = CountOccurrences(out.trace_json, breach_hex);
+  v.Check(chain >= 3,
+          StrFormat("breaching trace id appears %llu times in the trace; "
+                    "expected a span chain of >= 3",
+                    static_cast<unsigned long long>(chain)));
+  v.Check(trace.dropped_count() == 0, "trace recorder dropped events");
+  v.Check(out.prometheus_text.find(
+              "# TYPE qpp_demo_latency_seconds histogram") !=
+              std::string::npos,
+          "prometheus exposition lost the demo histogram");
+  v.Check(out.prometheus_text.find("trace_id=") != std::string::npos,
+          "prometheus exposition carries no exemplar");
+  const fabric::FabricStatsSnapshot stats = fab.stats();
+  v.Check(stats.shed == shed_mirror,
+          "shed counter != client-observed sheds");
+  v.Check(stats.admitted == admitted_mirror,
+          "admitted counter != client-mirrored admits");
+  v.Check(degraded_seen == shed_mirror,
+          "degradations beyond the admission sheds");
+
+  result.report = StrFormat(
+      "obs flight demo: %llu requests | wave %llu | window 64 | probes "
+      "%llu\n"
+      "breach: rule %s trace %s\n"
+      "slo: ticks %llu windows %llu alerts %llu\n"
+      "admission: admitted %llu shed %llu\n"
+      "flight: dump %llu bytes | prom %llu bytes | id chain %llu spans\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(wave_len),
+      static_cast<unsigned long long>(kProbes), first_breach_rule.c_str(),
+      breach_hex.c_str(), static_cast<unsigned long long>(slo.ticks()),
+      static_cast<unsigned long long>(slo.windows_closed()),
+      static_cast<unsigned long long>(slo.alerts_total()),
+      static_cast<unsigned long long>(admitted_mirror),
+      static_cast<unsigned long long>(shed_mirror),
+      static_cast<unsigned long long>(out.flight_dump.size()),
+      static_cast<unsigned long long>(out.prometheus_text.size()),
+      static_cast<unsigned long long>(chain));
   return out;
 }
 

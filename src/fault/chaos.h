@@ -118,4 +118,33 @@ struct FabricSoakResult {
 /// a few thousand requests for the counted replica kill to fire.
 FabricSoakResult RunFabricSoak(const ChaosOptions& options);
 
+/// The observability flight demo's outcome: the usual deterministic
+/// scenario report plus the three black-box artifacts the run produced.
+/// `flight_dump` and `prometheus_text` are byte-identical across same-seed
+/// runs (CI diffs them); `trace_json` carries wall-clock timestamps, but
+/// which spans exist and which trace ids tag them replays exactly.
+struct ObsFlightDemoResult {
+  ScenarioResult scenario;
+  /// Flight-recorder DumpJson captured the moment the first SLO window
+  /// closed breaching — the black box as of the failure.
+  std::string flight_dump;
+  /// Chrome trace of the whole run (load in ui.perfetto.dev; search for
+  /// the breach trace id to see the request's span chain).
+  std::string trace_json;
+  /// Prometheus exposition of the fabric registry: qpp_fabric_*, the
+  /// demo latency histogram with trace-id exemplars, and the SLO engine's
+  /// qpp_slo_* self-metrics.
+  std::string prometheus_text;
+  /// The request whose tick closed the first breaching window.
+  uint64_t breach_trace_id = 0;
+};
+
+/// Drives a small traced fabric through deterministic overload waves with
+/// an SloEngine judging seed-derived synthetic latencies, so an SLO breach
+/// is *guaranteed* and everything observability promises can be asserted:
+/// trace-id propagation front door to span chain, the flight dump at the
+/// breach, alert accounting, and the Prometheus exposition. Needs
+/// options.requests >= 512 (the default 400 is rounded up by callers).
+ObsFlightDemoResult RunObsFlightDemo(const ChaosOptions& options);
+
 }  // namespace qpp::fault

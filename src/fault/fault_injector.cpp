@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/request_context.h"
 
 namespace qpp::fault {
 
@@ -44,6 +46,15 @@ double FaultInjector::Draw(uint64_t tag, uint64_t index) const {
 void FaultInjector::Record(KindIndex kind, const char* detail) const {
   kinds_[kind].count.fetch_add(1, std::memory_order_relaxed);
   if (kinds_[kind].counter != nullptr) kinds_[kind].counter->Inc();
+  if (obs::FlightRecorder* flight =
+          flight_.load(std::memory_order_acquire)) {
+    // trace_id 0 falls back to the installed RequestContext inside Record,
+    // so request-triggered faults land in the black box with their id.
+    flight->Record(obs::FlightEventKind::kFault, /*trace_id=*/0,
+                   static_cast<int32_t>(kind), 0.0,
+                   detail != nullptr ? std::string_view(detail)
+                                     : std::string_view(kinds_[kind].name));
+  }
   if (trace_ != nullptr) {
     obs::TraceEvent e;
     e.phase = 'i';
@@ -54,6 +65,11 @@ void FaultInjector::Record(KindIndex kind, const char* detail) const {
     e.ts_us = trace_->NowMicros();
     if (detail != nullptr) {
       e.args.emplace_back("detail", std::string("\"") + detail + "\"");
+    }
+    const obs::RequestContext& ctx = obs::CurrentRequestContext();
+    if (ctx.valid()) {
+      e.args.emplace_back(
+          "trace_id", "\"" + obs::TraceIdHex(ctx.trace_id) + "\"");
     }
     trace_->Add(std::move(e));
   }

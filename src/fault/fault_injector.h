@@ -17,8 +17,11 @@
 // Observability: every injected fault increments a labeled counter
 // (qpp_fault_injected_total{layer=...,kind=...}) in the registry passed at
 // construction, and emits an instant event (category "fault") into the
-// trace recorder, so chaos runs show up in statsz and Perfetto exactly
-// like organic behavior. Both sinks are optional and null-tested once.
+// trace recorder — tagged with the current request's trace id when a
+// RequestContext scope is installed — so chaos runs show up in statsz and
+// Perfetto exactly like organic behavior. A flight recorder can be
+// attached (set_flight_recorder) to also put every injection into the
+// black box. All sinks are optional and null-tested once.
 #pragma once
 
 #include <atomic>
@@ -28,6 +31,7 @@
 
 #include "common/rng.h"
 #include "fault/fault_plan.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -47,6 +51,14 @@ class FaultInjector {
   const FaultPlan& plan() const { return plan_; }
   bool engine_enabled() const { return plan_.engine.enabled(); }
   bool serve_enabled() const { return plan_.serve.enabled(); }
+
+  /// Attaches (or detaches, with nullptr) a flight recorder that receives
+  /// one kFault event per injection. The recorder must stay alive until
+  /// detached — the Fabric attaches its own in its constructor and
+  /// detaches it on destruction.
+  void set_flight_recorder(obs::FlightRecorder* flight) {
+    flight_.store(flight, std::memory_order_release);
+  }
 
   // ------------------------------------------------------------- engine --
 
@@ -189,6 +201,7 @@ class FaultInjector {
 
   const FaultPlan plan_;
   obs::TraceRecorder* const trace_;
+  std::atomic<obs::FlightRecorder*> flight_{nullptr};
   mutable Kind kinds_[kNumKinds];
   std::atomic<uint64_t> submit_seq_{0};
   std::atomic<uint64_t> batch_seq_{0};

@@ -76,8 +76,46 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
   underflow += other.underflow;
   overflow += other.overflow;
+  sum += other.sum;
   min = was_empty ? other.min : std::min(min, other.min);
   max = was_empty ? other.max : std::max(max, other.max);
+  // Adopt the other side's exemplar for buckets where we have none (an
+  // exemplar is a pointer to *a* representative sample, not a statistic).
+  for (const HistogramExemplar& e : other.exemplars) {
+    const auto it =
+        std::find_if(exemplars.begin(), exemplars.end(),
+                     [&](const HistogramExemplar& m) {
+                       return m.bucket == e.bucket;
+                     });
+    if (it == exemplars.end()) exemplars.push_back(e);
+  }
+  std::sort(exemplars.begin(), exemplars.end(),
+            [](const HistogramExemplar& a, const HistogramExemplar& b) {
+              return a.bucket < b.bucket;
+            });
+}
+
+void HistogramSnapshot::Subtract(const HistogramSnapshot& earlier) {
+  QPP_CHECK_MSG(options == earlier.options,
+                "cannot subtract histograms with different bucket layouts");
+  // Each slot is monotonic on the source histogram, but two relaxed
+  // snapshots can be skewed a few events under concurrent recording;
+  // saturate instead of wrapping.
+  const auto sat_sub = [](uint64_t a, uint64_t b) {
+    return a >= b ? a - b : 0;
+  };
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] = sat_sub(buckets[i], earlier.buckets[i]);
+  }
+  underflow = sat_sub(underflow, earlier.underflow);
+  overflow = sat_sub(overflow, earlier.overflow);
+  sum = std::max(0.0, sum - earlier.sum);
+  // Keep only exemplars whose bucket gained samples in this window.
+  std::vector<HistogramExemplar> kept;
+  for (const HistogramExemplar& e : exemplars) {
+    if (e.bucket < buckets.size() && buckets[e.bucket] > 0) kept.push_back(e);
+  }
+  exemplars = std::move(kept);
 }
 
 Histogram::Histogram(HistogramOptions options)
@@ -86,7 +124,8 @@ Histogram::Histogram(HistogramOptions options)
       min_bits_(std::bit_cast<uint64_t>(
           std::numeric_limits<double>::infinity())),
       max_bits_(std::bit_cast<uint64_t>(
-          -std::numeric_limits<double>::infinity())) {
+          -std::numeric_limits<double>::infinity())),
+      exemplars_(options.exemplars ? options.num_buckets() : 0) {
   QPP_CHECK(options.max_exponent > options.min_exponent &&
             options.buckets_per_decade >= 1);
 }
@@ -104,8 +143,11 @@ void Histogram::UpdateExtremes(double value) {
   }
 }
 
-void Histogram::Record(double value) {
+void Histogram::Record(double value, uint64_t trace_id) {
   UpdateExtremes(value);
+  if (value == value) {  // NaN must not poison the running sum
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
   if (!(value >= std::pow(10.0, options_.min_exponent))) {
     // <= 0, NaN, and sub-range values are all "below the first bucket".
     underflow_.fetch_add(1, std::memory_order_relaxed);
@@ -118,8 +160,13 @@ void Histogram::Record(double value) {
     overflow_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buckets_[static_cast<size_t>(idx_f)].fetch_add(1,
-                                                 std::memory_order_relaxed);
+  const size_t idx = static_cast<size_t>(idx_f);
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (!exemplars_.empty() && trace_id != 0) {
+    exemplars_[idx].trace_id.store(trace_id, std::memory_order_relaxed);
+    exemplars_[idx].value_bits.store(std::bit_cast<uint64_t>(value),
+                                     std::memory_order_relaxed);
+  }
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -131,6 +178,17 @@ HistogramSnapshot Histogram::Snapshot() const {
   }
   s.underflow = underflow_.load(std::memory_order_relaxed);
   s.overflow = overflow_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < exemplars_.size(); ++i) {
+    const uint64_t trace_id =
+        exemplars_[i].trace_id.load(std::memory_order_relaxed);
+    if (trace_id == 0) continue;
+    s.exemplars.push_back(
+        {i,
+         std::bit_cast<double>(
+             exemplars_[i].value_bits.load(std::memory_order_relaxed)),
+         trace_id});
+  }
   const double min_v =
       std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
   const double max_v =

@@ -48,12 +48,25 @@ struct HistogramOptions {
   int min_exponent = -7;  ///< 100 ns (the serving latency default)
   int max_exponent = 2;   ///< 100 s
   size_t buckets_per_decade = 8;
+  /// Keep one exemplar (last recorded value + trace id) per bucket, so a
+  /// tail bucket in an exposition links straight to the Chrome trace of a
+  /// request that landed there. Off by default: two extra relaxed stores
+  /// per Record when on, zero cost when off.
+  bool exemplars = false;
 
   size_t num_buckets() const {
     return buckets_per_decade * static_cast<size_t>(max_exponent -
                                                     min_exponent);
   }
   bool operator==(const HistogramOptions&) const = default;
+};
+
+/// One sampled (value, trace id) pair pinned to a bucket; trace_id 0 means
+/// the sample carried no request context.
+struct HistogramExemplar {
+  size_t bucket = 0;  ///< index into HistogramSnapshot::buckets
+  double value = 0.0;
+  uint64_t trace_id = 0;
 };
 
 /// One consistent-enough read of a Histogram, safe to keep, merge, and
@@ -66,6 +79,11 @@ struct HistogramSnapshot {
   /// Exact extreme values observed (not bucket estimates); 0 when empty.
   double min = 0.0;
   double max = 0.0;
+  /// Running sum of every recorded value (Prometheus `_sum`; NaN excluded).
+  double sum = 0.0;
+  /// Per-bucket exemplars (only when options.exemplars), sorted by bucket;
+  /// buckets that never saw a sample have no entry.
+  std::vector<HistogramExemplar> exemplars;
 
   uint64_t count() const;
 
@@ -99,6 +117,15 @@ struct HistogramSnapshot {
 
   /// Accumulates `other` into this snapshot. Layouts must match.
   void Merge(const HistogramSnapshot& other);
+
+  /// Rewinds this snapshot by an `earlier` snapshot of the SAME histogram,
+  /// leaving the tumbling-window delta the SLO engine evaluates (counts
+  /// and sum subtract; layouts must match). min/max describe the full
+  /// lifetime, not the window, and are kept as-is; exemplars are filtered
+  /// to buckets the window actually touched (the "last sample" exemplar of
+  /// a touched bucket is by construction a window sample under sequential
+  /// recording).
+  void Subtract(const HistogramSnapshot& earlier);
 };
 
 /// Log-spaced histogram. Record() is wait-free; Snapshot() walks the
@@ -110,7 +137,11 @@ class Histogram {
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
-  void Record(double value);
+  void Record(double value) { Record(value, 0); }
+  /// Records `value` and, when exemplars are enabled and trace_id != 0,
+  /// remembers (value, trace_id) as the bucket's exemplar (last write
+  /// wins). Still wait-free.
+  void Record(double value, uint64_t trace_id);
 
   HistogramSnapshot Snapshot() const;
   const HistogramOptions& options() const { return options_; }
@@ -123,14 +154,24 @@ class Histogram {
  private:
   void UpdateExtremes(double value);
 
+  // Exemplar slot: last (trace id, value bits) recorded into the bucket.
+  // Two independent relaxed atomics — a torn pair under contention is two
+  // real samples' fields mixed, acceptable for a debugging pointer.
+  struct ExemplarSlot {
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> value_bits{0};
+  };
+
   HistogramOptions options_;
   std::vector<std::atomic<uint64_t>> buckets_;
   std::atomic<uint64_t> underflow_{0};
   std::atomic<uint64_t> overflow_{0};
+  std::atomic<double> sum_{0.0};
   // Observed extremes as CAS-updated double bit patterns (+inf / -inf
   // sentinels until the first sample).
   std::atomic<uint64_t> min_bits_;
   std::atomic<uint64_t> max_bits_;
+  std::vector<ExemplarSlot> exemplars_;  ///< empty unless options.exemplars
 };
 
 }  // namespace qpp::obs

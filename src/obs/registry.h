@@ -8,10 +8,15 @@
 // the same instance, so independent components can share a metric.
 //
 // Exports:
-//   StatszText() — plaintext exposition, one `name{labels} value` line per
-//                  sample in deterministic order (Prometheus-style; the
-//                  /statsz page of the service).
-//   ToJson()     — the same data as a JSON document for dashboards.
+//   StatszText()     — plaintext exposition, one `name{labels} value` line
+//                      per sample in deterministic order (the /statsz page
+//                      of the service).
+//   PrometheusText() — Prometheus/OpenMetrics text exposition with
+//                      `# HELP`/`# TYPE` headers, cumulative
+//                      `_bucket{le="..."}` series per histogram, and
+//                      OpenMetrics exemplar comments linking tail buckets
+//                      to request trace ids.
+//   ToJson()         — the same data as a JSON document for dashboards.
 #pragma once
 
 #include <map>
@@ -47,6 +52,19 @@ class MetricsRegistry {
   /// _min/_max samples plus quantile-labeled value lines.
   std::string StatszText() const;
 
+  /// Registers the `# HELP` text PrometheusText() emits for `name` (all
+  /// label variants of a metric share one help string). Optional; metrics
+  /// without one get a generic line.
+  void SetHelp(const std::string& name, const std::string& help);
+
+  /// Prometheus text exposition. Counters/gauges render as one sample per
+  /// label set under a shared `# HELP`/`# TYPE` header; histograms render
+  /// as cumulative `_bucket{le="..."}` series (underflow counts into every
+  /// bucket, `le="+Inf"` adds overflow) plus `_sum`/`_count`, with
+  /// OpenMetrics `# {trace_id="..."} value` exemplar suffixes on buckets
+  /// that carry one. Deterministic order; ends with `# EOF`.
+  std::string PrometheusText() const;
+
   /// {"counters": [...], "gauges": [...], "histograms": [...]}.
   std::string ToJson() const;
 
@@ -67,6 +85,7 @@ class MetricsRegistry {
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;  // metric name -> # HELP text
 };
 
 }  // namespace qpp::obs

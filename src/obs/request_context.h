@@ -1,0 +1,104 @@
+// Request-scoped correlation: one deterministic trace id per request,
+// carried from the fabric's front door down to the predictor's innermost
+// span.
+//
+// The id is derived from (seed, sequence) with splitmix64 — never from the
+// wall clock or an address — so a seeded run assigns the same id to the
+// same request every time, and two same-seed runs produce byte-identical
+// flight-recorder dumps and trace args. Zero is reserved as "no context".
+//
+// Propagation is two-layer:
+//  * explicitly, as `obs::RequestContext` riding on serve::ServeRequest
+//    (the fabric stamps it at Submit; anything holding the request can
+//    read it);
+//  * implicitly, as a thread-local current context (ScopedRequestContext)
+//    for the stretches where the request identity cannot travel by value —
+//    the predictor's internal spans, fault-injection draws, and escalation
+//    instants all read CurrentRequestContext() instead of growing a
+//    parameter. Span's destructor auto-tags every enabled span with the
+//    current trace id (see trace.h), which is what makes "show me request
+//    X's whole chain" a text search over the Chrome trace.
+//
+// Cost model: with no scope installed the thread-local holds {0} and every
+// consumer's check is one load + compare; installing a scope is two stores.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+
+namespace qpp::obs {
+
+/// The identity one request carries through the stack.
+struct RequestContext {
+  uint64_t trace_id = 0;  ///< 0 = no context assigned
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The trace id of the `sequence`-th request (0-based) of a run keyed by
+/// `seed`. Pure, collision-resistant across sequences, and never 0.
+inline uint64_t DeriveTraceId(uint64_t seed, uint64_t sequence) {
+  const uint64_t id = SplitMix64(SplitMix64(seed ^ 0x0B5E11D5ull) + sequence);
+  return id != 0 ? id : 0x0B5E11D5ull;  // keep 0 meaning "no context"
+}
+
+/// `trace_id` as the 16-char lowercase hex string used in trace args,
+/// flight dumps, and exemplar labels. Hex (not a JSON number) because
+/// 64-bit ids do not survive the double round-trip JSON viewers apply.
+inline std::string TraceIdHex(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+/// Mints RequestContexts for a run: ids are DeriveTraceId(seed, 0), (seed,
+/// 1), ... in claim order. Thread-safe; under sequential driving the
+/// request-to-id assignment replays exactly.
+class TraceIdGenerator {
+ public:
+  explicit TraceIdGenerator(uint64_t seed) : seed_(seed) {}
+
+  RequestContext Next() {
+    return {DeriveTraceId(seed_,
+                          next_.fetch_add(1, std::memory_order_relaxed))};
+  }
+
+  uint64_t issued() const { return next_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint64_t seed_;
+  std::atomic<uint64_t> next_{0};
+};
+
+namespace detail {
+inline thread_local RequestContext tls_request_context{};
+}  // namespace detail
+
+/// The context installed on this thread; {0} when none.
+inline const RequestContext& CurrentRequestContext() {
+  return detail::tls_request_context;
+}
+
+/// RAII scope installing `ctx` as the thread's current context. Nests:
+/// the previous context is restored at scope exit. Installing an invalid
+/// context is allowed and simply masks the outer one.
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(const RequestContext& ctx)
+      : prev_(detail::tls_request_context) {
+    detail::tls_request_context = ctx;
+  }
+  ~ScopedRequestContext() { detail::tls_request_context = prev_; }
+
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  const RequestContext prev_;
+};
+
+}  // namespace qpp::obs

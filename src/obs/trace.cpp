@@ -4,10 +4,12 @@
 #include <sstream>
 
 #include "obs/json_util.h"
+#include "obs/request_context.h"
 
 namespace qpp::obs {
 
-TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+TraceRecorder::TraceRecorder(TraceRecorderOptions options)
+    : options_(options), origin_(std::chrono::steady_clock::now()) {}
 
 uint64_t TraceRecorder::NowMicros() const {
   return MicrosAt(std::chrono::steady_clock::now());
@@ -42,8 +44,15 @@ uint64_t TraceRecorder::NextAsyncId() {
 }
 
 void TraceRecorder::Add(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() < options_.max_events) {
+      events_.push_back(std::move(event));
+      return;
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.dropped_counter != nullptr) options_.dropped_counter->Inc();
 }
 
 size_t TraceRecorder::event_count() const {
@@ -113,6 +122,19 @@ Span::~Span() {
   e.ts_us = start_us_;
   e.dur_us = recorder_->NowMicros() - start_us_;
   e.args = std::move(args_);
+  const RequestContext& ctx = CurrentRequestContext();
+  if (ctx.valid()) {
+    bool tagged = false;
+    for (const auto& [k, v] : e.args) {
+      if (k == "trace_id") {
+        tagged = true;
+        break;
+      }
+    }
+    if (!tagged) {
+      e.args.emplace_back("trace_id", JsonString(TraceIdHex(ctx.trace_id)));
+    }
+  }
   recorder_->Add(std::move(e));
 }
 

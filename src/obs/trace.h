@@ -22,8 +22,17 @@
 //
 // Thread safety: all members are safe to call concurrently; event append
 // takes a mutex (one lock per span *end*, never on the disabled path).
+//
+// Capacity: the recorder keeps at most TraceRecorderOptions::max_events
+// events; later Adds are counted (dropped_count, plus the optional
+// qpp_trace_dropped_events_total counter) and discarded, so a
+// tracing-enabled million-request soak degrades to a truncated trace
+// instead of an OOM. Request-scoped correlation: every span recorded while
+// an obs::RequestContext scope is installed is auto-tagged with a
+// `trace_id` arg (see request_context.h).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -33,6 +42,8 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace qpp::obs {
 
@@ -52,13 +63,23 @@ struct TraceEvent {
   std::vector<std::pair<std::string, std::string>> args;
 };
 
+struct TraceRecorderOptions {
+  /// Hard cap on buffered events; Adds past it are dropped (and counted).
+  /// The default holds ~100 MB of traced soak comfortably while bounding
+  /// the worst case; tests use small caps to pin the drop behavior.
+  size_t max_events = 1u << 20;
+  /// Optional registry counter (qpp_trace_dropped_events_total by
+  /// convention) bumped once per dropped event; must outlive the recorder.
+  Counter* dropped_counter = nullptr;
+};
+
 class TraceRecorder {
  public:
   /// Track groups (Chrome "processes") the stack records into.
   static constexpr uint32_t kServicePid = 1;    ///< serve pipeline wall time
   static constexpr uint32_t kSimulatorPid = 2;  ///< simulated query time
 
-  TraceRecorder();
+  explicit TraceRecorder(TraceRecorderOptions options = {});
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
@@ -81,9 +102,15 @@ class TraceRecorder {
   /// Unique id for async ('b'/'e') event pairing.
   uint64_t NextAsyncId();
 
+  /// Appends `event`, or drops it (counted) once max_events is buffered.
   void Add(TraceEvent event);
 
   size_t event_count() const;
+  /// Events discarded by the max_events cap so far.
+  uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  const TraceRecorderOptions& options() const { return options_; }
   std::vector<TraceEvent> Events() const;  ///< snapshot copy (tests/tools)
 
   /// The full Chrome trace JSON document:
@@ -92,7 +119,9 @@ class TraceRecorder {
   void WriteChromeTrace(std::ostream* os) const;
 
  private:
+  const TraceRecorderOptions options_;
   const std::chrono::steady_clock::time_point origin_;
+  std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::map<std::thread::id, uint32_t> thread_tids_;
@@ -104,6 +133,11 @@ class TraceRecorder {
 /// RAII complete-event span. Constructed against a possibly-null recorder:
 /// null means tracing is disabled and every member function is an inert
 /// branch (no clock read, no allocation).
+///
+/// When the span closes while an obs::RequestContext scope is installed on
+/// the thread (and no explicit "trace_id" arg was added), the current
+/// trace id is appended as a `trace_id` arg — request correlation with no
+/// signature changes anywhere a Span already exists.
 ///
 ///   obs::Span span(trace, "predict");      // trace may be nullptr
 ///   span.AddArg("batch", batch.size());

@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -66,7 +68,7 @@ class CircuitBreaker {
         return true;
       case State::kOpen:
         if (++short_circuits_ > config_.open_requests) {
-          state_ = State::kHalfOpen;
+          TransitionLocked(State::kHalfOpen);
           probe_in_flight_ = true;
           return true;
         }
@@ -97,17 +99,32 @@ class CircuitBreaker {
     return trips_;
   }
 
+  /// Observer invoked on every state transition (from, to), from the
+  /// thread driving the transition and while the breaker lock is held —
+  /// the hook must be cheap and must not call back into the breaker. The
+  /// fabric uses it to put breaker flips into the flight recorder.
+  void set_transition_hook(std::function<void(State, State)> hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    transition_hook_ = std::move(hook);
+  }
+
  private:
+  void TransitionLocked(State to) {
+    const State from = state_;
+    state_ = to;
+    if (from != to && transition_hook_) transition_hook_(from, to);
+  }
+
   void RecordOutcome(bool failure) {
     std::lock_guard<std::mutex> lock(mu_);
     if (state_ == State::kHalfOpen) {
       // The probe's verdict decides the whole circuit.
       probe_in_flight_ = false;
       if (failure) {
-        state_ = State::kOpen;
+        TransitionLocked(State::kOpen);
         short_circuits_ = 0;
       } else {
-        state_ = State::kClosed;
+        TransitionLocked(State::kClosed);
         ResetWindowLocked();
       }
       return;
@@ -124,7 +141,7 @@ class CircuitBreaker {
     if (filled_ >= config_.min_samples &&
         static_cast<double>(failures_) >=
             config_.trip_ratio * static_cast<double>(filled_)) {
-      state_ = State::kOpen;
+      TransitionLocked(State::kOpen);
       short_circuits_ = 0;
       ++trips_;
     }
@@ -146,6 +163,7 @@ class CircuitBreaker {
   size_t short_circuits_ = 0;
   bool probe_in_flight_ = false;
   uint64_t trips_ = 0;
+  std::function<void(State, State)> transition_hook_;
 };
 
 }  // namespace qpp::serve

@@ -160,8 +160,26 @@ void PredictionService::WorkerLoop() {
 
 void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
   obs::TraceRecorder* const trace = config_.trace;
+  // Request-scoped correlation: a single-request batch (the shape every
+  // deterministic harness drives) installs its context for the whole
+  // batch, so every span below — the predictor's internal stages included
+  // — auto-tags with the trace id. Multi-request batches share the stage
+  // spans by construction; those get the id list on the batch span below
+  // and exact per-request ids on the queue_wait events and responses.
+  obs::ScopedRequestContext batch_ctx(batch->size() == 1
+                                          ? (*batch)[0].request.ctx
+                                          : obs::RequestContext{});
   obs::Span batch_span(trace, "batch");
   batch_span.AddArg("size", static_cast<uint64_t>(batch->size()));
+  if (trace != nullptr && batch->size() > 1) {
+    std::string ids;
+    for (const Pending& p : *batch) {
+      if (!p.request.ctx.valid()) continue;
+      if (!ids.empty()) ids += ',';
+      ids += obs::TraceIdHex(p.request.ctx.trace_id);
+    }
+    if (!ids.empty()) batch_span.AddArg("trace_ids", ids.c_str());
+  }
 
   const ModelRegistry::Snapshot snap = registry_->Acquire();
 
@@ -222,6 +240,11 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
       b.tid = tid;
       b.ts_us = trace->MicrosAt(p.enqueued_at);
       b.id = id;
+      if (p.request.ctx.valid()) {
+        b.args.emplace_back(
+            "trace_id",
+            "\"" + obs::TraceIdHex(p.request.ctx.trace_id) + "\"");
+      }
       trace->Add(std::move(b));
       obs::TraceEvent e;
       e.phase = 'e';
@@ -348,9 +371,14 @@ void PredictionService::Respond(Pending* pending,
   response.degraded_reason = std::move(degraded_reason);
   response.model_generation = generation;
   response.shard = config_.shard_label;
+  response.trace_id = pending->request.ctx.trace_id;
   response.latency_seconds =
       SecondsSince(pending->enqueued_at, std::chrono::steady_clock::now());
-  stats_.RecordResponse(response.latency_seconds);
+  // Per-request scope even inside a multi-request batch: the latency
+  // exemplar and anything the on_response observer records (the fabric's
+  // SLO engine, its flight recorder) attribute to *this* request.
+  obs::ScopedRequestContext respond_ctx(pending->request.ctx);
+  stats_.RecordResponse(response.latency_seconds, response.trace_id);
   if (config_.on_response) config_.on_response(response);
   pending->promise.set_value(std::move(response));
 }

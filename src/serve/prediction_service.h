@@ -44,6 +44,7 @@
 
 #include "core/workload_manager.h"
 #include "fault/fault_injector.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "serve/bounded_queue.h"
 #include "serve/circuit_breaker.h"
@@ -70,6 +71,11 @@ struct ServeRequest {
   /// Per-request queue deadline override: > 0 replaces the config-wide
   /// queue_deadline_seconds for this request; 0 (the default) inherits it.
   double deadline_seconds = 0.0;
+  /// Request-scoped correlation context (see obs/request_context.h). The
+  /// fabric stamps a deterministic trace id here at its front door;
+  /// standalone callers may stamp their own or leave it empty (no
+  /// correlation, no cost). Never affects the prediction.
+  obs::RequestContext ctx;
 };
 
 struct ServeResponse {
@@ -87,6 +93,10 @@ struct ServeResponse {
   /// ServiceConfig::shard_label of the answering service; empty outside a
   /// ShardRouter deployment (see shard/shard_router.h).
   std::string shard;
+  /// The request's correlation id echoed back (0 when the request carried
+  /// none): the handle for finding this request's spans in the Chrome
+  /// trace and its decisions in the flight recorder.
+  uint64_t trace_id = 0;
 
   bool degraded() const { return source == ResponseSource::kOptimizerFallback; }
 };
@@ -214,6 +224,9 @@ class PredictionService {
   const obs::MetricsRegistry& metrics() const { return stats_.registry(); }
   const ServiceConfig& config() const { return config_; }
   const CircuitBreaker& breaker() const { return breaker_; }
+  /// Mutable breaker access for deployment wiring (the fabric installs a
+  /// transition hook per replica); not for flipping state by hand.
+  CircuitBreaker* mutable_breaker() { return &breaker_; }
 
  private:
   struct Pending {

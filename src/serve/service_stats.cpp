@@ -25,7 +25,21 @@ ServiceStats::ServiceStats()
       batches_(registry_.GetCounter("qpp_serve_batches_total")),
       batched_requests_(
           registry_.GetCounter("qpp_serve_batched_requests_total")),
-      latency_(registry_.GetHistogram("qpp_serve_latency_seconds")) {}
+      latency_(registry_.GetHistogram(
+          "qpp_serve_latency_seconds", {},
+          // Default layout plus per-bucket exemplars: a tail bucket in the
+          // exposition names a trace id that landed there.
+          [] {
+            obs::HistogramOptions o;
+            o.exemplars = true;
+            return o;
+          }())) {
+  registry_.SetHelp("qpp_serve_latency_seconds",
+                    "submit-to-response latency of served requests");
+  registry_.SetHelp("qpp_serve_requests_total", "responses delivered");
+  registry_.SetHelp("qpp_serve_fallbacks_total",
+                    "degraded responses by labeled reason");
+}
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
   ServiceStatsSnapshot s;

@@ -73,9 +73,11 @@ class ServiceStats {
  public:
   ServiceStats();
 
-  void RecordResponse(double latency_seconds) {
+  /// `trace_id` (0 = none) becomes the latency bucket's exemplar, linking
+  /// a statsz/Prometheus tail bucket to the request's Chrome trace.
+  void RecordResponse(double latency_seconds, uint64_t trace_id = 0) {
     requests_->Inc();
-    latency_->Record(latency_seconds);
+    latency_->Record(latency_seconds, trace_id);
   }
   void RecordCacheHit() { cache_hits_->Inc(); }
   void RecordModelPrediction() { model_predictions_->Inc(); }

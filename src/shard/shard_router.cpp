@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/str_util.h"
+#include "obs/request_context.h"
 #include "serve/cost_fallback.h"
 
 namespace qpp::shard {
@@ -26,6 +27,13 @@ obs::TraceEvent InstantEvent(obs::TraceRecorder* trace, const char* name) {
   e.pid = obs::TraceRecorder::kServicePid;
   e.tid = trace->CurrentThreadTid();
   e.ts_us = trace->NowMicros();
+  // Submit installs the request's context before any routing work, so
+  // escalation/exhausted instants correlate with the request's spans.
+  const obs::RequestContext& ctx = obs::CurrentRequestContext();
+  if (ctx.valid()) {
+    e.args.emplace_back("trace_id",
+                        "\"" + obs::TraceIdHex(ctx.trace_id) + "\"");
+  }
   return e;
 }
 
@@ -267,12 +275,16 @@ std::future<serve::ServeResponse> ShardRouter::InlineFallback(
       calibration_, request.optimizer_cost, /*anomalous=*/false);
   response.source = serve::ResponseSource::kOptimizerFallback;
   response.degraded_reason = "shards-exhausted";
+  response.trace_id = request.ctx.trace_id;
   promise.set_value(std::move(response));
   return future;
 }
 
 std::future<serve::ServeResponse> ShardRouter::Submit(
     serve::ServeRequest request) {
+  // Routing (classify span, escalations, shard-kill faults) runs under the
+  // request's correlation scope so every event it emits carries the id.
+  obs::ScopedRequestContext scope(request.ctx);
   Shard* target = Route(request);
   if (faults_ != nullptr && faults_->serve_enabled() &&
       faults_->NextShardKill(target->spec.name)) {

@@ -21,6 +21,16 @@
 //   qpp_tool obs     --sql SQL [--model MODEL] --trace-out FILE
 //       trace one query end to end: traced prediction stages + the
 //       simulator's per-operator critical path, in one loadable file.
+//   qpp_tool obs     --flight-dump FILE [--trace-out FILE] [--prom FILE]
+//                    [--seed S] [--requests R]
+//       run the deterministic observability flight demo (docs/
+//       OBSERVABILITY.md): a traced fabric is driven through overload
+//       waves until an SLO window breaches, and the flight-recorder dump
+//       captured at the breach is written to FILE. --trace-out adds the
+//       Chrome trace (the breach trace id resolves to a full span chain),
+//       --prom the Prometheus exposition with trace-id exemplars. The
+//       flight dump and exposition are byte-identical per seed (CI diffs
+//       two runs); exit 1 on any violated invariant.
 //   qpp_tool chaos   [--scenario NAME|all] [--seed S] [--requests R]
 //       run the seeded fault-injection scenarios (docs/FAULTS.md) and
 //       print their deterministic reports; exit 1 on any violated
@@ -33,6 +43,7 @@
 //
 // All commands run against the TPC-DS SF-1 catalog on the Neoview-4
 // configuration; this is a demonstration surface, not a kitchen sink.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -111,6 +122,8 @@ int Usage() {
                "  qpp_tool obs     --sql SQL --trace-out FILE [--model "
                "MODEL]\n"
                "                   [--candidates N] [--seed S]\n"
+               "  qpp_tool obs     --flight-dump FILE [--trace-out FILE]\n"
+               "                   [--prom FILE] [--seed S] [--requests R]\n"
                "  qpp_tool chaos   [--scenario NAME|all] [--seed S]\n"
                "                   [--requests R] [--queries Q] [--soak]\n"
                "                   [--fabric-soak] [--json-out FILE]\n"
@@ -435,11 +448,57 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// The black-box leg of `qpp_tool obs`: runs the deterministic flight demo
+// (fault::RunObsFlightDemo) and ships its three artifacts. The flight dump
+// and the Prometheus exposition must be byte-identical across two runs
+// with the same --seed/--requests — CI diffs them — so both are written
+// exactly as the demo produced them, with no tool-added decoration.
+int CmdObsFlightDemo(const Args& args) {
+  fault::ChaosOptions opts;
+  opts.seed = std::stoull(args.get("seed", "42"));
+  // The demo needs enough requests for several SLO windows per wave; its
+  // floor is 512, so round the chaos-wide default of 400 up.
+  opts.requests = std::max<size_t>(
+      512, static_cast<size_t>(std::stoul(args.get("requests", "2048"))));
+
+  const fault::ObsFlightDemoResult demo = fault::RunObsFlightDemo(opts);
+  const fault::ScenarioResult& r = demo.scenario;
+  std::printf("=== %s (seed %llu): %s ===\n%s", r.name.c_str(),
+              static_cast<unsigned long long>(opts.seed),
+              r.ok() ? "PASS" : "FAIL", r.report.c_str());
+  for (const std::string& violation : r.violations) {
+    std::printf("  VIOLATION: %s\n", violation.c_str());
+  }
+
+  const std::string dump_path = args.get("flight-dump");
+  if (!WriteTextFile(dump_path, demo.flight_dump)) return 1;
+  // Paths go to stderr so the stdout report stays byte-comparable across
+  // runs that write to different files (CI diffs two runs' stdout).
+  std::fprintf(stderr, "flight dump written to %s\n", dump_path.c_str());
+
+  const std::string trace_path = args.get("trace-out");
+  if (!trace_path.empty()) {
+    if (!WriteTextFile(trace_path, demo.trace_json)) return 1;
+    std::fprintf(stderr,
+                 "trace written to %s (search for trace id %016llx)\n",
+                 trace_path.c_str(),
+                 static_cast<unsigned long long>(demo.breach_trace_id));
+  }
+  const std::string prom_path = args.get("prom");
+  if (!prom_path.empty()) {
+    if (!WriteTextFile(prom_path, demo.prometheus_text)) return 1;
+    std::fprintf(stderr, "prometheus exposition written to %s\n",
+                 prom_path.c_str());
+  }
+  return r.ok() ? 0 : 1;
+}
+
 // Traces a single query end to end: the predictor's internal stages
 // (preprocess, kcca_project, knn, assemble) measured in wall time, then the
 // execution simulator's per-operator critical path with cpu/io/net lanes in
 // simulated time — one file, two track groups.
 int CmdObs(const Args& args) {
+  if (args.flag("flight-dump")) return CmdObsFlightDemo(args);
   const std::string sql = args.get("sql");
   const std::string trace_path = args.get("trace-out");
   if (sql.empty() || trace_path.empty()) return Usage();
