@@ -1,22 +1,39 @@
-// Microbenchmark for the batch prediction path that backs qpp::serve's
-// micro-batching: Predictor::PredictBatch(B queries) vs B sequential
-// Predict() calls. The batch path is bit-identical by construction; the
-// win comes from amortizing per-query scratch allocations and hoisting
-// query-independent work (training-point norms, projection buffers)
-// across the batch.
-// The custom main also reports qpp::par thread scaling of the batch path:
-// PredictBatch(256) at QPP_THREADS = 1 vs 8, with a bit-identity check.
+// Microbenchmark for the serving-path prediction latency.
+//
+// Two jobs:
+//  * The original one: Predictor::PredictBatch(B queries) vs B sequential
+//    Predict() calls (the micro-batching win qpp::serve relies on), plus
+//    qpp::par thread scaling of the batch path with a bit-identity check.
+//  * The SIMD/index A/B report: single-prediction latency of the seed
+//    algorithm (scalar kernels, full O(n log n) distance materialization —
+//    reconstructed here verbatim from the pre-SIMD code and asserted
+//    byte-identical to the shipping path) against the scalar fused scan,
+//    the vectorized brute scan, and the vectorized indexed path
+//    (ml::KdTree descent/flat). The acceptance gate is >= 3x vs the seed
+//    algorithm: hard on multi-core hosts, soft (warn only) on 1-core CI
+//    boxes where a background-load spike can dwarf the margin.
+//
+// `--quick` runs only the reports (CI smoke); `--json-out FILE` writes
+// them as JSON for artifact upload.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "core/predictor.h"
+#include "par/simd.h"
 #include "par/thread_pool.h"
+#include "workload/pools.h"
 
 using namespace qpp;
 
@@ -65,6 +82,243 @@ std::vector<linalg::Vector> ProbeBatch(size_t batch, size_t train_n) {
 
 constexpr size_t kTrainN = 1024;
 
+// --- Seed-algorithm reference predictor ------------------------------------
+//
+// The pre-SIMD serving path, reconstructed from the seed revision of
+// ml/knn.cpp and core/predictor.cpp: every training distance is
+// materialized (sqrt included), the k nearest survive an
+// nth_element + sort pass, and the projection runs the scalar kernel
+// chain. Byte-identical to Predictor::Predict by the determinism contract
+// — VerifySeedEquivalence below asserts it — so timing it against the
+// shipping path measures exactly the algorithmic + SIMD win of the
+// current code over the seed, in-process and under the same load.
+
+std::vector<ml::Neighbor> SeedFindNearest(const linalg::Matrix& points,
+                                          const linalg::Vector& query,
+                                          size_t k) {
+  const size_t n = points.rows();
+  const size_t dims = points.cols();
+  const double* base = points.data().data();
+  std::vector<ml::Neighbor> all(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = base + i * dims;
+    double s = 0.0;
+    for (size_t j = 0; j < dims; ++j) {
+      const double d = row[j] - query[j];
+      s += d * d;
+    }
+    all[i].index = i;
+    all[i].distance = std::sqrt(s);
+  }
+  const size_t kk = std::min(k, n);
+  const auto cmp = [](const ml::Neighbor& a, const ml::Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.index < b.index);
+  };
+  if (kk > 0 && kk < n) {
+    std::nth_element(all.begin(), all.begin() + static_cast<ptrdiff_t>(kk - 1),
+                     all.end(), cmp);
+  }
+  std::sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(kk), cmp);
+  all.resize(kk);
+  return all;
+}
+
+core::Prediction SeedPredict(const core::Predictor& p,
+                             const linalg::Vector& raw) {
+  const core::PredictorConfig& cfg = p.config();
+  const auto stats = p.training_distance_stats();
+  const linalg::Vector xp = p.PreprocessFeatures(raw);
+  // Under SetForceScalar(true) this ProjectX runs the literal seed scalar
+  // chain (row-major kernel vector, row-oriented forward substitution).
+  const linalg::Vector q = p.kcca().ProjectX(xp);
+  const std::vector<ml::Neighbor> nbrs =
+      SeedFindNearest(p.kcca().x_projection(), q, cfg.k_neighbors);
+  const std::vector<ml::Neighbor> feat_nbrs = SeedFindNearest(
+      p.preprocessed_training_features(), xp, cfg.k_neighbors);
+
+  // Seed prediction assembly (averaging, confidence, anomaly, vote).
+  core::Prediction out;
+  out.metrics = engine::QueryMetrics::FromVector(
+      ml::WeightedAverage(nbrs, p.training_metrics(), cfg.weighting));
+  double sum = 0.0;
+  for (const ml::Neighbor& nb : nbrs) {
+    sum += nb.distance;
+    out.neighbor_indices.push_back(nb.index);
+  }
+  out.mean_neighbor_distance = sum / static_cast<double>(nbrs.size());
+  double feat_sum = 0.0;
+  for (const ml::Neighbor& nb : feat_nbrs) feat_sum += nb.distance;
+  const double feat_dist = feat_sum / static_cast<double>(feat_nbrs.size());
+  const double scale = stats.mean + 1e-12;
+  const double feat_scale = stats.feat_mean + 1e-12;
+  out.confidence =
+      1.0 / (1.0 + std::max(out.mean_neighbor_distance / scale,
+                            feat_dist / feat_scale) /
+                       10.0);
+  out.anomalous =
+      out.mean_neighbor_distance > cfg.anomaly_factor * stats.p99 ||
+      feat_dist > cfg.anomaly_factor * stats.feat_p99;
+  std::map<workload::QueryType, size_t> votes;
+  for (const ml::Neighbor& nb : nbrs) {
+    votes[workload::ClassifyElapsed(p.training_metrics()(nb.index, 0))] += 1;
+  }
+  size_t best = 0;
+  for (const auto& [type, count] : votes) {
+    if (count > best) {
+      best = count;
+      out.predicted_type = type;
+    }
+  }
+  return out;
+}
+
+bool SamePrediction(const core::Prediction& a, const core::Prediction& b) {
+  return a.metrics.ToVector() == b.metrics.ToVector() &&
+         a.mean_neighbor_distance == b.mean_neighbor_distance &&
+         a.confidence == b.confidence && a.anomalous == b.anomalous &&
+         a.neighbor_indices == b.neighbor_indices &&
+         a.predicted_type == b.predicted_type;
+}
+
+// --- Single-prediction latency A/B -----------------------------------------
+
+struct SingleLatencyReport {
+  size_t n = 0;
+  size_t threads_available = 0;
+  std::string isa;
+  double seed_us = 0.0;          ///< seed algorithm, scalar kernels
+  double scalar_brute_us = 0.0;  ///< fused scan, scalar kernels, no index
+  double simd_brute_us = 0.0;    ///< fused scan, SIMD kernels, no index
+  double simd_index_us = 0.0;    ///< KdTree + SIMD (the shipping default)
+  double speedup_vs_seed = 0.0;
+  double speedup_vs_scalar_brute = 0.0;
+  bool byte_identical = false;
+};
+
+template <class F>
+double TimePerCallUs(F f, int reps) {
+  f();  // warm caches / allocators outside the timed region
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) f();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         reps;
+}
+
+SingleLatencyReport RunSingleLatency(size_t n, int reps) {
+  SingleLatencyReport rep;
+  rep.n = n;
+  rep.threads_available = std::thread::hardware_concurrency();
+  rep.isa = simd::CompiledIsa();
+  const auto examples = SyntheticExamples(n);
+  core::PredictorConfig brute_cfg;
+  brute_cfg.use_knn_index = false;
+  core::Predictor brute(brute_cfg);
+  brute.Train(examples);
+  core::Predictor indexed;
+  indexed.Train(examples);
+
+  const auto probes = ProbeBatch(16, n);
+  // Every mode must produce byte-identical predictions before any of the
+  // timings mean anything.
+  rep.byte_identical = true;
+  for (const auto& probe : probes) {
+    const core::Prediction want = indexed.Predict(probe);
+    const bool prev = simd::SetForceScalar(true);
+    const core::Prediction seed = SeedPredict(brute, probe);
+    const core::Prediction scalar_brute = brute.Predict(probe);
+    simd::SetForceScalar(prev);
+    const core::Prediction simd_brute = brute.Predict(probe);
+    rep.byte_identical = rep.byte_identical && SamePrediction(want, seed) &&
+                         SamePrediction(want, scalar_brute) &&
+                         SamePrediction(want, simd_brute);
+  }
+
+  size_t next = 0;
+  const auto cycle = [&]() -> const linalg::Vector& {
+    return probes[next++ % probes.size()];
+  };
+  {
+    const bool prev = simd::SetForceScalar(true);
+    rep.seed_us = TimePerCallUs([&] { SeedPredict(brute, cycle()); }, reps);
+    rep.scalar_brute_us =
+        TimePerCallUs([&] { brute.Predict(cycle()); }, reps);
+    simd::SetForceScalar(prev);
+  }
+  rep.simd_brute_us = TimePerCallUs([&] { brute.Predict(cycle()); }, reps);
+  rep.simd_index_us = TimePerCallUs([&] { indexed.Predict(cycle()); }, reps);
+  rep.speedup_vs_seed =
+      rep.simd_index_us > 0.0 ? rep.seed_us / rep.simd_index_us : 0.0;
+  rep.speedup_vs_scalar_brute =
+      rep.simd_index_us > 0.0 ? rep.scalar_brute_us / rep.simd_index_us : 0.0;
+  return rep;
+}
+
+// --- Batch thread scaling (the original report) -----------------------------
+
+struct BatchScalingReport {
+  double ms_1t = 0.0;
+  double ms_8t = 0.0;
+  double speedup_8v1 = 0.0;
+  bool byte_identical = false;
+};
+
+BatchScalingReport RunBatchThreadScaling() {
+  const core::Predictor& pred = TrainedPredictor(kTrainN);
+  const auto probes = ProbeBatch(256, kTrainN);
+  const size_t counts[2] = {1, 8};
+  double ms[2] = {0.0, 0.0};
+  std::vector<core::Prediction> results[2];
+  for (size_t t = 0; t < 2; ++t) {
+    par::SetGlobalThreads(counts[t]);
+    pred.PredictBatch(probes);  // warm the caches once
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < 8; ++rep) results[t] = pred.PredictBatch(probes);
+    ms[t] = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count() /
+            8.0;
+  }
+  par::SetGlobalThreads(par::DefaultThreads());
+  BatchScalingReport rep;
+  rep.ms_1t = ms[0];
+  rep.ms_8t = ms[1];
+  rep.speedup_8v1 = ms[1] > 0.0 ? ms[0] / ms[1] : 0.0;
+  rep.byte_identical = results[0].size() == results[1].size();
+  for (size_t i = 0; rep.byte_identical && i < results[0].size(); ++i) {
+    rep.byte_identical = SamePrediction(results[0][i], results[1][i]);
+  }
+  return rep;
+}
+
+void WriteJson(const SingleLatencyReport& single,
+               const BatchScalingReport& batch, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"bench\": \"bench_timing_batch_predict\",\n"
+      << "  \"n\": " << single.n << ",\n"
+      << "  \"threads_available\": " << single.threads_available << ",\n"
+      << "  \"isa\": \"" << single.isa << "\",\n"
+      << "  \"single_seed_us\": " << single.seed_us << ",\n"
+      << "  \"single_scalar_brute_us\": " << single.scalar_brute_us << ",\n"
+      << "  \"single_simd_brute_us\": " << single.simd_brute_us << ",\n"
+      << "  \"single_simd_index_us\": " << single.simd_index_us << ",\n"
+      << "  \"single_speedup_vs_seed\": " << single.speedup_vs_seed << ",\n"
+      << "  \"single_speedup_vs_scalar_brute\": "
+      << single.speedup_vs_scalar_brute << ",\n"
+      << "  \"single_byte_identical\": "
+      << (single.byte_identical ? "true" : "false") << ",\n"
+      << "  \"batch256_ms_1t\": " << batch.ms_1t << ",\n"
+      << "  \"batch256_ms_8t\": " << batch.ms_8t << ",\n"
+      << "  \"batch256_speedup_8v1\": " << batch.speedup_8v1 << ",\n"
+      << "  \"batch256_byte_identical\": "
+      << (batch.byte_identical ? "true" : "false") << "\n}\n";
+}
+
+// --- google-benchmark suites ------------------------------------------------
+
 void BM_PredictOneByOne(benchmark::State& state) {
   const core::Predictor& pred = TrainedPredictor(kTrainN);
   const auto probes = ProbeBatch(static_cast<size_t>(state.range(0)), kTrainN);
@@ -91,53 +345,71 @@ void BM_PredictBatch(benchmark::State& state) {
 BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
 
-void ReportBatchThreadScaling() {
-  const core::Predictor& pred = TrainedPredictor(kTrainN);
-  const auto probes = ProbeBatch(256, kTrainN);
-  const size_t counts[2] = {1, 8};
-  double ms[2] = {0.0, 0.0};
-  std::vector<core::Prediction> results[2];
-  for (size_t t = 0; t < 2; ++t) {
-    par::SetGlobalThreads(counts[t]);
-    pred.PredictBatch(probes);  // warm the caches once
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < 8; ++rep) results[t] = pred.PredictBatch(probes);
-    ms[t] = std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - t0)
-                .count() /
-            8.0;
-  }
-  par::SetGlobalThreads(par::DefaultThreads());
-  bool identical = results[0].size() == results[1].size();
-  for (size_t i = 0; identical && i < results[0].size(); ++i) {
-    identical = results[0][i].metrics.ToVector() ==
-                    results[1][i].metrics.ToVector() &&
-                results[0][i].confidence == results[1][i].confidence;
-  }
-  std::printf("PredictBatch(256) on N=%zu model: %.2f ms @1T, %.2f ms @8T  "
-              "speedup=%.2fx  bit_identical=%s\n",
-              kTrainN, ms[0], ms[1], ms[1] > 0.0 ? ms[0] / ms[1] : 0.0,
-              identical ? "yes" : "NO");
-  std::printf("BENCH bench_timing_batch_predict threads=1,8 batch=256 "
-              "speedup_8v1=%.2f byte_identical=%d\n",
-              ms[1] > 0.0 ? ms[0] / ms[1] : 0.0, identical ? 1 : 0);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string json_out;
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
     } else {
       argv[out_argc++] = argv[i];
     }
   }
   argc = out_argc;
 
-  ReportBatchThreadScaling();
+  bench::PrintHeader(
+      "timing — serving-path prediction latency: seed algorithm vs SIMD "
+      "kernels vs indexed kNN, plus micro-batching and thread scaling",
+      "every mode is byte-identical (asserted); target >=3x single-"
+      "prediction speedup vs the seed algorithm (hard on multi-core hosts, "
+      "soft on 1-core where load noise can eat the margin)");
+
+  const SingleLatencyReport single =
+      RunSingleLatency(kTrainN, quick ? 400 : 2000);
+  std::printf(
+      "single predict on N=%zu model [%s]:\n"
+      "  seed algorithm (scalar, full sort):  %7.2f us\n"
+      "  fused brute scan (scalar kernels):   %7.2f us\n"
+      "  fused brute scan (SIMD kernels):     %7.2f us\n"
+      "  indexed kNN + SIMD (shipping path):  %7.2f us\n"
+      "  speedup vs seed=%.2fx  vs scalar brute=%.2fx  byte_identical=%s\n",
+      single.n, single.isa.c_str(), single.seed_us, single.scalar_brute_us,
+      single.simd_brute_us, single.simd_index_us, single.speedup_vs_seed,
+      single.speedup_vs_scalar_brute, single.byte_identical ? "yes" : "NO");
+
+  const BatchScalingReport batch = RunBatchThreadScaling();
+  std::printf("PredictBatch(256) on N=%zu model: %.2f ms @1T, %.2f ms @8T  "
+              "speedup=%.2fx  bit_identical=%s\n",
+              kTrainN, batch.ms_1t, batch.ms_8t, batch.speedup_8v1,
+              batch.byte_identical ? "yes" : "NO");
+  std::printf("BENCH bench_timing_batch_predict n=%zu "
+              "single_speedup_vs_seed=%.2f batch_speedup_8v1=%.2f "
+              "byte_identical=%d\n",
+              single.n, single.speedup_vs_seed, batch.speedup_8v1,
+              (single.byte_identical && batch.byte_identical) ? 1 : 0);
+  if (!json_out.empty()) WriteJson(single, batch, json_out);
+
+  if (!single.byte_identical || !batch.byte_identical) {
+    std::fprintf(stderr, "FAIL: prediction modes are not byte-identical\n");
+    return 1;
+  }
+  if (single.speedup_vs_seed < 3.0) {
+    if (single.threads_available > 1) {
+      std::fprintf(stderr,
+                   "FAIL: single-prediction speedup vs seed %.2fx < 3x\n",
+                   single.speedup_vs_seed);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "WARN: single-prediction speedup vs seed %.2fx < 3x "
+                 "(soft gate: 1-core host)\n",
+                 single.speedup_vs_seed);
+  }
   if (quick) return 0;
 
   benchmark::Initialize(&argc, argv);

@@ -23,6 +23,7 @@
 #include "catalog/tpcds.h"
 #include "common/rng.h"
 #include "core/predictor.h"
+#include "par/simd.h"
 #include "par/thread_pool.h"
 
 using namespace qpp;
@@ -122,9 +123,14 @@ BENCHMARK(BM_SimulateQuery)->Unit(benchmark::kMicrosecond);
 struct ThreadScalingReport {
   size_t n = 0;
   size_t threads_available = 0;
+  std::string isa;
   double ms[3] = {0.0, 0.0, 0.0};  // at 1, 2, 8 threads
+  /// Training wall time with the SIMD kernels forced to the scalar oracle
+  /// (same thread count as ms[0]); the models must be byte-identical.
+  double scalar_ms = 0.0;
   bool byte_identical = false;
   double speedup_8v1 = 0.0;
+  double simd_speedup = 0.0;
 };
 
 ThreadScalingReport RunThreadScaling(size_t n) {
@@ -132,6 +138,7 @@ ThreadScalingReport RunThreadScaling(size_t n) {
   ThreadScalingReport rep;
   rep.n = n;
   rep.threads_available = std::thread::hardware_concurrency();
+  rep.isa = simd::CompiledIsa();
   const auto examples = SyntheticExamples(n);
   std::string bytes[3];
   for (size_t t = 0; t < 3; ++t) {
@@ -146,9 +153,28 @@ ThreadScalingReport RunThreadScaling(size_t n) {
     pred.Save(&os);
     bytes[t] = os.str();
   }
+  // Scalar-oracle A/B at 1 thread: quantifies the SIMD kernel win on the
+  // training path and pins byte-identity of the resulting model.
+  std::string scalar_bytes;
+  {
+    par::SetGlobalThreads(1);
+    const bool prev = simd::SetForceScalar(true);
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Predictor pred;
+    pred.Train(examples);
+    rep.scalar_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    simd::SetForceScalar(prev);
+    std::ostringstream os;
+    pred.Save(&os);
+    scalar_bytes = os.str();
+  }
   par::SetGlobalThreads(par::DefaultThreads());
-  rep.byte_identical = bytes[0] == bytes[1] && bytes[0] == bytes[2];
+  rep.byte_identical = bytes[0] == bytes[1] && bytes[0] == bytes[2] &&
+                       bytes[0] == scalar_bytes;
   rep.speedup_8v1 = rep.ms[2] > 0.0 ? rep.ms[0] / rep.ms[2] : 0.0;
+  rep.simd_speedup = rep.ms[0] > 0.0 ? rep.scalar_ms / rep.ms[0] : 0.0;
   return rep;
 }
 
@@ -159,10 +185,13 @@ void WriteJson(const ThreadScalingReport& rep, const std::string& path) {
       << "  \"metric\": \"train_wall_ms_by_threads\",\n"
       << "  \"n\": " << rep.n << ",\n"
       << "  \"threads_available\": " << rep.threads_available << ",\n"
+      << "  \"isa\": \"" << rep.isa << "\",\n"
       << "  \"train_ms_1\": " << rep.ms[0] << ",\n"
       << "  \"train_ms_2\": " << rep.ms[1] << ",\n"
       << "  \"train_ms_8\": " << rep.ms[2] << ",\n"
+      << "  \"train_scalar_ms_1\": " << rep.scalar_ms << ",\n"
       << "  \"speedup_8v1\": " << rep.speedup_8v1 << ",\n"
+      << "  \"simd_speedup_1t\": " << rep.simd_speedup << ",\n"
       << "  \"byte_identical\": " << (rep.byte_identical ? "true" : "false")
       << "\n}\n";
 }
@@ -194,13 +223,16 @@ int main(int argc, char** argv) {
 
   const ThreadScalingReport rep = RunThreadScaling(quick ? 384 : 1024);
   std::printf(
-      "train N=%zu (ICD): %.1f ms @1T, %.1f ms @2T, %.1f ms @8T  "
-      "speedup(8v1)=%.2fx  byte_identical=%s  (host cores: %zu)\n",
-      rep.n, rep.ms[0], rep.ms[1], rep.ms[2], rep.speedup_8v1,
-      rep.byte_identical ? "yes" : "NO", rep.threads_available);
+      "train N=%zu (ICD) [%s]: %.1f ms @1T, %.1f ms @2T, %.1f ms @8T  "
+      "scalar-oracle @1T: %.1f ms (simd speedup %.2fx)\n"
+      "  speedup(8v1)=%.2fx  byte_identical=%s  (host cores: %zu)\n",
+      rep.n, rep.isa.c_str(), rep.ms[0], rep.ms[1], rep.ms[2], rep.scalar_ms,
+      rep.simd_speedup, rep.speedup_8v1, rep.byte_identical ? "yes" : "NO",
+      rep.threads_available);
   std::printf("BENCH bench_timing_kcca threads=1,2,8 n=%zu speedup_8v1=%.2f "
-              "byte_identical=%d\n",
-              rep.n, rep.speedup_8v1, rep.byte_identical ? 1 : 0);
+              "simd_speedup_1t=%.2f byte_identical=%d\n",
+              rep.n, rep.speedup_8v1, rep.simd_speedup,
+              rep.byte_identical ? 1 : 0);
   if (!json_out.empty()) WriteJson(rep, json_out);
   if (!rep.byte_identical) {
     std::fprintf(stderr, "FAIL: models differ across thread counts\n");

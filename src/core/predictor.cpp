@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
-#include <map>
 #include <ostream>
 
 #include "common/check.h"
 #include "common/serde.h"
 #include "linalg/serde.h"
+#include "par/parallel_for.h"
 
 namespace qpp::core {
+
+namespace {
+/// Queries per parallel chunk when batching k-d tree lookups (matches the
+/// brute batch path's kQueryGrain; fixed — see par/thread_pool.h).
+constexpr size_t kIndexQueryGrain = 4;
+}  // namespace
 
 Predictor::Predictor(PredictorConfig config) : config_(std::move(config)) {
   QPP_CHECK(config_.k_neighbors >= 1);
@@ -29,6 +35,8 @@ void Predictor::Train(const std::vector<ml::TrainingExample>& examples) {
 
   if (config_.model == ModelKind::kRegression) {
     regression_.Fit(xp, mats.y, /*ridge=*/1e-8);
+    proj_index_.Clear();
+    feat_index_.Clear();
     trained_ = true;
     return;
   }
@@ -42,20 +50,24 @@ void Predictor::Train(const std::vector<ml::TrainingExample>& examples) {
   kcca_ = ml::KccaModel::Train(xp, yp, config_.kcca);
 
   train_xp_ = xp;
+  RebuildIndexes();
 
   // Self neighbor-distance distributions over the training projection and
   // the preprocessed feature space, for anomaly thresholds: for each
-  // training point, the mean distance to its k nearest other points.
-  const auto self_stats = [&](const linalg::Matrix& points, double* mean_out,
-                              double* p99_out) {
-    const size_t n = points.rows();
+  // training point, the mean distance to its k nearest other points. The
+  // searches run batched (tree or brute); per-row results are bit-identical
+  // to a per-row FindNearest loop (the contract in ml/knn.h and
+  // ml/kdtree.h), so the stored thresholds don't depend on the index or
+  // the thread count.
+  const auto self_stats = [&](const std::vector<std::vector<ml::Neighbor>>&
+                                  all_nbrs,
+                              double* mean_out, double* p99_out) {
+    const size_t n = all_nbrs.size();
     linalg::Vector self_dist(n, 0.0);
     for (size_t i = 0; i < n; ++i) {
-      const std::vector<ml::Neighbor> nbrs = ml::FindNearest(
-          points, points.Row(i), config_.k_neighbors + 1, config_.distance);
       double sum = 0.0;
       size_t used = 0;
-      for (const ml::Neighbor& nb : nbrs) {
+      for (const ml::Neighbor& nb : all_nbrs[i]) {
         if (nb.index == i) continue;
         sum += nb.distance;
         if (++used == config_.k_neighbors) break;
@@ -69,9 +81,45 @@ void Predictor::Train(const std::vector<ml::TrainingExample>& examples) {
     *mean_out = mean;
     *p99_out = self_dist[static_cast<size_t>(0.99 * (n - 1))];
   };
-  self_stats(kcca_.x_projection(), &train_dist_mean_, &train_dist_p99_);
-  self_stats(train_xp_, &train_feat_dist_mean_, &train_feat_dist_p99_);
+  self_stats(IndexedNeighbors(proj_index_, kcca_.x_projection(),
+                              kcca_.x_projection(), config_.k_neighbors + 1),
+             &train_dist_mean_, &train_dist_p99_);
+  self_stats(IndexedNeighbors(feat_index_, train_xp_, train_xp_,
+                              config_.k_neighbors + 1),
+             &train_feat_dist_mean_, &train_feat_dist_p99_);
   trained_ = true;
+}
+
+void Predictor::RebuildIndexes() {
+  proj_index_.Clear();
+  feat_index_.Clear();
+  if (config_.model == ModelKind::kKcca &&
+      config_.distance == ml::DistanceKind::kEuclidean &&
+      config_.use_knn_index) {
+    proj_index_.Build(kcca_.x_projection());
+    feat_index_.Build(train_xp_);
+  }
+}
+
+std::vector<std::vector<ml::Neighbor>> Predictor::IndexedNeighbors(
+    const ml::KdTree& index, const linalg::Matrix& points,
+    const linalg::Matrix& queries, size_t k) const {
+  if (index.empty()) {
+    return ml::FindNearestBatch(points, queries, k, config_.distance);
+  }
+  QPP_CHECK(queries.cols() == index.dims());
+  std::vector<std::vector<ml::Neighbor>> out(queries.rows());
+  const double* qbase = queries.data().data();
+  const size_t dims = queries.cols();
+  par::ParallelFor(
+      0, queries.rows(), kIndexQueryGrain,
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          index.FindNearestRaw(qbase + r * dims, k, &out[r]);
+        }
+      },
+      "kdtree_batch");
+  return out;
 }
 
 Prediction Predictor::Predict(const linalg::Vector& query_features) const {
@@ -87,15 +135,21 @@ Prediction Predictor::Predict(const linalg::Vector& query_features) const {
   }
 
   const linalg::Vector q = kcca_.ProjectX(xp);
-  const std::vector<ml::Neighbor> nbrs = ml::FindNearest(
-      kcca_.x_projection(), q, config_.k_neighbors, config_.distance);
+  const std::vector<ml::Neighbor> nbrs =
+      proj_index_.empty()
+          ? ml::FindNearest(kcca_.x_projection(), q, config_.k_neighbors,
+                            config_.distance)
+          : proj_index_.FindNearest(q, config_.k_neighbors);
   // Feature-space distance to the query's own feature-space neighbors (see
   // header: catches far-away inputs the saturating kernel would hide). These
   // are searched independently of the projection neighbors — the projection
   // legitimately ignores performance-irrelevant dimensions, so its
   // neighbors can be feature-distant without being anomalous.
-  const std::vector<ml::Neighbor> feat_nbrs = ml::FindNearest(
-      train_xp_, xp, config_.k_neighbors, config_.distance);
+  const std::vector<ml::Neighbor> feat_nbrs =
+      feat_index_.empty()
+          ? ml::FindNearest(train_xp_, xp, config_.k_neighbors,
+                            config_.distance)
+          : feat_index_.FindNearest(xp, config_.k_neighbors);
   return AssembleKccaPrediction(nbrs, feat_nbrs);
 }
 
@@ -129,14 +183,14 @@ std::vector<Prediction> Predictor::PredictBatch(
   std::vector<std::vector<ml::Neighbor>> nbrs;
   {
     obs::Span span(trace, "knn_projection_space", "predict");
-    nbrs = ml::FindNearestBatch(kcca_.x_projection(), projections,
-                                config_.k_neighbors, config_.distance);
+    nbrs = IndexedNeighbors(proj_index_, kcca_.x_projection(), projections,
+                            config_.k_neighbors);
   }
   std::vector<std::vector<ml::Neighbor>> feat_nbrs;
   {
     obs::Span span(trace, "knn_feature_space", "predict");
-    feat_nbrs = ml::FindNearestBatch(train_xp_, xp, config_.k_neighbors,
-                                     config_.distance);
+    feat_nbrs = IndexedNeighbors(feat_index_, train_xp_, xp,
+                                 config_.k_neighbors);
   }
   obs::Span span(trace, "assemble", "predict");
   for (size_t r = 0; r < queries.size(); ++r) {
@@ -179,17 +233,20 @@ Prediction Predictor::AssembleKccaPrediction(
       out.mean_neighbor_distance > config_.anomaly_factor * train_dist_p99_ ||
       feat_dist > config_.anomaly_factor * train_feat_dist_p99_;
 
-  // Majority vote over the neighbors' measured categories.
-  std::map<workload::QueryType, size_t> votes;
+  // Majority vote over the neighbors' measured categories. Fixed tally
+  // array (ties to the lowest enum value, same as the ordered-map walk
+  // this replaces) — the map's node allocations showed up in the Predict
+  // profile.
+  size_t votes[4] = {0, 0, 0, 0};
   for (const ml::Neighbor& nb : projection_neighbors) {
     const double elapsed = train_y_(nb.index, 0);
-    votes[workload::ClassifyElapsed(elapsed)] += 1;
+    votes[static_cast<size_t>(workload::ClassifyElapsed(elapsed))] += 1;
   }
   size_t best = 0;
-  for (const auto& [type, count] : votes) {
-    if (count > best) {
-      best = count;
-      out.predicted_type = type;
+  for (size_t t = 0; t < 4; ++t) {
+    if (votes[t] > best) {
+      best = votes[t];
+      out.predicted_type = static_cast<workload::QueryType>(t);
     }
   }
   return out;
@@ -257,6 +314,10 @@ Predictor Predictor::Load(std::istream* is) {
   p.train_feat_dist_p99_ = r.ReadDouble();
   if (cfg.model == ModelKind::kKcca) {
     p.kcca_ = ml::KccaModel::Load(&r);
+    // Derived, not serialized: the indexes are rebuilt from the loaded
+    // projection and features so serve/shard/fabric reloads stay
+    // byte-identical on the wire while still getting the fast lookup path.
+    p.RebuildIndexes();
   } else {
     // Regression reload rebuilds the multi-output wrapper.
     const size_t m = static_cast<size_t>(r.ReadU64());

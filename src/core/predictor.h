@@ -16,6 +16,7 @@
 #include "linalg/matrix.h"
 #include "ml/feature_vector.h"
 #include "ml/kcca.h"
+#include "ml/kdtree.h"
 #include "ml/knn.h"
 #include "ml/linear_regression.h"
 #include "ml/preprocess.h"
@@ -42,6 +43,15 @@ struct PredictorConfig {
   /// flagged anomalous (paper Section VII-C.3). Quantiles, not z-scores:
   /// projection-space distances are heavy-tailed.
   double anomaly_factor = 1.5;
+  /// Serve both neighbor searches (projection space and preprocessed
+  /// feature space) from exact k-d trees (ml::KdTree) instead of the
+  /// brute-force scans. Euclidean only; results are bit-identical either
+  /// way (the tree is pinned to the brute oracle by tests/kdtree_test.cpp),
+  /// so this is purely a latency knob — off is the oracle path the A/B
+  /// benches compare against. Runtime-only: deliberately NOT serialized
+  /// (the model format is unchanged; Load rebuilds the indexes under the
+  /// loading config).
+  bool use_knn_index = true;
 };
 
 struct Prediction {
@@ -116,6 +126,22 @@ class Predictor {
   }
   size_t num_training_examples() const { return train_y_.rows(); }
 
+  /// Training self neighbor-distance statistics (the anomaly/confidence
+  /// thresholds): mean and 99th percentile in the projection space and in
+  /// the preprocessed feature space. Exposed for diagnostics dashboards
+  /// and for the seed-equivalent reference predictor in
+  /// bench_timing_batch_predict.
+  struct DistanceStats {
+    double mean = 0.0;
+    double p99 = 0.0;
+    double feat_mean = 0.0;
+    double feat_p99 = 0.0;
+  };
+  DistanceStats training_distance_stats() const {
+    return {train_dist_mean_, train_dist_p99_, train_feat_dist_mean_,
+            train_feat_dist_p99_};
+  }
+
   void Save(std::ostream* os) const;
   static Predictor Load(std::istream* is);
 
@@ -129,10 +155,29 @@ class Predictor {
       const std::vector<ml::Neighbor>& projection_neighbors,
       const std::vector<ml::Neighbor>& feature_neighbors) const;
 
+  /// k nearest rows of `points` for every row of `queries`: `index` when
+  /// built (it must have been built over exactly `points`), else the brute
+  /// batch search — bit-identical either way. Shared by PredictBatch and
+  /// the training self-stats, for both search spaces.
+  std::vector<std::vector<ml::Neighbor>> IndexedNeighbors(
+      const ml::KdTree& index, const linalg::Matrix& points,
+      const linalg::Matrix& queries, size_t k) const;
+
+  /// Builds (or clears) proj_index_ / feat_index_ from the trained
+  /// projection and feature matrices according to the config. Called from
+  /// Train and Load.
+  void RebuildIndexes();
+
   PredictorConfig config_;
   bool trained_ = false;
   ml::Preprocessor preprocessor_;
   ml::KccaModel kcca_;
+  /// Exact k-d trees over kcca_.x_projection() and train_xp_ (Euclidean +
+  /// kKcca + use_knn_index only; empty otherwise). Derived state: rebuilt
+  /// by Train/Load, never serialized. Immutable after training, so the
+  /// thread-safety contract above is unchanged.
+  ml::KdTree proj_index_;
+  ml::KdTree feat_index_;
   ml::MultiOutputRegression regression_;
   linalg::Matrix train_y_;       ///< N x 6 raw metrics
   linalg::Matrix train_xp_;      ///< N x p preprocessed query features

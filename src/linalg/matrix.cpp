@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "par/parallel_for.h"
+#include "par/simd.h"
+#include "par/simd_lanes.h"
 
 namespace qpp::linalg {
 
@@ -26,8 +28,12 @@ constexpr size_t kParMinWork = size_t{1} << 15;
 // ascending), exactly matching reference::Multiply, and the aik == 0 skip
 // is preserved — so the result is bit-identical to the reference kernel.
 // The tiling keeps a kKTile-row band of B hot across all rows of the block.
+// The j loop runs over independent output elements, so the SIMD form
+// (simd::AxpyRow: one mul + one add per element, lanes = adjacent j) is
+// bit-identical too; `use_simd` is hoisted by the caller.
 void MultiplyRowRange(const double* a, const double* b, double* out,
-                      size_t acols, size_t bcols, size_t r0, size_t r1) {
+                      size_t acols, size_t bcols, size_t r0, size_t r1,
+                      bool use_simd) {
   for (size_t k0 = 0; k0 < acols; k0 += kKTile) {
     const size_t k1 = std::min(acols, k0 + kKTile);
     for (size_t i = r0; i < r1; ++i) {
@@ -37,7 +43,11 @@ void MultiplyRowRange(const double* a, const double* b, double* out,
         const double aik = arow[k];
         if (aik == 0.0) continue;
         const double* brow = b + k * bcols;
-        for (size_t j = 0; j < bcols; ++j) orow[j] += aik * brow[j];
+        if (use_simd) {
+          simd::AxpyRow(orow, aik, brow, bcols);
+        } else {
+          for (size_t j = 0; j < bcols; ++j) orow[j] += aik * brow[j];
+        }
       }
     }
   }
@@ -49,7 +59,7 @@ void MultiplyRowRange(const double* a, const double* b, double* out,
 // and the zero skip match the reference bit for bit.
 void TransposeMultiplyRowRange(const double* a, const double* b, double* out,
                                size_t arows, size_t acols, size_t bcols,
-                               size_t i0, size_t i1) {
+                               size_t i0, size_t i1, bool use_simd) {
   for (size_t k = 0; k < arows; ++k) {
     const double* arow = a + k * acols;
     const double* brow = b + k * bcols;
@@ -57,20 +67,35 @@ void TransposeMultiplyRowRange(const double* a, const double* b, double* out,
       const double aki = arow[i];
       if (aki == 0.0) continue;
       double* orow = out + i * bcols;
-      for (size_t j = 0; j < bcols; ++j) orow[j] += aki * brow[j];
+      if (use_simd) {
+        simd::AxpyRow(orow, aki, brow, bcols);
+      } else {
+        for (size_t j = 0; j < bcols; ++j) orow[j] += aki * brow[j];
+      }
     }
   }
 }
 
 // out rows [r0, r1) of A * B^T: independent dot products, inner loop
-// identical to reference::MultiplyTranspose.
+// identical to reference::MultiplyTranspose. The SIMD form computes
+// kLanes output columns at once — lane L carries the full sequential
+// k-ascending dot product against B row j+L (simd::DotRows), so each
+// output element's accumulation chain matches the scalar kernel bit for
+// bit; only independent chains run side by side.
 void MultiplyTransposeRowRange(const double* a, const double* b, double* out,
                                size_t acols, size_t brows, size_t r0,
-                               size_t r1) {
+                               size_t r1, bool use_simd) {
   for (size_t i = r0; i < r1; ++i) {
     const double* arow = a + i * acols;
     double* orow = out + i * brows;
-    for (size_t j = 0; j < brows; ++j) {
+    size_t j = 0;
+    if (use_simd) {
+      for (; j + simd::kLanes <= brows; j += simd::kLanes) {
+        simd::StoreU(orow + j,
+                     simd::DotRows(b + j * acols, acols, arow, acols));
+      }
+    }
+    for (; j < brows; ++j) {
       const double* brow = b + j * acols;
       double s = 0.0;
       for (size_t k = 0; k < acols; ++k) s += arow[k] * brow[k];
@@ -129,13 +154,14 @@ Matrix Matrix::Multiply(const Matrix& other) const {
   const double* b = other.data_.data();
   double* o = out.data_.data();
   const size_t work = rows_ * cols_ * other.cols_;
+  const bool use_simd = simd::Enabled();
   if (work < kParMinWork) {
-    MultiplyRowRange(a, b, o, cols_, other.cols_, 0, rows_);
+    MultiplyRowRange(a, b, o, cols_, other.cols_, 0, rows_, use_simd);
   } else {
     par::ParallelFor(
         0, rows_, kRowGrain,
         [&](size_t r0, size_t r1) {
-          MultiplyRowRange(a, b, o, cols_, other.cols_, r0, r1);
+          MultiplyRowRange(a, b, o, cols_, other.cols_, r0, r1, use_simd);
         },
         "matmul");
   }
@@ -149,14 +175,16 @@ Matrix Matrix::TransposeMultiply(const Matrix& other) const {
   const double* b = other.data_.data();
   double* o = out.data_.data();
   const size_t work = rows_ * cols_ * other.cols_;
+  const bool use_simd = simd::Enabled();
   if (work < kParMinWork) {
-    TransposeMultiplyRowRange(a, b, o, rows_, cols_, other.cols_, 0, cols_);
+    TransposeMultiplyRowRange(a, b, o, rows_, cols_, other.cols_, 0, cols_,
+                              use_simd);
   } else {
     par::ParallelFor(
         0, cols_, kRowGrain,
         [&](size_t i0, size_t i1) {
           TransposeMultiplyRowRange(a, b, o, rows_, cols_, other.cols_, i0,
-                                    i1);
+                                    i1, use_simd);
         },
         "matmul_tn");
   }
@@ -170,13 +198,15 @@ Matrix Matrix::MultiplyTranspose(const Matrix& other) const {
   const double* b = other.data_.data();
   double* o = out.data_.data();
   const size_t work = rows_ * cols_ * other.rows_;
+  const bool use_simd = simd::Enabled();
   if (work < kParMinWork) {
-    MultiplyTransposeRowRange(a, b, o, cols_, other.rows_, 0, rows_);
+    MultiplyTransposeRowRange(a, b, o, cols_, other.rows_, 0, rows_, use_simd);
   } else {
     par::ParallelFor(
         0, rows_, kRowGrain,
         [&](size_t r0, size_t r1) {
-          MultiplyTransposeRowRange(a, b, o, cols_, other.rows_, r0, r1);
+          MultiplyTransposeRowRange(a, b, o, cols_, other.rows_, r0, r1,
+                                    use_simd);
         },
         "matmul_nt");
   }

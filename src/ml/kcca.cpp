@@ -9,6 +9,8 @@
 #include "linalg/incomplete_cholesky.h"
 #include "linalg/serde.h"
 #include "par/parallel_for.h"
+#include "par/simd.h"
+#include "par/simd_lanes.h"
 
 namespace qpp::ml {
 
@@ -17,6 +19,34 @@ namespace {
 /// Batch-projection rows per parallel chunk (fixed: the chunking must not
 /// depend on the thread count; see par/thread_pool.h).
 constexpr size_t kProjectGrain = 8;
+
+/// exp(-||a - b||^2 / tau) over raw row pointers: the exact
+/// GaussianKernel::operator() chain without the Vector copies. The ICD
+/// kernel oracles call this ~rank * n times per factorization.
+double GaussianRaw(const double* a, const double* b, size_t dims,
+                   double tau) {
+  double s = 0.0;
+  for (size_t j = 0; j < dims; ++j) {
+    const double d = a[j] - b[j];
+    s += d * d;
+  }
+  return std::exp(-s / tau);
+}
+
+/// In-place forward substitution L g = rhs, column-oriented over the
+/// cached transpose lt (row j of lt is column j of L): once g[j] is fixed,
+/// one AxpyNegRow folds column j out of every remaining residual. Each
+/// element's subtraction chain still runs in ascending j — identical to
+/// the row-oriented loop in the scalar path — and s -= x is exactly
+/// s += (-x) in IEEE arithmetic, with the division last, so the result is
+/// bit-identical to the scalar substitution.
+void ForwardSubstColumns(const double* lt, size_t m, double* s) {
+  for (size_t j = 0; j < m; ++j) {
+    const double g = s[j] / lt[j * m + j];
+    s[j] = g;
+    simd::AxpyNegRow(s + j + 1, g, lt + j * m + j + 1, m - j - 1);
+  }
+}
 
 linalg::Vector RowMeans(const linalg::Matrix& k, double* grand) {
   const size_t n = k.rows();
@@ -128,11 +158,22 @@ KccaModel KccaModel::Train(const linalg::Matrix& x, const linalg::Matrix& y,
 
   // --- Incomplete-Cholesky path ------------------------------------------
   model.solver_used_ = KccaSolver::kIcd;
+  // Raw-pointer oracles: same value as kx_fn(x.Row(i), x.Row(j)) without
+  // materializing two Vector copies per evaluated entry (the factorization
+  // probes ~rank * n entries).
+  const double* xbase = x.data().data();
+  const double* ybase = y.data().data();
+  const size_t xc = x.cols();
+  const size_t yc = y.cols();
   const auto kx_oracle = [&](size_t i, size_t j) {
-    return i == j ? 1.0 : kx_fn(x.Row(i), x.Row(j));
+    return i == j ? 1.0
+                  : GaussianRaw(xbase + i * xc, xbase + j * xc, xc,
+                                kx_fn.tau);
   };
   const auto ky_oracle = [&](size_t i, size_t j) {
-    return i == j ? 1.0 : ky_fn(y.Row(i), y.Row(j));
+    return i == j ? 1.0
+                  : GaussianRaw(ybase + i * yc, ybase + j * yc, yc,
+                                ky_fn.tau);
   };
   const linalg::IncompleteCholeskyResult icx = linalg::IncompleteCholesky(
       n, kx_oracle, options.icd_max_rank, options.icd_tolerance);
@@ -155,6 +196,10 @@ KccaModel KccaModel::Train(const linalg::Matrix& x, const linalg::Matrix& y,
     model.pivot_x_.SetRow(r, x.Row(icx.pivots[r]));
   }
   model.lpp_ = linalg::PivotFactor(icx);
+  model.lpp_t_ = model.lpp_.Transpose();
+  model.pivot_tiles_.resize(model.pivot_x_.rows() * model.pivot_x_.cols());
+  PackRowsToTiles(model.pivot_x_.data().data(), model.pivot_x_.rows(),
+                  model.pivot_x_.cols(), model.pivot_tiles_.data());
   model.gx_means_ = cca.mean_x;
   model.wx_ = cca.wx;
   return model;
@@ -162,36 +207,69 @@ KccaModel KccaModel::Train(const linalg::Matrix& x, const linalg::Matrix& y,
 
 linalg::Vector KccaModel::ProjectX(const linalg::Vector& x) const {
   const GaussianKernel kernel{tau_x_};
+  const bool use_simd = simd::Enabled();
   if (solver_used_ == KccaSolver::kExact) {
     QPP_CHECK(!train_x_.empty());
     const linalg::Vector k_star = KernelVector(train_x_, x, kernel);
     const linalg::Vector centered =
         CenterKernelVector(k_star, kx_row_means_, kx_grand_mean_);
-    // projection = centered^T A.
-    linalg::Vector out(a_.cols(), 0.0);
-    for (size_t c = 0; c < a_.cols(); ++c) {
-      double s = 0.0;
-      for (size_t i = 0; i < centered.size(); ++i) s += centered[i] * a_(i, c);
-      out[c] = s;
+    // projection = centered^T A. The SIMD form accumulates row-major over
+    // A (one AxpyRow per training row): each out[c] still sums in
+    // ascending i, so both forms are bit-identical.
+    const size_t d = a_.cols();
+    linalg::Vector out(d, 0.0);
+    if (use_simd) {
+      const double* abase = a_.data().data();
+      for (size_t i = 0; i < centered.size(); ++i) {
+        simd::AxpyRow(out.data(), centered[i], abase + i * d, d);
+      }
+    } else {
+      for (size_t c = 0; c < d; ++c) {
+        double s = 0.0;
+        for (size_t i = 0; i < centered.size(); ++i) {
+          s += centered[i] * a_(i, c);
+        }
+        out[c] = s;
+      }
     }
     return out;
   }
   // ICD: g = Lpp^{-1} k(P, x); project via the CCA directions.
   QPP_CHECK(!pivot_x_.empty());
-  const linalg::Vector kp = KernelVector(pivot_x_, x, kernel);
-  // Forward substitution with lpp_.
+  QPP_CHECK(x.size() == pivot_x_.cols());
   const size_t m = lpp_.rows();
-  linalg::Vector gvec(m, 0.0);
-  for (size_t i = 0; i < m; ++i) {
-    double s = kp[i];
-    for (size_t j = 0; j < i; ++j) s -= lpp_(i, j) * gvec[j];
-    gvec[i] = s / lpp_(i, i);
+  linalg::Vector gvec(m);
+  if (use_simd) {
+    // Pivot kernel values from the tiled copy of pivot_x_ — same doubles,
+    // contiguous loads (GaussianKernelTiles is bit-identical to
+    // KernelVector(pivot_x_, ...)).
+    GaussianKernelTiles(pivot_tiles_.data(), m, pivot_x_.cols(), x.data(),
+                        tau_x_, true, gvec.data());
+    ForwardSubstColumns(lpp_t_.data().data(), m, gvec.data());
+  } else {
+    // Scalar oracle: the literal row-major kernel vector and row-oriented
+    // forward substitution with lpp_ the tiled/column-oriented forms are
+    // pinned against.
+    const linalg::Vector kp = KernelVector(pivot_x_, x, kernel);
+    for (size_t i = 0; i < m; ++i) {
+      double s = kp[i];
+      for (size_t j = 0; j < i; ++j) s -= lpp_(i, j) * gvec[j];
+      gvec[i] = s / lpp_(i, i);
+    }
   }
-  linalg::Vector out(wx_.cols(), 0.0);
-  for (size_t c = 0; c < wx_.cols(); ++c) {
-    double s = 0.0;
-    for (size_t j = 0; j < m; ++j) s += (gvec[j] - gx_means_[j]) * wx_(j, c);
-    out[c] = s;
+  const size_t d = wx_.cols();
+  linalg::Vector out(d, 0.0);
+  if (use_simd) {
+    const double* wbase = wx_.data().data();
+    for (size_t j = 0; j < m; ++j) {
+      simd::AxpyRow(out.data(), gvec[j] - gx_means_[j], wbase + j * d, d);
+    }
+  } else {
+    for (size_t c = 0; c < d; ++c) {
+      double s = 0.0;
+      for (size_t j = 0; j < m; ++j) s += (gvec[j] - gx_means_[j]) * wx_(j, c);
+      out[c] = s;
+    }
   }
   return out;
 }
@@ -215,12 +293,48 @@ linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
     // scratch. The per-row arithmetic below is exactly the single-row
     // ProjectX sequence, so batch row i stays bit-identical to
     // ProjectX(xs.Row(i)) at every thread count.
+    const bool use_simd = simd::Enabled();
     par::ParallelFor(
         0, b, kProjectGrain,
         [&](size_t r0, size_t r1) {
           linalg::Vector centered(n);
           for (size_t r = r0; r < r1; ++r) {
             const double* xq = xbase + r * dims;
+            double* orow = &out.data()[r * d];
+            if (use_simd) {
+              // Kernel values via the shared row-block kernel, then the
+              // mean accumulated from them in ascending i — the same
+              // chain as the fused scalar loop below.
+              GaussianKernelRows(tbase, n, dims, xq, dims, tau_x_, true,
+                                 centered.data());
+              double mean_star = 0.0;
+              for (size_t i = 0; i < n; ++i) mean_star += centered[i];
+              mean_star /= static_cast<double>(n);
+              // Centering is elementwise; the lane form keeps the exact
+              // ((k* - row_mean) - mean*) + grand_mean association.
+              const double* rm = kx_row_means_.data();
+              const simd::VecD vmean = simd::Splat(mean_star);
+              const simd::VecD vgrand = simd::Splat(kx_grand_mean_);
+              size_t i = 0;
+              for (; i + simd::kLanes <= n; i += simd::kLanes) {
+                simd::StoreU(
+                    centered.data() + i,
+                    simd::Add(simd::Sub(simd::Sub(
+                                            simd::LoadU(centered.data() + i),
+                                            simd::LoadU(rm + i)),
+                                        vmean),
+                              vgrand));
+              }
+              for (; i < n; ++i) {
+                double v = centered[i] - rm[i];
+                v = v - mean_star;
+                centered[i] = v + kx_grand_mean_;
+              }
+              for (i = 0; i < n; ++i) {
+                simd::AxpyRow(orow, centered[i], abase + i * d, d);
+              }
+              continue;
+            }
             // Kernel vector + centering, fused. Same per-element arithmetic
             // as KernelVector + CenterKernelVector, minus the allocations.
             double mean_star = 0.0;
@@ -244,7 +358,6 @@ linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
             }
             // projection = centered^T A, accumulated row-major over A (each
             // output column still sums in ascending i, as ProjectX does).
-            double* orow = &out.data()[r * d];
             for (size_t i = 0; i < n; ++i) {
               const double ci = centered[i];
               const double* arow = abase + i * d;
@@ -263,6 +376,7 @@ linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
   const size_t d = wx_.cols();
   const double* pbase = pivot_x_.data().data();
   const double* wbase = wx_.data().data();
+  const bool use_simd = simd::Enabled();
   linalg::Matrix out(b, d);
   // Same chunk-parallel shape as the exact path: per-chunk forward-
   // substitution scratch, per-row arithmetic identical to ProjectX.
@@ -272,6 +386,21 @@ linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
         linalg::Vector gvec(m);
         for (size_t r = r0; r < r1; ++r) {
           const double* xq = xbase + r * dims;
+          double* orow = &out.data()[r * d];
+          if (use_simd) {
+            // Pivot kernel values from the column-major pivot tiles, then
+            // the column-oriented substitution over the cached transpose —
+            // both bit-identical to the fused scalar loop below (each
+            // residual's subtraction chain stays j-ascending; the tile
+            // layout only changes load addresses).
+            GaussianKernelTiles(pivot_tiles_.data(), m, dims, xq, tau_x_,
+                                true, gvec.data());
+            ForwardSubstColumns(lpp_t_.data().data(), m, gvec.data());
+            for (size_t j = 0; j < m; ++j) {
+              simd::AxpyRow(orow, gvec[j] - gx_means_[j], wbase + j * d, d);
+            }
+            continue;
+          }
           for (size_t i = 0; i < m; ++i) {
             const double* pi = pbase + i * dims;
             double sq = 0.0;
@@ -283,7 +412,6 @@ linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
             for (size_t j = 0; j < i; ++j) s -= lpp_(i, j) * gvec[j];
             gvec[i] = s / lpp_(i, i);
           }
-          double* orow = &out.data()[r * d];
           for (size_t j = 0; j < m; ++j) {
             const double gj = gvec[j] - gx_means_[j];
             const double* wrow = wbase + j * d;
@@ -333,6 +461,12 @@ KccaModel KccaModel::Load(BinaryReader* r) {
   m.kx_grand_mean_ = r->ReadDouble();
   m.pivot_x_ = linalg::ReadMatrix(r);
   m.lpp_ = linalg::ReadMatrix(r);
+  // lpp_t_ and pivot_tiles_ are derived state, deliberately not part of
+  // the model format.
+  m.lpp_t_ = m.lpp_.Transpose();
+  m.pivot_tiles_.resize(m.pivot_x_.rows() * m.pivot_x_.cols());
+  PackRowsToTiles(m.pivot_x_.data().data(), m.pivot_x_.rows(),
+                  m.pivot_x_.cols(), m.pivot_tiles_.data());
   m.gx_means_ = r->ReadDoubles();
   m.wx_ = linalg::ReadMatrix(r);
   return m;

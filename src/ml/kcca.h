@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/serde.h"
 #include "linalg/matrix.h"
@@ -100,6 +101,16 @@ class KccaModel {
   // ICD path state: kernel against pivot points only.
   linalg::Matrix pivot_x_;       ///< m x p pivot feature rows
   linalg::Matrix lpp_;           ///< m x m lower factor of K[P,P]
+  /// Derived: lpp_ transposed, so the column-oriented (vectorized) forward
+  /// substitution in ProjectX reads columns of the factor contiguously.
+  /// Rebuilt in Train and Load, never serialized (the model format is
+  /// unchanged).
+  linalg::Matrix lpp_t_;
+  /// Derived: pivot_x_ repacked into the column-major tile layout
+  /// (ml::PackRowsToTiles) the tiled Gaussian kernel consumes, so the
+  /// serving-path pivot kernel vector runs on contiguous vector loads.
+  /// Rebuilt in Train and Load, never serialized.
+  std::vector<double> pivot_tiles_;
   linalg::Vector gx_means_;      ///< column means of G_x
   linalg::Matrix wx_;            ///< m x d CCA directions in feature space
 };

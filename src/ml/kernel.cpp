@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "par/parallel_for.h"
+#include "par/simd.h"
+#include "par/simd_lanes.h"
 
 namespace qpp::ml {
 
@@ -13,7 +15,111 @@ namespace {
 /// bit-identical across thread counts.
 constexpr size_t kNormGrain = 256;
 constexpr size_t kKernelRowGrain = 8;
+
+/// ||p||: the exact linalg::Norm(x.Row(i)) chain over a raw row pointer
+/// (ascending-j self dot, then sqrt) without materializing a Vector.
+double RowNorm(const double* p, size_t dims) {
+  double s = 0.0;
+  for (size_t j = 0; j < dims; ++j) s += p[j] * p[j];
+  return std::sqrt(s);
+}
+
 }  // namespace
+
+// The SIMD path evaluates kLanes rows per step: each lane carries one
+// row's full ascending-j squared-distance chain
+// (simd::SquaredDistanceRows), then the exp is taken per lane in scalar —
+// bit-identical to GaussianKernel::operator() row by row. The scalar
+// tail/path is the literal original chain.
+void GaussianKernelRows(const double* rows, size_t count, size_t stride,
+                        const double* point, size_t dims, double tau,
+                        bool use_simd, double* out) {
+  size_t r = 0;
+  if (use_simd) {
+    // 4-way interleaved blocks first (latency-bound otherwise; see
+    // simd::SquaredDistanceRows4), then single blocks.
+    for (; r + 4 * simd::kLanes <= count; r += 4 * simd::kLanes) {
+      simd::VecD acc[4];
+      simd::SquaredDistanceRows4(rows + r * stride, stride, point, dims, acc);
+      double sq[4 * simd::kLanes];
+      for (size_t c = 0; c < 4; ++c) {
+        simd::StoreU(sq + c * simd::kLanes, acc[c]);
+      }
+      for (size_t l = 0; l < 4 * simd::kLanes; ++l) {
+        out[r + l] = std::exp(-sq[l] / tau);
+      }
+    }
+    for (; r + simd::kLanes <= count; r += simd::kLanes) {
+      double sq[simd::kLanes];
+      simd::StoreU(
+          sq, simd::SquaredDistanceRows(rows + r * stride, stride, point,
+                                        dims));
+      for (size_t l = 0; l < simd::kLanes; ++l) {
+        out[r + l] = std::exp(-sq[l] / tau);
+      }
+    }
+  }
+  for (; r < count; ++r) {
+    const double* p = rows + r * stride;
+    double s = 0.0;
+    for (size_t j = 0; j < dims; ++j) {
+      const double d = p[j] - point[j];
+      s += d * d;
+    }
+    out[r] = std::exp(-s / tau);
+  }
+}
+
+void PackRowsToTiles(const double* rows, size_t count, size_t dims,
+                     double* tiles) {
+  for (size_t t0 = 0; t0 < count; t0 += simd::kTileRows) {
+    const size_t rows_in_tile = std::min(simd::kTileRows, count - t0);
+    double* tile = tiles + t0 * dims;
+    for (size_t r = 0; r < rows_in_tile; ++r) {
+      const double* row = rows + (t0 + r) * dims;
+      for (size_t j = 0; j < dims; ++j) tile[j * rows_in_tile + r] = row[j];
+    }
+  }
+}
+
+void GaussianKernelTiles(const double* tiles, size_t count, size_t dims,
+                         const double* point, double tau, bool use_simd,
+                         double* out) {
+  for (size_t t0 = 0; t0 < count; t0 += simd::kTileRows) {
+    const size_t rows_in_tile = std::min(simd::kTileRows, count - t0);
+    const double* tile = tiles + t0 * dims;
+    size_t r = 0;
+    if (use_simd) {
+      for (; r + 4 * simd::kLanes <= rows_in_tile; r += 4 * simd::kLanes) {
+        simd::VecD acc[4];
+        simd::SquaredDistanceTile4(tile, rows_in_tile, r, point, dims, acc);
+        double sq[4 * simd::kLanes];
+        for (size_t c = 0; c < 4; ++c) {
+          simd::StoreU(sq + c * simd::kLanes, acc[c]);
+        }
+        for (size_t l = 0; l < 4 * simd::kLanes; ++l) {
+          out[t0 + r + l] = std::exp(-sq[l] / tau);
+        }
+      }
+      for (; r + simd::kLanes <= rows_in_tile; r += simd::kLanes) {
+        double sq[simd::kLanes];
+        simd::StoreU(sq, simd::SquaredDistanceTile(tile, rows_in_tile, r,
+                                                   point, dims));
+        for (size_t l = 0; l < simd::kLanes; ++l) {
+          out[t0 + r + l] = std::exp(-sq[l] / tau);
+        }
+      }
+    }
+    for (; r < rows_in_tile; ++r) {
+      double s = 0.0;
+      for (size_t j = 0; j < dims; ++j) {
+        const double d = tile[j * rows_in_tile + r] - point[j];
+        s += d * d;
+      }
+      out[t0 + r] = std::exp(-s / tau);
+    }
+  }
+}
 
 double GaussianKernel::operator()(const linalg::Vector& a,
                                   const linalg::Vector& b) const {
@@ -31,12 +137,29 @@ double GaussianScaleFromNorms(const linalg::Matrix& x, double factor) {
   // that has a perfectly good norm variance. Mean first, then centered
   // squares. Both passes reduce over fixed row chunks in ascending chunk
   // order, so the value is bit-identical at every thread count.
+  // Per-row norms run over raw row pointers (same ascending-j chain as
+  // linalg::Norm(x.Row(i)), minus the Vector copy); the SIMD form puts one
+  // row's chain in each lane and adds the lane norms back into the chunk
+  // sum in ascending row order, so both passes stay bit-identical to the
+  // scalar loop. Hardware lane sqrt is correctly rounded (== std::sqrt).
+  const double* base = x.data().data();
+  const size_t dims = x.cols();
+  const bool use_simd = simd::Enabled();
   const auto combine = [](double a, double b) { return a + b; };
   const double sum = par::DeterministicReduce<double>(
       0, n, kNormGrain, 0.0,
       [&](size_t r0, size_t r1) {
         double s = 0.0;
-        for (size_t i = r0; i < r1; ++i) s += linalg::Norm(x.Row(i));
+        size_t i = r0;
+        if (use_simd) {
+          for (; i + simd::kLanes <= r1; i += simd::kLanes) {
+            double norms[simd::kLanes];
+            simd::StoreU(norms, simd::Sqrt(simd::SelfDotRows(
+                                    base + i * dims, dims, dims)));
+            for (size_t l = 0; l < simd::kLanes; ++l) s += norms[l];
+          }
+        }
+        for (; i < r1; ++i) s += RowNorm(base + i * dims, dims);
         return s;
       },
       combine, "norm_sum");
@@ -45,8 +168,20 @@ double GaussianScaleFromNorms(const linalg::Matrix& x, double factor) {
       0, n, kNormGrain, 0.0,
       [&](size_t r0, size_t r1) {
         double s = 0.0;
-        for (size_t i = r0; i < r1; ++i) {
-          const double d = linalg::Norm(x.Row(i)) - mean;
+        size_t i = r0;
+        if (use_simd) {
+          for (; i + simd::kLanes <= r1; i += simd::kLanes) {
+            double norms[simd::kLanes];
+            simd::StoreU(norms, simd::Sqrt(simd::SelfDotRows(
+                                    base + i * dims, dims, dims)));
+            for (size_t l = 0; l < simd::kLanes; ++l) {
+              const double d = norms[l] - mean;
+              s += d * d;
+            }
+          }
+        }
+        for (; i < r1; ++i) {
+          const double d = RowNorm(base + i * dims, dims) - mean;
           s += d * d;
         }
         return s;
@@ -90,17 +225,22 @@ linalg::Matrix KernelMatrix(const linalg::Matrix& x,
   // row-parallel form computes exactly the entries the serial loop did.
   // Small grain: row i carries n-i-1 kernel evaluations, so fine-grained
   // round-robin chunks balance the triangle across threads.
+  QPP_CHECK(kernel.tau > 0.0);
+  const double* base = x.data().data();
+  const size_t dims = x.cols();
+  const bool use_simd = simd::Enabled();
   par::ParallelFor(
       0, n, kKernelRowGrain,
       [&](size_t r0, size_t r1) {
         for (size_t i = r0; i < r1; ++i) {
           k(i, i) = 1.0;
-          const linalg::Vector ri = x.Row(i);
-          for (size_t j = i + 1; j < n; ++j) {
-            const double v = kernel(ri, x.Row(j));
-            k(i, j) = v;
-            k(j, i) = v;
-          }
+          if (i + 1 >= n) continue;
+          // Row i's strip (i, j > i) is contiguous in k; evaluate the
+          // Gaussian over the raw row block and mirror afterwards.
+          GaussianKernelRows(base + (i + 1) * dims, n - i - 1, dims,
+                             base + i * dims, dims, kernel.tau, use_simd,
+                             &k(i, i + 1));
+          for (size_t j = i + 1; j < n; ++j) k(j, i) = k(i, j);
         }
       },
       "kernel_matrix");
@@ -110,8 +250,11 @@ linalg::Matrix KernelMatrix(const linalg::Matrix& x,
 linalg::Vector KernelVector(const linalg::Matrix& x,
                             const linalg::Vector& point,
                             const GaussianKernel& kernel) {
+  QPP_CHECK(kernel.tau > 0.0);
+  QPP_CHECK(x.cols() == point.size());
   linalg::Vector out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) out[i] = kernel(x.Row(i), point);
+  GaussianKernelRows(x.data().data(), x.rows(), x.cols(), point.data(),
+                     x.cols(), kernel.tau, simd::Enabled(), out.data());
   return out;
 }
 

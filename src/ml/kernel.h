@@ -40,6 +40,36 @@ linalg::Vector KernelVector(const linalg::Matrix& x,
                             const linalg::Vector& point,
                             const GaussianKernel& kernel);
 
+/// Raw row-block form of the Gaussian evaluation behind KernelVector /
+/// KernelMatrix: out[r] = exp(-||row_r - point||^2 / tau) for r in
+/// [0, count), where row_r starts at rows + r*stride. With use_simd the
+/// squared distances are computed kLanes rows at a time, one row's full
+/// ascending-j chain per lane, so the values are bit-identical to the
+/// scalar loop (which is the literal GaussianKernel::operator() chain).
+/// Hot-path building block for ml::KccaModel projection.
+void GaussianKernelRows(const double* rows, size_t count, size_t stride,
+                        const double* point, size_t dims, double tau,
+                        bool use_simd, double* out);
+
+/// Packs `count` row-major rows into the column-major tile layout the
+/// tiled distance kernels consume (simd::kTileRows rows per tile, element
+/// (r, j) of tile t at tiles[t*kTileRows*dims + j*rows_in_tile + r']).
+/// `tiles` must hold count*dims doubles. The packed copy holds the same
+/// doubles — layout alone never changes a result; it exists because the
+/// distance scan is throughput-bound on strided gathers in the row-major
+/// form. Derived state: owners rebuild it on Train/Load, never serialize.
+void PackRowsToTiles(const double* rows, size_t count, size_t dims,
+                     double* tiles);
+
+/// GaussianKernelRows over a PackRowsToTiles layout: out[r] =
+/// exp(-||row_r - point||^2 / tau). Bit-identical to the row-major form —
+/// each row keeps its ascending-j chain; only the loads are contiguous
+/// (simd::SquaredDistanceTile4) instead of strided. This is the serving
+/// hot path for the KCCA pivot kernel vector.
+void GaussianKernelTiles(const double* tiles, size_t count, size_t dims,
+                         const double* point, double tau, bool use_simd,
+                         double* out);
+
 /// In-place double centering: K <- H K H with H = I - 11^T/N.
 void CenterKernelMatrix(linalg::Matrix* k);
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/check.h"
 #include "par/parallel_for.h"
+#include "par/simd.h"
+#include "par/simd_lanes.h"
 
 namespace qpp::ml {
 
@@ -53,6 +57,37 @@ constexpr size_t kPointGrain = 512;
 constexpr size_t kParMinDistanceWork = size_t{1} << 17;
 // Queries per parallel chunk in the batch path.
 constexpr size_t kQueryGrain = 4;
+// Largest k served by the fused top-k scan (fixed-size kept arrays). The
+// paper's operating points are k = 3..7; anything larger falls back to the
+// full distance pass + KeepNearestK, which handles any k.
+constexpr size_t kFusedMaxK = 32;
+
+/// QPP_VERIFY_KNN=1 makes FindNearestBatch re-run every query through
+/// FindNearest and assert bitwise-identical neighbors — the documented
+/// batch ≡ row-wise contract (knn.h) as an executable check instead of a
+/// comment. Off by default: it doubles the work.
+bool VerifyKnnEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("QPP_VERIFY_KNN");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
+
+/// Bitwise equality of two neighbor lists: same length, same indices, and
+/// byte-equal distances (stricter than ==, which would conflate 0.0/-0.0
+/// and miss NaNs).
+bool SameNeighbors(const std::vector<Neighbor>& a,
+                   const std::vector<Neighbor>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].index != b[i].index) return false;
+    if (std::memcmp(&a[i].distance, &b[i].distance, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
 
 // Distances from one query row to every point row, without materializing
 // row copies. `point_norms` (cosine only) carries the query-independent
@@ -62,13 +97,58 @@ constexpr size_t kQueryGrain = 4;
 // already inside a batch-parallel region — see par::ThreadPool nesting).
 void DistancesToAll(const linalg::Matrix& points, const double* query,
                     double query_norm, DistanceKind metric,
-                    const linalg::Vector& point_norms,
+                    const linalg::Vector& point_norms, bool use_simd,
                     std::vector<Neighbor>* all) {
   const size_t n = points.rows();
   const size_t dims = points.cols();
   const double* base = points.data().data();
   auto fill_rows = [&](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) {
+    size_t i = i0;
+    if (use_simd) {
+      // kLanes rows per step; lane L carries row i+L's full ascending-j
+      // chain (simd::SquaredDistanceRows / DotRows), and lane sqrt is
+      // correctly rounded, so every distance matches the scalar loop bit
+      // for bit. The cosine epilogue (norm test + divide) stays scalar
+      // per lane.
+      if (metric == DistanceKind::kEuclidean) {
+        for (; i + 4 * simd::kLanes <= i1; i += 4 * simd::kLanes) {
+          simd::VecD acc[4];
+          simd::SquaredDistanceRows4(base + i * dims, dims, query, dims, acc);
+          double d[4 * simd::kLanes];
+          for (size_t c = 0; c < 4; ++c) {
+            simd::StoreU(d + c * simd::kLanes, simd::Sqrt(acc[c]));
+          }
+          for (size_t l = 0; l < 4 * simd::kLanes; ++l) {
+            (*all)[i + l].index = i + l;
+            (*all)[i + l].distance = d[l];
+          }
+        }
+        for (; i + simd::kLanes <= i1; i += simd::kLanes) {
+          double d[simd::kLanes];
+          simd::StoreU(d, simd::Sqrt(simd::SquaredDistanceRows(
+                              base + i * dims, dims, query, dims)));
+          for (size_t l = 0; l < simd::kLanes; ++l) {
+            (*all)[i + l].index = i + l;
+            (*all)[i + l].distance = d[l];
+          }
+        }
+      } else {
+        for (; i + simd::kLanes <= i1; i += simd::kLanes) {
+          double dot[simd::kLanes];
+          simd::StoreU(
+              dot, simd::DotRows(base + i * dims, dims, query, dims));
+          for (size_t l = 0; l < simd::kLanes; ++l) {
+            const double na = point_norms[i + l];
+            (*all)[i + l].index = i + l;
+            (*all)[i + l].distance =
+                na == 0.0 || query_norm == 0.0
+                    ? 1.0
+                    : 1.0 - dot[l] / (na * query_norm);
+          }
+        }
+      }
+    }
+    for (; i < i1; ++i) {
       const double* row = base + i * dims;
       (*all)[i].index = i;
       if (metric == DistanceKind::kEuclidean) {
@@ -112,16 +192,134 @@ void KeepNearestK(std::vector<Neighbor>* all, size_t k) {
   all->resize(kk);
 }
 
-linalg::Vector PointNorms(const linalg::Matrix& points, DistanceKind metric) {
+linalg::Vector PointNorms(const linalg::Matrix& points, DistanceKind metric,
+                          bool use_simd) {
   linalg::Vector norms;
   if (metric != DistanceKind::kCosine) return norms;
+  const size_t n = points.rows();
   const size_t dims = points.cols();
   const double* base = points.data().data();
-  norms.resize(points.rows());
-  for (size_t i = 0; i < points.rows(); ++i) {
+  norms.resize(n);
+  size_t i = 0;
+  if (use_simd) {
+    for (; i + simd::kLanes <= n; i += simd::kLanes) {
+      simd::StoreU(norms.data() + i,
+                   simd::Sqrt(simd::SelfDotRows(base + i * dims, dims, dims)));
+    }
+  }
+  for (; i < n; ++i) {
     norms[i] = std::sqrt(DotRaw(base + i * dims, base + i * dims, dims));
   }
   return norms;
+}
+
+// Exact fused top-k for the Euclidean metric. Scans rows in ascending
+// index order keeping the k best (distance, index) pairs insertion-sorted
+// in fixed-size arrays, and gates each candidate on its *squared* distance
+// before paying for the sqrt. The gate only ever rejects: sq > worst.sq
+// implies sqrt(sq) >= worst.distance (sqrt is monotone), and on distance
+// equality the candidate — whose index exceeds every kept index, because
+// the scan is ascending — loses the (distance, index) tie anyway. Kept
+// distances are std::sqrt of the identical squared sum (lane sqrt is
+// correctly rounded), so the surviving set, its order, and every reported
+// distance are bit-identical to DistancesToAll + KeepNearestK.
+void FusedNearestEuclidean(const double* base, size_t n, size_t dims,
+                           const double* query, size_t k,
+                           std::vector<Neighbor>* out) {
+  const size_t kk = std::min(k, n);
+  double kd[kFusedMaxK];   // kept distances, ascending (distance, index)
+  double ksq[kFusedMaxK];  // squared distance of the same kept entries
+  size_t ki[kFusedMaxK];   // their row indices
+  size_t kept = 0;
+  auto insert = [&](size_t idx, double d, double sq) {
+    size_t pos = kept;
+    // Strict > keeps equal-distance entries in index order: the candidate
+    // (largest index so far) lands after them, exactly as KeepNearestK
+    // sorts ties.
+    while (pos > 0 && kd[pos - 1] > d) {
+      kd[pos] = kd[pos - 1];
+      ksq[pos] = ksq[pos - 1];
+      ki[pos] = ki[pos - 1];
+      --pos;
+    }
+    kd[pos] = d;
+    ksq[pos] = sq;
+    ki[pos] = idx;
+    ++kept;
+  };
+  auto consider = [&](size_t idx, double sq) {
+    if (kept == kk) {
+      if (sq > ksq[kept - 1]) return;
+      const double d = std::sqrt(sq);
+      if (d >= kd[kept - 1]) return;
+      --kept;  // drop the current worst
+      insert(idx, d, sq);
+    } else {
+      insert(idx, std::sqrt(sq), sq);
+    }
+  };
+  size_t i = 0;
+  // 4-way interleaved blocks first (the scan is latency-bound on each
+  // accumulator's dependent add chain; see simd::SquaredDistanceRows4),
+  // then single blocks, then the scalar tail — every row's chain is the
+  // same in all three.
+  for (; i + 4 * simd::kLanes <= n; i += 4 * simd::kLanes) {
+    simd::VecD acc[4];
+    simd::SquaredDistanceRows4(base + i * dims, dims, query, dims, acc);
+    if (kept == kk) {
+      // Whole-block reject: when no lane's squared distance is <= the
+      // current worst kept squared distance, every lane fails consider()'s
+      // first gate (sq > worst.sq rejects outright here — on a distance
+      // tie the candidate's larger index loses anyway), so the block
+      // contributes nothing. The worst only improves as candidates are
+      // accepted, so the verdict cannot be invalidated later. This turns
+      // the common no-op block into four compares and one branch.
+      const simd::VecD worst = simd::Splat(ksq[kept - 1]);
+      unsigned any = 0;
+      for (size_t c = 0; c < 4; ++c) any |= simd::MaskLE(acc[c], worst);
+      if (any == 0) continue;
+    }
+    double sq[4 * simd::kLanes];
+    for (size_t c = 0; c < 4; ++c) simd::StoreU(sq + c * simd::kLanes, acc[c]);
+    for (size_t l = 0; l < 4 * simd::kLanes; ++l) consider(i + l, sq[l]);
+  }
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    double sq[simd::kLanes];
+    simd::StoreU(sq, simd::SquaredDistanceRows(base + i * dims, dims, query,
+                                               dims));
+    for (size_t l = 0; l < simd::kLanes; ++l) consider(i + l, sq[l]);
+  }
+  for (; i < n; ++i) consider(i, SquaredDistanceRaw(base + i * dims, query, dims));
+  out->resize(kept);
+  for (size_t j = 0; j < kept; ++j) {
+    (*out)[j].index = ki[j];
+    (*out)[j].distance = kd[j];
+  }
+}
+
+// One query against all points: the shared implementation behind
+// FindNearest and FindNearestBatch (which is what makes the batch ≡
+// row-wise bit-identity hold by construction). `scratch` is the reusable
+// candidate buffer for the full-distance path.
+std::vector<Neighbor> NearestOne(const linalg::Matrix& points,
+                                 const double* query, double query_norm,
+                                 size_t k, DistanceKind metric,
+                                 const linalg::Vector& point_norms,
+                                 bool use_simd,
+                                 std::vector<Neighbor>* scratch) {
+  const size_t n = points.rows();
+  const size_t dims = points.cols();
+  if (use_simd && metric == DistanceKind::kEuclidean && k <= kFusedMaxK &&
+      n * dims < kParMinDistanceWork) {
+    std::vector<Neighbor> out;
+    FusedNearestEuclidean(points.data().data(), n, dims, query, k, &out);
+    return out;
+  }
+  scratch->resize(n);
+  DistancesToAll(points, query, query_norm, metric, point_norms, use_simd,
+                 scratch);
+  KeepNearestK(scratch, k);
+  return *scratch;
 }
 
 }  // namespace
@@ -131,15 +329,15 @@ std::vector<Neighbor> FindNearest(const linalg::Matrix& points,
                                   DistanceKind metric) {
   QPP_CHECK(points.rows() > 0 && k >= 1);
   QPP_CHECK(points.cols() == query.size());
-  const linalg::Vector point_norms = PointNorms(points, metric);
+  const bool use_simd = simd::Enabled();
+  const linalg::Vector point_norms = PointNorms(points, metric, use_simd);
   const double query_norm =
       metric == DistanceKind::kCosine
           ? std::sqrt(DotRaw(query.data(), query.data(), query.size()))
           : 0.0;
-  std::vector<Neighbor> all(points.rows());
-  DistancesToAll(points, query.data(), query_norm, metric, point_norms, &all);
-  KeepNearestK(&all, k);
-  return all;
+  std::vector<Neighbor> scratch;
+  return NearestOne(points, query.data(), query_norm, k, metric, point_norms,
+                    use_simd, &scratch);
 }
 
 std::vector<std::vector<Neighbor>> FindNearestBatch(
@@ -147,28 +345,36 @@ std::vector<std::vector<Neighbor>> FindNearestBatch(
     DistanceKind metric) {
   QPP_CHECK(points.rows() > 0 && k >= 1);
   QPP_CHECK(points.cols() == queries.cols());
-  const linalg::Vector point_norms = PointNorms(points, metric);
+  const bool use_simd = simd::Enabled();
+  const linalg::Vector point_norms = PointNorms(points, metric, use_simd);
   std::vector<std::vector<Neighbor>> out(queries.rows());
   const size_t dims = queries.cols();
   const double* qbase = queries.data().data();
+  const bool verify = VerifyKnnEnabled();
   // Queries are independent (disjoint out slots, read-only shared state),
   // so the serving batch path fans out over query chunks; each chunk keeps
   // its own candidate buffer, reused across its queries exactly as the
-  // serial loop reused one. Per-query arithmetic is unchanged, preserving
-  // the bit-identity with FindNearest at any thread count.
+  // serial loop reused one. Per-query work goes through NearestOne — the
+  // same implementation FindNearest runs — preserving the bit-identity
+  // with FindNearest at any thread count (assertable via QPP_VERIFY_KNN).
   par::ParallelFor(
       0, queries.rows(), kQueryGrain,
       [&](size_t r0, size_t r1) {
-        std::vector<Neighbor> all(points.rows());
+        std::vector<Neighbor> scratch;
         for (size_t r = r0; r < r1; ++r) {
           const double* query = qbase + r * dims;
           const double query_norm = metric == DistanceKind::kCosine
                                         ? std::sqrt(DotRaw(query, query, dims))
                                         : 0.0;
-          all.resize(points.rows());
-          DistancesToAll(points, query, query_norm, metric, point_norms, &all);
-          KeepNearestK(&all, k);
-          out[r] = all;
+          out[r] = NearestOne(points, query, query_norm, k, metric,
+                              point_norms, use_simd, &scratch);
+          if (verify) {
+            QPP_CHECK_MSG(
+                SameNeighbors(out[r],
+                              FindNearest(points, queries.Row(r), k, metric)),
+                "FindNearestBatch: batch result differs from row-wise "
+                "FindNearest (QPP_VERIFY_KNN)");
+          }
         }
       },
       "knn_batch");
@@ -206,7 +412,10 @@ linalg::Vector WeightedAverage(const std::vector<Neighbor>& neighbors,
   linalg::Vector out(values.cols(), 0.0);
   for (size_t i = 0; i < neighbors.size(); ++i) {
     QPP_CHECK(neighbors[i].index < values.rows());
-    const linalg::Vector row = values.Row(neighbors[i].index);
+    // Raw row pointer instead of a Row() copy: same elements in the same
+    // ascending-j order, minus the per-neighbor Vector allocation.
+    const double* row =
+        values.data().data() + neighbors[i].index * values.cols();
     for (size_t j = 0; j < out.size(); ++j) out[j] += w[i] * row[j];
   }
   return out;

@@ -32,13 +32,16 @@ std::vector<Neighbor> FindNearest(const linalg::Matrix& points,
 
 /// Batch form: the k nearest rows of `points` for every row of `queries`.
 /// Result i is bit-identical to FindNearest(points, queries.Row(i), ...) —
-/// the batch path runs the same per-element arithmetic in the same order,
-/// it only amortizes the per-row vector allocations, reuses one candidate
-/// buffer per chunk of queries, and hoists the query-independent point
-/// norms out of the loop (cosine). Query chunks run in parallel on the
-/// qpp::par pool (deterministic: identical results at every thread
-/// count). Used by the serving micro-batcher (serve::PredictionService)
-/// via core::Predictor::PredictBatch.
+/// both run the same single-query implementation (including the SIMD
+/// dispatch), the batch only amortizes the per-row vector allocations,
+/// reuses one candidate buffer per chunk of queries, and hoists the
+/// query-independent point norms out of the loop (cosine). Query chunks
+/// run in parallel on the qpp::par pool (deterministic: identical results
+/// at every thread count). Setting QPP_VERIFY_KNN=1 turns the contract
+/// into a runtime assert: every batch result is re-derived via FindNearest
+/// and compared bitwise (tests/knn_oracle_test.cpp exercises this). Used
+/// by the serving micro-batcher (serve::PredictionService) via
+/// core::Predictor::PredictBatch.
 std::vector<std::vector<Neighbor>> FindNearestBatch(
     const linalg::Matrix& points, const linalg::Matrix& queries, size_t k,
     DistanceKind metric);

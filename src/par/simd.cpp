@@ -1,0 +1,48 @@
+#include "par/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "par/simd_lanes.h"
+
+namespace qpp::simd {
+
+namespace {
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("QPP_SIMD");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "scalar") == 0 || std::strcmp(v, "off") == 0 ||
+         std::strcmp(v, "0") == 0;
+}
+
+/// -1 = uninitialized (read QPP_SIMD on first use), 0 = simd, 1 = scalar.
+std::atomic<int> g_force_scalar{-1};
+
+int ForceState() {
+  int s = g_force_scalar.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = EnvForcesScalar() ? 1 : 0;
+    g_force_scalar.store(s, std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* CompiledIsa() { return kIsaName; }
+
+size_t CompiledLanes() { return kLanes; }
+
+bool Enabled() { return ForceState() == 0; }
+
+bool SetForceScalar(bool force) {
+  const int prev = ForceState();
+  g_force_scalar.store(force ? 1 : 0, std::memory_order_relaxed);
+  return prev == 1;
+}
+
+const char* ActiveIsa() { return Enabled() ? kIsaName : "scalar (forced)"; }
+
+}  // namespace qpp::simd

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "catalog/retailbank.h"
@@ -17,7 +18,11 @@
 #include "catalog/tpcds.h"
 #include "engine/simulator.h"
 #include "ml/feature_vector.h"
+#include "ml/kdtree.h"
+#include "ml/kernel.h"
+#include "ml/knn.h"
 #include "optimizer/optimizer.h"
+#include "par/simd.h"
 #include "sql/parser.h"
 #include "workload/generator.h"
 #include "workload/problem_templates.h"
@@ -291,6 +296,100 @@ TEST(RoundTripPropertyTest, PredictorSaveLoadRoundTripIsByteIdentical) {
     const linalg::Vector f = {a, b, a * b, probe_rng.Uniform(0.0, 1.0)};
     EXPECT_EQ(pred.Predict(f).metrics.ToVector(),
               back.Predict(f).metrics.ToVector());
+  }
+}
+
+// ------------------------------------------------------------------------
+// SIMD/index invariance properties. These complement the differential
+// suites (tests/simd_kernel_test.cpp, tests/kdtree_test.cpp) with the
+// properties that must hold for ARBITRARY inputs, not just the shapes the
+// oracle sweeps enumerate.
+
+TEST(SimdInvariancePropertyTest, KdTreeIsPermutationInvariantUpToIndexMap) {
+  // Building the tree over any row permutation of the same point set must
+  // return the same k-nearest POINT SET with byte-identical distances; the
+  // reported indices differ exactly by the permutation. (A tree whose
+  // answers depended on insertion order would not be an index — it would
+  // be a different model.)
+  Rng rng(0x9E12ull);
+  for (size_t dims : {size_t{2}, size_t{5}, size_t{16}}) {
+    const size_t n = 120;
+    linalg::Matrix points(n, dims);
+    for (double& v : points.data()) {
+      // Quantized coordinates force duplicate rows and exact ties, the
+      // hard case for order invariance.
+      v = static_cast<double>(rng.UniformInt(-3, 3));
+    }
+    const std::vector<size_t> perm = rng.Permutation(n);
+    linalg::Matrix shuffled(n, dims);
+    for (size_t r = 0; r < n; ++r) shuffled.SetRow(r, points.Row(perm[r]));
+
+    ml::KdTree base, permuted;
+    base.Build(points);
+    permuted.Build(shuffled);
+    for (int q = 0; q < 25; ++q) {
+      linalg::Vector query(dims);
+      for (double& v : query) v = rng.Uniform(-4.0, 4.0);
+      const auto a = base.FindNearest(query, 6);
+      const auto b = permuted.FindNearest(query, 6);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        // Same distance bits...
+        EXPECT_EQ(std::memcmp(&a[i].distance, &b[i].distance, sizeof(double)),
+                  0)
+            << "dims=" << dims << " q=" << q << " i=" << i;
+        // ...and the same point coordinates once mapped back. (With exact
+        // ties the tied *indices* may legitimately pair up differently
+        // across permutations — the index order is over different labels —
+        // but the selected coordinates must agree.)
+        EXPECT_EQ(shuffled.Row(b[i].index), points.Row(a[i].index))
+            << "dims=" << dims << " q=" << q << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdInvariancePropertyTest, GaussianScaleFromNormsMatchesScalarBitwise) {
+  // The tau heuristic feeds the kernel that everything downstream is
+  // pinned to, so its SIMD path must agree with the scalar oracle in bits
+  // for any shape — including row counts in every lane-remainder class and
+  // near-degenerate norm spreads.
+  Rng rng(0x9E13ull);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{7}, size_t{8}, size_t{9}, size_t{63}, size_t{200}}) {
+    for (size_t dims : {size_t{1}, size_t{6}, size_t{28}}) {
+      for (bool degenerate : {false, true}) {
+        linalg::Matrix x(n, dims);
+        if (degenerate) {
+          // Rows on a common-norm shell: variance collapses, the pairwise
+          // fallback decides.
+          for (size_t r = 0; r < n; ++r) {
+            linalg::Vector row(dims);
+            double norm_sq = 0.0;
+            for (double& v : row) {
+              v = rng.Uniform(-1.0, 1.0);
+              norm_sq += v * v;
+            }
+            const double scale =
+                norm_sq > 0.0 ? 5.0 / std::sqrt(norm_sq) : 0.0;
+            for (double& v : row) v *= scale;
+            x.SetRow(r, row);
+          }
+        } else {
+          for (double& v : x.data()) v = rng.Uniform(-9.0, 9.0);
+        }
+        const bool prev = simd::SetForceScalar(false);
+        const double simd_tau = ml::GaussianScaleFromNorms(x, 0.1);
+        simd::SetForceScalar(true);
+        const double scalar_tau = ml::GaussianScaleFromNorms(x, 0.1);
+        simd::SetForceScalar(prev);
+        EXPECT_EQ(std::memcmp(&simd_tau, &scalar_tau, sizeof(double)), 0)
+            << "n=" << n << " dims=" << dims << " degenerate=" << degenerate
+            << " simd=" << simd_tau << " scalar=" << scalar_tau;
+        EXPECT_TRUE(std::isfinite(simd_tau));
+        EXPECT_GT(simd_tau, 0.0);
+      }
+    }
   }
 }
 

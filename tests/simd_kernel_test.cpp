@@ -1,0 +1,485 @@
+// Differential suite for the qpp::simd compute kernels (the tentpole
+// contract of docs/PERFORMANCE.md, "SIMD dispatch & oracle testing"): every
+// vectorized kernel dispatched through simd::Enabled() must be BIT-IDENTICAL
+// to the scalar oracle it replaced, at every remainder-lane shape. The tests
+// sweep counts through every residue class of the lane width and the 4-way
+// block width (n mod w and n mod 4w from 0 .. w-1), because historically
+// that is where vector kernels break: the last partial block, the scalar
+// tail, and the handoff between them.
+//
+// Comparisons are bytewise (std::memcmp on doubles), not EXPECT_DOUBLE_EQ:
+// the contract is "same bits", which is what lets the golden suite and the
+// serve/shard/fabric replay contracts stay pinned while the kernels change.
+// The single deliberately-reassociating helper, simd::ReduceAdd, gets a
+// relative-tolerance gate instead and is asserted to match the ascending
+// scalar sum of its own lane values exactly (the reassociation happens when
+// an outer loop is folded into lanes, not inside the reduce itself).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/predictor.h"
+#include "linalg/matrix.h"
+#include "ml/kernel.h"
+#include "ml/knn.h"
+#include "par/simd.h"
+#include "par/simd_lanes.h"
+
+namespace qpp {
+namespace {
+
+// Bytewise equality of two double spans; reports the first differing slot.
+::testing::AssertionResult SameBits(const double* a, const double* b,
+                                    size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "bit mismatch at [" << i << "]: " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult SameBits(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  return SameBits(a.data(), b.data(), a.size());
+}
+
+std::vector<double> RandomDoubles(Rng* rng, size_t n, double lo = -10.0,
+                                  double hi = 10.0) {
+  std::vector<double> out(n);
+  for (double& v : out) v = rng->Uniform(lo, hi);
+  return out;
+}
+
+linalg::Matrix RandomMatrix(Rng* rng, size_t rows, size_t cols) {
+  linalg::Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng->Uniform(-5.0, 5.0);
+  return m;
+}
+
+// The literal scalar chains the lane kernels claim to reproduce per lane.
+double ScalarSquaredDistance(const double* a, const double* b, size_t dims) {
+  double s = 0.0;
+  for (size_t j = 0; j < dims; ++j) {
+    const double d = a[j] - b[j];
+    s += d * d;
+  }
+  return s;
+}
+
+double ScalarDot(const double* a, const double* b, size_t dims) {
+  double s = 0.0;
+  for (size_t j = 0; j < dims; ++j) s += a[j] * b[j];
+  return s;
+}
+
+/// RAII force-scalar toggle so a failing assertion cannot leak the forced
+/// state into later tests.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force)
+      : prev_(simd::SetForceScalar(force)) {}
+  ~ScopedForceScalar() { simd::SetForceScalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(SimdIntrospectionTest, CompiledIsaAndLanesAreConsistent) {
+  const std::string isa = simd::CompiledIsa();
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "neon" ||
+              isa == "scalar-lanes")
+      << isa;
+  EXPECT_EQ(simd::CompiledLanes(), simd::kLanes);
+  EXPECT_EQ(simd::CompiledLanes(), isa == "avx2" ? 4u : 2u);
+  EXPECT_EQ(simd::kTileRows, 4 * simd::kLanes);
+}
+
+TEST(SimdIntrospectionTest, ForceScalarTogglesEnabledAndActiveIsa) {
+  // Note: QPP_SIMD=scalar in the environment legitimately disables the
+  // kernels; in that mode Enabled() is false regardless of the toggle and
+  // the differential tests below still pass (both sides run the oracle).
+  const bool env_allows = [] {
+    ScopedForceScalar allow(false);
+    return simd::Enabled();
+  }();
+  ScopedForceScalar force(true);
+  EXPECT_FALSE(simd::Enabled());
+  EXPECT_STREQ(simd::ActiveIsa(), "scalar (forced)");
+  const bool prev = simd::SetForceScalar(false);
+  EXPECT_TRUE(prev);
+  EXPECT_EQ(simd::Enabled(), env_allows);
+  if (env_allows) {
+    EXPECT_STREQ(simd::ActiveIsa(), simd::CompiledIsa());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lane primitives (par/simd_lanes.h) vs the literal scalar chains.
+
+TEST(SimdLanesTest, SquaredDistanceRowsMatchesScalarChainPerLane) {
+  Rng rng(0x51D1ull);
+  for (size_t dims : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                      size_t{16}, size_t{28}, size_t{61}}) {
+    const auto rows = RandomDoubles(&rng, simd::kLanes * (dims ? dims : 1));
+    const auto query = RandomDoubles(&rng, dims ? dims : 1);
+    const simd::VecD acc = simd::SquaredDistanceRows(rows.data(), dims,
+                                                     query.data(), dims);
+    for (size_t l = 0; l < simd::kLanes; ++l) {
+      const double want =
+          ScalarSquaredDistance(rows.data() + l * dims, query.data(), dims);
+      const double got = simd::Lane(acc, l);
+      EXPECT_TRUE(SameBits(&want, &got, 1)) << "dims=" << dims << " lane=" << l;
+    }
+  }
+}
+
+TEST(SimdLanesTest, SquaredDistanceRows4MatchesSingleBlockForm) {
+  Rng rng(0x51D2ull);
+  for (size_t dims : {size_t{1}, size_t{5}, size_t{16}, size_t{28}}) {
+    const auto rows = RandomDoubles(&rng, 4 * simd::kLanes * dims);
+    const auto query = RandomDoubles(&rng, dims);
+    simd::VecD acc4[4];
+    simd::SquaredDistanceRows4(rows.data(), dims, query.data(), dims, acc4);
+    for (size_t c = 0; c < 4; ++c) {
+      const simd::VecD one = simd::SquaredDistanceRows(
+          rows.data() + c * simd::kLanes * dims, dims, query.data(), dims);
+      for (size_t l = 0; l < simd::kLanes; ++l) {
+        const double want = simd::Lane(one, l);
+        const double got = simd::Lane(acc4[c], l);
+        EXPECT_TRUE(SameBits(&want, &got, 1))
+            << "dims=" << dims << " block=" << c << " lane=" << l;
+      }
+    }
+  }
+}
+
+TEST(SimdLanesTest, TiledDistanceKernelsMatchRowMajorForm) {
+  // PackRowsToTiles only permutes storage; the tile kernels must read the
+  // same doubles and run the same per-row chain as the row-major kernels.
+  Rng rng(0x51D3ull);
+  const size_t tile_rows = simd::kTileRows;
+  for (size_t dims : {size_t{1}, size_t{3}, size_t{16}, size_t{28}}) {
+    // Full tiles plus every partial-tile residue.
+    for (size_t count = 1; count <= 2 * tile_rows + 1; ++count) {
+      const auto rows = RandomDoubles(&rng, count * dims);
+      const auto query = RandomDoubles(&rng, dims);
+      std::vector<double> tiles(count * dims);
+      ml::PackRowsToTiles(rows.data(), count, dims, tiles.data());
+      // Element-level permutation check: tile (r, j) == row-major (r, j).
+      for (size_t t0 = 0; t0 < count; t0 += tile_rows) {
+        const size_t in_tile = std::min(tile_rows, count - t0);
+        for (size_t r = 0; r < in_tile; ++r) {
+          for (size_t j = 0; j < dims; ++j) {
+            const double want = rows[(t0 + r) * dims + j];
+            const double got = tiles[t0 * dims + j * in_tile + r];
+            ASSERT_TRUE(SameBits(&want, &got, 1))
+                << "count=" << count << " dims=" << dims << " row=" << t0 + r
+                << " col=" << j;
+          }
+        }
+      }
+      // Kernel-level check on the first (possibly partial) tile.
+      const size_t in_tile = std::min(tile_rows, count);
+      for (size_t r0 = 0; r0 + simd::kLanes <= in_tile; r0 += simd::kLanes) {
+        const simd::VecD tiled = simd::SquaredDistanceTile(
+            tiles.data(), in_tile, r0, query.data(), dims);
+        const simd::VecD rowm = simd::SquaredDistanceRows(
+            rows.data() + r0 * dims, dims, query.data(), dims);
+        for (size_t l = 0; l < simd::kLanes; ++l) {
+          const double want = simd::Lane(rowm, l);
+          const double got = simd::Lane(tiled, l);
+          EXPECT_TRUE(SameBits(&want, &got, 1))
+              << "count=" << count << " dims=" << dims << " r0=" << r0;
+        }
+      }
+      if (in_tile == tile_rows) {
+        simd::VecD acc4[4];
+        simd::SquaredDistanceTile4(tiles.data(), in_tile, 0, query.data(),
+                                   dims, acc4);
+        for (size_t c = 0; c < 4; ++c) {
+          const simd::VecD rowm = simd::SquaredDistanceRows(
+              rows.data() + c * simd::kLanes * dims, dims, query.data(), dims);
+          for (size_t l = 0; l < simd::kLanes; ++l) {
+            const double want = simd::Lane(rowm, l);
+            const double got = simd::Lane(acc4[c], l);
+            EXPECT_TRUE(SameBits(&want, &got, 1))
+                << "count=" << count << " dims=" << dims << " block=" << c;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdLanesTest, DotAndSelfDotRowsMatchScalarChains) {
+  Rng rng(0x51D4ull);
+  for (size_t dims : {size_t{1}, size_t{2}, size_t{9}, size_t{28}}) {
+    const auto rows = RandomDoubles(&rng, simd::kLanes * dims);
+    const auto query = RandomDoubles(&rng, dims);
+    const simd::VecD dots =
+        simd::DotRows(rows.data(), dims, query.data(), dims);
+    const simd::VecD selfs = simd::SelfDotRows(rows.data(), dims, dims);
+    for (size_t l = 0; l < simd::kLanes; ++l) {
+      const double want_dot =
+          ScalarDot(rows.data() + l * dims, query.data(), dims);
+      const double want_self =
+          ScalarDot(rows.data() + l * dims, rows.data() + l * dims, dims);
+      const double got_dot = simd::Lane(dots, l);
+      const double got_self = simd::Lane(selfs, l);
+      EXPECT_TRUE(SameBits(&want_dot, &got_dot, 1)) << "dims=" << dims;
+      EXPECT_TRUE(SameBits(&want_self, &got_self, 1)) << "dims=" << dims;
+    }
+  }
+}
+
+TEST(SimdLanesTest, AxpyRowMatchesScalarAtEveryRemainderShape) {
+  Rng rng(0x51D5ull);
+  for (size_t n = 0; n <= 3 * simd::kLanes + 1; ++n) {
+    const auto b = RandomDoubles(&rng, n);
+    const double a = rng.Uniform(-3.0, 3.0);
+    auto simd_o = RandomDoubles(&rng, n);
+    auto scalar_o = simd_o;
+    simd::AxpyRow(simd_o.data(), a, b.data(), n);
+    for (size_t j = 0; j < n; ++j) scalar_o[j] += a * b[j];
+    EXPECT_TRUE(SameBits(simd_o, scalar_o)) << "n=" << n;
+    // AxpyNegRow: x - a*b == x + (-a)*b exactly (negation is exact).
+    auto neg_o = b;
+    auto neg_want = b;
+    simd::AxpyNegRow(neg_o.data(), a, b.data(), n);
+    for (size_t j = 0; j < n; ++j) neg_want[j] -= a * b[j];
+    EXPECT_TRUE(SameBits(neg_o, neg_want)) << "n=" << n;
+  }
+}
+
+TEST(SimdLanesTest, MasksAndMinMaxMatchScalarSemantics) {
+  // 8 values fit two vectors at any supported lane width (kLanes <= 4).
+  const double vals[] = {-1.0, 0.0, 1.5, 3.0, -7.25, 2.0, 0.5, 9.0};
+  const simd::VecD a = simd::LoadU(vals);
+  const simd::VecD b = simd::LoadU(vals + simd::kLanes);
+  unsigned want_lt = 0;
+  unsigned want_le = 0;
+  for (size_t l = 0; l < simd::kLanes; ++l) {
+    const double x = simd::Lane(a, l);
+    const double y = simd::Lane(b, l);
+    if (x < y) want_lt |= 1u << l;
+    if (x <= y) want_le |= 1u << l;
+    EXPECT_EQ(simd::Lane(simd::Min(a, b), l), std::min(x, y));
+    EXPECT_EQ(simd::Lane(simd::Max(a, b), l), std::max(x, y));
+  }
+  EXPECT_EQ(simd::MaskLT(a, b), want_lt);
+  EXPECT_EQ(simd::MaskLE(a, b), want_le);
+}
+
+TEST(SimdLanesTest, ReduceAddIsToleranceGatedReduceMaxIsExact) {
+  // ReduceAdd of a single vector IS the ascending scalar sum of its lanes.
+  Rng rng(0x51D6ull);
+  const auto lanes = RandomDoubles(&rng, simd::kLanes);
+  double seq = lanes[0];
+  for (size_t l = 1; l < simd::kLanes; ++l) seq += lanes[l];
+  const double red = simd::ReduceAdd(simd::LoadU(lanes.data()));
+  EXPECT_TRUE(SameBits(&seq, &red, 1));
+
+  // Folding a long array into lanes and then reducing REASSOCIATES the
+  // outer sum: deterministic, close, but not bitwise — which is exactly why
+  // ReduceAdd is banned from pinned paths. Gate it at relative tolerance.
+  const size_t n = 4096;
+  const auto xs = RandomDoubles(&rng, n, -1.0, 1.0);
+  simd::VecD acc = simd::Zero();
+  size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    acc = simd::Add(acc, simd::LoadU(xs.data() + i));
+  }
+  double folded = simd::ReduceAdd(acc);
+  for (; i < n; ++i) folded += xs[i];
+  double scalar = 0.0;
+  for (double v : xs) scalar += v;
+  EXPECT_NEAR(folded, scalar, 1e-9 * (std::abs(scalar) + 1.0));
+
+  // ReduceMax is associative over non-NaN doubles: bit-exact.
+  double want_max = lanes[0];
+  for (size_t l = 1; l < simd::kLanes; ++l) {
+    want_max = std::max(want_max, lanes[l]);
+  }
+  const double got_max = simd::ReduceMax(simd::LoadU(lanes.data()));
+  EXPECT_TRUE(SameBits(&want_max, &got_max, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels: SIMD vs forced-scalar through the public entry points,
+// across every remainder-lane count shape.
+
+TEST(SimdDifferentialTest, GaussianKernelRowsBitIdenticalAtAllCountShapes) {
+  Rng rng(0x6A55ull);
+  const double tau = 3.7;
+  for (size_t dims : {size_t{1}, size_t{4}, size_t{16}, size_t{28}}) {
+    // 0 .. beyond two 4-way blocks: hits every n mod kLanes and
+    // n mod 4*kLanes residue, the empty call, and the pure-tail calls.
+    for (size_t count = 0; count <= 8 * simd::kLanes + 3; ++count) {
+      const auto rows = RandomDoubles(&rng, count * dims);
+      const auto point = RandomDoubles(&rng, dims);
+      std::vector<double> simd_out(count, -1.0);
+      std::vector<double> scalar_out(count, -2.0);
+      ml::GaussianKernelRows(rows.data(), count, dims, point.data(), dims,
+                             tau, /*use_simd=*/true, simd_out.data());
+      ml::GaussianKernelRows(rows.data(), count, dims, point.data(), dims,
+                             tau, /*use_simd=*/false, scalar_out.data());
+      EXPECT_TRUE(SameBits(simd_out, scalar_out))
+          << "count=" << count << " dims=" << dims;
+      // And the scalar form is the literal GaussianKernel chain.
+      ml::GaussianKernel kernel{tau};
+      for (size_t r = 0; r < count; ++r) {
+        linalg::Vector row(rows.begin() + r * dims,
+                           rows.begin() + (r + 1) * dims);
+        linalg::Vector p(point.begin(), point.end());
+        const double want = kernel(row, p);
+        ASSERT_TRUE(SameBits(&want, &scalar_out[r], 1))
+            << "count=" << count << " dims=" << dims << " row=" << r;
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, GaussianKernelTilesBitIdenticalToRowForm) {
+  Rng rng(0x6A56ull);
+  const double tau = 0.9;
+  for (size_t dims : {size_t{1}, size_t{5}, size_t{16}, size_t{28}}) {
+    for (size_t count = 1; count <= 2 * simd::kTileRows + simd::kLanes + 1;
+         ++count) {
+      const auto rows = RandomDoubles(&rng, count * dims);
+      const auto point = RandomDoubles(&rng, dims);
+      std::vector<double> tiles(count * dims);
+      ml::PackRowsToTiles(rows.data(), count, dims, tiles.data());
+      std::vector<double> want(count), tiled_simd(count), tiled_scalar(count);
+      ml::GaussianKernelRows(rows.data(), count, dims, point.data(), dims,
+                             tau, /*use_simd=*/false, want.data());
+      ml::GaussianKernelTiles(tiles.data(), count, dims, point.data(), tau,
+                              /*use_simd=*/true, tiled_simd.data());
+      ml::GaussianKernelTiles(tiles.data(), count, dims, point.data(), tau,
+                              /*use_simd=*/false, tiled_scalar.data());
+      EXPECT_TRUE(SameBits(tiled_simd, want))
+          << "count=" << count << " dims=" << dims;
+      EXPECT_TRUE(SameBits(tiled_scalar, want))
+          << "count=" << count << " dims=" << dims;
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, GemmKernelsBitIdenticalToReferenceUnderDispatch) {
+  Rng rng(0x6A57ull);
+  // Odd shapes straddle every blocking boundary of the member kernels.
+  const size_t shapes[][3] = {{1, 1, 1},   {2, 3, 5},    {7, 1, 9},
+                              {16, 16, 16}, {17, 33, 9}, {64, 5, 64},
+                              {31, 64, 33}};
+  for (const auto& s : shapes) {
+    const linalg::Matrix a = RandomMatrix(&rng, s[0], s[1]);
+    const linalg::Matrix b = RandomMatrix(&rng, s[1], s[2]);
+    const linalg::Matrix at = RandomMatrix(&rng, s[1], s[0]);
+    const linalg::Matrix bt = RandomMatrix(&rng, s[2], s[1]);
+    const linalg::Matrix want_mul = linalg::reference::Multiply(a, b);
+    const linalg::Matrix want_tm = linalg::reference::TransposeMultiply(at, b);
+    const linalg::Matrix want_mt = linalg::reference::MultiplyTranspose(a, bt);
+    for (bool force : {false, true}) {
+      ScopedForceScalar guard(force);
+      EXPECT_TRUE(SameBits(a.Multiply(b).data(), want_mul.data()))
+          << s[0] << "x" << s[1] << "x" << s[2] << " force=" << force;
+      EXPECT_TRUE(SameBits(at.TransposeMultiply(b).data(), want_tm.data()))
+          << s[0] << "x" << s[1] << "x" << s[2] << " force=" << force;
+      EXPECT_TRUE(SameBits(a.MultiplyTranspose(bt).data(), want_mt.data()))
+          << s[0] << "x" << s[1] << "x" << s[2] << " force=" << force;
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, FindNearestBitIdenticalAcrossDispatchAllShapes) {
+  Rng rng(0x6A58ull);
+  for (size_t dims : {size_t{1}, size_t{3}, size_t{16}, size_t{28}}) {
+    // Covers the pure-tail sizes, the single-block sizes, and both sides of
+    // the 4-way block boundary; 33 exceeds kFusedMaxK = 32, forcing the
+    // full-distance fallback path under SIMD as well.
+    for (size_t n : {size_t{1}, size_t{2}, simd::kLanes, simd::kLanes + 1,
+                     4 * simd::kLanes - 1, 4 * simd::kLanes,
+                     4 * simd::kLanes + 1, size_t{67}}) {
+      const linalg::Matrix points = RandomMatrix(&rng, n, dims);
+      for (size_t k : {size_t{1}, size_t{3}, size_t{32}, size_t{33}}) {
+        for (auto metric :
+             {ml::DistanceKind::kEuclidean, ml::DistanceKind::kCosine}) {
+          const linalg::Vector query = RandomDoubles(&rng, dims, -5.0, 5.0);
+          std::vector<ml::Neighbor> got, want;
+          {
+            ScopedForceScalar guard(false);
+            got = ml::FindNearest(points, query, k, metric);
+          }
+          {
+            ScopedForceScalar guard(true);
+            want = ml::FindNearest(points, query, k, metric);
+          }
+          ASSERT_EQ(got.size(), want.size());
+          ASSERT_EQ(got.size(), std::min(k, n));
+          for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].index, want[i].index)
+                << "n=" << n << " dims=" << dims << " k=" << k;
+            EXPECT_TRUE(SameBits(&got[i].distance, &want[i].distance, 1))
+                << "n=" << n << " dims=" << dims << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, TrainedModelAndPredictionsBytesMatchScalarOracle) {
+  // End-to-end: the full Train + Save + Predict pipeline produces the same
+  // bytes with the vector kernels on and forced off. This is the property
+  // that lets the golden suite stay pinned across ISA changes.
+  Rng rng(0x6A59ull);
+  std::vector<ml::TrainingExample> examples;
+  for (size_t i = 0; i < 96; ++i) {
+    ml::TrainingExample ex;
+    ex.query_features.resize(ml::kPlanFeatureDims);
+    for (double& v : ex.query_features) {
+      v = rng.Bernoulli(0.3) ? rng.LogNormal(5.0, 2.0) : 0.0;
+    }
+    ex.metrics.elapsed_seconds = rng.LogNormal(1.0, 2.0);
+    ex.metrics.records_accessed = rng.LogNormal(12.0, 2.0);
+    ex.metrics.records_used = rng.LogNormal(10.0, 2.0);
+    ex.metrics.message_count = rng.LogNormal(6.0, 2.0);
+    ex.metrics.message_bytes = rng.LogNormal(14.0, 2.0);
+    examples.push_back(std::move(ex));
+  }
+  std::string bytes[2];
+  std::vector<linalg::Vector> probes;
+  for (size_t i = 0; i < 8; ++i) {
+    probes.push_back(examples[i * 11 % examples.size()].query_features);
+  }
+  std::vector<std::vector<double>> metric_rows[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    ScopedForceScalar guard(mode == 1);
+    core::Predictor pred;
+    pred.Train(examples);
+    std::ostringstream os;
+    pred.Save(&os);
+    bytes[mode] = os.str();
+    for (const auto& p : probes) {
+      metric_rows[mode].push_back(pred.Predict(p).metrics.ToVector());
+    }
+  }
+  EXPECT_EQ(bytes[0], bytes[1]) << "trained model bytes differ under SIMD";
+  ASSERT_EQ(metric_rows[0].size(), metric_rows[1].size());
+  for (size_t i = 0; i < metric_rows[0].size(); ++i) {
+    EXPECT_TRUE(SameBits(metric_rows[0][i], metric_rows[1][i]))
+        << "probe " << i;
+  }
+}
+
+}  // namespace
+}  // namespace qpp
