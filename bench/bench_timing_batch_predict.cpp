@@ -1,6 +1,6 @@
 // Microbenchmark for the serving-path prediction latency.
 //
-// Two jobs:
+// Three jobs:
 //  * The original one: Predictor::PredictBatch(B queries) vs B sequential
 //    Predict() calls (the micro-batching win qpp::serve relies on), plus
 //    qpp::par thread scaling of the batch path with a bit-identity check.
@@ -12,18 +12,31 @@
 //    (ml::KdTree descent/flat). The acceptance gate is >= 3x vs the seed
 //    algorithm: hard on multi-core hosts, soft (warn only) on 1-core CI
 //    boxes where a background-load spike can dwarf the margin.
+//  * The batch-blocking report: PredictBatchInto (query-blocked kernel
+//    tiles + blocked triangular solve + reused scratch) vs B sequential
+//    Predict() calls across B in {1,4,16,64,256}, with a per-stage
+//    breakdown (preprocess / kernel / solve / project / knn / assemble)
+//    and an allocation-count regression check — a replaced operator new
+//    counts every heap allocation, and a warmed PredictBatchInto at
+//    QPP_THREADS=1 must make exactly zero. Gates: byte-identity and the
+//    zero-allocation check are hard everywhere; the >= 2x blocked-vs-
+//    per-query speedup at B=64 is hard on multi-core hosts and soft on
+//    1-core boxes (same convention as the seed gate).
 //
 // `--quick` runs only the reports (CI smoke); `--json-out FILE` writes
 // them as JSON for artifact upload.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +47,50 @@
 #include "par/simd.h"
 #include "par/thread_pool.h"
 #include "workload/pools.h"
+
+// --- Allocation counting -----------------------------------------------------
+//
+// Replaced global allocation functions: every operator new bumps a relaxed
+// counter, so a region's allocation count is two loads around it. Used by
+// the zero-allocation regression check on the warmed PredictBatchInto hot
+// path. The counting costs one relaxed fetch_add per allocation — noise for
+// the timing sections, which allocate nothing in their hot loops anyway.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(al),
+                                  sizeof(void*)),
+                     n ? n : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 using namespace qpp;
 
@@ -293,8 +350,115 @@ BatchScalingReport RunBatchThreadScaling() {
   return rep;
 }
 
+// --- Batch-blocking sweep (PredictBatchInto vs per-query) -------------------
+
+struct BatchSweepPoint {
+  size_t b = 0;
+  double per_query_us = 0.0;  ///< B sequential Predict() calls, per query
+  double blocked_us = 0.0;    ///< PredictBatchInto with warmed scratch
+  double speedup = 0.0;
+};
+
+struct BatchSweepReport {
+  std::vector<BatchSweepPoint> points;
+  /// Per-query stage breakdown at B=256 (microseconds).
+  double stage_preprocess_us = 0.0;
+  double stage_kernel_us = 0.0;
+  double stage_solve_us = 0.0;
+  double stage_project_us = 0.0;
+  double stage_knn_us = 0.0;
+  double stage_assemble_us = 0.0;
+  /// Heap allocations observed across the counted hot-path calls (warmed
+  /// scratch, QPP_THREADS=1); the acceptance value is exactly zero.
+  uint64_t hot_path_allocs = 0;
+  bool byte_identical = true;
+  double speedup_b64 = 0.0;
+};
+
+BatchSweepReport RunBatchSweep(int reps) {
+  const core::Predictor& pred = TrainedPredictor(kTrainN);
+  BatchSweepReport rep;
+  core::Predictor::BatchScratch scratch;
+  std::vector<core::Prediction> blocked;
+
+  const size_t sizes[] = {1, 4, 16, 64, 256};
+  for (const size_t b : sizes) {
+    const auto probes = ProbeBatch(b, kTrainN);
+    // Byte-identity before timing: every blocked result must equal the
+    // per-query path bit for bit.
+    pred.PredictBatchInto(probes, &scratch, &blocked);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      rep.byte_identical =
+          rep.byte_identical && SamePrediction(blocked[i], pred.Predict(probes[i]));
+    }
+    const int calls = std::max(4, reps / static_cast<int>(b));
+    BatchSweepPoint pt;
+    pt.b = b;
+    pt.per_query_us = TimePerCallUs(
+                          [&] {
+                            for (const auto& probe : probes) {
+                              benchmark::DoNotOptimize(
+                                  pred.Predict(probe).confidence);
+                            }
+                          },
+                          calls) /
+                      static_cast<double>(b);
+    pt.blocked_us = TimePerCallUs(
+                        [&] { pred.PredictBatchInto(probes, &scratch, &blocked); },
+                        calls) /
+                    static_cast<double>(b);
+    pt.speedup = pt.blocked_us > 0.0 ? pt.per_query_us / pt.blocked_us : 0.0;
+    if (b == 64) rep.speedup_b64 = pt.speedup;
+    rep.points.push_back(pt);
+  }
+
+  // Per-stage breakdown at B=256: where a blocked batch actually spends
+  // its time (the JSON artifact tracks this across commits).
+  {
+    const auto probes = ProbeBatch(256, kTrainN);
+    pred.PredictBatchInto(probes, &scratch, &blocked);  // warm shapes
+    core::Predictor::BatchStageTimes stages;
+    const int calls = std::max(4, reps / 64);
+    for (int i = 0; i < calls; ++i) {
+      pred.PredictBatchInto(probes, &scratch, &blocked, nullptr, &stages);
+    }
+    const double per_query =
+        1e6 / (static_cast<double>(calls) * static_cast<double>(probes.size()));
+    rep.stage_preprocess_us = stages.preprocess_s * per_query;
+    rep.stage_kernel_us = stages.kernel_s * per_query;
+    rep.stage_solve_us = stages.solve_s * per_query;
+    rep.stage_project_us = stages.project_s * per_query;
+    rep.stage_knn_us = stages.knn_s * per_query;
+    rep.stage_assemble_us = stages.assemble_s * per_query;
+  }
+
+  // Zero-allocation regression check: with the scratch warmed and the pool
+  // inline (QPP_THREADS=1 runs ParallelFor on the calling thread with no
+  // task queue), repeated PredictBatchInto calls must not touch the heap.
+  // Multi-thread dispatch legitimately allocates in the pool's task queue,
+  // so the check pins the single-thread hot path — the part this PR's
+  // scratch reuse is responsible for.
+  {
+    const auto probes = ProbeBatch(256, kTrainN);
+    par::SetGlobalThreads(1);
+    core::Predictor::BatchScratch warm_scratch;
+    std::vector<core::Prediction> warm_out;
+    pred.PredictBatchInto(probes, &warm_scratch, &warm_out);
+    pred.PredictBatchInto(probes, &warm_scratch, &warm_out);
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 16; ++i) {
+      pred.PredictBatchInto(probes, &warm_scratch, &warm_out);
+    }
+    rep.hot_path_allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - before;
+    par::SetGlobalThreads(par::DefaultThreads());
+  }
+  return rep;
+}
+
 void WriteJson(const SingleLatencyReport& single,
-               const BatchScalingReport& batch, const std::string& path) {
+               const BatchScalingReport& batch, const BatchSweepReport& sweep,
+               const std::string& path) {
   std::ofstream out(path);
   out << "{\n"
       << "  \"bench\": \"bench_timing_batch_predict\",\n"
@@ -314,7 +478,25 @@ void WriteJson(const SingleLatencyReport& single,
       << "  \"batch256_ms_8t\": " << batch.ms_8t << ",\n"
       << "  \"batch256_speedup_8v1\": " << batch.speedup_8v1 << ",\n"
       << "  \"batch256_byte_identical\": "
-      << (batch.byte_identical ? "true" : "false") << "\n}\n";
+      << (batch.byte_identical ? "true" : "false") << ",\n";
+  for (const BatchSweepPoint& pt : sweep.points) {
+    out << "  \"sweep_b" << pt.b << "_per_query_us\": " << pt.per_query_us
+        << ",\n"
+        << "  \"sweep_b" << pt.b << "_blocked_us\": " << pt.blocked_us
+        << ",\n"
+        << "  \"sweep_b" << pt.b << "_speedup\": " << pt.speedup << ",\n";
+  }
+  out << "  \"stage256_preprocess_us\": " << sweep.stage_preprocess_us
+      << ",\n"
+      << "  \"stage256_kernel_us\": " << sweep.stage_kernel_us << ",\n"
+      << "  \"stage256_solve_us\": " << sweep.stage_solve_us << ",\n"
+      << "  \"stage256_project_us\": " << sweep.stage_project_us << ",\n"
+      << "  \"stage256_knn_us\": " << sweep.stage_knn_us << ",\n"
+      << "  \"stage256_assemble_us\": " << sweep.stage_assemble_us << ",\n"
+      << "  \"sweep_byte_identical\": "
+      << (sweep.byte_identical ? "true" : "false") << ",\n"
+      << "  \"sweep_speedup_b64\": " << sweep.speedup_b64 << ",\n"
+      << "  \"hot_path_allocs\": " << sweep.hot_path_allocs << "\n}\n";
 }
 
 // --- google-benchmark suites ------------------------------------------------
@@ -343,6 +525,21 @@ void BM_PredictBatch(benchmark::State& state) {
                           static_cast<int64_t>(probes.size()));
 }
 BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PredictBatchInto(benchmark::State& state) {
+  const core::Predictor& pred = TrainedPredictor(kTrainN);
+  const auto probes = ProbeBatch(static_cast<size_t>(state.range(0)), kTrainN);
+  core::Predictor::BatchScratch scratch;
+  std::vector<core::Prediction> out;
+  for (auto _ : state) {
+    pred.PredictBatchInto(probes, &scratch, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(probes.size()));
+}
+BENCHMARK(BM_PredictBatchInto)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
@@ -387,15 +584,46 @@ int main(int argc, char** argv) {
               "speedup=%.2fx  bit_identical=%s\n",
               kTrainN, batch.ms_1t, batch.ms_8t, batch.speedup_8v1,
               batch.byte_identical ? "yes" : "NO");
+
+  const BatchSweepReport sweep = RunBatchSweep(quick ? 512 : 2048);
+  std::printf("batch blocking (PredictBatchInto vs per-query Predict):\n");
+  for (const BatchSweepPoint& pt : sweep.points) {
+    std::printf("  B=%-3zu per-query %7.2f us/q  blocked %7.2f us/q  "
+                "speedup %.2fx\n",
+                pt.b, pt.per_query_us, pt.blocked_us, pt.speedup);
+  }
+  std::printf("  stages @B=256 (us/query): preprocess %.2f  kernel %.2f  "
+              "solve %.2f  project %.2f  knn %.2f  assemble %.2f\n",
+              sweep.stage_preprocess_us, sweep.stage_kernel_us,
+              sweep.stage_solve_us, sweep.stage_project_us, sweep.stage_knn_us,
+              sweep.stage_assemble_us);
+  std::printf("  hot-path allocations after warmup: %llu  byte_identical=%s\n",
+              static_cast<unsigned long long>(sweep.hot_path_allocs),
+              sweep.byte_identical ? "yes" : "NO");
+
   std::printf("BENCH bench_timing_batch_predict n=%zu "
               "single_speedup_vs_seed=%.2f batch_speedup_8v1=%.2f "
+              "blocked_speedup_b64=%.2f hot_path_allocs=%llu "
               "byte_identical=%d\n",
               single.n, single.speedup_vs_seed, batch.speedup_8v1,
-              (single.byte_identical && batch.byte_identical) ? 1 : 0);
-  if (!json_out.empty()) WriteJson(single, batch, json_out);
+              sweep.speedup_b64,
+              static_cast<unsigned long long>(sweep.hot_path_allocs),
+              (single.byte_identical && batch.byte_identical &&
+               sweep.byte_identical)
+                  ? 1
+                  : 0);
+  if (!json_out.empty()) WriteJson(single, batch, sweep, json_out);
 
-  if (!single.byte_identical || !batch.byte_identical) {
+  if (!single.byte_identical || !batch.byte_identical ||
+      !sweep.byte_identical) {
     std::fprintf(stderr, "FAIL: prediction modes are not byte-identical\n");
+    return 1;
+  }
+  if (sweep.hot_path_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warmed PredictBatchInto hot path made %llu heap "
+                 "allocations (expected 0)\n",
+                 static_cast<unsigned long long>(sweep.hot_path_allocs));
     return 1;
   }
   if (single.speedup_vs_seed < 3.0) {
@@ -409,6 +637,18 @@ int main(int argc, char** argv) {
                  "WARN: single-prediction speedup vs seed %.2fx < 3x "
                  "(soft gate: 1-core host)\n",
                  single.speedup_vs_seed);
+  }
+  if (sweep.speedup_b64 < 2.0) {
+    if (single.threads_available > 1) {
+      std::fprintf(stderr,
+                   "FAIL: blocked batch speedup at B=64 %.2fx < 2x\n",
+                   sweep.speedup_b64);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "WARN: blocked batch speedup at B=64 %.2fx < 2x "
+                 "(soft gate: 1-core host)\n",
+                 sweep.speedup_b64);
   }
   if (quick) return 0;
 

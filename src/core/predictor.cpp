@@ -1,6 +1,7 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -104,22 +105,42 @@ void Predictor::RebuildIndexes() {
 std::vector<std::vector<ml::Neighbor>> Predictor::IndexedNeighbors(
     const ml::KdTree& index, const linalg::Matrix& points,
     const linalg::Matrix& queries, size_t k) const {
+  std::vector<std::vector<ml::Neighbor>> out;
+  IndexedNeighborsInto(index, points, queries, k, &out);
+  return out;
+}
+
+void Predictor::IndexedNeighborsInto(
+    const ml::KdTree& index, const linalg::Matrix& points,
+    const linalg::Matrix& queries, size_t k,
+    std::vector<std::vector<ml::Neighbor>>* out) const {
   if (index.empty()) {
-    return ml::FindNearestBatch(points, queries, k, config_.distance);
+    *out = ml::FindNearestBatch(points, queries, k, config_.distance);
+    return;
   }
   QPP_CHECK(queries.cols() == index.dims());
-  std::vector<std::vector<ml::Neighbor>> out(queries.rows());
-  const double* qbase = queries.data().data();
-  const size_t dims = queries.cols();
+  // resize keeps the outer capacity and the inner vectors' capacity;
+  // FindNearestRaw overwrites each inner vector in place.
+  out->resize(queries.rows());
+  // One-pointer context so the std::function built by ParallelFor stays
+  // inside the small-buffer optimization (a multi-reference capture would
+  // heap-allocate on every call).
+  struct Ctx {
+    const ml::KdTree* index;
+    const double* qbase;
+    size_t dims;
+    size_t k;
+    std::vector<std::vector<ml::Neighbor>>* out;
+  } ctx{&index, queries.data().data(), queries.cols(), k, out};
   par::ParallelFor(
       0, queries.rows(), kIndexQueryGrain,
-      [&](size_t r0, size_t r1) {
+      [&ctx](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
-          index.FindNearestRaw(qbase + r * dims, k, &out[r]);
+          ctx.index->FindNearestRaw(ctx.qbase + r * ctx.dims, ctx.k,
+                                    &(*ctx.out)[r]);
         }
       },
       "kdtree_batch");
-  return out;
 }
 
 Prediction Predictor::Predict(const linalg::Vector& query_features) const {
@@ -156,56 +177,108 @@ Prediction Predictor::Predict(const linalg::Vector& query_features) const {
 std::vector<Prediction> Predictor::PredictBatch(
     const std::vector<linalg::Vector>& queries,
     obs::TraceRecorder* trace) const {
-  QPP_CHECK_MSG(trained_, "PredictBatch before Train");
+  // Convenience wrapper: same pipeline with call-local scratch. Callers on
+  // the steady-state serving path hold a warmed BatchScratch and use
+  // PredictBatchInto directly.
+  BatchScratch scratch;
   std::vector<Prediction> out;
-  out.reserve(queries.size());
-  if (queries.empty()) return out;
+  PredictBatchInto(queries, &scratch, &out, trace, nullptr);
+  return out;
+}
+
+void Predictor::PredictBatchInto(const std::vector<linalg::Vector>& queries,
+                                 BatchScratch* scratch,
+                                 std::vector<Prediction>* out,
+                                 obs::TraceRecorder* trace,
+                                 BatchStageTimes* times) const {
+  QPP_CHECK_MSG(trained_, "PredictBatch before Train");
+  const size_t b = queries.size();
+  // resize, not clear+push: reuses the Prediction objects (and their
+  // neighbor_indices buffers) left from the previous batch.
+  out->resize(b);
+  if (b == 0) return;
 
   if (config_.model == ModelKind::kRegression) {
     // No shared work to amortize in the linear model; keep one code path.
     obs::Span span(trace, "regression_predict", "predict");
-    for (const linalg::Vector& q : queries) out.push_back(Predict(q));
-    return out;
+    for (size_t r = 0; r < b; ++r) (*out)[r] = Predict(queries[r]);
+    return;
   }
 
-  linalg::Matrix xp(queries.size(), preprocessor_.dims());
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
   {
     obs::Span span(trace, "preprocess", "predict");
-    for (size_t r = 0; r < queries.size(); ++r) {
-      xp.SetRow(r, preprocessor_.TransformRow(queries[r]));
+    scratch->xp.Reshape(b, preprocessor_.dims());
+    double* base = scratch->xp.data().data();
+    const size_t dims = preprocessor_.dims();
+    for (size_t r = 0; r < b; ++r) {
+      preprocessor_.TransformRowTo(queries[r], base + r * dims);
     }
   }
-  linalg::Matrix projections;
+  const auto t1 = Clock::now();
+  ml::KccaProjectTimes ptimes;
   {
     obs::Span span(trace, "kcca_project", "predict");
-    projections = kcca_.ProjectXBatch(xp);
+    kcca_.ProjectXBatchInto(scratch->xp, &scratch->ws, &scratch->projections,
+                            times != nullptr ? &ptimes : nullptr);
   }
-  std::vector<std::vector<ml::Neighbor>> nbrs;
+  const auto t2 = Clock::now();
   {
     obs::Span span(trace, "knn_projection_space", "predict");
-    nbrs = IndexedNeighbors(proj_index_, kcca_.x_projection(), projections,
-                            config_.k_neighbors);
+    IndexedNeighborsInto(proj_index_, kcca_.x_projection(),
+                         scratch->projections, config_.k_neighbors,
+                         &scratch->nbrs);
   }
-  std::vector<std::vector<ml::Neighbor>> feat_nbrs;
   {
     obs::Span span(trace, "knn_feature_space", "predict");
-    feat_nbrs = IndexedNeighbors(feat_index_, train_xp_, xp,
-                                 config_.k_neighbors);
+    IndexedNeighborsInto(feat_index_, train_xp_, scratch->xp,
+                         config_.k_neighbors, &scratch->feat_nbrs);
   }
-  obs::Span span(trace, "assemble", "predict");
-  for (size_t r = 0; r < queries.size(); ++r) {
-    out.push_back(AssembleKccaPrediction(nbrs[r], feat_nbrs[r]));
+  const auto t3 = Clock::now();
+  {
+    obs::Span span(trace, "assemble", "predict");
+    for (size_t r = 0; r < b; ++r) {
+      AssembleKccaPredictionInto(scratch->nbrs[r], scratch->feat_nbrs[r],
+                                 &(*out)[r]);
+    }
   }
-  return out;
+  if (times != nullptr) {
+    const auto t4 = Clock::now();
+    const auto secs = [](Clock::time_point a, Clock::time_point z) {
+      return std::chrono::duration<double>(z - a).count();
+    };
+    times->preprocess_s += secs(t0, t1);
+    times->kernel_s += ptimes.kernel_s;
+    times->solve_s += ptimes.solve_s;
+    times->project_s += ptimes.project_s;
+    times->knn_s += secs(t2, t3);
+    times->assemble_s += secs(t3, t4);
+  }
 }
 
 Prediction Predictor::AssembleKccaPrediction(
     const std::vector<ml::Neighbor>& projection_neighbors,
     const std::vector<ml::Neighbor>& feature_neighbors) const {
   Prediction out;
-  const linalg::Vector metrics = ml::WeightedAverage(
-      projection_neighbors, train_y_, config_.weighting);
-  out.metrics = engine::QueryMetrics::FromVector(metrics);
+  AssembleKccaPredictionInto(projection_neighbors, feature_neighbors, &out);
+  return out;
+}
+
+void Predictor::AssembleKccaPredictionInto(
+    const std::vector<ml::Neighbor>& projection_neighbors,
+    const std::vector<ml::Neighbor>& feature_neighbors,
+    Prediction* outp) const {
+  Prediction& out = *outp;
+  // `out` may be a reused object from a previous batch: every field is
+  // reassigned below; the neighbor list is cleared (keeping capacity) and
+  // the vote default restored before the tally.
+  out.neighbor_indices.clear();
+  out.predicted_type = workload::QueryType::kFeather;
+  double metrics[engine::QueryMetrics::kNumMetrics];
+  ml::WeightedAverageTo(projection_neighbors, train_y_, config_.weighting,
+                        metrics);
+  out.metrics = engine::QueryMetrics::FromArray(metrics);
 
   double sum = 0.0;
   for (const ml::Neighbor& nb : projection_neighbors) {
@@ -249,7 +322,6 @@ Prediction Predictor::AssembleKccaPrediction(
       out.predicted_type = static_cast<workload::QueryType>(t);
     }
   }
-  return out;
 }
 
 const ml::KccaModel& Predictor::kcca() const {

@@ -21,6 +21,7 @@
 #include "ml/linear_regression.h"
 #include "ml/preprocess.h"
 #include "obs/trace.h"
+#include "par/workspace.h"
 #include "workload/pools.h"
 
 namespace qpp::core {
@@ -96,11 +97,12 @@ class Predictor {
   Prediction Predict(const linalg::Vector& query_features) const;
 
   /// Micro-batch prediction: result i is bit-identical to
-  /// Predict(queries[i]). One call projects the whole batch through the
-  /// KCCA model (ml::KccaModel::ProjectXBatch) and runs one batched
-  /// neighbor search per space (ml::FindNearestBatch), amortizing the
-  /// per-row allocations that dominate single-query latency. This is the
-  /// path the serving micro-batcher drains queued requests through.
+  /// Predict(queries[i]). One call runs the query-blocked KCCA pipeline
+  /// (ml::KccaModel::ProjectXBatchInto: batched kernel tiles, one blocked
+  /// triangular solve over the whole batch) and one batched neighbor
+  /// search per space, amortizing both the per-row allocations and the
+  /// per-query factor traffic that dominate single-query latency. This is
+  /// the path the serving micro-batcher drains queued requests through.
   ///
   /// When `trace` is non-null, the internal stages (preprocess, KCCA
   /// kernel/projection, the two kNN searches, prediction assembly) are
@@ -109,6 +111,42 @@ class Predictor {
   std::vector<Prediction> PredictBatch(
       const std::vector<linalg::Vector>& queries,
       obs::TraceRecorder* trace = nullptr) const;
+
+  /// Reusable per-caller scratch for PredictBatchInto. All buffers grow to
+  /// the steady-state batch shape on the first calls and are then reused:
+  /// after warmup, PredictBatchInto performs no heap allocations (pinned
+  /// by the allocation-count check in bench_timing_batch_predict). Not
+  /// thread-safe; give each serving worker its own instance.
+  struct BatchScratch {
+    par::Workspace ws;              ///< KCCA kernel/solve staging
+    linalg::Matrix xp;              ///< B x p preprocessed queries
+    linalg::Matrix projections;     ///< B x d KCCA projections
+    std::vector<std::vector<ml::Neighbor>> nbrs;       ///< projection space
+    std::vector<std::vector<ml::Neighbor>> feat_nbrs;  ///< feature space
+  };
+
+  /// Wall-clock seconds per internal stage, accumulated (+=) across calls
+  /// so a bench can sum over repetitions. kernel/solve/project split the
+  /// KCCA projection stage (see ml::KccaProjectTimes); knn covers both
+  /// neighbor searches.
+  struct BatchStageTimes {
+    double preprocess_s = 0.0;
+    double kernel_s = 0.0;
+    double solve_s = 0.0;
+    double project_s = 0.0;
+    double knn_s = 0.0;
+    double assemble_s = 0.0;
+  };
+
+  /// PredictBatch into caller-owned storage. (*out)[i] is bit-identical to
+  /// Predict(queries[i]); `out` is resized to the batch (existing
+  /// Prediction objects — and their neighbor_indices capacity — are
+  /// reused). With a warmed `scratch` this is the zero-allocation serving
+  /// hot path. `times`, when non-null, receives the per-stage breakdown.
+  void PredictBatchInto(const std::vector<linalg::Vector>& queries,
+                        BatchScratch* scratch, std::vector<Prediction>* out,
+                        obs::TraceRecorder* trace = nullptr,
+                        BatchStageTimes* times = nullptr) const;
 
   const PredictorConfig& config() const { return config_; }
   /// The trained KCCA model (kKcca only). Exposed for the projection
@@ -155,6 +193,14 @@ class Predictor {
       const std::vector<ml::Neighbor>& projection_neighbors,
       const std::vector<ml::Neighbor>& feature_neighbors) const;
 
+  /// AssembleKccaPrediction into a (possibly reused) Prediction object.
+  /// Every field is reassigned — stale state from a previous batch cannot
+  /// leak — and the neighbor list is cleared, not reallocated.
+  void AssembleKccaPredictionInto(
+      const std::vector<ml::Neighbor>& projection_neighbors,
+      const std::vector<ml::Neighbor>& feature_neighbors,
+      Prediction* out) const;
+
   /// k nearest rows of `points` for every row of `queries`: `index` when
   /// built (it must have been built over exactly `points`), else the brute
   /// batch search — bit-identical either way. Shared by PredictBatch and
@@ -162,6 +208,15 @@ class Predictor {
   std::vector<std::vector<ml::Neighbor>> IndexedNeighbors(
       const ml::KdTree& index, const linalg::Matrix& points,
       const linalg::Matrix& queries, size_t k) const;
+
+  /// IndexedNeighbors into caller-owned storage; outer and inner vectors
+  /// keep their capacity across calls, so the indexed path allocates
+  /// nothing after warmup (the brute fallback — non-default configs only —
+  /// still assigns a fresh batch result).
+  void IndexedNeighborsInto(const ml::KdTree& index,
+                            const linalg::Matrix& points,
+                            const linalg::Matrix& queries, size_t k,
+                            std::vector<std::vector<ml::Neighbor>>* out) const;
 
   /// Builds (or clears) proj_index_ / feat_index_ from the trained
   /// projection and feature matrices according to the config. Called from

@@ -12,6 +12,10 @@ linalg::Vector QueryMetrics::ToVector() const {
 
 QueryMetrics QueryMetrics::FromVector(const linalg::Vector& v) {
   QPP_CHECK(v.size() == kNumMetrics);
+  return FromArray(v.data());
+}
+
+QueryMetrics QueryMetrics::FromArray(const double* v) {
   QueryMetrics m;
   m.elapsed_seconds = v[0];
   m.records_accessed = v[1];

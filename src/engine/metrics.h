@@ -32,6 +32,10 @@ struct QueryMetrics {
   /// Inverse of ToVector() (auxiliary fields zeroed).
   static QueryMetrics FromVector(const linalg::Vector& v);
 
+  /// FromVector from a raw pointer to kNumMetrics doubles — the
+  /// allocation-free form used by the batch prediction hot path.
+  static QueryMetrics FromArray(const double* v);
+
   /// Metric names in ToVector() order.
   static std::array<std::string, kNumMetrics> MetricNames();
 

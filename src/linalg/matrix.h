@@ -38,6 +38,16 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Reassigns shape and refills, retaining allocated capacity
+  /// (vector::assign never shrinks capacity): the zero-allocation batch
+  /// prediction path reuses one Matrix across calls, so after the first
+  /// steady-state-shaped batch this touches no heap.
+  void Reshape(size_t rows, size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   /// Returns row r as a Vector copy.
   Vector Row(size_t r) const;
   /// Returns column c as a Vector copy.

@@ -1,6 +1,7 @@
 #include "ml/kcca.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
@@ -8,9 +9,11 @@
 #include "linalg/eigen_sym.h"
 #include "linalg/incomplete_cholesky.h"
 #include "linalg/serde.h"
+#include "linalg/triangular.h"
 #include "par/parallel_for.h"
 #include "par/simd.h"
 #include "par/simd_lanes.h"
+#include "par/workspace.h"
 
 namespace qpp::ml {
 
@@ -19,6 +22,23 @@ namespace {
 /// Batch-projection rows per parallel chunk (fixed: the chunking must not
 /// depend on the thread count; see par/thread_pool.h).
 constexpr size_t kProjectGrain = 8;
+
+/// Right-hand-side columns per blocked-solve chunk. Each chunk solves a
+/// disjoint column range of the m×B block independently (columns never
+/// interact in forward substitution), so the chunking affects scheduling
+/// only — but it is fixed like every other grain so perf numbers compare
+/// across hosts.
+constexpr size_t kSolveColGrain = 32;
+
+/// Below this batch size ProjectXBatchInto runs the per-query transposed
+/// solve instead of the blocked one: with only a few right-hand-side
+/// columns the blocked solve's lane dimension (columns) degenerates to
+/// scalar updates, while the transposed per-query substitution vectorizes
+/// over rows regardless of batch size. Both chains are bit-identical per
+/// column (the blocked-solve contract in linalg/triangular.h), so this
+/// dispatch can never change a result — it is purely a crossover point,
+/// sized at two AVX-512 lane widths where the measured curves intersect.
+constexpr size_t kBlockedMinBatch = 16;
 
 /// exp(-||a - b||^2 / tau) over raw row pointers: the exact
 /// GaussianKernel::operator() chain without the Vector copies. The ICD
@@ -369,58 +389,229 @@ linalg::Matrix KccaModel::ProjectXBatch(const linalg::Matrix& xs) const {
     return out;
   }
 
-  // ICD path: g = Lpp^{-1} k(P, x) per row, then the CCA directions.
+  // ICD path: the query-blocked pipeline behind ProjectXBatchInto, with a
+  // call-local workspace.
+  linalg::Matrix out;
+  par::Workspace ws;
+  ProjectXBatchInto(xs, &ws, &out, nullptr);
+  return out;
+}
+
+void KccaModel::ProjectXBatchInto(const linalg::Matrix& xs,
+                                  par::Workspace* ws, linalg::Matrix* out,
+                                  KccaProjectTimes* times) const {
+  QPP_CHECK(tau_x_ > 0.0);
+  QPP_CHECK(ws != nullptr && out != nullptr);
+  const size_t b = xs.rows();
+  if (solver_used_ == KccaSolver::kExact) {
+    // No blocked form for the dense-kernel path (it is already row-chunk
+    // parallel and off the serve hot path at production N).
+    *out = ProjectXBatch(xs);
+    return;
+  }
   QPP_CHECK(!pivot_x_.empty());
-  QPP_CHECK(dims == pivot_x_.cols());
+  QPP_CHECK(xs.cols() == pivot_x_.cols());
+  const size_t dims = xs.cols();
   const size_t m = lpp_.rows();
   const size_t d = wx_.cols();
-  const double* pbase = pivot_x_.data().data();
-  const double* wbase = wx_.data().data();
-  const bool use_simd = simd::Enabled();
-  linalg::Matrix out(b, d);
-  // Same chunk-parallel shape as the exact path: per-chunk forward-
-  // substitution scratch, per-row arithmetic identical to ProjectX.
+
+  ws->Reset();
+  out->Reshape(b, d, 0.0);
+  if (b == 0) return;
+
+  // All per-batch scratch comes from the arena; the parallel phases below
+  // only ever write disjoint ranges of it (column blocks / row blocks), so
+  // one workspace serves every pool thread.
+  double* s = ws->Alloc(m * b);
+
+  // One context pointer per lambda keeps each phase's std::function inside
+  // the small-buffer optimization — a multi-capture closure would heap-
+  // allocate per ParallelFor call and fail the zero-allocation gate.
+  struct Ctx {
+    const KccaModel* model;
+    const double* xbase;
+    double* s;
+    double* obase;
+    size_t dims, b, m, d;
+    bool use_simd;
+  };
+  Ctx ctx{this,         xs.data().data(), s, out->data().data(),
+          dims,         b,                m, d,
+          simd::Enabled()};
+
+  using Clock = std::chrono::steady_clock;
+  const auto Sec = [](Clock::time_point a, Clock::time_point bb) {
+    return std::chrono::duration<double>(bb - a).count();
+  };
+
+  if (b < kBlockedMinBatch) {
+    // Small-batch path: per-query kernel rows and the transposed per-query
+    // substitution, over a row-major S (query q owns s[q*m .. q*m+m)). Same
+    // three phases for the stage breakdown; every chain is the literal
+    // per-query ProjectX sequence.
+    const auto u0 = Clock::now();
+    par::ParallelFor(
+        0, b, kProjectGrain,
+        [&ctx](size_t q0, size_t q1) {
+          const KccaModel& mo = *ctx.model;
+          const double* pbase = mo.pivot_x_.data().data();
+          for (size_t q = q0; q < q1; ++q) {
+            const double* xq = ctx.xbase + q * ctx.dims;
+            double* srow = ctx.s + q * ctx.m;
+            if (ctx.use_simd) {
+              GaussianKernelTiles(mo.pivot_tiles_.data(), ctx.m, ctx.dims,
+                                  xq, mo.tau_x_, true, srow);
+              continue;
+            }
+            for (size_t i = 0; i < ctx.m; ++i) {
+              const double* pi = pbase + i * ctx.dims;
+              double sq = 0.0;
+              for (size_t j = 0; j < ctx.dims; ++j) {
+                const double diff = pi[j] - xq[j];
+                sq += diff * diff;
+              }
+              srow[i] = std::exp(-sq / mo.tau_x_);
+            }
+          }
+        },
+        "kcca_kernel_batch");
+    const auto u1 = Clock::now();
+    par::ParallelFor(
+        0, b, kProjectGrain,
+        [&ctx](size_t q0, size_t q1) {
+          const KccaModel& mo = *ctx.model;
+          for (size_t q = q0; q < q1; ++q) {
+            double* srow = ctx.s + q * ctx.m;
+            if (ctx.use_simd) {
+              ForwardSubstColumns(mo.lpp_t_.data().data(), ctx.m, srow);
+              continue;
+            }
+            // The literal row-oriented scalar substitution (in place: each
+            // srow[i] is read before it is overwritten).
+            for (size_t i = 0; i < ctx.m; ++i) {
+              double v = srow[i];
+              for (size_t j = 0; j < i; ++j) v -= mo.lpp_(i, j) * srow[j];
+              srow[i] = v / mo.lpp_(i, i);
+            }
+          }
+        },
+        "kcca_solve_batch");
+    const auto u2 = Clock::now();
+    par::ParallelFor(
+        0, b, kProjectGrain,
+        [&ctx](size_t q0, size_t q1) {
+          const KccaModel& mo = *ctx.model;
+          const double* wbase = mo.wx_.data().data();
+          const double* means = mo.gx_means_.data();
+          for (size_t q = q0; q < q1; ++q) {
+            const double* srow = ctx.s + q * ctx.m;
+            double* orow = ctx.obase + q * ctx.d;
+            if (ctx.use_simd) {
+              for (size_t j = 0; j < ctx.m; ++j) {
+                simd::AxpyRow(orow, srow[j] - means[j], wbase + j * ctx.d,
+                              ctx.d);
+              }
+            } else {
+              for (size_t j = 0; j < ctx.m; ++j) {
+                const double gj = srow[j] - means[j];
+                const double* wrow = wbase + j * ctx.d;
+                for (size_t c = 0; c < ctx.d; ++c) orow[c] += gj * wrow[c];
+              }
+            }
+          }
+        },
+        "kcca_project_batch");
+    if (times != nullptr) {
+      const auto u3 = Clock::now();
+      times->kernel_s += Sec(u0, u1);
+      times->solve_s += Sec(u1, u2);
+      times->project_s += Sec(u2, u3);
+    }
+    return;
+  }
+
+  const auto t0 = Clock::now();
+
+  // Phase 1 — pivot-kernel right-hand side: S(i, q) = k(pivot_i, x_q),
+  // query-chunked. The tiled batch form keeps each packed pivot tile hot
+  // across the chunk's queries; each (i, q) value is the exact per-query
+  // chain (strided stores only), so S column q == the gvec the per-query
+  // path would start from.
   par::ParallelFor(
       0, b, kProjectGrain,
-      [&](size_t r0, size_t r1) {
-        linalg::Vector gvec(m);
-        for (size_t r = r0; r < r1; ++r) {
-          const double* xq = xbase + r * dims;
-          double* orow = &out.data()[r * d];
-          if (use_simd) {
-            // Pivot kernel values from the column-major pivot tiles, then
-            // the column-oriented substitution over the cached transpose —
-            // both bit-identical to the fused scalar loop below (each
-            // residual's subtraction chain stays j-ascending; the tile
-            // layout only changes load addresses).
-            GaussianKernelTiles(pivot_tiles_.data(), m, dims, xq, tau_x_,
-                                true, gvec.data());
-            ForwardSubstColumns(lpp_t_.data().data(), m, gvec.data());
-            for (size_t j = 0; j < m; ++j) {
-              simd::AxpyRow(orow, gvec[j] - gx_means_[j], wbase + j * d, d);
-            }
-            continue;
-          }
-          for (size_t i = 0; i < m; ++i) {
-            const double* pi = pbase + i * dims;
+      [&ctx](size_t q0, size_t q1) {
+        const KccaModel& mo = *ctx.model;
+        if (ctx.use_simd) {
+          GaussianKernelTilesBatch(mo.pivot_tiles_.data(), ctx.m, ctx.dims,
+                                   ctx.xbase + q0 * ctx.dims, q1 - q0,
+                                   ctx.dims, mo.tau_x_, true, ctx.s + q0,
+                                   ctx.b);
+          return;
+        }
+        // Scalar oracle: the literal fused kernel loop of the per-query
+        // path, written into S's columns.
+        const double* pbase = mo.pivot_x_.data().data();
+        for (size_t q = q0; q < q1; ++q) {
+          const double* xq = ctx.xbase + q * ctx.dims;
+          for (size_t i = 0; i < ctx.m; ++i) {
+            const double* pi = pbase + i * ctx.dims;
             double sq = 0.0;
-            for (size_t j = 0; j < dims; ++j) {
+            for (size_t j = 0; j < ctx.dims; ++j) {
               const double diff = pi[j] - xq[j];
               sq += diff * diff;
             }
-            double s = std::exp(-sq / tau_x_);
-            for (size_t j = 0; j < i; ++j) s -= lpp_(i, j) * gvec[j];
-            gvec[i] = s / lpp_(i, i);
+            ctx.s[i * ctx.b + q] = std::exp(-sq / mo.tau_x_);
           }
-          for (size_t j = 0; j < m; ++j) {
-            const double gj = gvec[j] - gx_means_[j];
-            const double* wrow = wbase + j * d;
-            for (size_t c = 0; c < d; ++c) orow[c] += gj * wrow[c];
+        }
+      },
+      "kcca_kernel_batch");
+  const auto t1 = Clock::now();
+
+  // Phase 2 — blocked forward substitution over disjoint column ranges of
+  // S. The factor is read once per column block instead of once per query;
+  // each column's arithmetic chain is exactly ForwardSubstColumns'.
+  par::ParallelFor(
+      0, b, kSolveColGrain,
+      [&ctx](size_t c0, size_t c1) {
+        linalg::ForwardSubstBlocked(ctx.model->lpp_.data().data(), ctx.m,
+                                    ctx.s + c0, c1 - c0, ctx.b,
+                                    ctx.use_simd);
+      },
+      "kcca_solve_batch");
+  const auto t2 = Clock::now();
+
+  // Phase 3 — projection through the CCA directions, query-chunked. Same
+  // ascending-j accumulation per output element as the per-query path.
+  par::ParallelFor(
+      0, b, kProjectGrain,
+      [&ctx](size_t q0, size_t q1) {
+        const KccaModel& mo = *ctx.model;
+        const double* wbase = mo.wx_.data().data();
+        const double* means = mo.gx_means_.data();
+        for (size_t q = q0; q < q1; ++q) {
+          double* orow = ctx.obase + q * ctx.d;
+          if (ctx.use_simd) {
+            for (size_t j = 0; j < ctx.m; ++j) {
+              simd::AxpyRow(orow, ctx.s[j * ctx.b + q] - means[j],
+                            wbase + j * ctx.d, ctx.d);
+            }
+          } else {
+            for (size_t j = 0; j < ctx.m; ++j) {
+              const double gj = ctx.s[j * ctx.b + q] - means[j];
+              const double* wrow = wbase + j * ctx.d;
+              for (size_t c = 0; c < ctx.d; ++c) orow[c] += gj * wrow[c];
+            }
           }
         }
       },
       "kcca_project_batch");
-  return out;
+  const auto t3 = Clock::now();
+
+  if (times != nullptr) {
+    times->kernel_s += Sec(t0, t1);
+    times->solve_s += Sec(t1, t2);
+    times->project_s += Sec(t2, t3);
+  }
 }
 
 void KccaModel::Save(BinaryWriter* w) const {

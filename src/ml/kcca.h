@@ -29,9 +29,23 @@
 #include "ml/cca.h"
 #include "ml/kernel.h"
 
+namespace qpp::par {
+class Workspace;
+}  // namespace qpp::par
+
 namespace qpp::ml {
 
 enum class KccaSolver { kAuto, kExact, kIcd };
+
+/// Wall-clock seconds accumulated per stage of the blocked ICD batch
+/// projection (ProjectXBatchInto): pivot-kernel block, blocked triangular
+/// solve, CCA-direction projection. Purely observational — timing never
+/// affects results.
+struct KccaProjectTimes {
+  double kernel_s = 0.0;
+  double solve_s = 0.0;
+  double project_s = 0.0;
+};
 
 struct KccaOptions {
   size_t num_dims = 16;       ///< projection dimensions kept
@@ -70,14 +84,34 @@ class KccaModel {
   linalg::Vector ProjectX(const linalg::Vector& x) const;
 
   /// Batch projection: row i of the result is bit-identical to
-  /// ProjectX(xs.Row(i)). One call projects the whole micro-batch, reusing
-  /// the kernel-vector scratch across each chunk's rows and walking the
-  /// dual coefficients row-major instead of column-striding — the
-  /// projection is the serving hot path and the per-row vector allocations
-  /// dominate it (see bench_timing_batch_predict). Chunks of rows run in
-  /// parallel on the qpp::par pool; results are identical at every thread
-  /// count (tests/par_test.cpp asserts byte equality).
+  /// ProjectX(xs.Row(i)). Convenience wrapper over ProjectXBatchInto with
+  /// a call-local workspace (the exact path projects row-chunks in
+  /// parallel directly). Results are identical at every thread count
+  /// (tests/par_test.cpp asserts byte equality).
   linalg::Matrix ProjectXBatch(const linalg::Matrix& xs) const;
+
+  /// The query-blocked batch projection — the serving hot path. For the
+  /// ICD solver the per-row chain (pivot kernel vector → forward
+  /// substitution → CCA directions) is restructured into three
+  /// batch-level phases over an m×B right-hand-side block carved from
+  /// `ws`: one multi-query pass over the pivot tiles
+  /// (ml::GaussianKernelTilesBatch), one blocked triangular solve
+  /// (linalg::ForwardSubstBlocked) that reads the 256 KB factor once per
+  /// B-column block instead of once per query, and one projection pass.
+  /// Row q of `out` stays bit-identical to ProjectX(xs.Row(q)) — every
+  /// output element keeps its exact per-query scalar chain; blocking only
+  /// reorders which element advances next (pinned by
+  /// tests/simd_kernel_test.cpp and tests/knn_oracle_test.cpp).
+  ///
+  /// `ws` and `out` are caller-owned and reused across calls: after one
+  /// warmup batch of the steady-state shape the call performs zero heap
+  /// allocations (the bench's operator-new hook gates this). `times`, when
+  /// non-null, accumulates per-stage wall clock. The exact solver has no
+  /// blocked form and delegates to the row-parallel path (allocating its
+  /// result as before).
+  void ProjectXBatchInto(const linalg::Matrix& xs, par::Workspace* ws,
+                         linalg::Matrix* out,
+                         KccaProjectTimes* times = nullptr) const;
 
   void Save(BinaryWriter* w) const;
   static KccaModel Load(BinaryReader* r);

@@ -121,6 +121,50 @@ void GaussianKernelTiles(const double* tiles, size_t count, size_t dims,
   }
 }
 
+void GaussianKernelTilesBatch(const double* tiles, size_t count, size_t dims,
+                              const double* queries, size_t num_queries,
+                              size_t query_stride, double tau, bool use_simd,
+                              double* out, size_t out_stride) {
+  for (size_t t0 = 0; t0 < count; t0 += simd::kTileRows) {
+    const size_t rows_in_tile = std::min(simd::kTileRows, count - t0);
+    const double* tile = tiles + t0 * dims;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* point = queries + q * query_stride;
+      double* col = out + t0 * out_stride + q;
+      size_t r = 0;
+      if (use_simd) {
+        for (; r + 4 * simd::kLanes <= rows_in_tile; r += 4 * simd::kLanes) {
+          simd::VecD acc[4];
+          simd::SquaredDistanceTile4(tile, rows_in_tile, r, point, dims, acc);
+          double sq[4 * simd::kLanes];
+          for (size_t c = 0; c < 4; ++c) {
+            simd::StoreU(sq + c * simd::kLanes, acc[c]);
+          }
+          for (size_t l = 0; l < 4 * simd::kLanes; ++l) {
+            col[(r + l) * out_stride] = std::exp(-sq[l] / tau);
+          }
+        }
+        for (; r + simd::kLanes <= rows_in_tile; r += simd::kLanes) {
+          double sq[simd::kLanes];
+          simd::StoreU(sq, simd::SquaredDistanceTile(tile, rows_in_tile, r,
+                                                     point, dims));
+          for (size_t l = 0; l < simd::kLanes; ++l) {
+            col[(r + l) * out_stride] = std::exp(-sq[l] / tau);
+          }
+        }
+      }
+      for (; r < rows_in_tile; ++r) {
+        double s = 0.0;
+        for (size_t j = 0; j < dims; ++j) {
+          const double d = tile[j * rows_in_tile + r] - point[j];
+          s += d * d;
+        }
+        col[r * out_stride] = std::exp(-s / tau);
+      }
+    }
+  }
+}
+
 double GaussianKernel::operator()(const linalg::Vector& a,
                                   const linalg::Vector& b) const {
   QPP_CHECK(tau > 0.0);

@@ -70,6 +70,19 @@ void GaussianKernelTiles(const double* tiles, size_t count, size_t dims,
                          const double* point, double tau, bool use_simd,
                          double* out);
 
+/// GaussianKernelTiles for a block of queries: out[r*out_stride + q] =
+/// exp(-||row_r - query_q||^2 / tau) for r in [0, count) and q in
+/// [0, num_queries), where query_q starts at queries + q*query_stride.
+/// Iterates tile-major so each packed tile (a few KB) stays hot in L1
+/// across the whole query block instead of streaming all tiles once per
+/// query — the batch-path amortization bench_timing_batch_predict
+/// measures. Each (row, query) value keeps the exact single-query chain,
+/// so the block is bit-identical to num_queries GaussianKernelTiles calls.
+void GaussianKernelTilesBatch(const double* tiles, size_t count, size_t dims,
+                              const double* queries, size_t num_queries,
+                              size_t query_stride, double tau, bool use_simd,
+                              double* out, size_t out_stride);
+
 /// In-place double centering: K <- H K H with H = I - 11^T/N.
 void CenterKernelMatrix(linalg::Matrix* k);
 

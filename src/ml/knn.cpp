@@ -407,18 +407,53 @@ linalg::Vector NeighborWeights(const std::vector<Neighbor>& neighbors,
 linalg::Vector WeightedAverage(const std::vector<Neighbor>& neighbors,
                                const linalg::Matrix& values,
                                NeighborWeighting weighting) {
+  linalg::Vector out(values.cols());
+  WeightedAverageTo(neighbors, values, weighting, out.data());
+  return out;
+}
+
+void WeightedAverageTo(const std::vector<Neighbor>& neighbors,
+                       const linalg::Matrix& values,
+                       NeighborWeighting weighting, double* out) {
   QPP_CHECK(!neighbors.empty());
-  const linalg::Vector w = NeighborWeights(neighbors, weighting);
-  linalg::Vector out(values.cols(), 0.0);
-  for (size_t i = 0; i < neighbors.size(); ++i) {
+  const size_t k = neighbors.size();
+  // Weights on the stack for the practical k range (config default is 3,
+  // paper sweeps 3..7); heap only above kStackK. Same chains as
+  // NeighborWeights: raw weights, ascending-order sum, normalize.
+  constexpr size_t kStackK = 32;
+  double wbuf[kStackK];
+  std::vector<double> wheap;
+  double* w = wbuf;
+  if (k > kStackK) {
+    wheap.resize(k);
+    w = wheap.data();
+  }
+  for (size_t i = 0; i < k; ++i) w[i] = 1.0;
+  switch (weighting) {
+    case NeighborWeighting::kEqual:
+      break;
+    case NeighborWeighting::kRankRatio:
+      for (size_t i = 0; i < k; ++i) w[i] = static_cast<double>(k - i);
+      break;
+    case NeighborWeighting::kInverseDistance: {
+      constexpr double kEps = 1e-9;
+      for (size_t i = 0; i < k; ++i) w[i] = 1.0 / (neighbors[i].distance + kEps);
+      break;
+    }
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) total += w[i];
+  for (size_t i = 0; i < k; ++i) w[i] /= total;
+  const size_t cols = values.cols();
+  for (size_t j = 0; j < cols; ++j) out[j] = 0.0;
+  for (size_t i = 0; i < k; ++i) {
     QPP_CHECK(neighbors[i].index < values.rows());
     // Raw row pointer instead of a Row() copy: same elements in the same
     // ascending-j order, minus the per-neighbor Vector allocation.
     const double* row =
         values.data().data() + neighbors[i].index * values.cols();
-    for (size_t j = 0; j < out.size(); ++j) out[j] += w[i] * row[j];
+    for (size_t j = 0; j < cols; ++j) out[j] += w[i] * row[j];
   }
-  return out;
 }
 
 }  // namespace qpp::ml

@@ -57,4 +57,12 @@ linalg::Vector WeightedAverage(const std::vector<Neighbor>& neighbors,
                                const linalg::Matrix& values,
                                NeighborWeighting weighting);
 
+/// WeightedAverage into caller-owned storage (`out` must hold
+/// values.cols() doubles). Identical arithmetic (WeightedAverage is this
+/// plus a Vector wrapper); the allocation-free form the batch prediction
+/// assembly uses — weights live on the stack for k <= 32.
+void WeightedAverageTo(const std::vector<Neighbor>& neighbors,
+                       const linalg::Matrix& values,
+                       NeighborWeighting weighting, double* out);
+
 }  // namespace qpp::ml

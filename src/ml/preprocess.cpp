@@ -52,14 +52,19 @@ linalg::Matrix Preprocessor::Transform(const linalg::Matrix& x) const {
 }
 
 linalg::Vector Preprocessor::TransformRow(const linalg::Vector& v) const {
-  QPP_CHECK(fitted_ && v.size() == mean_.size());
   linalg::Vector out(v.size());
+  TransformRowTo(v, out.data());
+  return out;
+}
+
+void Preprocessor::TransformRowTo(const linalg::Vector& v,
+                                  double* out) const {
+  QPP_CHECK(fitted_ && v.size() == mean_.size());
   for (size_t j = 0; j < v.size(); ++j) {
     double x = log1p_ ? SignedLog1p(v[j]) : v[j];
     if (standardize_) x = (x - mean_[j]) / stddev_[j];
     out[j] = x;
   }
-  return out;
 }
 
 void Preprocessor::Save(BinaryWriter* w) const {

@@ -27,6 +27,10 @@ class Preprocessor {
 
   linalg::Matrix Transform(const linalg::Matrix& x) const;
   linalg::Vector TransformRow(const linalg::Vector& v) const;
+  /// TransformRow into caller-owned storage (`out` must hold dims()
+  /// doubles). Same arithmetic; the allocation-free form the batch
+  /// prediction hot path writes matrix rows through.
+  void TransformRowTo(const linalg::Vector& v, double* out) const;
 
   void Save(BinaryWriter* w) const;
   static Preprocessor Load(BinaryReader* r);

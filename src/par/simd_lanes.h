@@ -1,8 +1,9 @@
 // Portable double-precision lane primitives for the qpp::simd kernels.
 //
 // One vector type, VecD, holding kLanes doubles, selected at compile time:
-// AVX2 (4 lanes) > SSE2 (2) > NEON (2) > a plain-array fallback (2 lanes,
-// written so the compiler may — but need not — vectorize it). Every
+// AVX-512 (8 lanes) > AVX2 (4) > SSE2 (2) > NEON (2) > a plain-array
+// fallback (2 lanes, written so the compiler may — but need not —
+// vectorize it). Every
 // operation here is IEEE-exact per lane (add/sub/mul/div/sqrt/min/max are
 // correctly rounded on all three ISAs, and hardware sqrt matches
 // std::sqrt), so a kernel that assigns one *independent* output chain per
@@ -24,7 +25,10 @@
 #include <cmath>
 #include <cstddef>
 
-#if defined(__AVX2__)
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#define QPP_SIMD_ISA_AVX512 1
+#elif defined(__AVX2__)
 #include <immintrin.h>
 #define QPP_SIMD_ISA_AVX2 1
 #elif defined(__SSE2__) || defined(_M_X64) || \
@@ -40,7 +44,44 @@
 
 namespace qpp::simd {
 
-#if defined(QPP_SIMD_ISA_AVX2)
+#if defined(QPP_SIMD_ISA_AVX512)
+
+inline constexpr size_t kLanes = 8;
+inline constexpr const char* kIsaName = "avx512";
+
+struct VecD {
+  __m512d v;
+};
+
+inline VecD Zero() { return {_mm512_setzero_pd()}; }
+inline VecD Splat(double x) { return {_mm512_set1_pd(x)}; }
+inline VecD LoadU(const double* p) { return {_mm512_loadu_pd(p)}; }
+inline void StoreU(double* p, VecD a) { _mm512_storeu_pd(p, a.v); }
+/// Lanes p[0], p[stride], ..., p[7*stride] — the "one training row per
+/// lane" load used by the distance kernels.
+inline VecD GatherStride(const double* p, size_t stride) {
+  return {_mm512_set_pd(p[7 * stride], p[6 * stride], p[5 * stride],
+                        p[4 * stride], p[3 * stride], p[2 * stride],
+                        p[stride], p[0])};
+}
+inline VecD Add(VecD a, VecD b) { return {_mm512_add_pd(a.v, b.v)}; }
+inline VecD Sub(VecD a, VecD b) { return {_mm512_sub_pd(a.v, b.v)}; }
+inline VecD Mul(VecD a, VecD b) { return {_mm512_mul_pd(a.v, b.v)}; }
+inline VecD Div(VecD a, VecD b) { return {_mm512_div_pd(a.v, b.v)}; }
+inline VecD Sqrt(VecD a) { return {_mm512_sqrt_pd(a.v)}; }
+inline VecD Min(VecD a, VecD b) { return {_mm512_min_pd(a.v, b.v)}; }
+inline VecD Max(VecD a, VecD b) { return {_mm512_max_pd(a.v, b.v)}; }
+/// Bitmask of lanes where a < b. AVX-512 compares produce a mask register
+/// directly (__mmask8), one bit per lane, same convention as movemask.
+inline unsigned MaskLT(VecD a, VecD b) {
+  return static_cast<unsigned>(_mm512_cmp_pd_mask(a.v, b.v, _CMP_LT_OQ));
+}
+/// Bitmask of lanes where a <= b.
+inline unsigned MaskLE(VecD a, VecD b) {
+  return static_cast<unsigned>(_mm512_cmp_pd_mask(a.v, b.v, _CMP_LE_OQ));
+}
+
+#elif defined(QPP_SIMD_ISA_AVX2)
 
 inline constexpr size_t kLanes = 4;
 inline constexpr const char* kIsaName = "avx2";
@@ -233,6 +274,45 @@ inline void AxpyRow(double* o, double a, const double* b, size_t n) {
 /// x - y*z == x + (-y)*z exactly in IEEE arithmetic (negation is exact).
 inline void AxpyNegRow(double* o, double a, const double* b, size_t n) {
   AxpyRow(o, -a, b, n);
+}
+
+/// o[q] = o[q] / d for q in [0, n). One IEEE division per element — lane
+/// division is correctly rounded, so this matches the scalar chain bitwise
+/// (a reciprocal-multiply would not).
+inline void DivRowBy(double* o, double d, size_t n) {
+  const VecD vd = Splat(d);
+  size_t q = 0;
+  for (; q + kLanes <= n; q += kLanes) {
+    StoreU(o + q, Div(LoadU(o + q), vd));
+  }
+  for (; q < n; ++q) o[q] = o[q] / d;
+}
+
+/// The blocked-forward-substitution trailing update:
+///
+///   srow[q] -= sum over j in [0, nb) of l[j*lstride] * g[j*gstride + q]
+///
+/// applied as nb running subtractions in ascending j per output element —
+/// exactly the scalar per-column chain, never a dot-then-subtract (which
+/// would reassociate). Lane q carries output column q; the accumulator
+/// stays in a register across the j loop, so a tile of nb pivots costs one
+/// load + one store of srow instead of nb round trips through AxpyNegRow.
+inline void SolveUpdateRow(double* srow, const double* l, size_t lstride,
+                           const double* g, size_t gstride, size_t nb,
+                           size_t n) {
+  size_t q = 0;
+  for (; q + kLanes <= n; q += kLanes) {
+    VecD acc = LoadU(srow + q);
+    for (size_t j = 0; j < nb; ++j) {
+      acc = Sub(acc, Mul(Splat(l[j * lstride]), LoadU(g + j * gstride + q)));
+    }
+    StoreU(srow + q, acc);
+  }
+  for (; q < n; ++q) {
+    double s = srow[q];
+    for (size_t j = 0; j < nb; ++j) s -= l[j * lstride] * g[j * gstride + q];
+    srow[q] = s;
+  }
 }
 
 /// Squared Euclidean distances from `query` to kLanes consecutive rows of a

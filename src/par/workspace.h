@@ -1,0 +1,83 @@
+// A reusable bump-allocator arena for batch-prediction scratch buffers.
+//
+// The serve-path hot loop (core::Predictor::PredictBatchInto →
+// ml::KccaModel::ProjectXBatchInto) needs a handful of transient matrices
+// per batch — the packed query block, the m×B kernel right-hand side, the
+// projected rows. Allocating them per call puts malloc/free on the
+// microsecond path and defeats the zero-allocation-after-warmup gate in
+// bench_timing_batch_predict. A Workspace hands out doubles from one
+// retained buffer instead: Alloc() bumps a cursor, Reset() rewinds it and
+// keeps the capacity. While the arena is still growing, an oversized
+// Alloc spills to an overflow block and the next Reset() folds the total
+// into the main buffer — so after one warmup batch of the steady-state
+// shape, Alloc/Reset never touch the heap again.
+//
+// Ownership: one Workspace per calling thread (serve workers each own
+// one; the bench owns one). It is NOT thread-safe — parallel regions
+// inside a batch carve disjoint ranges out of buffers the caller Alloc'd
+// up front, they never Alloc concurrently.
+//
+// Returned memory is uninitialized (it holds bytes from earlier batches
+// after reuse); every consumer fully overwrites what it Alloc'd, which
+// keeps Reset() O(1) and is also why recycling cannot leak one batch's
+// values into the next batch's results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qpp::par {
+
+class Workspace {
+ public:
+  /// `n` doubles from the arena, 64-byte aligned (cache-line / AVX-512
+  /// friendly). Valid until the next Reset(). Heap-allocates only while
+  /// the arena is still growing toward its steady-state size.
+  double* Alloc(size_t n) {
+    const size_t need = Padded(n);
+    if (used_ + need <= main_.size()) {
+      double* p = main_.data() + used_;
+      used_ += need;
+      return p;
+    }
+    overflow_.emplace_back(need);
+    overflow_total_ += need;
+    return overflow_.back().data();
+  }
+
+  /// Rewinds the arena, retaining capacity. If the previous cycle
+  /// overflowed, grows the main buffer to cover everything that was
+  /// Alloc'd — the one (warmup-only) allocation per growth step.
+  void Reset() {
+    if (overflow_total_ > 0) {
+      main_.resize(main_.size() + overflow_total_ + kAlignDoubles);
+      overflow_.clear();
+      overflow_total_ = 0;
+    }
+    used_ = AlignUp(main_.data());
+  }
+
+  /// Doubles currently reserved (main buffer only; overflow folds in at
+  /// the next Reset). For tests and capacity introspection.
+  size_t capacity() const { return main_.size(); }
+
+ private:
+  static constexpr size_t kAlignBytes = 64;
+  static constexpr size_t kAlignDoubles = kAlignBytes / sizeof(double);
+
+  static size_t Padded(size_t n) {
+    return (n + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+  }
+  /// Offset of the first 64-byte-aligned double in the main buffer.
+  static size_t AlignUp(const double* base) {
+    const auto addr = reinterpret_cast<size_t>(base);
+    return (kAlignBytes - addr % kAlignBytes) % kAlignBytes / sizeof(double);
+  }
+
+  std::vector<double> main_;
+  size_t used_ = 0;
+  std::vector<std::vector<double>> overflow_;
+  size_t overflow_total_ = 0;
+};
+
+}  // namespace qpp::par

@@ -149,16 +149,18 @@ void PredictionService::Shutdown() {
 
 void PredictionService::WorkerLoop() {
   std::vector<Pending> batch;
+  WorkerScratch scratch;
   while (true) {
     batch.clear();
     const size_t taken = queue_.PopBatch(config_.max_batch, &batch);
     if (taken == 0) return;  // closed and drained
     stats_.RecordBatch(taken);
-    ProcessBatch(&batch);
+    ProcessBatch(&batch, &scratch);
   }
 }
 
-void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
+void PredictionService::ProcessBatch(std::vector<Pending>* batch,
+                                     WorkerScratch* scratch) {
   obs::TraceRecorder* const trace = config_.trace;
   // Request-scoped correlation: a single-request batch (the shape every
   // deterministic harness drives) installs its context for the whole
@@ -259,8 +261,12 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
   }
 
   // Pass 1: deadline policy and cache probes; collect the model's work.
-  std::vector<size_t> miss_indices;
-  std::vector<linalg::Vector> miss_features;
+  // The collection vectors live in the worker's scratch: cleared (capacity
+  // kept), not reconstructed, every batch.
+  std::vector<size_t>& miss_indices = scratch->miss_indices;
+  std::vector<linalg::Vector>& miss_features = scratch->miss_features;
+  miss_indices.clear();
+  miss_features.clear();
   {
   obs::Span cache_span(trace, "cache_lookup");
   for (size_t i = 0; i < batch->size(); ++i) {
@@ -322,15 +328,18 @@ void PredictionService::ProcessBatch(std::vector<Pending>* batch) {
   }  // cache_span
   if (miss_indices.empty()) return;
 
-  // Pass 2: one batched prediction for everything the cache did not cover.
-  // PredictBatch is bit-identical to per-query Predict, so batching never
-  // changes an answer (tracing doesn't either — it only wraps the stages).
-  std::vector<core::Prediction> predictions;
+  // Pass 2: one batched prediction for everything the cache did not cover,
+  // through the query-blocked zero-allocation entry point with this
+  // worker's warmed scratch. PredictBatchInto is bit-identical to
+  // per-query Predict, so batching never changes an answer (tracing
+  // doesn't either — it only wraps the stages).
+  std::vector<core::Prediction>& predictions = scratch->predictions;
   {
     obs::Span predict_span(trace, "predict");
     predict_span.AddArg("misses", static_cast<uint64_t>(miss_indices.size()));
     predict_span.AddArg("generation", snap.generation);
-    predictions = snap.model->PredictBatch(miss_features, trace);
+    snap.model->PredictBatchInto(miss_features, &scratch->predict,
+                                 &predictions, trace);
   }
   obs::Span respond_span(trace, "respond");
   for (size_t j = 0; j < miss_indices.size(); ++j) {

@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/predictor.h"
 #include "core/workload_manager.h"
 #include "fault/fault_injector.h"
 #include "obs/request_context.h"
@@ -235,8 +236,19 @@ class PredictionService {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
+  /// Per-worker reusable buffers: the predictor's batch scratch plus the
+  /// miss-collection and result vectors. Owned by one worker thread and
+  /// reused across batches, so the steady-state model path runs through
+  /// core::Predictor::PredictBatchInto without reallocating per batch.
+  struct WorkerScratch {
+    core::Predictor::BatchScratch predict;
+    std::vector<size_t> miss_indices;
+    std::vector<linalg::Vector> miss_features;
+    std::vector<core::Prediction> predictions;
+  };
+
   void WorkerLoop();
-  void ProcessBatch(std::vector<Pending>* batch);
+  void ProcessBatch(std::vector<Pending>* batch, WorkerScratch* scratch);
   void Respond(Pending* pending, core::Prediction prediction,
                ResponseSource source, std::string degraded_reason,
                uint64_t generation);

@@ -33,12 +33,25 @@ ServiceStats::ServiceStats()
             obs::HistogramOptions o;
             o.exemplars = true;
             return o;
+          }())),
+      batch_size_(registry_.GetHistogram(
+          "qpp_serve_batch_size", {},
+          // Count-scaled layout (1..1e4 requests per micro-batch): shows
+          // whether workers actually drain in batches — the blocked
+          // predict path's speedup is a function of this distribution.
+          [] {
+            obs::HistogramOptions o;
+            o.min_exponent = 0;
+            o.max_exponent = 4;
+            return o;
           }())) {
   registry_.SetHelp("qpp_serve_latency_seconds",
                     "submit-to-response latency of served requests");
   registry_.SetHelp("qpp_serve_requests_total", "responses delivered");
   registry_.SetHelp("qpp_serve_fallbacks_total",
                     "degraded responses by labeled reason");
+  registry_.SetHelp("qpp_serve_batch_size",
+                    "requests drained per worker micro-batch");
 }
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {

@@ -91,6 +91,7 @@ class ServiceStats {
   void RecordBatch(size_t batch_size) {
     batches_->Inc();
     batched_requests_->Inc(batch_size);
+    batch_size_->Record(static_cast<double>(batch_size));
   }
 
   ServiceStatsSnapshot Snapshot() const;
@@ -116,6 +117,7 @@ class ServiceStats {
   obs::Counter* batches_;
   obs::Counter* batched_requests_;
   obs::Histogram* latency_;
+  obs::Histogram* batch_size_;
 };
 
 }  // namespace qpp::serve

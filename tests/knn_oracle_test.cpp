@@ -7,6 +7,7 @@
 // comparison.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -14,10 +15,12 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/predictor.h"
 #include "linalg/matrix.h"
 #include "ml/kernel.h"
 #include "ml/knn.h"
 #include "par/simd.h"
+#include "par/simd_lanes.h"
 #include "par/thread_pool.h"
 
 namespace qpp {
@@ -58,6 +61,33 @@ linalg::Matrix RandomMatrix(Rng* rng, size_t rows, size_t cols) {
             0) {
       return ::testing::AssertionFailure() << "entry " << i << " differs";
     }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// Bytewise equality of two predictions: all six metrics compared by bit
+// pattern, every auxiliary field exactly.
+::testing::AssertionResult SamePredictionBits(const core::Prediction& got,
+                                              const core::Prediction& want) {
+  const auto gm = got.metrics.ToVector();
+  const auto wm = want.metrics.ToVector();
+  for (size_t i = 0; i < gm.size(); ++i) {
+    if (std::memcmp(&gm[i], &wm[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "metric [" << i << "] bits differ: " << gm[i] << " vs "
+             << wm[i];
+    }
+  }
+  if (std::memcmp(&got.mean_neighbor_distance, &want.mean_neighbor_distance,
+                  sizeof(double)) != 0 ||
+      std::memcmp(&got.confidence, &want.confidence, sizeof(double)) != 0) {
+    return ::testing::AssertionFailure() << "distance/confidence bits differ";
+  }
+  if (got.anomalous != want.anomalous ||
+      got.predicted_type != want.predicted_type ||
+      got.neighbor_indices != want.neighbor_indices) {
+    return ::testing::AssertionFailure()
+           << "anomalous/type/neighbor_indices differ";
   }
   return ::testing::AssertionSuccess();
 }
@@ -207,6 +237,67 @@ TEST(KnnOracleTest, BatchIsBitIdenticalToRowWiseAcrossDispatchMatrix) {
                   << " n=" << n << " k=" << k << " row=" << r;
             }
           }
+        }
+      }
+    }
+  }
+  par::SetGlobalThreads(par::DefaultThreads());
+}
+
+TEST(KnnOracleTest, PredictBatchBitIdenticalToPredictAcrossDispatchMatrix) {
+  // End-to-end form of the batch ≡ single contract: Predictor::PredictBatch
+  // (and the scratch-reusing PredictBatchInto) must reproduce per-query
+  // Predict byte-for-byte at every batch size from 1 through past the
+  // blocked-solve crossover (B = 16), under SIMD and forced scalar, at
+  // 1/2/8 threads. This is the property that lets the serve micro-batcher
+  // answer from the blocked path without forfeiting its determinism
+  // guarantee.
+  Rng rng(0xBAD7ull);
+  std::vector<ml::TrainingExample> examples;
+  for (size_t i = 0; i < 80; ++i) {
+    ml::TrainingExample ex;
+    ex.query_features.resize(ml::kPlanFeatureDims);
+    for (double& v : ex.query_features) {
+      v = rng.Bernoulli(0.3) ? rng.LogNormal(5.0, 2.0) : 0.0;
+    }
+    ex.metrics.elapsed_seconds = rng.LogNormal(1.0, 2.0);
+    ex.metrics.records_accessed = rng.LogNormal(12.0, 2.0);
+    ex.metrics.records_used = rng.LogNormal(10.0, 2.0);
+    ex.metrics.message_count = rng.LogNormal(6.0, 2.0);
+    ex.metrics.message_bytes = rng.LogNormal(14.0, 2.0);
+    examples.push_back(std::move(ex));
+  }
+  core::Predictor pred;
+  pred.Train(examples);
+  const size_t max_b =
+      std::max<size_t>(2 * simd::kLanes + 1, 17);  // straddles crossover 16
+  std::vector<linalg::Vector> pool;
+  for (size_t i = 0; i < max_b; ++i) {
+    pool.push_back(examples[(i * 13) % examples.size()].query_features);
+  }
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    par::SetGlobalThreads(threads);
+    for (bool force_scalar : {false, true}) {
+      ScopedForceScalar guard(force_scalar);
+      // Per-query reference under this exact dispatch configuration.
+      std::vector<core::Prediction> want;
+      for (const auto& q : pool) want.push_back(pred.Predict(q));
+      core::Predictor::BatchScratch scratch;
+      std::vector<core::Prediction> got_into;
+      for (size_t b = 1; b <= max_b; ++b) {
+        const std::vector<linalg::Vector> queries(pool.begin(),
+                                                  pool.begin() + b);
+        const auto got = pred.PredictBatch(queries);
+        pred.PredictBatchInto(queries, &scratch, &got_into);
+        ASSERT_EQ(got.size(), b);
+        ASSERT_EQ(got_into.size(), b);
+        for (size_t r = 0; r < b; ++r) {
+          EXPECT_TRUE(SamePredictionBits(got[r], want[r]))
+              << "PredictBatch threads=" << threads
+              << " scalar=" << force_scalar << " b=" << b << " row=" << r;
+          EXPECT_TRUE(SamePredictionBits(got_into[r], want[r]))
+              << "PredictBatchInto threads=" << threads
+              << " scalar=" << force_scalar << " b=" << b << " row=" << r;
         }
       }
     }

@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "core/predictor.h"
 #include "linalg/matrix.h"
+#include "linalg/triangular.h"
 #include "ml/kernel.h"
 #include "ml/knn.h"
 #include "par/simd.h"
@@ -96,11 +97,12 @@ class ScopedForceScalar {
 
 TEST(SimdIntrospectionTest, CompiledIsaAndLanesAreConsistent) {
   const std::string isa = simd::CompiledIsa();
-  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "neon" ||
-              isa == "scalar-lanes")
+  EXPECT_TRUE(isa == "avx512" || isa == "avx2" || isa == "sse2" ||
+              isa == "neon" || isa == "scalar-lanes")
       << isa;
   EXPECT_EQ(simd::CompiledLanes(), simd::kLanes);
-  EXPECT_EQ(simd::CompiledLanes(), isa == "avx2" ? 4u : 2u);
+  EXPECT_EQ(simd::CompiledLanes(),
+            isa == "avx512" ? 8u : (isa == "avx2" ? 4u : 2u));
   EXPECT_EQ(simd::kTileRows, 4 * simd::kLanes);
 }
 
@@ -262,8 +264,11 @@ TEST(SimdLanesTest, AxpyRowMatchesScalarAtEveryRemainderShape) {
 }
 
 TEST(SimdLanesTest, MasksAndMinMaxMatchScalarSemantics) {
-  // 8 values fit two vectors at any supported lane width (kLanes <= 4).
-  const double vals[] = {-1.0, 0.0, 1.5, 3.0, -7.25, 2.0, 0.5, 9.0};
+  // 16 values fit two vectors at any supported lane width (kLanes <= 8).
+  const double vals[] = {-1.0, 0.0,  1.5,  3.0, -7.25, 2.0,  0.5,  9.0,
+                         4.25, -3.0, -0.5, 6.0, 1.0,   -9.5, 11.0, 0.25};
+  static_assert(sizeof(vals) / sizeof(vals[0]) >= 16,
+                "two vectors at kLanes == 8");
   const simd::VecD a = simd::LoadU(vals);
   const simd::VecD b = simd::LoadU(vals + simd::kLanes);
   unsigned want_lt = 0;
@@ -430,6 +435,162 @@ TEST(SimdDifferentialTest, FindNearestBitIdenticalAcrossDispatchAllShapes) {
                 << "n=" << n << " dims=" << dims << " k=" << k;
             EXPECT_TRUE(SameBits(&got[i].distance, &want[i].distance, 1))
                 << "n=" << n << " dims=" << dims << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The per-query chain ForwardSubstBlocked claims to reproduce per column:
+// subtractions in ascending pivot order, separate multiply and subtract,
+// one IEEE division by the diagonal (the ml/kcca.cpp per-query solve).
+void OracleForwardSubstColumn(const double* l, size_t m, double* col) {
+  for (size_t i = 0; i < m; ++i) {
+    double v = col[i];
+    for (size_t j = 0; j < i; ++j) v -= l[i * m + j] * col[j];
+    col[i] = v / l[i * m + i];
+  }
+}
+
+// Lower-triangular factors that stress the solve: a well-conditioned
+// random one, the identity (pure pass-through — any spurious arithmetic
+// shows up immediately), and an ill-conditioned mix of tiny and huge
+// diagonal pivots whose quotients differ in the last bits between a true
+// IEEE division and any reciprocal-multiply shortcut.
+std::vector<double> MakeTriangular(Rng* rng, size_t m, int kind) {
+  std::vector<double> l(m * m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      l[i * m + j] = (kind == 1) ? 0.0 : rng->Uniform(-1.0, 1.0);
+    }
+    switch (kind) {
+      case 1:  // identity
+        l[i * m + i] = 1.0;
+        break;
+      case 2:  // ill-conditioned: alternating tiny / huge pivots
+        l[i * m + i] = (i % 2 == 0) ? rng->Uniform(1e-12, 1e-11)
+                                    : rng->Uniform(1e11, 1e12);
+        break;
+      default:  // well-conditioned, bounded away from zero
+        l[i * m + i] = rng->Uniform(1.0, 3.0) * (rng->Bernoulli(0.5) ? 1 : -1);
+    }
+  }
+  return l;
+}
+
+TEST(SimdDifferentialTest, ForwardSubstBlockedBitIdenticalToColumnOracle) {
+  Rng rng(0x6A5Aull);
+  // m straddles the kSolveTile pivot tiling (32): below, exact, above,
+  // and a non-multiple.
+  for (size_t m : {size_t{1}, size_t{7}, size_t{32}, size_t{45}, size_t{96}}) {
+    for (int kind : {0, 1, 2}) {
+      const auto l = MakeTriangular(&rng, m, kind);
+      std::vector<double> lt(m * m);
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < m; ++j) lt[j * m + i] = l[i * m + j];
+      }
+      for (size_t b = 1; b <= 2 * simd::kLanes + 1; ++b) {
+        const auto rhs = RandomDoubles(&rng, m * b);
+        // Oracle: each column solved independently by the per-query chain.
+        std::vector<double> want(m * b);
+        std::vector<double> col(m);
+        for (size_t q = 0; q < b; ++q) {
+          for (size_t i = 0; i < m; ++i) col[i] = rhs[i * b + q];
+          OracleForwardSubstColumn(l.data(), m, col.data());
+          for (size_t i = 0; i < m; ++i) want[i * b + q] = col[i];
+        }
+        for (bool use_simd : {false, true}) {
+          std::vector<double> got = rhs;
+          linalg::ForwardSubstBlocked(l.data(), m, got.data(), b, b,
+                                      use_simd);
+          EXPECT_TRUE(SameBits(got, want)) << "m=" << m << " kind=" << kind
+                                           << " b=" << b
+                                           << " simd=" << use_simd;
+          std::vector<double> got_t = rhs;
+          linalg::ForwardSubstBlockedT(lt.data(), m, got_t.data(), b, b,
+                                       use_simd);
+          EXPECT_TRUE(SameBits(got_t, want))
+              << "transposed m=" << m << " kind=" << kind << " b=" << b
+              << " simd=" << use_simd;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, ForwardSubstBlockedSubRangesMatchWholeBlock) {
+  // The parallel batch path solves disjoint column ranges of one wide RHS
+  // concurrently (stride > b). Splitting must not change a single bit
+  // versus solving the whole block in one call.
+  Rng rng(0x6A5Bull);
+  const size_t m = 48;
+  const auto l = MakeTriangular(&rng, m, 0);
+  for (size_t b : {size_t{3}, size_t{2 * simd::kLanes},
+                   size_t{3 * simd::kLanes + 2}}) {
+    const auto rhs = RandomDoubles(&rng, m * b);
+    for (bool use_simd : {false, true}) {
+      std::vector<double> whole = rhs;
+      linalg::ForwardSubstBlocked(l.data(), m, whole.data(), b, b, use_simd);
+      for (size_t split = 1; split < b; ++split) {
+        std::vector<double> parts = rhs;
+        linalg::ForwardSubstBlocked(l.data(), m, parts.data(), split, b,
+                                    use_simd);
+        linalg::ForwardSubstBlocked(l.data(), m, parts.data() + split,
+                                    b - split, b, use_simd);
+        EXPECT_TRUE(SameBits(parts, whole))
+            << "b=" << b << " split=" << split << " simd=" << use_simd;
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, GaussianKernelTilesBatchBitIdenticalToPerQuery) {
+  Rng rng(0x6A5Cull);
+  const double tau = 1.3;
+  for (size_t dims : {size_t{1}, size_t{5}, size_t{28}}) {
+    for (size_t count :
+         {size_t{1}, size_t{simd::kTileRows - 1}, size_t{simd::kTileRows},
+          size_t{2 * simd::kTileRows + simd::kLanes + 1}}) {
+      const auto rows = RandomDoubles(&rng, count * dims);
+      std::vector<double> tiles(count * dims);
+      ml::PackRowsToTiles(rows.data(), count, dims, tiles.data());
+      for (size_t nq = 1; nq <= 2 * simd::kLanes + 1; ++nq) {
+        // query_stride > dims exercises the padded-row layout the batch
+        // preprocess hands over.
+        const size_t qstride = dims + 3;
+        const auto queries = RandomDoubles(&rng, nq * qstride);
+        std::vector<double> want(count * nq);
+        std::vector<double> one(count);
+        for (size_t q = 0; q < nq; ++q) {
+          ml::GaussianKernelTiles(tiles.data(), count, dims,
+                                  queries.data() + q * qstride, tau,
+                                  /*use_simd=*/false, one.data());
+          for (size_t r = 0; r < count; ++r) want[r * nq + q] = one[r];
+        }
+        for (bool use_simd : {false, true}) {
+          std::vector<double> got(count * nq);
+          ml::GaussianKernelTilesBatch(tiles.data(), count, dims,
+                                       queries.data(), nq, qstride, tau,
+                                       use_simd, got.data(), nq);
+          EXPECT_TRUE(SameBits(got, want))
+              << "dims=" << dims << " count=" << count << " nq=" << nq
+              << " simd=" << use_simd;
+        }
+        // An out_stride wider than nq must leave the gap columns alone.
+        const size_t ostride = nq + 2;
+        std::vector<double> padded(count * ostride, -42.0);
+        ml::GaussianKernelTilesBatch(tiles.data(), count, dims,
+                                     queries.data(), nq, qstride, tau,
+                                     /*use_simd=*/true, padded.data(),
+                                     ostride);
+        for (size_t r = 0; r < count; ++r) {
+          EXPECT_TRUE(
+              SameBits(padded.data() + r * ostride, want.data() + r * nq, nq))
+              << "row " << r;
+          for (size_t q = nq; q < ostride; ++q) {
+            EXPECT_EQ(padded[r * ostride + q], -42.0)
+                << "gap column clobbered at row " << r;
           }
         }
       }
