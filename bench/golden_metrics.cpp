@@ -257,6 +257,17 @@ FabricSoakGolden ComputeFabricSoak() {
   return out;
 }
 
+LifecycleGolden ComputeLifecycleChaos() {
+  fault::ChaosOptions opts;
+  opts.seed = 42;
+  const fault::LifecycleChaosResult run = fault::RunLifecycleChaos(opts);
+  LifecycleGolden out;
+  out.report = run.scenario.report;
+  out.ok = run.scenario.ok();
+  for (const auto& [key, value] : run.counters) out.values[key] = value;
+  return out;
+}
+
 std::string GoldenJson(const GoldenMap& values) {
   std::ostringstream os;
   os << "{\n";

@@ -118,6 +118,22 @@ struct FabricSoakGolden {
 };
 FabricSoakGolden ComputeFabricSoak();
 
+/// Model-lifecycle chaos scenario (docs/LIFECYCLE.md): runs
+/// fault::RunLifecycleChaos at the pinned seed 42 and returns its counter
+/// set — candidates registered vs poisoned, promotions, the watchdog
+/// rollback, the confirmed promotion, and the zero-tolerance keys
+/// (lifecycle_poisoned_promoted / lifecycle_poisoned_served must pin at
+/// exactly 0: a poisoned candidate never reaches user traffic). All exact
+/// counters, so every tolerance is zero. Refresh with:
+///   build/tools/qpp_tool chaos --scenario model-lifecycle --seed 42
+///       --json-out tests/golden/lifecycle.json   (one command line)
+struct LifecycleGolden {
+  std::string report;       ///< embeds the full promotion decision log
+  bool ok = false;          ///< no invariant violations
+  GoldenMap values;
+};
+LifecycleGolden ComputeLifecycleChaos();
+
 // --- flat golden JSON --------------------------------------------------
 // The golden files are one-level JSON objects {"key": number, ...} with
 // keys sorted; simple enough that qpp carries its own ~40-line parser

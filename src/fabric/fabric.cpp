@@ -171,6 +171,9 @@ Fabric::Fabric(FabricConfig config, serve::CostCalibration calibration)
       service_config.shard_label = replica->label;
       if (service_config.trace == nullptr) service_config.trace = trace_;
       if (service_config.faults == nullptr) service_config.faults = faults_;
+      if (service_config.shadow == nullptr) {
+        service_config.shadow = config.shadow;
+      }
       if (admission_config_.enabled && !service_config.on_response) {
         // Every replica feeds the front door's windowed-p99 signal.
         AdmissionController* admission = &admission_;

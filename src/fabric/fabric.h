@@ -123,6 +123,9 @@ struct FabricConfig {
   /// Optional sinks, shared by all replicas; must outlive the fabric.
   obs::TraceRecorder* trace = nullptr;
   fault::FaultInjector* faults = nullptr;
+  /// Shadow lane shared by every replica service (serve/shadow_observer.h):
+  /// a group spec's own `service.shadow` wins over this default.
+  serve::ShadowObserver* shadow = nullptr;
 };
 
 /// The paper's pool layout as a fabric: one replica group per Fig. 2

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -20,6 +21,7 @@
 #include "engine/simulator.h"
 #include "fabric/fabric.h"
 #include "fault/fault_injector.h"
+#include "lifecycle/lifecycle.h"
 #include "obs/drift_monitor.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -57,6 +59,7 @@ const char* kAllKinds[] = {
     "disk_stall",      "message_loss",  "node_slowdown", "node_failure",
     "buffer_pressure", "submit_reject", "worker_stall",  "registry_swap",
     "shard_kill",      "shard_stall",   "replica_kill",  "replica_stall",
+    "model_poison",
 };
 
 std::string FaultDigest(const FaultInjector& injector) {
@@ -903,6 +906,257 @@ ScenarioResult RunRollingDrain(const FaultPlan& plan,
   return result;
 }
 
+/// model-lifecycle: the closed loop under the model_poison fault. A weak
+/// champion serves a live (sequentially driven) PredictionService whose
+/// shadow lane feeds a LifecycleManager; strong candidates are registered
+/// one at a time — the injector decides which are poisoned — and each is
+/// driven to a terminal state. The scenario requires one of each outcome:
+/// a poisoned candidate rejected by the gate, a clean promotion regressed
+/// (actuals scaled mid-probation) into a watchdog rollback, and a clean
+/// promotion confirmed. Throughout, every response must bit-match the
+/// model of the generation it reports, and no generation ever maps to a
+/// poisoned candidate's model (zero poisoned predictions reach clients).
+LifecycleChaosResult RunLifecycleChaosImpl(const FaultPlan& plan,
+                                           const ChaosOptions& opts) {
+  LifecycleChaosResult out;
+  ScenarioResult& result = out.scenario;
+  result.name = "model-lifecycle";
+  Violations v(&result);
+
+  obs::MetricsRegistry fault_registry;
+  FaultInjector injector(plan, &fault_registry);
+  obs::FlightRecorder flight;
+  injector.set_flight_recorder(&flight);
+
+  auto train = [](size_t n, uint64_t seed, double metric_scale) {
+    core::PredictorConfig cfg;
+    cfg.kcca.solver = ml::KccaSolver::kExact;
+    auto examples = SyntheticExamples(n, seed);
+    for (auto& ex : examples) {
+      ex.metrics = ScaleMetrics(ex.metrics, metric_scale);
+    }
+    auto pred = std::make_shared<core::Predictor>(cfg);
+    pred->Train(examples);
+    return pred;
+  };
+
+  // The champion is trained on x3-miscalibrated metrics, so it serves with
+  // a steady ~2.0 relative error on every metric. Clean challengers train
+  // unbiased and land around 0.8-1.6 (the intrinsic error of 3-NN equal
+  // weighting on this workload), comfortably under the champion; poisoned
+  // ones multiply predictions x100 and sit near 99.
+  const auto weak_champion = train(16, opts.seed ^ 0x0DDBA11ull, 3.0);
+  serve::ModelRegistry registry;
+  registry.Publish(weak_champion);
+
+  obs::MetricsRegistry lifecycle_metrics;
+  lifecycle::LifecycleConfig lcfg;
+  lcfg.window_observations = 24;
+  lcfg.gate.min_observations = 24;
+  lcfg.gate.margin = 0.05;
+  // Above the clean challengers' intrinsic ~1.6 error, far below the
+  // poisoned candidates' ~99: tolerance alone rejects every poison.
+  lcfg.gate.tolerance = lifecycle::UniformTolerance(3.0);
+  lcfg.max_shadow_windows = 3;
+  lcfg.probation_windows = 2;
+  // The watchdog threshold is max(2.5, 2x the promoted risk): a clean
+  // probation (windowed risk <= ~2.0) never trips it, while the
+  // regressed-actuals phase below (x0.2 => ~4.0 relative error) always
+  // does.
+  lcfg.rollback_margin = 1.0;
+  lcfg.rollback_min_risk = 2.5;
+  lcfg.registry = &lifecycle_metrics;
+  lcfg.flight = &flight;
+  lcfg.faults = &injector;
+  lifecycle::LifecycleManager manager(&registry, lcfg);
+
+  serve::ServiceConfig config;
+  config.num_workers = 1;     // sequential driving => deterministic order
+  config.cache_capacity = 0;  // every answer is a fresh model prediction
+  config.fallback_on_anomalous = false;  // lifecycle traffic, not anomalies
+  config.faults = &injector;
+  config.shadow = &manager;
+  serve::PredictionService service(&registry, config, ChaosCalibration());
+
+  const auto examples = SyntheticExamples(256, opts.seed ^ 0x11FEC1Cull);
+
+  // Harness-side truth: which model every published generation maps to,
+  // and whether that model belongs to a poisoned candidate.
+  std::vector<std::pair<std::shared_ptr<const core::Predictor>, bool>>
+      registered;
+  std::map<uint64_t, std::shared_ptr<const core::Predictor>> gen_models;
+  std::map<uint64_t, bool> gen_poisoned;
+  gen_models[registry.generation()] = weak_champion;
+  gen_poisoned[registry.generation()] = false;
+
+  uint64_t driven = 0, mismatches = 0, poisoned_served = 0, unknown_gen = 0;
+  auto drive = [&](size_t n, double actual_scale) {
+    for (size_t k = 0; k < n; ++k) {
+      const auto& ex = examples[driven % examples.size()];
+      const serve::ServeResponse resp =
+          service.Submit({ex.query_features, 100.0}).get();
+      ++driven;
+      const auto it = gen_models.find(resp.model_generation);
+      if (it == gen_models.end()) {
+        ++unknown_gen;
+      } else {
+        if (!BitIdentical(resp.prediction,
+                          it->second->Predict(ex.query_features))) {
+          ++mismatches;
+        }
+        if (gen_poisoned[resp.model_generation]) ++poisoned_served;
+      }
+      // The simulator actuals: the example's ground-truth metrics, scaled
+      // when the scenario wants the serving champion to look regressed.
+      manager.ScoreActual(ex.query_features,
+                          ScaleMetrics(ex.metrics, actual_scale));
+      const uint64_t gen = manager.champion_generation();
+      if (gen_models.find(gen) == gen_models.end()) {
+        const auto model = manager.champion_model();
+        bool poisoned = false;
+        for (const auto& [m, p] : registered) {
+          if (m == model && p) poisoned = true;
+        }
+        gen_models[gen] = model;
+        gen_poisoned[gen] = poisoned;
+      }
+    }
+  };
+
+  const auto terminal = [](lifecycle::CandidateState s) {
+    return s == lifecycle::CandidateState::kRejected ||
+           s == lifecycle::CandidateState::kRolledBack ||
+           s == lifecycle::CandidateState::kConfirmed;
+  };
+
+  bool poison_done = false, rollback_done = false, confirm_done = false;
+  size_t next_candidate = 0;
+  while (!(poison_done && rollback_done && confirm_done) &&
+         next_candidate < 24) {
+    const auto model =
+        train(96, opts.seed ^ (0xC0FFEEull + 31 * next_candidate), 1.0);
+    const size_t idx = manager.RegisterCandidate(
+        model, StrFormat("cand-%02zu", next_candidate));
+    ++next_candidate;
+    const bool poisoned = manager.candidate_poisoned(idx);
+    registered.emplace_back(model, poisoned);
+    // A clean candidate while a rollback is still owed gets regressed
+    // actuals once promoted, so the watchdog must demote it.
+    const bool make_bad = !poisoned && !rollback_done;
+    size_t guard = 0;
+    while (!terminal(manager.candidate_state(idx)) && guard < 12) {
+      const bool in_probation =
+          manager.candidate_state(idx) == lifecycle::CandidateState::kPromoted;
+      // Scaling actuals DOWN is what regresses the serving champion:
+      // |m - m/5| / (m/5) = 4.0, while scaling up saturates below 1.0.
+      drive(lcfg.window_observations, in_probation && make_bad ? 0.2 : 1.0);
+      ++guard;
+    }
+    const lifecycle::CandidateState final_state = manager.candidate_state(idx);
+    v.Check(terminal(final_state),
+            StrFormat("candidate %zu never reached a terminal state", idx));
+    if (poisoned) {
+      v.Check(final_state == lifecycle::CandidateState::kRejected,
+              StrFormat("poisoned candidate %zu ended %s, not rejected", idx,
+                        lifecycle::CandidateStateName(final_state)));
+      if (final_state == lifecycle::CandidateState::kRejected) {
+        poison_done = true;
+      }
+    } else if (make_bad) {
+      if (final_state == lifecycle::CandidateState::kRolledBack) {
+        rollback_done = true;
+      }
+    } else if (final_state == lifecycle::CandidateState::kConfirmed) {
+      confirm_done = true;
+    }
+  }
+  service.Shutdown();
+
+  v.Check(poison_done, "no poisoned candidate was drawn and rejected");
+  v.Check(rollback_done, "the watchdog rollback never happened");
+  v.Check(confirm_done, "no clean promotion was confirmed");
+
+  // The zero-tolerance invariant: a poisoned candidate must never serve.
+  uint64_t poisoned_promoted = 0;
+  for (const auto& info : manager.Candidates()) {
+    if (info.poisoned && info.promoted_generation != 0) ++poisoned_promoted;
+  }
+  v.Check(poisoned_promoted == 0, "a poisoned candidate was promoted");
+  v.Check(poisoned_served == 0,
+          StrFormat("%llu responses served by a poisoned model",
+                    static_cast<unsigned long long>(poisoned_served)));
+  v.Check(mismatches == 0,
+          StrFormat("%llu responses did not bit-match their generation",
+                    static_cast<unsigned long long>(mismatches)));
+  v.Check(unknown_gen == 0,
+          StrFormat("%llu responses reported an unknown generation",
+                    static_cast<unsigned long long>(unknown_gen)));
+
+  const serve::ServiceStatsSnapshot stats = service.stats();
+  CheckAccounting(stats, &v);
+  v.Check(stats.requests == driven, "a request was lost");
+  v.Check(stats.shadow_observed == stats.model_predictions,
+          "shadow lane missed a model response");
+  const lifecycle::LifecycleStats ls = manager.stats();
+  v.Check(ls.scored + ls.pending_invalidated == driven,
+          "a scored observation went missing");
+  v.Check(ls.poisoned_candidates == injector.injected("model_poison"),
+          "poison tally diverged from the injector");
+
+  result.report = FaultDigest(injector);
+  result.report += ServeCounters(stats);
+  result.report += StrFormat(
+      "lifecycle counters:\n"
+      "  candidates         %llu (poisoned %llu)\n"
+      "  windows            %llu (scored %llu, shadow %llu)\n"
+      "  promotions         %llu\n"
+      "  rejections         %llu\n"
+      "  rollbacks          %llu\n"
+      "  confirmations      %llu\n",
+      static_cast<unsigned long long>(ls.candidates),
+      static_cast<unsigned long long>(ls.poisoned_candidates),
+      static_cast<unsigned long long>(ls.windows),
+      static_cast<unsigned long long>(ls.scored),
+      static_cast<unsigned long long>(ls.shadow_predictions),
+      static_cast<unsigned long long>(ls.promotions),
+      static_cast<unsigned long long>(ls.rejections),
+      static_cast<unsigned long long>(ls.rollbacks),
+      static_cast<unsigned long long>(ls.confirmations));
+  result.report += "candidates:\n";
+  for (const auto& info : manager.Candidates()) {
+    result.report += StrFormat(
+        "  %-8s %-11s poisoned=%d windows=%llu gen=%llu risk=%.9g\n",
+        info.label.c_str(), lifecycle::CandidateStateName(info.state),
+        info.poisoned ? 1 : 0,
+        static_cast<unsigned long long>(info.shadow_windows),
+        static_cast<unsigned long long>(info.promoted_generation), info.risk);
+  }
+  // The decision log closes the report, so the CI same-seed diff of two
+  // scenario runs IS the byte-identical-decision-log check.
+  result.report += manager.log().ToString();
+
+  out.counters = {
+      {"lifecycle_candidates", static_cast<double>(ls.candidates)},
+      {"lifecycle_poisoned_candidates",
+       static_cast<double>(ls.poisoned_candidates)},
+      {"lifecycle_promotions", static_cast<double>(ls.promotions)},
+      {"lifecycle_rejections", static_cast<double>(ls.rejections)},
+      {"lifecycle_rollbacks", static_cast<double>(ls.rollbacks)},
+      {"lifecycle_confirmations", static_cast<double>(ls.confirmations)},
+      {"lifecycle_windows", static_cast<double>(ls.windows)},
+      {"lifecycle_scored", static_cast<double>(ls.scored)},
+      {"lifecycle_shadow_predictions",
+       static_cast<double>(ls.shadow_predictions)},
+      {"lifecycle_requests", static_cast<double>(stats.requests)},
+      {"lifecycle_poisoned_promoted", static_cast<double>(poisoned_promoted)},
+      {"lifecycle_poisoned_served", static_cast<double>(poisoned_served)},
+      {"lifecycle_prediction_mismatches", static_cast<double>(mismatches)},
+      {"lifecycle_violations",
+       static_cast<double>(result.violations.size())},
+  };
+  return out;
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- public --
@@ -910,7 +1164,7 @@ ScenarioResult RunRollingDrain(const FaultPlan& plan,
 const std::vector<std::string>& ChaosScenarioNames() {
   static const std::vector<std::string> kNames = {
       "node-death", "fallback-storm", "hot-swap", "backpressure",
-      "shard-isolation", "rolling-drain"};
+      "shard-isolation", "rolling-drain", "model-lifecycle"};
   return kNames;
 }
 
@@ -945,6 +1199,11 @@ FaultPlan ChaosScenarioPlan(const std::string& name, uint64_t seed) {
     plan.serve.replica_kill_after_picks = 15;
     plan.serve.replica_stall_probability = 0.25;
     plan.serve.replica_stall_seconds = 60.0;
+  } else if (name == "model-lifecycle") {
+    // High enough that a poisoned candidate lands within a few draws at
+    // any seed; the scenario keeps registering until it has seen one.
+    plan.serve.model_poison_probability = 0.75;
+    plan.serve.model_poison_multiplier = 100.0;
   }
   return plan;
 }
@@ -973,6 +1232,10 @@ FaultPlan RandomFaultPlan(uint64_t seed) {
   plan.serve.replica_kill_after_picks = 10 + seed % 90;
   plan.serve.replica_stall_probability = rng.Uniform(0.05, 0.3);
   plan.serve.replica_stall_seconds = rng.Uniform(10.0, 60.0);
+  // Model-poison fields (plan v4): exercised by serde round trips; inert
+  // in the soak itself, which registers no lifecycle candidates.
+  plan.serve.model_poison_probability = rng.Uniform(0.1, 0.9);
+  plan.serve.model_poison_multiplier = rng.Uniform(10.0, 200.0);
   return plan;
 }
 
@@ -987,10 +1250,19 @@ ScenarioResult RunChaosScenario(const std::string& name,
   if (name == "backpressure") return RunBackpressure(plan, options);
   if (name == "shard-isolation") return RunShardIsolation(plan, options);
   if (name == "rolling-drain") return RunRollingDrain(plan, options);
+  if (name == "model-lifecycle") return RunLifecycleChaosImpl(plan, options).scenario;
   ScenarioResult unknown;
   unknown.name = name;
   unknown.violations.push_back("unknown scenario: " + name);
   return unknown;
+}
+
+LifecycleChaosResult RunLifecycleChaos(const ChaosOptions& options) {
+  const FaultPlan plan =
+      options.has_plan_override
+          ? options.plan_override
+          : ChaosScenarioPlan("model-lifecycle", options.seed);
+  return RunLifecycleChaosImpl(plan, options);
 }
 
 ScenarioResult RunChaosSoak(const ChaosOptions& options) {

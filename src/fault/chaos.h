@@ -33,6 +33,15 @@
 //                   load inside the group (exactly one request escalates —
 //                   the killing pick itself), every healthy answer stays
 //                   bit-identical to its expert, zero requests lost.
+//   model-lifecycle lifecycle: candidates (some poisoned by the
+//                   model_poison fault) shadow a weak champion behind a
+//                   live PredictionService; poisoned candidates are never
+//                   promoted (zero poisoned predictions reach clients), a
+//                   clean challenger is promoted, a mid-probation actuals
+//                   shift trips the SloEngine watchdog into rollback, and
+//                   a second clean challenger is promoted and confirmed.
+//                   Every response bit-matches the generation's model and
+//                   the decision log replays byte-for-byte per seed.
 //
 // Scenario traffic is driven sequentially (one request in flight), so the
 // injected fault schedule AND the resulting report are bit-replayable:
@@ -117,6 +126,20 @@ struct FabricSoakResult {
 /// Sized for options.requests >= 1M on manual CI dispatch; needs at least
 /// a few thousand requests for the counted replica kill to fire.
 FabricSoakResult RunFabricSoak(const ChaosOptions& options);
+
+/// The model-lifecycle scenario's outcome: the deterministic report (which
+/// embeds the full promotion/rollback decision log — CI byte-diffs it)
+/// plus the headline lifecycle counters as a flat name -> value list for
+/// the golden-metrics JSON artifact (tests/golden/lifecycle.json).
+struct LifecycleChaosResult {
+  ScenarioResult scenario;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Runs the closed-loop lifecycle scenario (see the file comment). Mostly
+/// self-sizing: candidate registrations adapt to the seed's poison draws,
+/// so any seed exercises reject + promote + rollback + confirm.
+LifecycleChaosResult RunLifecycleChaos(const ChaosOptions& options);
 
 /// The observability flight demo's outcome: the usual deterministic
 /// scenario report plus the three black-box artifacts the run produced.

@@ -15,10 +15,12 @@ const char* kKindNames[] = {
     "disk_stall",     "message_loss", "node_slowdown", "node_failure",
     "buffer_pressure", "submit_reject", "worker_stall",  "registry_swap",
     "shard_kill",     "shard_stall",  "replica_kill",  "replica_stall",
+    "model_poison",
 };
 const char* kKindLayers[] = {
     "engine", "engine", "engine", "engine",   "engine",  "serve",
     "serve",  "serve",  "shard",  "shard",    "replica", "replica",
+    "lifecycle",
 };
 }  // namespace
 
@@ -262,6 +264,17 @@ FaultInjector::BatchFaults FaultInjector::NextReplicaBatchFaults(
     Record(kReplicaStall, spec.target_replica_label.c_str());
   }
   return out;
+}
+
+double FaultInjector::NextModelPoison() {
+  const ServeFaultSpec& spec = plan_.serve;
+  if (spec.model_poison_probability <= 0.0) return 1.0;
+  const uint64_t i = candidate_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (Draw(kTagPoison, i) < spec.model_poison_probability) {
+    Record(kModelPoison);
+    return std::max(1.0, spec.model_poison_multiplier);
+  }
+  return 1.0;
 }
 
 uint64_t FaultInjector::injected(const char* kind) const {

@@ -151,6 +151,14 @@ class FaultInjector {
   /// target replica's batch index.
   BatchFaults NextReplicaBatchFaults(const std::string& label);
 
+  // ----------------------------------------------------------- lifecycle --
+
+  /// One decision per registered lifecycle candidate: the prediction
+  /// multiplier the candidate's shadow lane must apply (1.0 = clean,
+  /// plan.serve.model_poison_multiplier = poisoned). Consumes the next
+  /// candidate index; records a model_poison injection when poisoned.
+  double NextModelPoison();
+
   // ------------------------------------------------------ introspection --
 
   /// Total injected faults by kind, independent of any registry (the chaos
@@ -172,6 +180,7 @@ class FaultInjector {
     kTagSwap = 0x27D4EB2F165667C5ull,
     kTagShardStall = 0x2545F4914F6CDD1Dull,
     kTagReplicaStall = 0x8EBC6AF09C88C6E3ull,
+    kTagPoison = 0x589965CC75374CC3ull,
   };
 
   struct Kind {
@@ -192,6 +201,7 @@ class FaultInjector {
     kShardStall,
     kReplicaKill,
     kReplicaStall,
+    kModelPoison,
     kNumKinds,
   };
 
@@ -212,6 +222,8 @@ class FaultInjector {
   // Replica-targeted streams, keyed the same way one level down.
   std::atomic<uint64_t> replica_pick_seq_{0};
   std::atomic<uint64_t> replica_batch_seq_{0};
+  // Lifecycle stream: one poison decision per registered candidate.
+  std::atomic<uint64_t> candidate_seq_{0};
   std::mutex hook_mu_;
   std::function<void()> swap_hook_;
   std::function<void()> shard_kill_hook_;

@@ -11,9 +11,10 @@ namespace qpp::fault {
 namespace {
 constexpr uint32_t kMagic = 0x51505046;  // "QPPF" little-endian
 // v1: engine + serve probabilities. v2 appends the shard-targeted serve
-// fields; v3 appends the replica-targeted serve fields. Older files still
-// load (the appended fault families default to disabled).
-constexpr uint32_t kVersion = 3;
+// fields; v3 appends the replica-targeted serve fields; v4 appends the
+// model_poison lifecycle fields. Older files still load (the appended
+// fault families default to disabled).
+constexpr uint32_t kVersion = 4;
 }  // namespace
 
 void FaultPlan::Write(BinaryWriter* w) const {
@@ -44,6 +45,8 @@ void FaultPlan::Write(BinaryWriter* w) const {
   w->WriteU64(serve.replica_kill_after_picks);
   w->WriteDouble(serve.replica_stall_probability);
   w->WriteDouble(serve.replica_stall_seconds);
+  w->WriteDouble(serve.model_poison_probability);
+  w->WriteDouble(serve.model_poison_multiplier);
 }
 
 FaultPlan FaultPlan::Read(BinaryReader* r) {
@@ -80,6 +83,10 @@ FaultPlan FaultPlan::Read(BinaryReader* r) {
     p.serve.replica_kill_after_picks = r->ReadU64();
     p.serve.replica_stall_probability = r->ReadDouble();
     p.serve.replica_stall_seconds = r->ReadDouble();
+  }
+  if (version >= 4) {
+    p.serve.model_poison_probability = r->ReadDouble();
+    p.serve.model_poison_multiplier = r->ReadDouble();
   }
   return p;
 }
@@ -120,6 +127,11 @@ std::string FaultPlan::ToString() const {
           serve.target_replica_label.c_str(),
           static_cast<unsigned long long>(serve.replica_kill_after_picks),
           serve.replica_stall_probability, serve.replica_stall_seconds);
+    }
+    if (serve.model_poison_probability > 0.0) {
+      os << StrFormat("  lifecycle: model_poison p=%.2f x%.1f\n",
+                      serve.model_poison_probability,
+                      serve.model_poison_multiplier);
     }
   }
   return os.str();

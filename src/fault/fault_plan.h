@@ -124,11 +124,24 @@ struct ServeFaultSpec {
            (replica_kill_after_picks > 0 || replica_stall_probability > 0.0);
   }
 
+  // Lifecycle-targeted faults (closed-loop model lifecycle, see
+  // lifecycle/lifecycle.h). One decision per registered candidate, keyed
+  // by its registration index.
+
+  /// Probability that a registered challenger model is poisoned: its
+  /// shadow predictions are scaled by model_poison_multiplier, modeling a
+  /// corrupted or badly retrained candidate. The lifecycle gate must
+  /// reject it — a poisoned candidate never reaches user traffic (the
+  /// "model-lifecycle" chaos scenario pins this as zero-tolerance).
+  double model_poison_probability = 0.0;
+  /// Prediction multiplier applied to a poisoned candidate (>= 1).
+  double model_poison_multiplier = 100.0;
+
   bool enabled() const {
     return submit_reject_probability > 0.0 ||
            worker_stall_probability > 0.0 ||
            registry_swap_probability > 0.0 || shard_targeted() ||
-           replica_targeted();
+           replica_targeted() || model_poison_probability > 0.0;
   }
 };
 

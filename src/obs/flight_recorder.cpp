@@ -27,6 +27,10 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kHealthChange: return "health_change";
     case FlightEventKind::kInvariantFailure: return "invariant_failure";
     case FlightEventKind::kNote: return "note";
+    case FlightEventKind::kCandidateRegistered: return "candidate_registered";
+    case FlightEventKind::kShadowWindow: return "shadow_window";
+    case FlightEventKind::kPromotion: return "promotion";
+    case FlightEventKind::kRollback: return "rollback";
   }
   return "?";
 }

@@ -56,6 +56,10 @@ enum class FlightEventKind : uint8_t {
   kHealthChange,         ///< code = new ReplicaHealth; detail = label
   kInvariantFailure,     ///< chaos invariant failed; detail = which
   kNote,                 ///< free-form marker (tools, tests)
+  kCandidateRegistered,  ///< lifecycle candidate enters shadow; detail = label
+  kShadowWindow,         ///< lifecycle window closed; detail = gate verdict
+  kPromotion,            ///< challenger promoted; code = candidate index
+  kRollback,             ///< watchdog demoted a promotion; value = risk
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "serve/shadow_observer.h"
 
 namespace qpp::serve {
 
@@ -388,6 +389,16 @@ void PredictionService::Respond(Pending* pending,
   // SLO engine, its flight recorder) attribute to *this* request.
   obs::ScopedRequestContext respond_ctx(pending->request.ctx);
   stats_.RecordResponse(response.latency_seconds, response.trace_id);
+  if (config_.shadow != nullptr &&
+      source != ResponseSource::kOptimizerFallback) {
+    // The shadow lane observes, never writes: it gets the served bits (and
+    // the features that produced them) but the response object is already
+    // built, so nothing the observer does can change what the client sees.
+    stats_.RecordShadowObserved();
+    config_.shadow->OnServedPrediction(pending->request.features,
+                                       response.prediction, generation,
+                                       response.trace_id);
+  }
   if (config_.on_response) config_.on_response(response);
   pending->promise.set_value(std::move(response));
 }

@@ -56,6 +56,8 @@
 
 namespace qpp::serve {
 
+class ShadowObserver;  // serve/shadow_observer.h
+
 enum class ResponseSource {
   kModel,              ///< answered by the published model
   kCache,              ///< identical feature vector answered before
@@ -161,6 +163,14 @@ struct ServiceConfig {
   /// into the same service (the queue lock is not held, but worker threads
   /// calling themselves recursively would deadlock Shutdown).
   std::function<void(const ServeResponse&)> on_response;
+  /// The shadow lane (serve/shadow_observer.h): sees every model/cache
+  /// response — features, served bits, generation — just before the future
+  /// resolves, so a lifecycle::LifecycleManager can score challengers
+  /// against live traffic without touching what clients receive. Fallback
+  /// responses are NOT observed (there is no model prediction to compare).
+  /// Null (the default) costs one test per response; the observer must
+  /// outlive the service and must not Submit back into it.
+  ShadowObserver* shadow = nullptr;
 };
 
 class PredictionService {

@@ -25,6 +25,8 @@ ServiceStats::ServiceStats()
       batches_(registry_.GetCounter("qpp_serve_batches_total")),
       batched_requests_(
           registry_.GetCounter("qpp_serve_batched_requests_total")),
+      shadow_observed_(
+          registry_.GetCounter("qpp_lifecycle_shadow_observed_total")),
       latency_(registry_.GetHistogram(
           "qpp_serve_latency_seconds", {},
           // Default layout plus per-bucket exemplars: a tail bucket in the
@@ -52,6 +54,8 @@ ServiceStats::ServiceStats()
                     "degraded responses by labeled reason");
   registry_.SetHelp("qpp_serve_batch_size",
                     "requests drained per worker micro-batch");
+  registry_.SetHelp("qpp_lifecycle_shadow_observed_total",
+                    "model/cache responses handed to the shadow lane");
 }
 
 ServiceStatsSnapshot ServiceStats::Snapshot() const {
@@ -68,6 +72,7 @@ ServiceStatsSnapshot ServiceStats::Snapshot() const {
   s.rejected = rejected_->value();
   s.batches = batches_->value();
   s.batched_requests = batched_requests_->value();
+  s.shadow_observed = shadow_observed_->value();
   const obs::HistogramSnapshot latency = latency_->Snapshot();
   s.p50_seconds = latency.Quantile(0.50);
   s.p95_seconds = latency.Quantile(0.95);

@@ -38,6 +38,9 @@ struct ServiceStatsSnapshot {
   uint64_t rejected = 0;           ///< TrySubmit refused (queue full)
   uint64_t batches = 0;
   uint64_t batched_requests = 0;   ///< sum of batch sizes
+  /// Model/cache responses handed to the shadow lane (the lifecycle
+  /// observer); 0 when no ShadowObserver is configured.
+  uint64_t shadow_observed = 0;
   double p50_seconds = 0.0;
   double p95_seconds = 0.0;
   double p99_seconds = 0.0;
@@ -88,6 +91,7 @@ class ServiceStats {
   void RecordFallbackOverload() { fallback_overload_->Inc(); }
   void RecordFallbackCircuitOpen() { fallback_circuit_open_->Inc(); }
   void RecordRejected() { rejected_->Inc(); }
+  void RecordShadowObserved() { shadow_observed_->Inc(); }
   void RecordBatch(size_t batch_size) {
     batches_->Inc();
     batched_requests_->Inc(batch_size);
@@ -116,6 +120,7 @@ class ServiceStats {
   obs::Counter* rejected_;
   obs::Counter* batches_;
   obs::Counter* batched_requests_;
+  obs::Counter* shadow_observed_;
   obs::Histogram* latency_;
   obs::Histogram* batch_size_;
 };

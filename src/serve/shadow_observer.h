@@ -1,0 +1,39 @@
+// The shadow lane's seam into the serving hot path.
+//
+// A ShadowObserver sees every model-answered response (model or cache
+// source — never fallbacks) just before the client future resolves: the
+// exact feature vector, the served prediction bits, and the generation
+// that answered. lifecycle::LifecycleManager implements it to compute and
+// score challenger predictions against the same traffic without ever
+// touching what the client receives (docs/LIFECYCLE.md).
+//
+// This interface lives in serve/ (not lifecycle/) so the dependency points
+// one way: the service knows only this abstract hook, the lifecycle layer
+// knows the service. The callback runs on the answering worker thread with
+// the request's obs::RequestContext installed, so anything the observer
+// records (flight events, trace instants, counters) attributes to the
+// request; implementations must be thread-safe and must not Submit back
+// into the observed service.
+#pragma once
+
+#include <cstdint>
+
+#include "core/predictor.h"
+#include "linalg/matrix.h"
+
+namespace qpp::serve {
+
+class ShadowObserver {
+ public:
+  virtual ~ShadowObserver() = default;
+
+  /// One model-path (or cache-hit) response about to be delivered.
+  /// `served` is the exact prediction the client gets; `generation` the
+  /// registry generation that produced it; `trace_id` the request's
+  /// correlation id (0 = none).
+  virtual void OnServedPrediction(const linalg::Vector& features,
+                                  const core::Prediction& served,
+                                  uint64_t generation, uint64_t trace_id) = 0;
+};
+
+}  // namespace qpp::serve

@@ -117,6 +117,7 @@ ShardRouter::ShardRouter(ShardRouterConfig config,
     service_config.shard_label = shard->spec.name;
     if (service_config.trace == nullptr) service_config.trace = trace_;
     if (service_config.faults == nullptr) service_config.faults = faults_;
+    if (service_config.shadow == nullptr) service_config.shadow = config.shadow;
     shard->service = std::make_unique<serve::PredictionService>(
         shard->registry.get(), service_config, calibration_);
     const obs::Labels labels = {{"shard", shard->spec.name}};

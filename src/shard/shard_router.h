@@ -93,6 +93,9 @@ struct ShardRouterConfig {
   /// Optional sinks, shared by all shards; must outlive the router.
   obs::TraceRecorder* trace = nullptr;
   fault::FaultInjector* faults = nullptr;
+  /// Shadow lane shared by every shard service (serve/shadow_observer.h):
+  /// a per-shard spec's own `service.shadow` wins over this default.
+  serve::ShadowObserver* shadow = nullptr;
 };
 
 /// The paper's pool layout: one expert per Fig. 2 category (named by

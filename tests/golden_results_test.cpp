@@ -100,6 +100,17 @@ TEST(GoldenResultsTest, FabricSoakCounters) {
   CompareToGolden(soak.values, "fabric.json");
 }
 
+TEST(GoldenResultsTest, LifecycleChaosCounters) {
+  // The model-lifecycle scenario's counter set at the pinned seed, all
+  // zero-tolerance. lifecycle_poisoned_promoted and
+  // lifecycle_poisoned_served pin at exactly 0 — the never-promote
+  // contract for model_poison-faulted candidates is a headline value, not
+  // just a scenario invariant.
+  const LifecycleGolden run = ComputeLifecycleChaos();
+  EXPECT_TRUE(run.ok) << run.report;
+  CompareToGolden(run.values, "lifecycle.json");
+}
+
 // The ISSUE's floor: the suite must pin at least 10 headline values. It
 // pins far more, but keep the floor explicit so pruning can't hollow the
 // suite out unnoticed.
@@ -107,7 +118,7 @@ TEST(GoldenResultsTest, PinsAtLeastTenHeadlineValues) {
   size_t total = 0;
   for (const char* file : {"fig03.json", "exp1.json", "tab2.json",
                            "fig13.json", "fig16.json", "fig17.json",
-                           "fabric.json"}) {
+                           "fabric.json", "lifecycle.json"}) {
     total += ReadGoldenJson(GoldenPath(file)).size();
   }
   EXPECT_GE(total, 10u);

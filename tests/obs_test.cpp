@@ -532,6 +532,69 @@ TEST(DriftMonitorTest, FallbackPathOnlyScoresElapsedAndCountsShare) {
   EXPECT_DOUBLE_EQ(drift.fallback_share(), 0.5);
 }
 
+TEST(DriftMonitorTest, EmptyWindowReadsAsAllZeros) {
+  // A fresh monitor (the lifecycle champion scorer right after a
+  // promotion swap) must read as risk-free, not as NaN or garbage.
+  DriftMonitor drift;
+  EXPECT_EQ(drift.model_observations(), 0u);
+  EXPECT_EQ(drift.fallback_observations(), 0u);
+  EXPECT_DOUBLE_EQ(drift.fallback_share(), 0.0);
+  EXPECT_DOUBLE_EQ(drift.FallbackElapsedEwma(), 0.0);
+  EXPECT_FALSE(drift.drifted());
+  for (size_t m = 0; m < engine::QueryMetrics::kNumMetrics; ++m) {
+    EXPECT_DOUBLE_EQ(drift.MetricEwma(m), 0.0);
+    for (int p = 0; p < 4; ++p) {
+      EXPECT_DOUBLE_EQ(
+          drift.PoolMetricEwma(static_cast<workload::QueryType>(p), m), 0.0);
+    }
+  }
+  EXPECT_FALSE(drift.ToString().empty());
+}
+
+TEST(DriftMonitorTest, AllFallbackWindowNeverReportsModelDrift) {
+  // A window where every response fell back (circuit open, no model):
+  // share pegs at 1.0, the fallback elapsed EWMA tracks the (terrible)
+  // errors, but the model-path EWMAs stay zero and drifted() stays false
+  // no matter how bad the fallbacks are — drift means MODEL drift.
+  DriftMonitorOptions opt;
+  opt.min_observations = 4;
+  opt.relative_error_threshold = 0.5;
+  DriftMonitor drift(opt);
+  const auto actual = MetricsWithElapsed(10.0);
+  const auto bad = MetricsWithElapsed(50.0);  // relative error 4.0
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(drift.Observe(DriftMonitor::Source::kFallback, bad, actual));
+  }
+  EXPECT_EQ(drift.model_observations(), 0u);
+  EXPECT_EQ(drift.fallback_observations(), 16u);
+  EXPECT_DOUBLE_EQ(drift.fallback_share(), 1.0);
+  EXPECT_NEAR(drift.FallbackElapsedEwma(), 4.0, 1e-12);
+  EXPECT_FALSE(drift.drifted());
+  for (size_t m = 0; m < engine::QueryMetrics::kNumMetrics; ++m) {
+    EXPECT_DOUBLE_EQ(drift.MetricEwma(m), 0.0);
+  }
+}
+
+TEST(DriftMonitorTest, SingleSampleEwmaIsTheSampleRegardlessOfAlpha) {
+  // The first observation SETS the EWMA (n == 0 case of the recurrence);
+  // alpha must play no part, or a tiny alpha would make a fresh lifecycle
+  // window nearly blind to its first window of errors.
+  for (double alpha : {0.01, 0.1, 0.5, 0.99}) {
+    DriftMonitorOptions opt;
+    opt.alpha = alpha;
+    DriftMonitor drift(opt);
+    drift.Observe(DriftMonitor::Source::kModel, MetricsWithElapsed(13.0),
+                  MetricsWithElapsed(10.0));
+    EXPECT_NEAR(drift.MetricEwma(0), 0.3, 1e-12) << "alpha " << alpha;
+    // The second observation must then follow the recurrence from that
+    // seeded value, not from zero.
+    drift.Observe(DriftMonitor::Source::kModel, MetricsWithElapsed(10.0),
+                  MetricsWithElapsed(10.0));
+    EXPECT_NEAR(drift.MetricEwma(0), (1.0 - alpha) * 0.3, 1e-12)
+        << "alpha " << alpha;
+  }
+}
+
 TEST(DriftMonitorTest, SignalFiresAfterWarmupAndRespectsRefireInterval) {
   DriftMonitorOptions opt;
   opt.alpha = 0.5;

@@ -10,10 +10,12 @@
 #include <sstream>
 
 #include "catalog/retailbank.h"
+#include "common/rng.h"
 #include "common/serde.h"
 #include "core/predictor.h"
 #include "fault/chaos.h"
 #include "fault/fault_plan.h"
+#include "lifecycle/lifecycle.h"
 #include "optimizer/plan_serde.h"
 #include "catalog/tpcds.h"
 #include "engine/simulator.h"
@@ -390,6 +392,103 @@ TEST(SimdInvariancePropertyTest, GaussianScaleFromNormsMatchesScalarBitwise) {
         EXPECT_GT(simd_tau, 0.0);
       }
     }
+  }
+}
+
+// The lifecycle promotion gate must be monotone in the challenger's
+// errors: strictly worsening a challenger's scored errors (raising any of
+// its EWMAs) can never flip a reject into a promote. This is what makes
+// the model_poison fault safe BY CONSTRUCTION — poison only inflates the
+// shadow predictions' errors, so it can only lose gate decisions.
+TEST(LifecyclePropertyTest, PromotionGateIsMonotoneInChallengerErrors) {
+  Rng rng(0xBADA55ull);
+  size_t promotes = 0, flips_checked = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    lifecycle::PromotionGateConfig cfg;
+    cfg.min_observations = 4;
+    cfg.margin = rng.Uniform(0.0, 0.5);
+    cfg.tolerance = lifecycle::UniformTolerance(rng.Uniform(0.1, 2.0));
+    const lifecycle::PromotionGate gate(cfg);
+
+    lifecycle::RiskWindow champion, challenger;
+    // Sometimes leave one side cold so the warmup branch is swept too.
+    champion.observations = rng.Uniform(0.0, 1.0) < 0.1 ? 2 : 16;
+    challenger.observations = rng.Uniform(0.0, 1.0) < 0.1 ? 3 : 16;
+    for (size_t m = 0; m < lifecycle::RiskWindow::kNumMetrics; ++m) {
+      champion.metric_ewma[m] = rng.Uniform(0.0, 2.0);
+      challenger.metric_ewma[m] = rng.Uniform(0.0, 2.0);
+      for (size_t p = 0; p < lifecycle::RiskWindow::kNumPools; ++p) {
+        champion.pool_ewma[p][m] = rng.Uniform(0.0, 2.0);
+        challenger.pool_ewma[p][m] = rng.Uniform(0.0, 2.0);
+      }
+    }
+    const lifecycle::GateDecision base = gate.Evaluate(champion, challenger);
+    if (base.promote) ++promotes;
+
+    // Worsen the challenger: every EWMA independently scaled up.
+    lifecycle::RiskWindow worse = challenger;
+    for (size_t m = 0; m < lifecycle::RiskWindow::kNumMetrics; ++m) {
+      worse.metric_ewma[m] *= rng.Uniform(1.0, 4.0);
+      for (size_t p = 0; p < lifecycle::RiskWindow::kNumPools; ++p) {
+        worse.pool_ewma[p][m] *= rng.Uniform(1.0, 4.0);
+      }
+    }
+    const lifecycle::GateDecision worsened = gate.Evaluate(champion, worse);
+    ++flips_checked;
+    EXPECT_FALSE(!base.promote && worsened.promote)
+        << "trial " << trial << ": worsening the challenger flipped "
+        << base.reason << " into a promote";
+  }
+  // The sweep must actually exercise both gate outcomes to mean anything.
+  EXPECT_GT(promotes, 0u);
+  EXPECT_LT(promotes, flips_checked);
+}
+
+// Stream-level version of the same property: scoring a strictly worse
+// error stream through a real ShadowScorer yields pointwise-worse window
+// EWMAs, so the gate decision never improves at ANY prefix of the stream.
+TEST(LifecyclePropertyTest, WorseErrorStreamNeverUnlocksPromotion) {
+  Rng rng(0x5EED5ull);
+  lifecycle::PromotionGateConfig cfg;
+  cfg.min_observations = 4;
+  cfg.margin = 0.1;
+  cfg.tolerance = lifecycle::UniformTolerance(0.8);
+  const lifecycle::PromotionGate gate(cfg);
+
+  lifecycle::RiskWindow champion;
+  champion.observations = 64;
+  for (size_t m = 0; m < lifecycle::RiskWindow::kNumMetrics; ++m) {
+    champion.metric_ewma[m] = 1.0;
+  }
+
+  // Score-only scorers (null model): predictions fed directly.
+  lifecycle::ShadowScorer good(nullptr, 0.1);
+  lifecycle::ShadowScorer bad(nullptr, 0.1);
+  for (int i = 0; i < 64; ++i) {
+    engine::QueryMetrics predicted;
+    predicted.elapsed_seconds = 10.0;
+    predicted.records_accessed = rng.Uniform(100.0, 1000.0);
+    predicted.records_used = rng.Uniform(10.0, 100.0);
+    predicted.message_count = rng.Uniform(1.0, 50.0);
+    predicted.message_bytes = rng.Uniform(100.0, 5000.0);
+    const double err = rng.Uniform(0.0, 1.0);
+    const double worse_err = err * rng.Uniform(1.5, 3.0);
+    // Both actuals keep elapsed in the same pool band, so the per-pool
+    // EWMAs of the worse stream dominate the good stream's pointwise.
+    auto actual_for = [&](double e) {
+      linalg::Vector v = predicted.ToVector();
+      for (double& x : v) x /= (1.0 + e);
+      return engine::QueryMetrics::FromVector(v);
+    };
+    good.Score(predicted, actual_for(err));
+    bad.Score(predicted, actual_for(worse_err));
+    const lifecycle::GateDecision g = gate.Evaluate(champion, good.Window());
+    const lifecycle::GateDecision b = gate.Evaluate(champion, bad.Window());
+    EXPECT_FALSE(!g.promote && b.promote)
+        << "observation " << i << ": the worse stream promoted (" << b.reason
+        << ") while the good stream held (" << g.reason << ")";
+    EXPECT_GE(bad.Window().risk(), good.Window().risk()) << "observation "
+                                                         << i;
   }
 }
 

@@ -343,6 +343,64 @@ TEST(ModelRegistryTest, HotSwapUnderConcurrentReaders) {
   EXPECT_EQ(registry.generation(), 1u + kPublishes);
 }
 
+TEST(ModelRegistryTest, PublishUnpublishRollbackInterleavingPinsGenerations) {
+  // The lifecycle layer leans on these exact semantics: Publish bumps the
+  // generation (even when republishing old bits — the rollback path),
+  // Unpublish RETAINS the generation, and a snapshot pinned before any of
+  // it stays usable. Pin them under rapid interleaving, concurrent with
+  // serving-style readers (TSan guards the swap itself).
+  ModelRegistry registry;
+  const auto champion = TinyModel(1);
+  const auto challenger = TinyModel(2);
+  ASSERT_EQ(registry.Publish(champion), 1u);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const ModelRegistry::Snapshot snap = registry.Acquire();
+        // Generations never move backwards, and a valid snapshot is
+        // always one of the two models ever published, fully trained.
+        ASSERT_GE(snap.generation, last);
+        last = snap.generation;
+        if (snap.valid()) {
+          ASSERT_TRUE(snap.model == champion || snap.model == challenger);
+          ASSERT_TRUE(snap.model->trained());
+        }
+      }
+    });
+  }
+
+  constexpr uint64_t kCycles = 100;
+  uint64_t generation = 1;
+  for (uint64_t i = 0; i < kCycles; ++i) {
+    // Promote the challenger...
+    ASSERT_EQ(registry.Publish(challenger), generation + 1);
+    ++generation;
+    // ...kill it (generation is retained so caches can't confuse a
+    // revived registry with what it served before)...
+    registry.Unpublish();
+    ASSERT_EQ(registry.generation(), generation);
+    ASSERT_FALSE(registry.Acquire().valid());
+    // ...and roll back to the prior champion: same bits, NEW generation.
+    ASSERT_EQ(registry.Publish(champion), generation + 1);
+    ++generation;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(registry.generation(), 1u + 2 * kCycles);
+  const ModelRegistry::Snapshot final_snap = registry.Acquire();
+  ASSERT_TRUE(final_snap.valid());
+  EXPECT_EQ(final_snap.model, champion);
+  // Unpublishing twice is a no-op, not a second generation event.
+  registry.Unpublish();
+  registry.Unpublish();
+  EXPECT_EQ(registry.generation(), 1u + 2 * kCycles);
+}
+
 // ---------------------------------------------------------------- stats --
 
 TEST(ServiceStatsTest, SnapshotReflectsRecordedEvents) {

@@ -39,7 +39,9 @@
 //       high-volume concurrent soak instead of the named scenarios;
 //       --fabric-soak runs the deterministic replicated-serving capacity
 //       soak (docs/FABRIC.md), with --json-out FILE writing its
-//       byte-replayable counters for the CI artifact/diff.
+//       byte-replayable counters for the CI artifact/diff. --scenario
+//       model-lifecycle also honors --json-out, emitting the lifecycle
+//       counter set (tests/golden/lifecycle.json; docs/LIFECYCLE.md).
 //
 // All commands run against the TPC-DS SF-1 catalog on the Neoview-4
 // configuration; this is a demonstration surface, not a kitchen sink.
@@ -611,6 +613,25 @@ int CmdChaos(const Args& args) {
     results.push_back(std::move(soak.scenario));
   } else if (args.flag("soak")) {
     results.push_back(fault::RunChaosSoak(opts));
+  } else if (scenario == "model-lifecycle") {
+    // Run through the counter-bearing entry point so --json-out can emit
+    // the golden artifact (tests/golden/lifecycle.json); the report and
+    // exit status are identical to the RunChaosScenario path.
+    fault::LifecycleChaosResult run = fault::RunLifecycleChaos(opts);
+    const std::string json_path = args.get("json-out");
+    if (!json_path.empty()) {
+      std::string json = "{\n";
+      for (size_t i = 0; i < run.counters.size(); ++i) {
+        json += StrFormat("  \"%s\": %.17g%s\n", run.counters[i].first.c_str(),
+                          run.counters[i].second,
+                          i + 1 < run.counters.size() ? "," : "");
+      }
+      json += "}\n";
+      if (!WriteTextFile(json_path, json)) return 1;
+      std::fprintf(stderr, "lifecycle counters written to %s\n",
+                   json_path.c_str());
+    }
+    results.push_back(std::move(run.scenario));
   } else if (scenario == "all") {
     for (const std::string& name : fault::ChaosScenarioNames()) {
       results.push_back(fault::RunChaosScenario(name, opts));
